@@ -1,0 +1,47 @@
+// Command doeprobe reproduces §4 of the paper: client-side reachability and
+// performance measurements from the proxy-network vantage points. It prints
+// Table 3 (datasets), Table 4 (reachability), Table 5 (port forensics),
+// Table 6 (TLS interception), Table 7 (no-reuse performance), Figure 9
+// (per-country overheads) and Figure 10 (per-client scatter).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"dnsencryption.info/doe/internal/core"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("doeprobe: ")
+	seed := flag.Int64("seed", 0, "override the study seed (0 = default)")
+	small := flag.Bool("small", false, "use the miniature test-scale world")
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	if *small {
+		cfg = core.TestConfig()
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	study, err := core.NewStudy(cfg)
+	if err != nil {
+		log.Fatalf("building study world: %v", err)
+	}
+
+	for _, id := range []string{"table3", "table4", "table5", "table6", "table7", "fig9", "fig10"} {
+		exp, ok := core.ExperimentByID(id)
+		if !ok {
+			log.Fatalf("unknown experiment %q", id)
+		}
+		out, err := exp.Run(study)
+		if err != nil {
+			log.Fatalf("%s: %v", id, err)
+		}
+		fmt.Fprintf(os.Stdout, "== %s: %s\n%s\n", exp.ID, exp.Title, out)
+	}
+}

@@ -1,0 +1,73 @@
+// Command doereport runs the complete end-to-end study — every table and
+// figure of the paper — and writes the full report to stdout (or a file).
+//
+//	doereport            # full-scale study
+//	doereport -small     # miniature world (seconds)
+//	doereport -only fig9 # a single experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"dnsencryption.info/doe/internal/core"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("doereport: ")
+	seed := flag.Int64("seed", 0, "override the study seed (0 = default)")
+	small := flag.Bool("small", false, "use the miniature test-scale world")
+	only := flag.String("only", "", "run a single experiment by id (e.g. table4)")
+	outPath := flag.String("o", "", "write the report to a file instead of stdout")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, exp := range core.Experiments() {
+			fmt.Printf("%-14s %s\n", exp.ID, exp.Title)
+		}
+		return
+	}
+
+	cfg := core.DefaultConfig()
+	if *small {
+		cfg = core.TestConfig()
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	study, err := core.NewStudy(cfg)
+	if err != nil {
+		log.Fatalf("building study world: %v", err)
+	}
+
+	var w io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			log.Fatalf("creating %s: %v", *outPath, err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	if *only != "" {
+		exp, ok := core.ExperimentByID(*only)
+		if !ok {
+			log.Fatalf("unknown experiment %q (use -list)", *only)
+		}
+		out, err := exp.Run(study)
+		if err != nil {
+			log.Fatalf("%s: %v", *only, err)
+		}
+		fmt.Fprintf(w, "== %s: %s\n%s\n", exp.ID, exp.Title, out)
+		return
+	}
+	if err := study.RunAll(w); err != nil {
+		log.Fatalf("report completed with errors: %v", err)
+	}
+}

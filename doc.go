@@ -1,0 +1,13 @@
+// Package doe is a from-scratch reproduction of "An End-to-End, Large-Scale
+// Measurement of DNS-over-Encryption: How Far Have We Come?" (IMC 2019).
+//
+// The implementation lives under internal/: the DNS wire codec, DoT and DoH
+// clients and servers, a SOCKS5 proxy-network substrate, ZMap-style
+// scanning, NetFlow and passive-DNS analysis, and the calibrated simulated
+// Internet the study runs against. The cmd/ binaries regenerate the paper's
+// tables and figures; see DESIGN.md for the experiment index and
+// EXPERIMENTS.md for paper-vs-measured results.
+//
+// The benchmarks in bench_test.go exercise one experiment per table and
+// figure, plus ablations of the design choices called out in DESIGN.md.
+package doe

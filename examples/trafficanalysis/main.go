@@ -1,0 +1,101 @@
+// Trafficanalysis: §5 in miniature. Synthesize a year of DoT adoption plus
+// one scanning campaign, push it through a sampling NetFlow router, screen
+// out the scanner, and print the monthly flow series (Fig. 11 style), the
+// per-/24 concentration (Fig. 12 style) and the passive-DNS view of DoH
+// bootstrap domains (Fig. 13 style).
+package main
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"dnsencryption.info/doe/internal/analysis"
+	"dnsencryption.info/doe/internal/netflow"
+	"dnsencryption.info/doe/internal/passivedns"
+	"dnsencryption.info/doe/internal/scandetect"
+	"dnsencryption.info/doe/internal/workload"
+)
+
+func main() {
+	cloudflare := netip.MustParseAddr("1.1.1.1")
+	quad9 := netip.MustParseAddr("9.9.9.9")
+
+	// 1. Synthesize organic DoT adoption: Cloudflare growing, Quad9 flat.
+	router := netflow.NewRouter(3, 15*time.Second) // 1-in-3 packet sampling
+	gen := workload.NewDoTGenerator(2019)
+	gen.Providers = []workload.ProviderTraffic{
+		{
+			Provider: "cloudflare", Resolver: cloudflare,
+			MonthlyFlows: map[workload.Month]int{
+				"2018-07": 900, "2018-08": 1000, "2018-09": 1100,
+				"2018-10": 1200, "2018-11": 1320, "2018-12": 1410,
+			},
+		},
+		{
+			Provider: "quad9", Resolver: quad9,
+			MonthlyFlows: map[workload.Month]int{
+				"2018-07": 300, "2018-08": 260, "2018-09": 330,
+				"2018-10": 280, "2018-11": 340, "2018-12": 290,
+			},
+		},
+	}
+	organic := gen.Generate(router)
+
+	// 2. A research scanner sweeps port 853 in September.
+	scanSrc := netip.MustParseAddr("198.51.100.77")
+	workload.GenerateScan(router, scanSrc,
+		time.Date(2018, 9, 14, 0, 0, 0, 0, time.UTC), 500)
+
+	records := router.Flush()
+	fmt.Printf("organic flows generated: %d; sampled flow records: %d\n\n", organic, len(records))
+
+	// 3. Screen out scanners before analysis (§5.2).
+	detector := scandetect.NewDetector(853)
+	verdicts := detector.Classify(records)
+	for _, v := range verdicts {
+		if v.Scanner {
+			fmt.Printf("screened scanner %v: %s (fanout %d, %.0f%% SYN-only)\n",
+				v.Source, v.Reason, v.DistinctDsts, v.SYNOnlyFraction*100)
+		}
+	}
+	organicRecords := scandetect.FilterOrganic(records, verdicts)
+
+	// 4. Select DoT flows and aggregate.
+	analyzer := &netflow.Analyzer{Resolvers: map[netip.Addr]string{
+		cloudflare: "cloudflare",
+		quad9:      "quad9",
+	}}
+	flows := analyzer.SelectDoT(organicRecords)
+	fig := &analysis.Figure{Title: "Monthly DoT flows (sampled)", XLabel: "month", YLabel: "flows"}
+	counts := netflow.MonthlyCounts(flows)
+	for provider, byMonth := range counts {
+		for _, m := range workload.MonthsBetween("2018-07", "2018-12") {
+			fig.AddPoint(provider, m, float64(byMonth[m]))
+		}
+	}
+	fmt.Println()
+	fmt.Println(fig.Render())
+
+	stats := netflow.NetblockStats(flows, "cloudflare")
+	fmt.Printf("client /24s: %d; top-5 share %.0f%%; active <1 week: %.0f%%\n\n",
+		len(stats), 100*netflow.TopShare(stats, 5), 100*netflow.TemporaryFraction(stats, 7))
+
+	// 5. Passive DNS view of DoH bootstrap domains.
+	db := passivedns.NewDB()
+	workload.GenerateDoH(db, []workload.DoHDomainTraffic{
+		{Domain: "dns.google", MonthlyQueries: map[workload.Month]int{
+			"2018-10": 50000, "2018-11": 54000, "2018-12": 60000,
+		}},
+		{Domain: "doh.cleanbrowsing.org", MonthlyQueries: map[workload.Month]int{
+			"2018-10": 300, "2018-11": 700, "2018-12": 1600,
+		}},
+	})
+	for _, domain := range []string{"dns.google", "doh.cleanbrowsing.org"} {
+		agg, _ := db.Lookup(domain)
+		fmt.Printf("%-24s total=%7d  first=%s last=%s  monthly=%v\n",
+			domain, agg.Count,
+			agg.FirstSeen.Format("2006-01-02"), agg.LastSeen.Format("2006-01-02"),
+			db.MonthlyVolume(domain))
+	}
+}

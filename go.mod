@@ -1,0 +1,3 @@
+module dnsencryption.info/doe
+
+go 1.22

@@ -1,0 +1,357 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"dnsencryption.info/doe/internal/certs"
+	"dnsencryption.info/doe/internal/vantage"
+)
+
+// sharedStudy is built once: constructing the world (certificates, servers)
+// dominates test time and the pipeline stages cache their results.
+var sharedStudy *Study
+
+func study(t *testing.T) *Study {
+	t.Helper()
+	if sharedStudy == nil {
+		s, err := NewStudy(TestConfig())
+		if err != nil {
+			t.Fatalf("NewStudy: %v", err)
+		}
+		sharedStudy = s
+	}
+	return sharedStudy
+}
+
+func TestTable1Static(t *testing.T) {
+	out := Table1().Render()
+	for _, want := range []string{"DNS-over", "Standardized by IETF", "●", "○"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 missing %q", want)
+		}
+	}
+	if len(ComparisonMatrix) != 10 {
+		t.Errorf("criteria = %d, want 10", len(ComparisonMatrix))
+	}
+	for _, c := range ComparisonMatrix {
+		if len(c.Grades) != 5 {
+			t.Errorf("criterion %q has %d grades", c.Name, len(c.Grades))
+		}
+	}
+}
+
+func TestTable8AndStats(t *testing.T) {
+	out := Table8().Render()
+	for _, want := range []string{"Cloudflare", "Stubby", "Firefox", "Android 9"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 8 missing %q", want)
+		}
+	}
+	stats := ImplementationStats()
+	// DoT and DoH gained support quickly; DNSSEC remains the most
+	// widespread (it is a decade older).
+	if stats["DoT"] < 10 || stats["DoH"] < 10 {
+		t.Errorf("DoT/DoH support = %d/%d", stats["DoT"], stats["DoH"])
+	}
+	if stats["DNSSEC"] <= stats["DoH"] {
+		t.Errorf("DNSSEC (%d) should exceed DoH (%d) in the survey", stats["DNSSEC"], stats["DoH"])
+	}
+}
+
+func TestScansDiscoverPopulation(t *testing.T) {
+	s := study(t)
+	scans, err := s.ScanResults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scans) != s.ScanRounds {
+		t.Fatalf("scan rounds = %d", len(scans))
+	}
+	first, last := scans[0], scans[len(scans)-1]
+
+	// Ground truth: every active resolver must be found.
+	if want := s.ActiveResolverCount(0); len(first.Resolvers) < want {
+		t.Errorf("first scan found %d resolvers, ground truth %d", len(first.Resolvers), want)
+	}
+	// Port-open population is far larger than the DoT population.
+	if first.PortOpen <= len(first.Resolvers) {
+		t.Errorf("port-open %d not above resolvers %d", first.PortOpen, len(first.Resolvers))
+	}
+
+	// Churn shapes (Table 2): IE grows ≈2x, US grows ≈5x, CN collapses.
+	fc, lc := first.CountryCounts(), last.CountryCounts()
+	if lc["IE"] <= fc["IE"] {
+		t.Errorf("IE: %d -> %d, want growth", fc["IE"], lc["IE"])
+	}
+	if lc["US"] <= 3*fc["US"] {
+		t.Errorf("US: %d -> %d, want ≈5x growth", fc["US"], lc["US"])
+	}
+	if lc["CN"] >= fc["CN"]/2 {
+		t.Errorf("CN: %d -> %d, want collapse", fc["CN"], lc["CN"])
+	}
+
+	// Finding 1.2 shapes on the last scan.
+	counts := last.ProviderCounts()
+	invalid := last.InvalidCertProviders()
+	frac := float64(len(invalid)) / float64(len(counts))
+	if frac < 0.10 || frac > 0.45 {
+		t.Errorf("invalid-cert provider fraction = %.2f (want ≈0.25)", frac)
+	}
+	single := 0
+	for _, n := range counts {
+		if n == 1 {
+			single++
+		}
+	}
+	if sf := float64(single) / float64(len(counts)); sf < 0.5 {
+		t.Errorf("single-address provider fraction = %.2f (want ≈0.7)", sf)
+	}
+	// Large providers own most addresses.
+	top := 0
+	for _, kv := range topProviders(counts, 7) {
+		top += kv
+	}
+	if share := float64(top) / float64(len(last.Resolvers)); share < 0.6 {
+		t.Errorf("top-7 provider address share = %.2f (want > 0.6)", share)
+	}
+}
+
+func topProviders(counts map[string]int, n int) []int {
+	var sizes []int
+	for _, v := range counts {
+		sizes = append(sizes, v)
+	}
+	for i := 1; i < len(sizes); i++ {
+		for j := i; j > 0 && sizes[j] > sizes[j-1]; j-- {
+			sizes[j], sizes[j-1] = sizes[j-1], sizes[j]
+		}
+	}
+	if n > len(sizes) {
+		n = len(sizes)
+	}
+	return sizes[:n]
+}
+
+func TestDoHDiscovery(t *testing.T) {
+	s := study(t)
+	found := s.DoHDiscovery()
+	if len(found) != 17 {
+		t.Fatalf("DoH resolvers = %d, want 17", len(found))
+	}
+	beyond := 0
+	for _, r := range found {
+		if !r.InKnownList {
+			beyond++
+		}
+	}
+	if beyond != 2 {
+		t.Errorf("beyond-list discoveries = %d, want 2", beyond)
+	}
+}
+
+func TestReachabilityShapes(t *testing.T) {
+	s := study(t)
+	data := s.Reachability()
+	global := vantage.TallyResults(data.Global)
+	censored := vantage.TallyResults(data.Censored)
+
+	rate := func(tallies map[string]map[vantage.Proto]vantage.Tally, resolver string, proto vantage.Proto) (c, i, f float64) {
+		return tallies[resolver][proto].Rates()
+	}
+
+	// Finding 2.1: Cloudflare clear-text DNS fails far more often than
+	// its DoT, which fails more often than its DoH.
+	_, _, dnsFail := rate(global, "cloudflare", vantage.ProtoDNS)
+	_, _, dotFail := rate(global, "cloudflare", vantage.ProtoDoT)
+	_, _, dohFail := rate(global, "cloudflare", vantage.ProtoDoH)
+	if dnsFail < 0.05 || dnsFail > 0.35 {
+		t.Errorf("cloudflare DNS fail rate = %.3f (paper: 0.165)", dnsFail)
+	}
+	// At full scale the ordering is dns > dot > doh; at test scale a
+	// single interceptor can tie the encrypted protocols, so assert the
+	// robust shape: both encrypted transports fail far less than
+	// clear-text DNS.
+	if dotFail >= dnsFail/3 || dohFail >= dnsFail/3 {
+		t.Errorf("encrypted fail rates dot=%.3f doh=%.3f not well below dns=%.3f", dotFail, dohFail, dnsFail)
+	}
+
+	// Quad9 clear-text DNS is barely affected (port filters target the
+	// prominent addresses).
+	_, _, q9dnsFail := rate(global, "quad9", vantage.ProtoDNS)
+	if q9dnsFail > dnsFail/2 {
+		t.Errorf("quad9 DNS fail %.3f not well below cloudflare %.3f", q9dnsFail, dnsFail)
+	}
+
+	// Finding 2.4: Quad9 DoH sees a substantial incorrect (SERVFAIL)
+	// rate globally, but not on the censored platform.
+	_, q9dohInc, _ := rate(global, "quad9", vantage.ProtoDoH)
+	if q9dohInc < 0.04 || q9dohInc > 0.30 {
+		t.Errorf("quad9 DoH incorrect rate = %.3f (paper: 0.13)", q9dohInc)
+	}
+	_, q9dohIncCN, _ := rate(censored, "quad9", vantage.ProtoDoH)
+	if q9dohIncCN > q9dohInc/2 {
+		t.Errorf("censored quad9 DoH incorrect %.3f not well below global %.3f", q9dohIncCN, q9dohInc)
+	}
+
+	// Finding 2.2: Google DoH is blocked for ≈100% of censored clients.
+	_, _, gDoHFailCN := rate(censored, "google", vantage.ProtoDoH)
+	if gDoHFailCN < 0.99 {
+		t.Errorf("censored google DoH fail = %.3f, want ≈1.0", gDoHFailCN)
+	}
+	// ... while its clear-text DNS passes.
+	_, _, gDNSFailCN := rate(censored, "google", vantage.ProtoDNS)
+	if gDNSFailCN > 0.05 {
+		t.Errorf("censored google DNS fail = %.3f, want ≈0", gDNSFailCN)
+	}
+
+	// Self-built resolver: near-perfect everywhere.
+	for _, proto := range []vantage.Proto{vantage.ProtoDNS, vantage.ProtoDoT, vantage.ProtoDoH} {
+		c, _, _ := rate(global, "self-built", proto)
+		if c < 0.95 {
+			t.Errorf("self-built %s correct = %.3f", proto, c)
+		}
+	}
+
+	// Finding 2.3: some opportunistic DoT sessions are intercepted, and
+	// every intercepted result still resolved correctly.
+	intercepted := vantage.InterceptedResults(data.Global)
+	if len(intercepted) == 0 {
+		t.Error("no intercepted sessions observed")
+	}
+	for _, r := range intercepted {
+		if r.Outcome != vantage.Correct || r.IssuerCN == "" {
+			t.Errorf("intercepted result = %+v", r)
+		}
+	}
+}
+
+func TestPerfShapes(t *testing.T) {
+	s := study(t)
+	samples := s.PerfSamples()
+	if len(samples) < s.PerfNodes/2 {
+		t.Fatalf("perf samples = %d", len(samples))
+	}
+	dotAvg, _, dohAvg, _ := vantage.GlobalOverheads(samples)
+	// Key observation 3: with reuse, overhead is a few milliseconds.
+	if dotAvg < 0 || dotAvg > 30 {
+		t.Errorf("global DoT overhead = %.1f ms (want small positive)", dotAvg)
+	}
+	if dohAvg < -10 || dohAvg > 30 {
+		t.Errorf("global DoH overhead = %.1f ms", dohAvg)
+	}
+}
+
+func TestTrafficShapes(t *testing.T) {
+	s := study(t)
+	data := s.GenerateTraffic()
+	if len(data.Flows) == 0 {
+		t.Fatal("no DoT flows selected")
+	}
+	// The scanner source must be screened out.
+	flagged := 0
+	for _, v := range data.Verdicts {
+		if v.Scanner {
+			flagged++
+		}
+	}
+	if flagged == 0 {
+		t.Error("scan screening flagged nothing")
+	}
+	// Fig 13: four domains dominate.
+	domains := data.PDNS.Domains()
+	if len(domains) < 5 {
+		t.Fatalf("passive DNS domains = %d", len(domains))
+	}
+	if domains[0].QName != "dns.google." {
+		t.Errorf("top DoH domain = %s", domains[0].QName)
+	}
+}
+
+func TestCertsRefTimeAligned(t *testing.T) {
+	// Guard: the study's scan window ends at the certificate reference
+	// instant, May 1 2019.
+	if got := certs.RefTime.Format("2006-01-02"); got != "2019-05-01" {
+		t.Errorf("RefTime = %s", got)
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	exps := Experiments()
+	if len(exps) != 20 {
+		t.Errorf("experiments = %d, want 20", len(exps))
+	}
+	seen := map[string]bool{}
+	for _, e := range exps {
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment id %q", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	for _, id := range []string{"table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8",
+		"fig1", "fig3", "fig4", "fig9", "fig10", "fig11", "fig12", "fig13"} {
+		if _, ok := ExperimentByID(id); !ok {
+			t.Errorf("experiment %q missing", id)
+		}
+	}
+	if _, ok := ExperimentByID("nope"); ok {
+		t.Error("unknown experiment id resolved")
+	}
+}
+
+func TestRunAllProducesReport(t *testing.T) {
+	s := study(t)
+	var sb strings.Builder
+	if err := s.RunAll(&sb); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"Table 2", "Figure 3", "Figure 4", "Table 4", "Table 5",
+		"Table 7", "Figure 9", "Figure 11", "Figure 12", "Figure 13",
+		"cloudflare", "quad9",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if strings.Contains(out, "ERROR") {
+		idx := strings.Index(out, "ERROR")
+		t.Errorf("report contains errors: ...%s", out[idx:min(len(out), idx+200)])
+	}
+}
+
+func TestDeterministicReports(t *testing.T) {
+	// Two studies with the same seed must produce identical static-stage
+	// outputs (scans, traffic figures) — the reproducibility guarantee
+	// behind EXPERIMENTS.md.
+	cfg := TestConfig()
+	cfg.ScanRounds = 2
+	cfg.GlobalNodes = 20
+	cfg.CensoredNodes = 10
+	run := func() (string, string) {
+		s, err := NewStudy(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scanExp, _ := ExperimentByID("table2")
+		scanOut, err := scanExp.Run(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		figExp, _ := ExperimentByID("fig11")
+		figOut, err := figExp.Run(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return scanOut, figOut
+	}
+	s1, f1 := run()
+	s2, f2 := run()
+	if s1 != s2 {
+		t.Errorf("table2 not deterministic:\n%s\nvs\n%s", s1, s2)
+	}
+	if f1 != f2 {
+		t.Errorf("fig11 not deterministic:\n%s\nvs\n%s", f1, f2)
+	}
+}

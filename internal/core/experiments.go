@@ -1,0 +1,547 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dnsencryption.info/doe/internal/analysis"
+	"dnsencryption.info/doe/internal/certs"
+	"dnsencryption.info/doe/internal/netflow"
+	"dnsencryption.info/doe/internal/proxy"
+	"dnsencryption.info/doe/internal/scanner"
+	"dnsencryption.info/doe/internal/vantage"
+)
+
+// ReachabilityData bundles the §4.2 campaign outputs.
+type ReachabilityData struct {
+	Global   []vantage.Result
+	Censored []vantage.Result
+}
+
+// ScanResults runs (once) and returns all §3 scan rounds.
+func (s *Study) ScanResults() ([]*scanner.Result, error) {
+	s.scansOnce.Do(func() {
+		s.scanResults, s.scanErr = s.RunScans()
+	})
+	return s.scanResults, s.scanErr
+}
+
+// DoHDiscovery runs (once) the §3 DoH corpus inspection and verification.
+func (s *Study) DoHDiscovery() []scanner.DoHResolver {
+	s.dohOnce.Do(func() {
+		candidates := scanner.InspectCorpus(s.DoHCorpus)
+		d := &scanner.DoHDiscovery{
+			World:       s.World,
+			From:        scanSources[0],
+			Roots:       s.Roots,
+			Resolve:     s.DoHResolve,
+			ProbeDomain: "dohprobe." + ProbeZone,
+			KnownList:   s.DoHKnownList,
+		}
+		s.dohFound = d.Verify(candidates)
+	})
+	return s.dohFound
+}
+
+// Reachability runs (once) the §4.2 campaigns on both platforms.
+func (s *Study) Reachability() *ReachabilityData {
+	s.reachOnce.Do(func() {
+		// The reachability test observes the May 1 resolver population.
+		s.SetScanRound(s.ScanRounds - 1)
+		s.reach = &ReachabilityData{
+			Global:   s.GlobalPlatform.Campaign(s.Targets, s.ReachabilityWorkers),
+			Censored: s.CensoredPlatform.Campaign(s.Targets, s.ReachabilityWorkers),
+		}
+	})
+	return s.reach
+}
+
+// PerfSamples runs (once) the §4.3 reused-connection performance test on up
+// to PerfNodes global vantage points against Cloudflare.
+func (s *Study) PerfSamples() []vantage.PerfSample {
+	s.perfOnce.Do(func() {
+		target := s.Targets[0] // cloudflare
+		nodes := s.Global.Nodes()
+		for _, node := range nodes {
+			if len(s.perfSamples) >= s.PerfNodes {
+				break
+			}
+			sample, err := s.GlobalPlatform.MeasurePerformance(node, target, s.PerfQueriesReused)
+			if err != nil {
+				// Afflicted vantages cannot complete all three
+				// protocols; the paper's perf dataset is likewise the
+				// subset of clients that can (8,257 of 29,622).
+				continue
+			}
+			s.perfSamples = append(s.perfSamples, sample)
+		}
+	})
+	return s.perfSamples
+}
+
+// Experiment is one reproducible table or figure.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(s *Study) (string, error)
+}
+
+// Experiments returns the registry, in paper order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"table1", "Protocol comparison matrix", func(s *Study) (string, error) {
+			return Table1().Render(), nil
+		}},
+		{"fig1", "Timeline of DNS privacy events", func(s *Study) (string, error) {
+			return Fig1().Render(), nil
+		}},
+		{"table2", "Top countries of open DoT resolvers", runTable2},
+		{"fig3", "Open DoT resolvers identified by each scan", runFig3},
+		{"fig4", "Providers of open DoT resolvers", runFig4},
+		{"doh-discovery", "DoH resolver discovery from the URL corpus", runDoHDiscovery},
+		{"table3", "Evaluation of client-side dataset", runTable3},
+		{"table4", "Reachability test results of public resolvers", runTable4},
+		{"table5", "Ports open on 1.1.1.1 probed from failed clients", runTable5},
+		{"table6", "Example clients affected by TLS interception", runTable6},
+		{"table7", "Performance test results w/o connection reuse", runTable7},
+		{"fig9", "Query performance per country", runFig9},
+		{"fig10", "Per-client query time of DNS vs DoT/DoH", runFig10},
+		{"fig11", "Monthly DoT flows to Cloudflare and Quad9", runFig11},
+		{"fig12", "DoT traffic per /24 network", runFig12},
+		{"fig13", "Query volume of popular DoH domains", runFig13},
+		{"scan-screen", "Scanner screening of DoT client networks", runScanScreen},
+		{"local-dot", "DoT support on ISP local resolvers (§3.1 limitation)", runLocalDoT},
+		{"dnscrypt", "DNSCrypt end-to-end deployment check", runDNSCrypt},
+		{"table8", "Implementation survey", func(s *Study) (string, error) {
+			return Table8().Render(), nil
+		}},
+	}
+}
+
+// ExperimentByID finds one experiment.
+func ExperimentByID(id string) (Experiment, bool) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+func runTable2(s *Study) (string, error) {
+	scans, err := s.ScanResults()
+	if err != nil {
+		return "", err
+	}
+	first := scans[0].CountryCounts()
+	last := scans[len(scans)-1].CountryCounts()
+	t := &analysis.Table{
+		Title:   "Table 2: Top countries of open DoT resolvers (first vs last scan)",
+		Columns: []string{"CC", s.ScanLabels[0], s.ScanLabels[len(s.ScanLabels)-1], "Growth"},
+	}
+	// Rank by first-scan count, list the top 10.
+	counter := analysis.Counter{}
+	for cc, n := range first {
+		counter.Add(cc, n)
+	}
+	for _, kv := range counter.TopN(10) {
+		cc := kv.K
+		t.AddRow(cc, first[cc], last[cc],
+			analysis.FormatGrowth(analysis.GrowthPercent(float64(first[cc]), float64(last[cc]))))
+	}
+	return t.Render(), nil
+}
+
+func runFig3(s *Study) (string, error) {
+	scans, err := s.ScanResults()
+	if err != nil {
+		return "", err
+	}
+	fig := &analysis.Figure{
+		Title:  "Figure 3: Open DoT resolvers identified by each scan",
+		XLabel: "scan date", YLabel: "resolvers",
+	}
+	// Total plus the five largest providers of the last scan.
+	lastCounts := analysis.Counter{}
+	for p, n := range scans[len(scans)-1].ProviderCounts() {
+		lastCounts.Add(p, n)
+	}
+	var top []string
+	for _, kv := range lastCounts.TopN(5) {
+		top = append(top, kv.K)
+	}
+	for _, scan := range scans {
+		fig.AddPoint("total", scan.Label, float64(len(scan.Resolvers)))
+		counts := scan.ProviderCounts()
+		for _, p := range top {
+			fig.AddPoint(p, scan.Label, float64(counts[p]))
+		}
+	}
+	return fig.Render(), nil
+}
+
+func runFig4(s *Study) (string, error) {
+	scans, err := s.ScanResults()
+	if err != nil {
+		return "", err
+	}
+	last := scans[len(scans)-1]
+	counts := last.ProviderCounts()
+	providers := len(counts)
+	single := 0
+	for _, n := range counts {
+		if n == 1 {
+			single++
+		}
+	}
+	invalid := last.InvalidCertProviders()
+	var invalidResolvers int
+	kindCount := analysis.Counter{}
+	for _, r := range last.Resolvers {
+		if r.CertStatus != certs.StatusValid {
+			invalidResolvers++
+			kindCount.Inc(r.CertStatus.String())
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 4: Providers of open DoT resolvers (last scan, %s)\n", last.Label)
+	fmt.Fprintf(&b, "providers: %d\n", providers)
+	fmt.Fprintf(&b, "single-address providers: %d (%.0f%%)\n", single, 100*float64(single)/float64(providers))
+	fmt.Fprintf(&b, "providers with invalid certificates: %d (%.0f%%)\n", len(invalid), 100*float64(len(invalid))/float64(providers))
+	fmt.Fprintf(&b, "resolvers with invalid certificates: %d of %d\n", invalidResolvers, len(last.Resolvers))
+	for _, kv := range kindCount.TopN(10) {
+		fmt.Fprintf(&b, "  %s: %d\n", kv.K, kv.V)
+	}
+	// CDF of addresses per provider.
+	var sizes []float64
+	for _, n := range counts {
+		sizes = append(sizes, float64(n))
+	}
+	fmt.Fprintf(&b, "addresses-per-provider CDF:\n")
+	for _, p := range analysis.CDF(sizes) {
+		fmt.Fprintf(&b, "  <=%3.0f addrs: %.2f\n", p.X, p.F)
+	}
+	return b.String(), nil
+}
+
+func runDoHDiscovery(s *Study) (string, error) {
+	found := s.DoHDiscovery()
+	t := &analysis.Table{
+		Title:   "DoH resolvers discovered from the URL corpus (§3.2)",
+		Columns: []string{"Template", "Address", "On public list"},
+	}
+	beyond := 0
+	for _, r := range found {
+		onList := "yes"
+		if !r.InKnownList {
+			onList = "no (new)"
+			beyond++
+		}
+		t.AddRow(r.Template.String(), r.Addr, onList)
+	}
+	out := t.Render()
+	out += fmt.Sprintf("total: %d public DoH resolvers (%d beyond the curated list)\n", len(found), beyond)
+	return out, nil
+}
+
+func runTable3(s *Study) (string, error) {
+	t := &analysis.Table{
+		Title:   "Table 3: Evaluation of client-side dataset",
+		Columns: []string{"Platform", "# Endpoints", "# Countries", "# ASes"},
+	}
+	gNodes := s.Global.Nodes()
+	cNodes := s.Censored.Nodes()
+	gc, ga := map[string]bool{}, map[int]bool{}
+	for _, n := range gNodes {
+		gc[n.Country] = true
+		ga[n.ASN] = true
+	}
+	cc, ca := map[string]bool{}, map[int]bool{}
+	for _, n := range cNodes {
+		cc[n.Country] = true
+		ca[n.ASN] = true
+	}
+	t.AddRow("proxyrack (global)", len(gNodes), len(gc), len(ga))
+	t.AddRow("zhima (censored)", len(cNodes), len(cc), len(ca))
+	return t.Render(), nil
+}
+
+func runTable4(s *Study) (string, error) {
+	data := s.Reachability()
+	t := &analysis.Table{
+		Title:   "Table 4: Reachability test results of public resolvers",
+		Columns: []string{"Platform", "Resolver", "Proto", "Correct", "Incorrect", "Failed"},
+	}
+	resolverOrder := []string{"cloudflare", "google", "quad9", "self-built"}
+	protoOrder := []vantage.Proto{vantage.ProtoDNS, vantage.ProtoDoT, vantage.ProtoDoH}
+	addRows := func(platform string, results []vantage.Result) {
+		tallies := vantage.TallyResults(results)
+		for _, resolver := range resolverOrder {
+			byProto, ok := tallies[resolver]
+			if !ok {
+				continue
+			}
+			for _, proto := range protoOrder {
+				tally, ok := byProto[proto]
+				if !ok {
+					t.AddRow(platform, resolver, string(proto), "n/a", "n/a", "n/a")
+					continue
+				}
+				c, i, f := tally.Rates()
+				t.AddRow(platform, resolver, string(proto),
+					fmt.Sprintf("%.2f%%", c*100),
+					fmt.Sprintf("%.2f%%", i*100),
+					fmt.Sprintf("%.2f%%", f*100))
+			}
+		}
+	}
+	addRows("proxyrack", data.Global)
+	addRows("zhima", data.Censored)
+	return t.Render(), nil
+}
+
+func runTable5(s *Study) (string, error) {
+	data := s.Reachability()
+	failed := vantage.FailedNodes(data.Global, "cloudflare", vantage.ProtoDoT)
+	nodesByID := map[string]proxy.ExitNode{}
+	for _, n := range s.Global.Nodes() {
+		nodesByID[n.ID] = n
+	}
+	portCount := analysis.Counter{}
+	deviceCount := analysis.Counter{}
+	none := 0
+	var exampleAS []string
+	for _, id := range failed {
+		node, ok := nodesByID[id]
+		if !ok {
+			continue
+		}
+		probe := s.GlobalPlatform.ProbePorts(node, cloudflareDNS, vantage.Table5Ports)
+		if !probe.HasAnyOpen() {
+			none++
+		}
+		for _, port := range probe.Open {
+			portCount.Inc(fmt.Sprintf("%d", port))
+		}
+		deviceCount.Inc(vantage.IdentifyDevice(probe))
+		if len(exampleAS) < 5 {
+			exampleAS = append(exampleAS, fmt.Sprintf("AS%d %s", node.ASN, node.ASName))
+		}
+	}
+	t := &analysis.Table{
+		Title:   "Table 5: Ports open on 1.1.1.1, probed from clients failing Cloudflare DoT",
+		Columns: []string{"Port", "# Clients"},
+	}
+	t.AddRow("none", none)
+	var ports []string
+	for p := range portCount {
+		ports = append(ports, p)
+	}
+	sort.Slice(ports, func(i, j int) bool { return atoiSafe(ports[i]) < atoiSafe(ports[j]) })
+	for _, p := range ports {
+		t.AddRow(p, portCount[p])
+	}
+	out := t.Render()
+	out += "device identification of conflicting hosts:\n"
+	for _, kv := range deviceCount.TopN(10) {
+		out += fmt.Sprintf("  %-45s %d\n", kv.K, kv.V)
+	}
+	if len(exampleAS) > 0 {
+		out += "example affected ASes: " + strings.Join(exampleAS, "; ") + "\n"
+	}
+	return out, nil
+}
+
+func runTable6(s *Study) (string, error) {
+	data := s.Reachability()
+	intercepted := vantage.InterceptedResults(append(append([]vantage.Result{}, data.Global...), data.Censored...))
+	t := &analysis.Table{
+		Title:   "Table 6: Example clients affected by TLS interception",
+		Columns: []string{"Node", "Country", "AS", "Issuer CN (untrusted CA)", "Resolver", "Proto"},
+	}
+	for _, r := range intercepted {
+		t.AddRow(r.NodeID, r.Country, fmt.Sprintf("AS%d %s", r.ASN, r.ASName), r.IssuerCN, r.Resolver, string(r.Proto))
+	}
+	out := t.Render()
+	out += fmt.Sprintf("intercepted sessions recorded by middleboxes: %d\n", s.interceptorSessions())
+	return out, nil
+}
+
+func (s *Study) interceptorSessions() int {
+	n := 0
+	for _, box := range s.Interceptors {
+		n += len(box.Sessions())
+	}
+	return n
+}
+
+func runTable7(s *Study) (string, error) {
+	t := &analysis.Table{
+		Title:   "Table 7: Performance test results w/o connection reuse (medians, ms)",
+		Columns: []string{"Vantage", "DNS/TCP", "DoT (overhead)", "DoH (overhead)"},
+	}
+	for _, v := range ControlledVantages {
+		sample, err := vantage.MeasureNoReuse(s.World, v.Label, v.Addr, s.Targets[0], ProbeZone, s.Roots, s.PerfQueriesFresh)
+		if err != nil {
+			return "", fmt.Errorf("vantage %s: %w", v.Label, err)
+		}
+		t.AddRow(v.Label,
+			fmt.Sprintf("%.1f", sample.DNSMedianMS),
+			fmt.Sprintf("%.1f (+%.1f)", sample.DoTMedianMS, sample.DoTOverheadMS()),
+			fmt.Sprintf("%.1f (+%.1f)", sample.DoHMedianMS, sample.DoHOverheadMS()))
+	}
+	return t.Render(), nil
+}
+
+func runFig9(s *Study) (string, error) {
+	samples := s.PerfSamples()
+	agg := vantage.AggregateByCountry(samples)
+	t := &analysis.Table{
+		Title:   "Figure 9: Query performance per country (overheads vs clear-text DNS, ms)",
+		Columns: []string{"CC", "Clients", "DoT avg", "DoT median", "DoH avg", "DoH median"},
+	}
+	for _, c := range agg {
+		t.AddRow(c.Country, c.Clients,
+			fmt.Sprintf("%+.1f", c.DoTAvgMS), fmt.Sprintf("%+.1f", c.DoTMedianMS),
+			fmt.Sprintf("%+.1f", c.DoHAvgMS), fmt.Sprintf("%+.1f", c.DoHMedianMS))
+	}
+	dotAvg, dotMed, dohAvg, dohMed := vantage.GlobalOverheads(samples)
+	out := t.Render()
+	out += fmt.Sprintf("global overhead — DoT: %+.1f/%+.1f ms (avg/med), DoH: %+.1f/%+.1f ms (avg/med), clients: %d\n",
+		dotAvg, dotMed, dohAvg, dohMed, len(samples))
+	return out, nil
+}
+
+func runFig10(s *Study) (string, error) {
+	samples := s.PerfSamples()
+	var b strings.Builder
+	b.WriteString("Figure 10: Per-client query time (ms): DNS vs DoT and DNS vs DoH\n")
+	b.WriteString("node            cc  dns      dot      doh\n")
+	for _, sm := range samples {
+		fmt.Fprintf(&b, "%-15s %-3s %-8.1f %-8.1f %-8.1f\n",
+			sm.NodeID, sm.Country, sm.DNSMedianMS, sm.DoTMedianMS, sm.DoHMedianMS)
+	}
+	near := 0
+	for _, sm := range samples {
+		if absF(sm.DoTOverheadMS()) <= 10 && absF(sm.DoHOverheadMS()) <= 10 {
+			near++
+		}
+	}
+	fmt.Fprintf(&b, "clients within ±10ms of the y=x line for both protocols: %d of %d (%.0f%%)\n",
+		near, len(samples), 100*float64(near)/float64(max(1, len(samples))))
+	return b.String(), nil
+}
+
+func runFig11(s *Study) (string, error) {
+	data := s.GenerateTraffic()
+	counts := netflow.MonthlyCounts(data.Flows)
+	fig := &analysis.Figure{
+		Title:  "Figure 11: Monthly DoT flows to Cloudflare and Quad9 (sampled NetFlow)",
+		XLabel: "month", YLabel: "flows",
+	}
+	for _, provider := range []string{"cloudflare", "quad9"} {
+		months := make([]string, 0, len(counts[provider]))
+		for m := range counts[provider] {
+			months = append(months, m)
+		}
+		sort.Strings(months)
+		for _, m := range months {
+			fig.AddPoint(provider, m, float64(counts[provider][m]))
+		}
+	}
+	out := fig.Render()
+	jul := counts["cloudflare"]["2018-07"]
+	dec := counts["cloudflare"]["2018-12"]
+	if jul > 0 {
+		out += fmt.Sprintf("cloudflare Jul→Dec 2018 growth: %s (paper: +56%%)\n",
+			analysis.FormatGrowth(analysis.GrowthPercent(float64(jul), float64(dec))))
+	}
+	return out, nil
+}
+
+func runFig12(s *Study) (string, error) {
+	data := s.GenerateTraffic()
+	stats := netflow.NetblockStats(data.Flows, "cloudflare")
+	var b strings.Builder
+	b.WriteString("Figure 12: Cloudflare DoT traffic per /24 network\n")
+	fmt.Fprintf(&b, "netblocks: %d\n", len(stats))
+	fmt.Fprintf(&b, "top-5 netblock share of flows: %.0f%% (paper: 44%%)\n", 100*netflow.TopShare(stats, 5))
+	fmt.Fprintf(&b, "top-20 netblock share of flows: %.0f%% (paper: 60%%)\n", 100*netflow.TopShare(stats, 20))
+	fmt.Fprintf(&b, "netblocks active < 1 week: %.0f%% (paper: 96%%)\n", 100*netflow.TemporaryFraction(stats, 7))
+	b.WriteString("top netblocks (flows, active days):\n")
+	for i, st := range stats {
+		if i >= 10 {
+			break
+		}
+		fmt.Fprintf(&b, "  %-15s %6d flows, %3d days\n", st.Client24, st.Flows, st.ActiveDays)
+	}
+	return b.String(), nil
+}
+
+func runFig13(s *Study) (string, error) {
+	data := s.GenerateTraffic()
+	fig := &analysis.Figure{
+		Title:  "Figure 13: Monthly query volume of popular DoH domains (passive DNS)",
+		XLabel: "month", YLabel: "queries",
+	}
+	popular := []string{"dns.google", "mozilla.cloudflare-dns.com", "doh.cleanbrowsing.org", "doh.crypto.sx"}
+	for _, domain := range popular {
+		for _, p := range data.PDNS.MonthlyVolume(domain) {
+			fig.AddPoint(domain, p.Day, float64(p.Count))
+		}
+	}
+	out := fig.Render()
+	// §5.3's threshold observation.
+	over10k := 0
+	for _, agg := range data.PDNS.Domains() {
+		if agg.Count > 10000 {
+			over10k++
+		}
+	}
+	out += fmt.Sprintf("domains with >10K total queries: %d (paper: 4 of 17)\n", over10k)
+	cb := data.PDNS.MonthlyVolume("doh.cleanbrowsing.org")
+	if len(cb) >= 2 {
+		first, last := cb[0], cb[len(cb)-1]
+		out += fmt.Sprintf("cleanbrowsing %s→%s growth: %.1fx (paper: ~10x)\n",
+			first.Day, last.Day, float64(last.Count)/float64(max(1, first.Count)))
+	}
+	return out, nil
+}
+
+func runScanScreen(s *Study) (string, error) {
+	data := s.GenerateTraffic()
+	t := &analysis.Table{
+		Title:   "Scanner screening of port-853 sources (§5.2)",
+		Columns: []string{"Source", "Scanner", "Reason", "Fanout", "SYN-only"},
+	}
+	flagged := 0
+	for _, v := range data.Verdicts {
+		if v.Scanner {
+			flagged++
+			t.AddRow(v.Source, "yes", v.Reason, v.DistinctDsts, fmt.Sprintf("%.0f%%", v.SYNOnlyFraction*100))
+		}
+	}
+	out := t.Render()
+	out += fmt.Sprintf("sources analysed: %d, flagged as scanners: %d (excluded before Figs. 11-12)\n",
+		len(data.Verdicts), flagged)
+	return out, nil
+}
+
+func atoiSafe(s string) int {
+	n := 0
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return 1 << 30
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n
+}
+
+func absF(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

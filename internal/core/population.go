@@ -1,0 +1,289 @@
+package core
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"dnsencryption.info/doe/internal/certs"
+	"dnsencryption.info/doe/internal/dnsserver"
+	"dnsencryption.info/doe/internal/dot"
+	"dnsencryption.info/doe/internal/geo"
+	"dnsencryption.info/doe/internal/netsim"
+	"dnsencryption.info/doe/internal/scanner"
+)
+
+// scanSpaceAddr returns the i-th address of the swept space.
+func (s *Study) scanSpaceAddr(i int) netip.Addr {
+	b := scanSpaceBase.As4()
+	v := uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+	v += uint32(i)
+	return netip.AddrFrom4([4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)})
+}
+
+// providerDeck builds the provider assignment deck for all resolver slots:
+// one providerSpec per address, calibrated to Finding 1.2 (≈25% of
+// providers with invalid certificates; 47 FortiGate middleboxes among the
+// self-signed population) and Fig. 4 (≈70% single-address providers, large
+// providers owning >75% of addresses).
+func providerDeck(total int, rnd func(int) int) []providerSpec {
+	var deck []providerSpec
+
+	// Invalid-certificate population (counts ≈ paper/ResolverScale).
+	for i := 0; i < 8; i++ { // FortiGate TLS-inspection middleboxes
+		deck = append(deck, providerSpec{cn: fmt.Sprintf("%s-%04d", certs.FortiGateDefaultCN, i), kind: certFortiGate})
+	}
+	expired := []struct {
+		cn string
+		n  int
+	}{{"expired-one.example", 3}, {"expired-two.example", 2}, {"expired-old.example", 2}}
+	for _, e := range expired {
+		for i := 0; i < e.n; i++ {
+			deck = append(deck, providerSpec{cn: e.cn, kind: certExpired})
+		}
+	}
+	deck = append(deck,
+		providerSpec{cn: "Perfect Privacy", kind: certSelfSigned},
+		providerSpec{cn: "Perfect Privacy", kind: certSelfSigned},
+		providerSpec{cn: "qq.dog", kind: certSelfSigned},
+		providerSpec{cn: "homelab-dns.example", kind: certSelfSigned},
+	)
+	badchain := []struct {
+		cn string
+		n  int
+	}{{"chainless.example", 4}, {"missing-intermediate.example", 3}}
+	for _, b := range badchain {
+		for i := 0; i < b.n; i++ {
+			deck = append(deck, providerSpec{cn: b.cn, kind: certBadChain})
+		}
+	}
+
+	// Small valid single-address providers (the Fig. 4 long tail).
+	for i := 0; i < 36; i++ {
+		deck = append(deck, providerSpec{cn: fmt.Sprintf("dns.small-%02d.example", i), kind: certValid})
+	}
+
+	// Large providers absorb the remainder, weighted.
+	large := []struct {
+		cn     string
+		weight int
+	}{
+		{"cloudflare-dns.com", 22},
+		{"cleanbrowsing.org", 18},
+		{"dns.quad9.net", 9},
+		{"dot.dns-foundation.example", 8},
+		{"securedns.eu", 7},
+		{"tenta.io", 6},
+		{"blahdns.com", 5},
+	}
+	totalWeight := 0
+	for _, l := range large {
+		totalWeight += l.weight
+	}
+	remainder := total - len(deck)
+	for _, l := range large {
+		n := remainder * l.weight / totalWeight
+		for i := 0; i < n; i++ {
+			deck = append(deck, providerSpec{cn: l.cn, kind: certValid})
+		}
+	}
+	for len(deck) < total { // rounding remainder
+		deck = append(deck, providerSpec{cn: large[0].cn, kind: certValid})
+	}
+	deck = deck[:total]
+
+	// Deterministic shuffle so providers spread across countries.
+	for i := len(deck) - 1; i > 0; i-- {
+		j := rnd(i + 1)
+		deck[i], deck[j] = deck[j], deck[i]
+	}
+	return deck
+}
+
+// issueSlotLeaf creates the certificate for one resolver slot.
+func (s *Study) issueSlotLeaf(spec providerSpec, addr netip.Addr) (*certs.Leaf, error) {
+	opts := certs.LeafOptions{CommonName: spec.cn, IPs: []netip.Addr{addr}}
+	switch spec.kind {
+	case certExpired:
+		// Some certificates lapsed in 2018 ("185.56.24.52, expired Jul
+		// 2018"), others more recently.
+		ago := time.Duration(30+s.randIntn(270)) * 24 * time.Hour
+		return s.RootCA.IssueExpired(opts, ago)
+	case certSelfSigned, certFortiGate:
+		return certs.SelfSigned(opts)
+	case certBadChain:
+		return s.RootCA.IssueBrokenChain(opts)
+	default:
+		return s.RootCA.Issue(opts)
+	}
+}
+
+// buildScanPopulation creates the DoT resolver slots per Table 2's
+// per-country counts (scaled by ResolverScale), their churn across scan
+// rounds, and the port-853-open-but-not-DoT background population.
+func (s *Study) buildScanPopulation() error {
+	spaceSize := 1 << s.ScanSpaceBits
+	rounds := s.ScanRounds
+	if rounds < 2 {
+		rounds = 2
+	}
+
+	// Reserve the low space for background hosts, the high for resolvers.
+	nextAddr := s.PortOpenNotDoT + 100
+
+	type slotPlan struct {
+		country    string
+		activeFrom int
+		activeTo   int
+	}
+	var plans []slotPlan
+	for _, cp := range resolverCountryPlan {
+		feb := (cp.Feb + ResolverScale - 1) / ResolverScale
+		may := (cp.May + ResolverScale - 1) / ResolverScale
+		n := feb
+		if may > n {
+			n = may
+		}
+		countAt := func(r int) int {
+			return feb + (may-feb)*r/(rounds-1)
+		}
+		for j := 0; j < n; j++ {
+			// Slot j is active in rounds where countAt(round) > j.
+			from, to := -1, -1
+			for r := 0; r < rounds; r++ {
+				if countAt(r) > j {
+					if from < 0 {
+						from = r
+					}
+					to = r
+				}
+			}
+			if from < 0 {
+				continue
+			}
+			plans = append(plans, slotPlan{country: cp.CC, activeFrom: from, activeTo: to})
+		}
+	}
+
+	deck := providerDeck(len(plans), s.randIntn)
+	for i, plan := range plans {
+		addr := s.scanSpaceAddr(nextAddr)
+		nextAddr += 1 + s.randIntn(3)
+		if nextAddr >= spaceSize {
+			return fmt.Errorf("core: scan space of 2^%d too small for resolver population", s.ScanSpaceBits)
+		}
+		spec := deck[i]
+		leaf, err := s.issueSlotLeaf(spec, addr)
+		if err != nil {
+			return err
+		}
+		s.World.Geo.Register(netip.PrefixFrom(addr, 32),
+			geo.Location{Country: plan.country, ASN: 65000 + i%997, ASName: "Hosting " + plan.country})
+		s.slots = append(s.slots, &resolverSlot{
+			addr:       addr,
+			country:    plan.country,
+			provider:   spec,
+			leaf:       leaf,
+			activeFrom: plan.activeFrom,
+			activeTo:   plan.activeTo,
+		})
+	}
+
+	// Background: hosts with TCP/853 open that are not DoT resolvers
+	// (TLS-but-not-DNS services and raw TCP services).
+	notDNSLeaf, err := s.RootCA.Issue(certs.LeafOptions{CommonName: "mail.not-dns.example"})
+	if err != nil {
+		return err
+	}
+	for i := 0; i < s.PortOpenNotDoT; i++ {
+		addr := s.scanSpaceAddr(10 + i)
+		if i%2 == 0 {
+			dot.ServeNotDNS(s.World, addr, notDNSLeaf)
+		} else {
+			dot.ServeNotDNS(s.World, addr, nil)
+		}
+	}
+
+	// A handful of dnsfilter-style resolvers: respond to anyone but with
+	// a fixed address (answer validation catches them, §3.2).
+	fixed := netip.MustParseAddr("146.112.61.106")
+	for i := 0; i < 3; i++ {
+		addr := s.scanSpaceAddr(nextAddr)
+		nextAddr += 2
+		leaf, err := s.RootCA.Issue(certs.LeafOptions{CommonName: "dnsfilter.example", IPs: []netip.Addr{addr}})
+		if err != nil {
+			return err
+		}
+		s.World.Geo.Register(netip.PrefixFrom(addr, 32), geo.Location{Country: "US", ASN: 64496, ASName: "DNSFilter"})
+		dot.Serve(s.World, addr, leaf, dnsserver.Static{Addr: fixed, Proc: time.Millisecond}, 0)
+	}
+	return nil
+}
+
+// SetScanRound activates/deactivates resolver slots for round r, modeling
+// the churn §3.2 observes between Feb 1 and May 1 (Irish and US resolvers
+// multiplying, a Chinese cloud platform shutting down).
+func (s *Study) SetScanRound(r int) {
+	s.curRound = r
+	for _, slot := range s.slots {
+		shouldRun := r >= slot.activeFrom && r <= slot.activeTo
+		switch {
+		case shouldRun && !slot.registered:
+			zone := s.Zone
+			dot.Serve(s.World, slot.addr, slot.leaf, zone, time.Millisecond)
+			slot.registered = true
+		case !shouldRun && slot.registered:
+			s.World.CloseService(slot.addr, dot.Port)
+			slot.registered = false
+		}
+	}
+}
+
+// ActiveResolverCount reports the ground-truth DoT population at round r.
+func (s *Study) ActiveResolverCount(r int) int {
+	n := 0
+	for _, slot := range s.slots {
+		if r >= slot.activeFrom && r <= slot.activeTo {
+			n++
+		}
+	}
+	return n
+}
+
+// buildScanner wires the §3 scanner against the population.
+func (s *Study) buildScanner() {
+	labels := make([]string, s.ScanRounds)
+	start := time.Date(2019, 2, 1, 0, 0, 0, 0, time.UTC)
+	end := time.Date(2019, 5, 1, 0, 0, 0, 0, time.UTC)
+	span := int(end.Sub(start).Hours() / 24)
+	for i := range labels {
+		off := span * i / max(1, s.ScanRounds-1)
+		labels[i] = start.AddDate(0, 0, off).Format("2006-01-02")
+	}
+	s.ScanLabels = labels
+	s.Scanner = &scanner.Scanner{
+		World:       s.World,
+		Sources:     scanSources,
+		Space:       scanner.Space{Base: scanSpaceBase, Size: uint64(1) << s.ScanSpaceBits},
+		OptOut:      &netsim.OptOutList{},
+		ProbeDomain: "scanprobe." + ProbeZone,
+		ExpectedA:   s.ExpectedA,
+		Roots:       s.Roots,
+		Workers:     16,
+		Seed:        uint64(s.Seed),
+	}
+}
+
+// RunScans executes every scan round, applying churn between rounds.
+func (s *Study) RunScans() ([]*scanner.Result, error) {
+	results := make([]*scanner.Result, 0, s.ScanRounds)
+	for r := 0; r < s.ScanRounds; r++ {
+		s.SetScanRound(r)
+		res, err := s.Scanner.Scan(s.ScanLabels[r])
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}

@@ -1,0 +1,27 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// RunAll executes every experiment in paper order and writes a full report.
+// It returns the first error but keeps going so one failing experiment does
+// not mask the rest.
+func (s *Study) RunAll(w io.Writer) error {
+	var firstErr error
+	for _, exp := range Experiments() {
+		start := time.Now()
+		out, err := exp.Run(s)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%s: %w", exp.ID, err)
+			}
+			fmt.Fprintf(w, "== %s: %s\nERROR: %v\n\n", exp.ID, exp.Title, err)
+			continue
+		}
+		fmt.Fprintf(w, "== %s: %s (%.1fs)\n%s\n", exp.ID, exp.Title, time.Since(start).Seconds(), out)
+	}
+	return firstErr
+}

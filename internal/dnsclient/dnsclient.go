@@ -1,0 +1,172 @@
+// Package dnsclient is the stub-resolver side of clear-text DNS: queries
+// over UDP (the Internet's default) and over TCP (RFC 7766), the latter with
+// explicit connection reuse — the baseline the paper compares DoT and DoH
+// against ("we regard DNS/TCP as a reasonable baseline for clear-text DNS").
+package dnsclient
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"sync"
+	"time"
+
+	"dnsencryption.info/doe/internal/dnswire"
+	"dnsencryption.info/doe/internal/netsim"
+)
+
+// Errors surfaced to measurement code.
+var (
+	ErrIDMismatch = errors.New("dnsclient: response ID does not match query")
+	ErrClosed     = errors.New("dnsclient: connection closed")
+)
+
+// Result is one completed DNS transaction.
+type Result struct {
+	Msg *dnswire.Message
+	// Latency is the virtual time the transaction took, as a client
+	// would measure it.
+	Latency time.Duration
+}
+
+// Rcode is shorthand for the response code.
+func (r *Result) Rcode() dnswire.Rcode { return r.Msg.Rcode }
+
+// FirstA returns the first A answer, if any.
+func (r *Result) FirstA() (netip.Addr, bool) {
+	for _, rr := range r.Msg.Answers {
+		if a, ok := rr.Data.(dnswire.A); ok {
+			return a.Addr, true
+		}
+	}
+	return netip.Addr{}, false
+}
+
+// Client issues clear-text DNS queries from a fixed vantage address.
+type Client struct {
+	World *netsim.World
+	From  netip.Addr
+	// Timeout is the real-time bound per transaction (protective only;
+	// latency measurements use virtual time).
+	Timeout time.Duration
+	// Retries is the number of additional UDP attempts on failure.
+	Retries int
+}
+
+// New creates a client with sensible defaults.
+func New(w *netsim.World, from netip.Addr) *Client {
+	return &Client{World: w, From: from, Timeout: 5 * time.Second, Retries: 1}
+}
+
+// QueryUDP performs a DNS-over-UDP lookup.
+func (c *Client) QueryUDP(server netip.Addr, name string, qtype dnswire.Type) (*Result, error) {
+	q := dnswire.NewQuery(dnswire.NewID(), name, qtype)
+	packed, err := q.Pack()
+	if err != nil {
+		return nil, err
+	}
+	var lastErr error
+	for attempt := 0; attempt <= c.Retries; attempt++ {
+		raw, elapsed, err := c.World.Exchange(c.From, server, 53, packed)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		m, err := dnswire.Unpack(raw)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if m.ID != q.ID {
+			lastErr = ErrIDMismatch
+			continue
+		}
+		return &Result{Msg: m, Latency: elapsed}, nil
+	}
+	return nil, fmt.Errorf("dnsclient: UDP query failed after %d attempts: %w", c.Retries+1, lastErr)
+}
+
+// QueryTCP performs a DNS-over-TCP lookup on a fresh connection, including
+// connection setup in the reported latency.
+func (c *Client) QueryTCP(server netip.Addr, name string, qtype dnswire.Type) (*Result, error) {
+	conn, err := c.DialTCP(server)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	return conn.Query(name, qtype)
+}
+
+// TCPConn is a reusable DNS-over-TCP connection. It is safe for sequential
+// use; one query is in flight at a time.
+type TCPConn struct {
+	mu   sync.Mutex
+	conn *netsim.Conn
+	// established is the virtual time consumed before the first query
+	// (TCP handshake).
+	established time.Duration
+	closed      bool
+}
+
+// DialTCP opens a reusable DNS-over-TCP connection to server:53.
+func (c *Client) DialTCP(server netip.Addr) (*TCPConn, error) {
+	return c.DialTCPPort(server, 53)
+}
+
+// DialTCPPort opens a reusable DNS-over-TCP connection to an arbitrary port.
+func (c *Client) DialTCPPort(server netip.Addr, port uint16) (*TCPConn, error) {
+	conn, err := c.World.Dial(c.From, server, port)
+	if err != nil {
+		return nil, err
+	}
+	conn.SetDeadline(time.Now().Add(c.Timeout))
+	return TCPFromConn(conn), nil
+}
+
+// TCPFromConn wraps an already established stream (e.g. a SOCKS tunnel) as
+// a DNS-over-TCP connection.
+func TCPFromConn(conn *netsim.Conn) *TCPConn {
+	return &TCPConn{conn: conn, established: conn.Elapsed()}
+}
+
+// SetupLatency is the virtual time spent establishing the connection.
+func (t *TCPConn) SetupLatency() time.Duration { return t.established }
+
+// Query sends one query on the (possibly reused) connection. Latency covers
+// only this transaction, as observed on an already open connection.
+func (t *TCPConn) Query(name string, qtype dnswire.Type) (*Result, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil, ErrClosed
+	}
+	q := dnswire.NewQuery(dnswire.NewID(), name, qtype)
+	framed, err := dnswire.PackTCP(q)
+	if err != nil {
+		return nil, err
+	}
+	start := t.conn.Elapsed()
+	if _, err := t.conn.Write(framed); err != nil {
+		return nil, err
+	}
+	raw, err := dnswire.ReadTCP(t.conn)
+	if err != nil {
+		return nil, err
+	}
+	m, err := dnswire.Unpack(raw)
+	if err != nil {
+		return nil, err
+	}
+	if m.ID != q.ID {
+		return nil, ErrIDMismatch
+	}
+	return &Result{Msg: m, Latency: t.conn.Elapsed() - start}, nil
+}
+
+// Close releases the connection.
+func (t *TCPConn) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.closed = true
+	return t.conn.Close()
+}

@@ -1,0 +1,107 @@
+package dnscrypt
+
+import (
+	"crypto/ecdh"
+	"crypto/rand"
+	"errors"
+	"fmt"
+)
+
+// ErrDecrypt is returned when a box fails authentication.
+var ErrDecrypt = errors.New("dnscrypt: message authentication failed")
+
+// SecretboxSeal encrypts-and-authenticates msg with key and nonce
+// (NaCl crypto_secretbox: XSalsa20 + Poly1305). The result is
+// tag(16) || ciphertext.
+func SecretboxSeal(msg []byte, nonce *[24]byte, key *[32]byte) []byte {
+	block0 := firstBlock(key, nonce)
+	var polyKey [32]byte
+	copy(polyKey[:], block0[:32])
+
+	out := make([]byte, 16+len(msg))
+	ct := out[16:]
+	copy(ct, msg)
+	// The first 32 bytes of the keystream are reserved for the Poly1305
+	// key; plaintext bytes 0..31 use keystream bytes 32..63, the rest
+	// continue from block one.
+	n := len(ct)
+	if n > 32 {
+		n = 32
+	}
+	for i := 0; i < n; i++ {
+		ct[i] ^= block0[32+i]
+	}
+	if len(ct) > 32 {
+		xsalsa20XOR(key, nonce, 64, ct[32:])
+	}
+	tag := poly1305(ct, &polyKey)
+	copy(out[:16], tag[:])
+	return out
+}
+
+// SecretboxOpen authenticates and decrypts a sealed box.
+func SecretboxOpen(sealed []byte, nonce *[24]byte, key *[32]byte) ([]byte, error) {
+	if len(sealed) < 16 {
+		return nil, ErrDecrypt
+	}
+	block0 := firstBlock(key, nonce)
+	var polyKey [32]byte
+	copy(polyKey[:], block0[:32])
+
+	var tag [16]byte
+	copy(tag[:], sealed[:16])
+	ct := sealed[16:]
+	want := poly1305(ct, &polyKey)
+	if !constantTimeEqual16(&tag, &want) {
+		return nil, ErrDecrypt
+	}
+	msg := make([]byte, len(ct))
+	copy(msg, ct)
+	n := len(msg)
+	if n > 32 {
+		n = 32
+	}
+	for i := 0; i < n; i++ {
+		msg[i] ^= block0[32+i]
+	}
+	if len(msg) > 32 {
+		xsalsa20XOR(key, nonce, 64, msg[32:])
+	}
+	return msg, nil
+}
+
+// KeyPair is an X25519 key pair.
+type KeyPair struct {
+	priv *ecdh.PrivateKey
+	// Public is the 32-byte public key.
+	Public [32]byte
+}
+
+// NewKeyPair generates an X25519 key pair.
+func NewKeyPair() (*KeyPair, error) {
+	priv, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	kp := &KeyPair{priv: priv}
+	copy(kp.Public[:], priv.PublicKey().Bytes())
+	return kp, nil
+}
+
+// SharedKey computes the NaCl box precomputation with a peer public key:
+// HSalsa20(X25519(sk, pk), 0).
+func (kp *KeyPair) SharedKey(peer *[32]byte) (*[32]byte, error) {
+	pub, err := ecdh.X25519().NewPublicKey(peer[:])
+	if err != nil {
+		return nil, fmt.Errorf("dnscrypt: bad peer key: %w", err)
+	}
+	raw, err := kp.priv.ECDH(pub)
+	if err != nil {
+		return nil, err
+	}
+	var shared [32]byte
+	copy(shared[:], raw)
+	var zero [16]byte
+	key := hSalsa20(&shared, &zero)
+	return &key, nil
+}

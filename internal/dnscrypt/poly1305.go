@@ -1,0 +1,71 @@
+package dnscrypt
+
+import "math/big"
+
+// poly1305 computes the one-time authenticator of msg under a 32-byte key
+// (r || s). The implementation follows the definition directly using
+// arbitrary-precision arithmetic — clarity over speed; the study's message
+// rates are tiny.
+func poly1305(msg []byte, key *[32]byte) [16]byte {
+	// Clamp r.
+	var rBytes [16]byte
+	copy(rBytes[:], key[:16])
+	rBytes[3] &= 15
+	rBytes[7] &= 15
+	rBytes[11] &= 15
+	rBytes[15] &= 15
+	rBytes[4] &= 252
+	rBytes[8] &= 252
+	rBytes[12] &= 252
+
+	r := leBytesToBig(rBytes[:])
+	s := leBytesToBig(key[16:32])
+	p := new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), 130), big.NewInt(5))
+
+	acc := new(big.Int)
+	block := new(big.Int)
+	for len(msg) > 0 {
+		n := 16
+		if len(msg) < n {
+			n = len(msg)
+		}
+		chunk := make([]byte, n+1)
+		copy(chunk, msg[:n])
+		chunk[n] = 1 // append the 2^(8*n) bit
+		block.SetBytes(reverse(chunk))
+		acc.Add(acc, block)
+		acc.Mul(acc, r)
+		acc.Mod(acc, p)
+		msg = msg[n:]
+	}
+	acc.Add(acc, s)
+	acc.Mod(acc, new(big.Int).Lsh(big.NewInt(1), 128))
+
+	var tag [16]byte
+	out := acc.Bytes() // big endian
+	for i, b := range out {
+		tag[len(out)-1-i] = b
+	}
+	return tag
+}
+
+func leBytesToBig(b []byte) *big.Int {
+	return new(big.Int).SetBytes(reverse(b))
+}
+
+func reverse(b []byte) []byte {
+	out := make([]byte, len(b))
+	for i, v := range b {
+		out[len(b)-1-i] = v
+	}
+	return out
+}
+
+// constantTimeEqual16 compares two tags without early exit.
+func constantTimeEqual16(a, b *[16]byte) bool {
+	var v byte
+	for i := 0; i < 16; i++ {
+		v |= a[i] ^ b[i]
+	}
+	return v == 0
+}

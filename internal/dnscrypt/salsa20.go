@@ -1,0 +1,138 @@
+// Package dnscrypt implements the DNSCrypt v2 protocol (§2.2's fifth
+// DNS-over-Encryption proposal): resolver certificates signed with Ed25519
+// and distributed through TXT records, and queries protected with the
+// X25519-XSalsa20Poly1305 construction. The Go standard library provides
+// X25519 (crypto/ecdh) and Ed25519 (crypto/ed25519); the Salsa20 family and
+// Poly1305 are implemented here from the NaCl specifications.
+//
+// The paper grades DNSCrypt "not standardized, non-TLS cryptography,
+// extra client software required" in Table 1 — this package exists so the
+// comparison row is backed by a working implementation, like the others.
+package dnscrypt
+
+import "encoding/binary"
+
+// quarterRound is the Salsa20 quarter-round from the specification.
+func quarterRound(y0, y1, y2, y3 uint32) (uint32, uint32, uint32, uint32) {
+	rotl := func(x uint32, n uint) uint32 { return x<<n | x>>(32-n) }
+	z1 := y1 ^ rotl(y0+y3, 7)
+	z2 := y2 ^ rotl(z1+y0, 9)
+	z3 := y3 ^ rotl(z2+z1, 13)
+	z0 := y0 ^ rotl(z3+z2, 18)
+	return z0, z1, z2, z3
+}
+
+// doubleRound applies one column round followed by one row round in place.
+func doubleRound(x *[16]uint32) {
+	// Column round.
+	x[4], x[8], x[12], x[0] = qr4(x[0], x[4], x[8], x[12])
+	x[9], x[13], x[1], x[5] = qr4(x[5], x[9], x[13], x[1])
+	x[14], x[2], x[6], x[10] = qr4(x[10], x[14], x[2], x[6])
+	x[3], x[7], x[11], x[15] = qr4(x[15], x[3], x[7], x[11])
+	// Row round.
+	x[1], x[2], x[3], x[0] = qr4(x[0], x[1], x[2], x[3])
+	x[6], x[7], x[4], x[5] = qr4(x[5], x[6], x[7], x[4])
+	x[11], x[8], x[9], x[10] = qr4(x[10], x[11], x[8], x[9])
+	x[12], x[13], x[14], x[15] = qr4(x[15], x[12], x[13], x[14])
+}
+
+// qr4 reorders quarterRound's results for the in-place round layout:
+// given (a, b, c, d) it returns (b', c', d', a').
+func qr4(a, b, c, d uint32) (uint32, uint32, uint32, uint32) {
+	z0, z1, z2, z3 := quarterRound(a, b, c, d)
+	return z1, z2, z3, z0
+}
+
+// sigma is the "expand 32-byte k" constant.
+var sigma = [4]uint32{0x61707865, 0x3320646e, 0x79622d32, 0x6b206574}
+
+// salsa20Block computes one 64-byte keystream block for key, 8-byte nonce
+// and block counter.
+func salsa20Block(key *[32]byte, nonce *[8]byte, counter uint64, out *[64]byte) {
+	var in [16]uint32
+	in[0] = sigma[0]
+	in[5] = sigma[1]
+	in[10] = sigma[2]
+	in[15] = sigma[3]
+	for i := 0; i < 4; i++ {
+		in[1+i] = binary.LittleEndian.Uint32(key[4*i:])
+		in[11+i] = binary.LittleEndian.Uint32(key[16+4*i:])
+	}
+	in[6] = binary.LittleEndian.Uint32(nonce[0:])
+	in[7] = binary.LittleEndian.Uint32(nonce[4:])
+	in[8] = uint32(counter)
+	in[9] = uint32(counter >> 32)
+
+	x := in
+	for i := 0; i < 10; i++ {
+		doubleRound(&x)
+	}
+	for i := 0; i < 16; i++ {
+		binary.LittleEndian.PutUint32(out[4*i:], x[i]+in[i])
+	}
+}
+
+// hSalsa20 derives a subkey from key and a 16-byte nonce (the core without
+// the final feed-forward, reading the diagonal and nonce words).
+func hSalsa20(key *[32]byte, nonce *[16]byte) [32]byte {
+	var in [16]uint32
+	in[0] = sigma[0]
+	in[5] = sigma[1]
+	in[10] = sigma[2]
+	in[15] = sigma[3]
+	for i := 0; i < 4; i++ {
+		in[1+i] = binary.LittleEndian.Uint32(key[4*i:])
+		in[11+i] = binary.LittleEndian.Uint32(key[16+4*i:])
+		in[6+i] = binary.LittleEndian.Uint32(nonce[4*i:])
+	}
+	x := in
+	for i := 0; i < 10; i++ {
+		doubleRound(&x)
+	}
+	var out [32]byte
+	for i, idx := range [8]int{0, 5, 10, 15, 6, 7, 8, 9} {
+		binary.LittleEndian.PutUint32(out[4*i:], x[idx])
+	}
+	return out
+}
+
+// xsalsa20XOR XORs data with the XSalsa20 keystream for key and a 24-byte
+// nonce, starting at keystream offset skip (used to reserve the Poly1305
+// key in block zero). skip must be a multiple of 64 or less than 64.
+func xsalsa20XOR(key *[32]byte, nonce *[24]byte, skip int, data []byte) {
+	var hNonce [16]byte
+	copy(hNonce[:], nonce[:16])
+	subkey := hSalsa20(key, &hNonce)
+	var sNonce [8]byte
+	copy(sNonce[:], nonce[16:])
+
+	var block [64]byte
+	counter := uint64(skip / 64)
+	offset := skip % 64
+	for len(data) > 0 {
+		salsa20Block(&subkey, &sNonce, counter, &block)
+		avail := 64 - offset
+		if avail > len(data) {
+			avail = len(data)
+		}
+		for i := 0; i < avail; i++ {
+			data[i] ^= block[offset+i]
+		}
+		data = data[avail:]
+		counter++
+		offset = 0
+	}
+}
+
+// firstBlock returns keystream block zero (its first 32 bytes key
+// Poly1305 in the secretbox construction).
+func firstBlock(key *[32]byte, nonce *[24]byte) [64]byte {
+	var hNonce [16]byte
+	copy(hNonce[:], nonce[:16])
+	subkey := hSalsa20(key, &hNonce)
+	var sNonce [8]byte
+	copy(sNonce[:], nonce[16:])
+	var block [64]byte
+	salsa20Block(&subkey, &sNonce, 0, &block)
+	return block
+}

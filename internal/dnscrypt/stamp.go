@@ -1,0 +1,177 @@
+package dnscrypt
+
+import (
+	"crypto/ed25519"
+	"encoding/base64"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+	"strings"
+
+	"dnsencryption.info/doe/internal/netsim"
+)
+
+// Stamp is a parsed DNS stamp (the "sdns://" URIs through which DNSCrypt
+// and DoH servers are distributed in practice — e.g. in the public resolver
+// lists the paper mines for §3).
+type Stamp struct {
+	Protocol StampProtocol
+	// Props are the advertised properties (DNSSEC=1, NoLogs=2, NoFilter=4).
+	Props uint64
+	// Addr is the server address (with optional port).
+	Addr string
+	// ProviderPK is the provider's Ed25519 public key (DNSCrypt stamps).
+	ProviderPK []byte
+	// ProviderName is the DNSCrypt provider name.
+	ProviderName string
+	// Host and Path locate a DoH endpoint (DoH stamps).
+	Host string
+	Path string
+}
+
+// StampProtocol identifies the stamped protocol.
+type StampProtocol byte
+
+// Stamp protocol identifiers (per the DNS stamps specification).
+const (
+	StampDNSCrypt StampProtocol = 0x01
+	StampDoH      StampProtocol = 0x02
+)
+
+// Stamp property bits.
+const (
+	PropDNSSEC   uint64 = 1 << 0
+	PropNoLogs   uint64 = 1 << 1
+	PropNoFilter uint64 = 1 << 2
+)
+
+// ErrBadStamp is returned for malformed stamps.
+var ErrBadStamp = errors.New("dnscrypt: malformed DNS stamp")
+
+const stampPrefix = "sdns://"
+
+// String encodes the stamp as an sdns:// URI.
+func (s *Stamp) String() string {
+	var raw []byte
+	raw = append(raw, byte(s.Protocol))
+	raw = binary.LittleEndian.AppendUint64(raw, s.Props)
+	appendLP := func(b []byte) {
+		raw = append(raw, byte(len(b)))
+		raw = append(raw, b...)
+	}
+	appendLP([]byte(s.Addr))
+	switch s.Protocol {
+	case StampDNSCrypt:
+		appendLP(s.ProviderPK)
+		appendLP([]byte(s.ProviderName))
+	case StampDoH:
+		appendLP(nil) // no certificate hashes in the study
+		appendLP([]byte(s.Host))
+		appendLP([]byte(s.Path))
+	}
+	return stampPrefix + base64.RawURLEncoding.EncodeToString(raw)
+}
+
+// ParseStamp decodes an sdns:// URI.
+func ParseStamp(uri string) (*Stamp, error) {
+	if !strings.HasPrefix(uri, stampPrefix) {
+		return nil, fmt.Errorf("%w: missing sdns:// prefix", ErrBadStamp)
+	}
+	raw, err := base64.RawURLEncoding.DecodeString(uri[len(stampPrefix):])
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadStamp, err)
+	}
+	if len(raw) < 9 {
+		return nil, ErrBadStamp
+	}
+	s := &Stamp{
+		Protocol: StampProtocol(raw[0]),
+		Props:    binary.LittleEndian.Uint64(raw[1:9]),
+	}
+	rest := raw[9:]
+	next := func() ([]byte, error) {
+		if len(rest) < 1 {
+			return nil, ErrBadStamp
+		}
+		n := int(rest[0])
+		if len(rest) < 1+n {
+			return nil, ErrBadStamp
+		}
+		field := rest[1 : 1+n]
+		rest = rest[1+n:]
+		return field, nil
+	}
+	addr, err := next()
+	if err != nil {
+		return nil, err
+	}
+	s.Addr = string(addr)
+	switch s.Protocol {
+	case StampDNSCrypt:
+		pk, err := next()
+		if err != nil {
+			return nil, err
+		}
+		if len(pk) != ed25519.PublicKeySize {
+			return nil, fmt.Errorf("%w: provider key of %d bytes", ErrBadStamp, len(pk))
+		}
+		s.ProviderPK = pk
+		name, err := next()
+		if err != nil {
+			return nil, err
+		}
+		s.ProviderName = string(name)
+	case StampDoH:
+		if _, err := next(); err != nil { // certificate hashes, unused
+			return nil, err
+		}
+		host, err := next()
+		if err != nil {
+			return nil, err
+		}
+		s.Host = string(host)
+		path, err := next()
+		if err != nil {
+			return nil, err
+		}
+		s.Path = string(path)
+	default:
+		return nil, fmt.Errorf("%w: unknown protocol 0x%02x", ErrBadStamp, raw[0])
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: trailing bytes", ErrBadStamp)
+	}
+	return s, nil
+}
+
+// NewDNSCryptStamp builds the stamp for a server deployment.
+func NewDNSCryptStamp(addr netip.Addr, providerName string, providerPK ed25519.PublicKey, props uint64) *Stamp {
+	return &Stamp{
+		Protocol:     StampDNSCrypt,
+		Props:        props,
+		Addr:         addr.String(),
+		ProviderPK:   append([]byte(nil), providerPK...),
+		ProviderName: providerName,
+	}
+}
+
+// ClientFromStamp constructs a Client configured by a DNSCrypt stamp.
+func ClientFromStamp(w *netsim.World, from netip.Addr, stamp *Stamp) (*Client, netip.Addr, error) {
+	if stamp.Protocol != StampDNSCrypt {
+		return nil, netip.Addr{}, fmt.Errorf("dnscrypt: stamp protocol 0x%02x is not DNSCrypt", byte(stamp.Protocol))
+	}
+	addrStr := stamp.Addr
+	if i := strings.LastIndexByte(addrStr, ':'); i > 0 && !strings.Contains(addrStr, "]") {
+		addrStr = addrStr[:i]
+	}
+	addr, err := netip.ParseAddr(addrStr)
+	if err != nil {
+		return nil, netip.Addr{}, fmt.Errorf("dnscrypt: stamp address %q: %w", stamp.Addr, err)
+	}
+	c, err := NewClient(w, from, stamp.ProviderName, ed25519.PublicKey(stamp.ProviderPK))
+	if err != nil {
+		return nil, netip.Addr{}, err
+	}
+	return c, addr, nil
+}

@@ -1,0 +1,86 @@
+package dnsserver
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"dnsencryption.info/doe/internal/dnswire"
+)
+
+// LoadZone parses a zone file into a Zone. Supported syntax: one record per
+// line ("name [ttl] [IN] TYPE rdata"), "$ORIGIN" and "$TTL" directives,
+// ";"-comments, "@" for the origin, relative names, and blank-name lines
+// inheriting the previous owner. origin seeds $ORIGIN and the zone apex.
+func LoadZone(origin string, r io.Reader) (*Zone, error) {
+	zone := NewZone(origin)
+	curOrigin := dnswire.CanonicalName(origin)
+	var defaultTTL uint32 = 3600
+	lastOwner := ""
+
+	scanner := bufio.NewScanner(r)
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := scanner.Text()
+		if i := strings.IndexByte(line, ';'); i >= 0 && !insideQuotes(line, i) {
+			line = line[:i]
+		}
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(trimmed, "$ORIGIN"):
+			fields := strings.Fields(trimmed)
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("dnsserver: line %d: bad $ORIGIN", lineNo)
+			}
+			curOrigin = dnswire.CanonicalName(fields[1])
+			continue
+		case strings.HasPrefix(trimmed, "$TTL"):
+			fields := strings.Fields(trimmed)
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("dnsserver: line %d: bad $TTL", lineNo)
+			}
+			n, err := strconv.ParseUint(fields[1], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("dnsserver: line %d: bad $TTL value: %v", lineNo, err)
+			}
+			defaultTTL = uint32(n)
+			continue
+		}
+		// Owner inheritance: a line starting with whitespace reuses the
+		// previous owner name.
+		if (line[0] == ' ' || line[0] == '\t') && lastOwner != "" {
+			trimmed = lastOwner + " " + trimmed
+		}
+		rec, err := dnswire.ParseRecord(trimmed, curOrigin, defaultTTL)
+		if err != nil {
+			return nil, fmt.Errorf("dnsserver: line %d: %w", lineNo, err)
+		}
+		lastOwner = rec.Name
+		if !dnswire.IsSubdomain(rec.Name, zone.Origin) {
+			return nil, fmt.Errorf("dnsserver: line %d: %q outside zone %q", lineNo, rec.Name, zone.Origin)
+		}
+		zone.Add(rec.Name, rec.TTL, rec.Data)
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, err
+	}
+	return zone, nil
+}
+
+// insideQuotes reports whether position i of line falls inside a quoted
+// string (so a ';' there is content, not a comment).
+func insideQuotes(line string, i int) bool {
+	quotes := 0
+	for j := 0; j < i; j++ {
+		if line[j] == '"' {
+			quotes++
+		}
+	}
+	return quotes%2 == 1
+}

@@ -1,0 +1,159 @@
+package dnswire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// EDNS(0) option codes (RFC 6891 §6.1.2 registry).
+const (
+	OptionCodeCookie  uint16 = 10
+	OptionCodePadding uint16 = 12 // RFC 7830
+)
+
+// EDNSOption is a single option inside an OPT pseudo-record.
+type EDNSOption struct {
+	Code uint16
+	Data []byte
+}
+
+// OPT is the EDNS(0) pseudo-record payload (RFC 6891). The owner name is
+// always root; the class and TTL fields of the enclosing record are
+// repurposed and surfaced here as UDPSize, ExtendedRcode, Version and DO.
+type OPT struct {
+	UDPSize       uint16
+	ExtendedRcode uint8 // upper 8 bits of the 12-bit rcode
+	Version       uint8
+	DO            bool // DNSSEC OK
+	Options       []EDNSOption
+}
+
+// RType implements RData.
+func (OPT) RType() Type { return TypeOPT }
+
+func (o OPT) appendTo(buf []byte, _ map[string]int) ([]byte, error) {
+	for _, opt := range o.Options {
+		if len(opt.Data) > 0xFFFF {
+			return nil, fmt.Errorf("dnswire: EDNS option %d data too long", opt.Code)
+		}
+		buf = binary.BigEndian.AppendUint16(buf, opt.Code)
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(opt.Data)))
+		buf = append(buf, opt.Data...)
+	}
+	return buf, nil
+}
+
+func (o OPT) String() string {
+	return fmt.Sprintf("OPT udp=%d version=%d do=%v options=%d",
+		o.UDPSize, o.Version, o.DO, len(o.Options))
+}
+
+// Padding returns the length of the padding option carried by the OPT
+// record, and whether one is present.
+func (o OPT) Padding() (int, bool) {
+	for _, opt := range o.Options {
+		if opt.Code == OptionCodePadding {
+			return len(opt.Data), true
+		}
+	}
+	return 0, false
+}
+
+func unpackOPTData(data []byte) (RData, error) {
+	var o OPT
+	for i := 0; i < len(data); {
+		if i+4 > len(data) {
+			return nil, ErrRDataTooShort
+		}
+		code := binary.BigEndian.Uint16(data[i:])
+		n := int(binary.BigEndian.Uint16(data[i+2:]))
+		i += 4
+		if i+n > len(data) {
+			return nil, ErrRDataTooShort
+		}
+		o.Options = append(o.Options, EDNSOption{
+			Code: code,
+			Data: append([]byte(nil), data[i:i+n]...),
+		})
+		i += n
+	}
+	return o, nil
+}
+
+// SetEDNS0 attaches (or replaces) an OPT record advertising udpSize and the
+// DNSSEC-OK bit. It returns the message for chaining.
+func (m *Message) SetEDNS0(udpSize uint16, do bool) *Message {
+	m.removeOPT()
+	m.Additionals = append(m.Additionals, Record{
+		Name:  ".",
+		Class: Class(udpSize),
+		Data:  OPT{UDPSize: udpSize, DO: do},
+	})
+	return m
+}
+
+// OPT returns the message's EDNS(0) payload, if any.
+func (m *Message) OPT() (OPT, bool) {
+	for _, rr := range m.Additionals {
+		if o, ok := rr.Data.(OPT); ok {
+			return o, true
+		}
+	}
+	return OPT{}, false
+}
+
+func (m *Message) removeOPT() {
+	kept := m.Additionals[:0]
+	for _, rr := range m.Additionals {
+		if _, ok := rr.Data.(OPT); !ok {
+			kept = append(kept, rr)
+		}
+	}
+	m.Additionals = kept
+}
+
+// PadToBlock adds an EDNS(0) padding option (RFC 7830) so that the packed
+// message length becomes a multiple of block, the policy RFC 8467 recommends
+// for DNS-over-Encryption clients (block 128) and servers (block 468) to
+// frustrate traffic analysis. The message must already carry an OPT record.
+func (m *Message) PadToBlock(block int) error {
+	if block <= 0 {
+		return fmt.Errorf("dnswire: invalid padding block %d", block)
+	}
+	opt, ok := m.OPT()
+	if !ok {
+		return fmt.Errorf("dnswire: PadToBlock requires an EDNS(0) OPT record")
+	}
+	// Strip any existing padding option before measuring.
+	kept := opt.Options[:0]
+	for _, o := range opt.Options {
+		if o.Code != OptionCodePadding {
+			kept = append(kept, o)
+		}
+	}
+	opt.Options = kept
+	m.replaceOPT(opt)
+
+	base, err := m.Pack()
+	if err != nil {
+		return err
+	}
+	// Adding the option itself costs 4 bytes of option header.
+	unpadded := len(base) + 4
+	pad := (block - unpadded%block) % block
+	opt.Options = append(opt.Options, EDNSOption{
+		Code: OptionCodePadding,
+		Data: make([]byte, pad),
+	})
+	m.replaceOPT(opt)
+	return nil
+}
+
+func (m *Message) replaceOPT(o OPT) {
+	for i, rr := range m.Additionals {
+		if _, ok := rr.Data.(OPT); ok {
+			m.Additionals[i].Data = o
+			return
+		}
+	}
+}

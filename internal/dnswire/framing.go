@@ -1,0 +1,69 @@
+package dnswire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+)
+
+// MaxTCPMessage is the largest DNS message expressible with 2-byte framing.
+const MaxTCPMessage = 0xFFFF
+
+// WriteTCP writes msg to w with the 2-byte big-endian length prefix used by
+// DNS over TCP (RFC 1035 §4.2.2) and DNS over TLS (RFC 7858). A single Write
+// call carries prefix and payload so the kernel can coalesce them.
+func WriteTCP(w io.Writer, msg []byte) error {
+	if len(msg) > MaxTCPMessage {
+		return fmt.Errorf("dnswire: message of %d bytes exceeds TCP framing limit", len(msg))
+	}
+	framed := make([]byte, 2+len(msg))
+	binary.BigEndian.PutUint16(framed, uint16(len(msg)))
+	copy(framed[2:], msg)
+	_, err := w.Write(framed)
+	return err
+}
+
+// ReadTCP reads one length-prefixed DNS message from r.
+func ReadTCP(r io.Reader) ([]byte, error) {
+	var lenbuf [2]byte
+	if _, err := io.ReadFull(r, lenbuf[:]); err != nil {
+		return nil, err
+	}
+	msg := make([]byte, binary.BigEndian.Uint16(lenbuf[:]))
+	if _, err := io.ReadFull(r, msg); err != nil {
+		return nil, err
+	}
+	return msg, nil
+}
+
+// PackTCP packs m and prepends the 2-byte length prefix.
+func PackTCP(m *Message) ([]byte, error) {
+	body, err := m.Pack()
+	if err != nil {
+		return nil, err
+	}
+	if len(body) > MaxTCPMessage {
+		return nil, fmt.Errorf("dnswire: message of %d bytes exceeds TCP framing limit", len(body))
+	}
+	framed := make([]byte, 2+len(body))
+	binary.BigEndian.PutUint16(framed, uint16(len(body)))
+	copy(framed[2:], body)
+	return framed, nil
+}
+
+// idSource generates transaction IDs. DNS IDs only need to be unpredictable
+// enough to frustrate off-path spoofing of clear-text queries; encrypted
+// transports do not rely on them, so math/rand suffices here.
+var idSource = struct {
+	sync.Mutex
+	rng *rand.Rand
+}{rng: rand.New(rand.NewSource(0x00d15ea5e))}
+
+// NewID returns a fresh transaction ID.
+func NewID() uint16 {
+	idSource.Lock()
+	defer idSource.Unlock()
+	return uint16(idSource.rng.Intn(0x10000))
+}

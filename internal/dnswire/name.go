@@ -1,0 +1,185 @@
+package dnswire
+
+import (
+	"errors"
+	"strings"
+)
+
+// Errors returned by the name codec.
+var (
+	ErrNameTooLong    = errors.New("dnswire: name exceeds 255 octets")
+	ErrLabelTooLong   = errors.New("dnswire: label exceeds 63 octets")
+	ErrEmptyLabel     = errors.New("dnswire: empty label in name")
+	ErrBadPointer     = errors.New("dnswire: bad compression pointer")
+	ErrPointerLoop    = errors.New("dnswire: compression pointer loop")
+	ErrBufferTooSmall = errors.New("dnswire: buffer too small")
+)
+
+const (
+	maxNameLen  = 255
+	maxLabelLen = 63
+	// maxPointers bounds pointer chasing; a legitimate name can need at
+	// most one pointer per label, and names have at most 127 labels.
+	maxPointers = 127
+)
+
+// CanonicalName lower-cases a domain name and ensures it ends with a dot,
+// the canonical form used throughout this repository for map keys.
+func CanonicalName(s string) string {
+	s = strings.ToLower(s)
+	if s == "" || s == "." {
+		return "."
+	}
+	if !strings.HasSuffix(s, ".") {
+		s += "."
+	}
+	return s
+}
+
+// IsSubdomain reports whether child equals parent or falls under it.
+// Both arguments are canonicalized first.
+func IsSubdomain(child, parent string) bool {
+	child, parent = CanonicalName(child), CanonicalName(parent)
+	if parent == "." {
+		return true
+	}
+	return child == parent || strings.HasSuffix(child, "."+parent)
+}
+
+// SLD returns the second-level domain of a name ("a.b.example.com." →
+// "example.com."). Names with fewer than two labels are returned unchanged.
+// The paper groups DoT providers by the SLD of certificate Common Names.
+func SLD(name string) string {
+	name = CanonicalName(name)
+	if name == "." {
+		return "."
+	}
+	labels := strings.Split(strings.TrimSuffix(name, "."), ".")
+	if len(labels) <= 2 {
+		return name
+	}
+	return strings.Join(labels[len(labels)-2:], ".") + "."
+}
+
+// splitLabels breaks a presentation-format name into labels, validating
+// length restrictions. The root name yields no labels.
+func splitLabels(name string) ([]string, error) {
+	name = CanonicalName(name)
+	if name == "." {
+		return nil, nil
+	}
+	labels := strings.Split(strings.TrimSuffix(name, "."), ".")
+	total := 0
+	for _, l := range labels {
+		if l == "" {
+			return nil, ErrEmptyLabel
+		}
+		if len(l) > maxLabelLen {
+			return nil, ErrLabelTooLong
+		}
+		total += len(l) + 1
+	}
+	if total+1 > maxNameLen {
+		return nil, ErrNameTooLong
+	}
+	return labels, nil
+}
+
+// appendName appends the wire encoding of name to buf. If cmp is non-nil it
+// performs RFC 1035 §4.1.4 compression: suffixes already emitted earlier in
+// the message are replaced by a 2-byte pointer, and newly emitted suffixes at
+// offsets representable in 14 bits are recorded for later reuse.
+func appendName(buf []byte, name string, cmp map[string]int) ([]byte, error) {
+	labels, err := splitLabels(name)
+	if err != nil {
+		return nil, err
+	}
+	for i := range labels {
+		suffix := strings.Join(labels[i:], ".") + "."
+		if cmp != nil {
+			if off, ok := cmp[suffix]; ok {
+				return append(buf, byte(0xC0|off>>8), byte(off)), nil
+			}
+			if len(buf) < 0x3FFF {
+				cmp[suffix] = len(buf)
+			}
+		}
+		buf = append(buf, byte(len(labels[i])))
+		buf = append(buf, labels[i]...)
+	}
+	return append(buf, 0), nil
+}
+
+// readName decodes a possibly compressed name starting at off within msg.
+// It returns the canonical presentation form and the offset of the first
+// byte after the name's in-place encoding (pointers are followed but do not
+// advance the cursor).
+func readName(msg []byte, off int) (string, int, error) {
+	var b strings.Builder
+	ptrCount := 0
+	cursor := off
+	// end tracks where parsing resumes; set the first time a pointer is taken.
+	end := -1
+	for {
+		if cursor >= len(msg) {
+			return "", 0, ErrBufferTooSmall
+		}
+		c := msg[cursor]
+		switch {
+		case c == 0:
+			cursor++
+			if end < 0 {
+				end = cursor
+			}
+			if b.Len() == 0 {
+				return ".", end, nil
+			}
+			return b.String(), end, nil
+		case c&0xC0 == 0xC0:
+			if cursor+1 >= len(msg) {
+				return "", 0, ErrBufferTooSmall
+			}
+			ptr := int(c&0x3F)<<8 | int(msg[cursor+1])
+			if end < 0 {
+				end = cursor + 2
+			}
+			if ptr >= cursor || ptr >= len(msg) {
+				return "", 0, ErrBadPointer
+			}
+			ptrCount++
+			if ptrCount > maxPointers {
+				return "", 0, ErrPointerLoop
+			}
+			cursor = ptr
+		case c&0xC0 != 0:
+			return "", 0, ErrBadPointer
+		default:
+			if cursor+1+int(c) > len(msg) {
+				return "", 0, ErrBufferTooSmall
+			}
+			if b.Len()+int(c)+1 > maxNameLen {
+				return "", 0, ErrNameTooLong
+			}
+			b.Write(toLowerASCII(msg[cursor+1 : cursor+1+int(c)]))
+			b.WriteByte('.')
+			cursor += 1 + int(c)
+		}
+	}
+}
+
+// toLowerASCII lower-cases ASCII letters without allocating for the common
+// already-lowercase case.
+func toLowerASCII(b []byte) []byte {
+	lower := b
+	copied := false
+	for i, c := range b {
+		if 'A' <= c && c <= 'Z' {
+			if !copied {
+				lower = append([]byte(nil), b...)
+				copied = true
+			}
+			lower[i] = c + 'a' - 'A'
+		}
+	}
+	return lower
+}

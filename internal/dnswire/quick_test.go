@@ -1,0 +1,230 @@
+package dnswire
+
+import (
+	"math/rand"
+	"net/netip"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// randomLabel draws a DNS label of 1..12 lowercase characters.
+func randomLabel(r *rand.Rand) string {
+	const alphabet = "abcdefghijklmnopqrstuvwxyz0123456789-"
+	n := 1 + r.Intn(12)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = alphabet[r.Intn(len(alphabet)-1)]
+	}
+	// Labels must not start or end with '-' in practice; keep it simple.
+	if b[0] == '-' {
+		b[0] = 'a'
+	}
+	if b[n-1] == '-' {
+		b[n-1] = 'z'
+	}
+	return string(b)
+}
+
+func randomName(r *rand.Rand) string {
+	n := 1 + r.Intn(5)
+	labels := make([]string, n)
+	for i := range labels {
+		labels[i] = randomLabel(r)
+	}
+	return strings.Join(labels, ".") + "."
+}
+
+// genName lets testing/quick produce valid names via a wrapper type.
+type wireName string
+
+// Generate implements quick.Generator.
+func (wireName) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(wireName(randomName(r)))
+}
+
+func TestQuickNameRoundTrip(t *testing.T) {
+	f := func(n wireName) bool {
+		buf, err := appendName(nil, string(n), nil)
+		if err != nil {
+			return false
+		}
+		got, off, err := readName(buf, 0)
+		return err == nil && off == len(buf) && got == CanonicalName(string(n))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickNameCompressionRoundTrip(t *testing.T) {
+	// Packing many names sharing suffixes with one compression map must
+	// decode back to the same names.
+	f := func(a, b wireName) bool {
+		shared := "shared." + string(a)
+		names := []string{string(a), shared, string(b), shared, "x." + shared}
+		cmp := map[string]int{}
+		var buf []byte
+		var offs []int
+		var err error
+		for _, n := range names {
+			offs = append(offs, len(buf))
+			if buf, err = appendName(buf, n, cmp); err != nil {
+				return false
+			}
+		}
+		for i, n := range names {
+			got, _, err := readName(buf, offs[i])
+			if err != nil || got != CanonicalName(n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Generate implements quick.Generator for Message, producing structurally
+// valid random messages.
+func (Message) Generate(r *rand.Rand, _ int) reflect.Value {
+	m := Message{Header: Header{
+		ID:                 uint16(r.Intn(0x10000)),
+		Response:           r.Intn(2) == 0,
+		Authoritative:      r.Intn(2) == 0,
+		RecursionDesired:   r.Intn(2) == 0,
+		RecursionAvailable: r.Intn(2) == 0,
+		Rcode:              Rcode(r.Intn(6)),
+	}}
+	for i := 0; i < 1+r.Intn(2); i++ {
+		m.Questions = append(m.Questions, Question{
+			Name: randomName(r), Type: TypeA, Class: ClassINET,
+		})
+	}
+	types := []func() RData{
+		func() RData {
+			var ip [4]byte
+			r.Read(ip[:])
+			return A{Addr: netip.AddrFrom4(ip)}
+		},
+		func() RData {
+			var ip [16]byte
+			r.Read(ip[:])
+			ip[0] = 0x20 // keep it a genuine IPv6, not 4-in-6
+			return AAAA{Addr: netip.AddrFrom16(ip)}
+		},
+		func() RData { return CNAME{Target: randomName(r)} },
+		func() RData { return NS{Host: randomName(r)} },
+		func() RData { return MX{Preference: uint16(r.Intn(100)), Host: randomName(r)} },
+		func() RData { return TXT{Texts: []string{randomLabel(r)}} },
+		func() RData { return PTR{Target: randomName(r)} },
+	}
+	for i := 0; i < r.Intn(4); i++ {
+		m.Answers = append(m.Answers, Record{
+			Name:  randomName(r),
+			Class: ClassINET,
+			TTL:   uint32(r.Intn(86400)),
+			Data:  types[r.Intn(len(types))](),
+		})
+	}
+	return reflect.ValueOf(m)
+}
+
+func TestQuickMessageRoundTrip(t *testing.T) {
+	f := func(m Message) bool {
+		packed, err := m.Pack()
+		if err != nil {
+			t.Logf("pack error: %v", err)
+			return false
+		}
+		got, err := Unpack(packed)
+		if err != nil {
+			t.Logf("unpack error: %v", err)
+			return false
+		}
+		// Canonicalize the original for comparison.
+		want := m
+		for i := range want.Questions {
+			want.Questions[i].Name = CanonicalName(want.Questions[i].Name)
+		}
+		for i := range want.Answers {
+			want.Answers[i].Name = CanonicalName(want.Answers[i].Name)
+		}
+		if got.Header != want.Header {
+			t.Logf("header: got %+v want %+v", got.Header, want.Header)
+			return false
+		}
+		if !reflect.DeepEqual(got.Questions, want.Questions) {
+			return false
+		}
+		if len(got.Answers) != len(want.Answers) {
+			return false
+		}
+		for i := range want.Answers {
+			if got.Answers[i].Name != want.Answers[i].Name ||
+				!rdataEqual(got.Answers[i].Data, want.Answers[i].Data) {
+				t.Logf("answer %d: got %v want %v", i, got.Answers[i], want.Answers[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// rdataEqual compares RDATA canonicalizing embedded names.
+func rdataEqual(a, b RData) bool {
+	switch x := a.(type) {
+	case CNAME:
+		y, ok := b.(CNAME)
+		return ok && x.Target == CanonicalName(y.Target)
+	case NS:
+		y, ok := b.(NS)
+		return ok && x.Host == CanonicalName(y.Host)
+	case PTR:
+		y, ok := b.(PTR)
+		return ok && x.Target == CanonicalName(y.Target)
+	case MX:
+		y, ok := b.(MX)
+		return ok && x.Preference == y.Preference && x.Host == CanonicalName(y.Host)
+	default:
+		return reflect.DeepEqual(a, b)
+	}
+}
+
+func TestQuickPaddingAlwaysBlockAligned(t *testing.T) {
+	f := func(n wireName, blockSel uint8) bool {
+		blocks := []int{16, 32, 128, 468}
+		block := blocks[int(blockSel)%len(blocks)]
+		q := NewQuery(1, string(n), TypeA)
+		q.SetEDNS0(4096, false)
+		if err := q.PadToBlock(block); err != nil {
+			return false
+		}
+		packed, err := q.Pack()
+		return err == nil && len(packed)%block == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickUnpackNeverPanics(t *testing.T) {
+	f := func(b []byte) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("panic on %x: %v", b, r)
+				ok = false
+			}
+		}()
+		Unpack(b) //nolint:errcheck // errors expected on random input
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

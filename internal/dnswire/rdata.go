@@ -1,0 +1,293 @@
+package dnswire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+	"strings"
+)
+
+// ErrRDataTooShort is returned when RDATA is truncated.
+var ErrRDataTooShort = errors.New("dnswire: rdata too short")
+
+// RData is the type-specific payload of a resource record.
+//
+// appendTo appends the wire form of the data to buf. cmp is the message-wide
+// compression map; only record types whose RDATA names are compressible per
+// RFC 3597 §4 (those defined in RFC 1035) use it.
+type RData interface {
+	RType() Type
+	appendTo(buf []byte, cmp map[string]int) ([]byte, error)
+	String() string
+}
+
+// A is an IPv4 address record.
+type A struct{ Addr netip.Addr }
+
+// RType implements RData.
+func (A) RType() Type { return TypeA }
+
+func (a A) appendTo(buf []byte, _ map[string]int) ([]byte, error) {
+	if !a.Addr.Is4() {
+		return nil, fmt.Errorf("dnswire: A record requires IPv4 address, got %v", a.Addr)
+	}
+	v4 := a.Addr.As4()
+	return append(buf, v4[:]...), nil
+}
+
+func (a A) String() string { return a.Addr.String() }
+
+// AAAA is an IPv6 address record.
+type AAAA struct{ Addr netip.Addr }
+
+// RType implements RData.
+func (AAAA) RType() Type { return TypeAAAA }
+
+func (a AAAA) appendTo(buf []byte, _ map[string]int) ([]byte, error) {
+	if !a.Addr.Is6() || a.Addr.Is4In6() {
+		return nil, fmt.Errorf("dnswire: AAAA record requires IPv6 address, got %v", a.Addr)
+	}
+	v6 := a.Addr.As16()
+	return append(buf, v6[:]...), nil
+}
+
+func (a AAAA) String() string { return a.Addr.String() }
+
+// NS delegates a zone to a nameserver.
+type NS struct{ Host string }
+
+// RType implements RData.
+func (NS) RType() Type { return TypeNS }
+
+func (n NS) appendTo(buf []byte, cmp map[string]int) ([]byte, error) {
+	return appendName(buf, n.Host, cmp)
+}
+
+func (n NS) String() string { return CanonicalName(n.Host) }
+
+// CNAME aliases one name to another.
+type CNAME struct{ Target string }
+
+// RType implements RData.
+func (CNAME) RType() Type { return TypeCNAME }
+
+func (c CNAME) appendTo(buf []byte, cmp map[string]int) ([]byte, error) {
+	return appendName(buf, c.Target, cmp)
+}
+
+func (c CNAME) String() string { return CanonicalName(c.Target) }
+
+// PTR maps an address back to a name (used for the scanner's reverse-DNS
+// opt-out record and for SOA/PTR screening in §5.2).
+type PTR struct{ Target string }
+
+// RType implements RData.
+func (PTR) RType() Type { return TypePTR }
+
+func (p PTR) appendTo(buf []byte, cmp map[string]int) ([]byte, error) {
+	return appendName(buf, p.Target, cmp)
+}
+
+func (p PTR) String() string { return CanonicalName(p.Target) }
+
+// MX names a mail exchanger with a preference.
+type MX struct {
+	Preference uint16
+	Host       string
+}
+
+// RType implements RData.
+func (MX) RType() Type { return TypeMX }
+
+func (m MX) appendTo(buf []byte, cmp map[string]int) ([]byte, error) {
+	buf = binary.BigEndian.AppendUint16(buf, m.Preference)
+	return appendName(buf, m.Host, cmp)
+}
+
+func (m MX) String() string { return fmt.Sprintf("%d %s", m.Preference, CanonicalName(m.Host)) }
+
+// SOA is the start-of-authority record.
+type SOA struct {
+	MName   string
+	RName   string
+	Serial  uint32
+	Refresh uint32
+	Retry   uint32
+	Expire  uint32
+	Minimum uint32
+}
+
+// RType implements RData.
+func (SOA) RType() Type { return TypeSOA }
+
+func (s SOA) appendTo(buf []byte, cmp map[string]int) ([]byte, error) {
+	var err error
+	if buf, err = appendName(buf, s.MName, cmp); err != nil {
+		return nil, err
+	}
+	if buf, err = appendName(buf, s.RName, cmp); err != nil {
+		return nil, err
+	}
+	buf = binary.BigEndian.AppendUint32(buf, s.Serial)
+	buf = binary.BigEndian.AppendUint32(buf, s.Refresh)
+	buf = binary.BigEndian.AppendUint32(buf, s.Retry)
+	buf = binary.BigEndian.AppendUint32(buf, s.Expire)
+	return binary.BigEndian.AppendUint32(buf, s.Minimum), nil
+}
+
+func (s SOA) String() string {
+	return fmt.Sprintf("%s %s %d %d %d %d %d",
+		CanonicalName(s.MName), CanonicalName(s.RName),
+		s.Serial, s.Refresh, s.Retry, s.Expire, s.Minimum)
+}
+
+// TXT carries one or more character strings of at most 255 bytes each.
+type TXT struct{ Texts []string }
+
+// RType implements RData.
+func (TXT) RType() Type { return TypeTXT }
+
+func (t TXT) appendTo(buf []byte, _ map[string]int) ([]byte, error) {
+	if len(t.Texts) == 0 {
+		// A TXT record must carry at least one (possibly empty) string.
+		return append(buf, 0), nil
+	}
+	for _, s := range t.Texts {
+		if len(s) > 255 {
+			return nil, fmt.Errorf("dnswire: TXT string exceeds 255 bytes (%d)", len(s))
+		}
+		buf = append(buf, byte(len(s)))
+		buf = append(buf, s...)
+	}
+	return buf, nil
+}
+
+func (t TXT) String() string {
+	quoted := make([]string, len(t.Texts))
+	for i, s := range t.Texts {
+		quoted[i] = fmt.Sprintf("%q", s)
+	}
+	return strings.Join(quoted, " ")
+}
+
+// SRV locates a service (RFC 2782). SRV targets are not compressed.
+type SRV struct {
+	Priority uint16
+	Weight   uint16
+	Port     uint16
+	Target   string
+}
+
+// RType implements RData.
+func (SRV) RType() Type { return TypeSRV }
+
+func (s SRV) appendTo(buf []byte, _ map[string]int) ([]byte, error) {
+	buf = binary.BigEndian.AppendUint16(buf, s.Priority)
+	buf = binary.BigEndian.AppendUint16(buf, s.Weight)
+	buf = binary.BigEndian.AppendUint16(buf, s.Port)
+	return appendName(buf, s.Target, nil)
+}
+
+func (s SRV) String() string {
+	return fmt.Sprintf("%d %d %d %s", s.Priority, s.Weight, s.Port, CanonicalName(s.Target))
+}
+
+// Raw holds RDATA of a type this package does not parse (RFC 3597 handling).
+type Raw struct {
+	Type Type
+	Data []byte
+}
+
+// RType implements RData.
+func (r Raw) RType() Type { return r.Type }
+
+func (r Raw) appendTo(buf []byte, _ map[string]int) ([]byte, error) {
+	return append(buf, r.Data...), nil
+}
+
+func (r Raw) String() string { return fmt.Sprintf("\\# %d %x", len(r.Data), r.Data) }
+
+// unpackRData decodes the RDATA of rtype occupying msg[off:off+length].
+func unpackRData(msg []byte, off, length int, rtype Type) (RData, error) {
+	end := off + length
+	if end > len(msg) {
+		return nil, ErrRDataTooShort
+	}
+	data := msg[off:end]
+	switch rtype {
+	case TypeA:
+		if len(data) != 4 {
+			return nil, fmt.Errorf("dnswire: A rdata has %d bytes, want 4", len(data))
+		}
+		return A{Addr: netip.AddrFrom4([4]byte(data))}, nil
+	case TypeAAAA:
+		if len(data) != 16 {
+			return nil, fmt.Errorf("dnswire: AAAA rdata has %d bytes, want 16", len(data))
+		}
+		return AAAA{Addr: netip.AddrFrom16([16]byte(data))}, nil
+	case TypeNS:
+		host, _, err := readName(msg, off)
+		return NS{Host: host}, err
+	case TypeCNAME:
+		target, _, err := readName(msg, off)
+		return CNAME{Target: target}, err
+	case TypePTR:
+		target, _, err := readName(msg, off)
+		return PTR{Target: target}, err
+	case TypeMX:
+		if len(data) < 3 {
+			return nil, ErrRDataTooShort
+		}
+		host, _, err := readName(msg, off+2)
+		return MX{Preference: binary.BigEndian.Uint16(data), Host: host}, err
+	case TypeSOA:
+		mname, next, err := readName(msg, off)
+		if err != nil {
+			return nil, err
+		}
+		rname, next, err := readName(msg, next)
+		if err != nil {
+			return nil, err
+		}
+		if next+20 > len(msg) || next+20 > end {
+			return nil, ErrRDataTooShort
+		}
+		f := msg[next:]
+		return SOA{
+			MName: mname, RName: rname,
+			Serial:  binary.BigEndian.Uint32(f),
+			Refresh: binary.BigEndian.Uint32(f[4:]),
+			Retry:   binary.BigEndian.Uint32(f[8:]),
+			Expire:  binary.BigEndian.Uint32(f[12:]),
+			Minimum: binary.BigEndian.Uint32(f[16:]),
+		}, nil
+	case TypeTXT:
+		var texts []string
+		for i := 0; i < len(data); {
+			n := int(data[i])
+			i++
+			if i+n > len(data) {
+				return nil, ErrRDataTooShort
+			}
+			texts = append(texts, string(data[i:i+n]))
+			i += n
+		}
+		return TXT{Texts: texts}, nil
+	case TypeSRV:
+		if len(data) < 7 {
+			return nil, ErrRDataTooShort
+		}
+		target, _, err := readName(msg, off+6)
+		return SRV{
+			Priority: binary.BigEndian.Uint16(data),
+			Weight:   binary.BigEndian.Uint16(data[2:]),
+			Port:     binary.BigEndian.Uint16(data[4:]),
+			Target:   target,
+		}, err
+	case TypeOPT:
+		return unpackOPTData(data)
+	default:
+		return Raw{Type: rtype, Data: append([]byte(nil), data...)}, nil
+	}
+}

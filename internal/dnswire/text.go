@@ -1,0 +1,205 @@
+package dnswire
+
+import (
+	"fmt"
+	"net/netip"
+	"strconv"
+	"strings"
+)
+
+// ParseRecord parses one zone-file-style resource record line:
+//
+//	name [ttl] [IN] TYPE rdata...
+//
+// Relative names are completed with origin; "@" denotes the origin itself.
+// defaultTTL applies when the ttl field is absent. Quoted TXT strings are
+// supported. Comments (";") must be stripped by the caller (LoadZone does).
+func ParseRecord(line, origin string, defaultTTL uint32) (Record, error) {
+	fields, err := splitRecordFields(line)
+	if err != nil {
+		return Record{}, err
+	}
+	if len(fields) < 2 {
+		return Record{}, fmt.Errorf("dnswire: record %q too short", line)
+	}
+	name := absoluteName(fields[0], origin)
+	rest := fields[1:]
+
+	ttl := defaultTTL
+	if n, err := strconv.ParseUint(rest[0], 10, 32); err == nil {
+		ttl = uint32(n)
+		rest = rest[1:]
+	}
+	if len(rest) > 0 && strings.EqualFold(rest[0], "IN") {
+		rest = rest[1:]
+	}
+	if len(rest) == 0 {
+		return Record{}, fmt.Errorf("dnswire: record %q missing type", line)
+	}
+	rtype, ok := ParseType(strings.ToUpper(rest[0]))
+	if !ok {
+		return Record{}, fmt.Errorf("dnswire: unknown record type %q", rest[0])
+	}
+	rdata, err := parseRData(rtype, rest[1:], origin)
+	if err != nil {
+		return Record{}, fmt.Errorf("dnswire: record %q: %w", line, err)
+	}
+	return Record{Name: name, Class: ClassINET, TTL: ttl, Data: rdata}, nil
+}
+
+func absoluteName(name, origin string) string {
+	if name == "@" {
+		return CanonicalName(origin)
+	}
+	if strings.HasSuffix(name, ".") {
+		return CanonicalName(name)
+	}
+	if origin == "" {
+		return CanonicalName(name)
+	}
+	return CanonicalName(name + "." + origin)
+}
+
+// splitRecordFields tokenizes a record line, honoring double quotes.
+func splitRecordFields(line string) ([]string, error) {
+	var fields []string
+	var cur strings.Builder
+	inQuote := false
+	flush := func() {
+		if cur.Len() > 0 {
+			fields = append(fields, cur.String())
+			cur.Reset()
+		}
+	}
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		switch {
+		case c == '"':
+			if inQuote {
+				// Preserve empty strings by flushing even when empty.
+				fields = append(fields, "\x00"+cur.String())
+				cur.Reset()
+				inQuote = false
+			} else {
+				flush()
+				inQuote = true
+			}
+		case (c == ' ' || c == '\t') && !inQuote:
+			flush()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	if inQuote {
+		return nil, fmt.Errorf("dnswire: unterminated quote in %q", line)
+	}
+	flush()
+	return fields, nil
+}
+
+// quoted reports whether a field came from a quoted string, and strips the
+// marker.
+func quoted(f string) (string, bool) {
+	if strings.HasPrefix(f, "\x00") {
+		return f[1:], true
+	}
+	return f, false
+}
+
+func parseRData(rtype Type, fields []string, origin string) (RData, error) {
+	need := func(n int) error {
+		if len(fields) < n {
+			return fmt.Errorf("want %d rdata fields, have %d", n, len(fields))
+		}
+		return nil
+	}
+	switch rtype {
+	case TypeA:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		addr, err := netip.ParseAddr(fields[0])
+		if err != nil || !addr.Is4() {
+			return nil, fmt.Errorf("bad IPv4 address %q", fields[0])
+		}
+		return A{Addr: addr}, nil
+	case TypeAAAA:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		addr, err := netip.ParseAddr(fields[0])
+		if err != nil || !addr.Is6() || addr.Is4In6() {
+			return nil, fmt.Errorf("bad IPv6 address %q", fields[0])
+		}
+		return AAAA{Addr: addr}, nil
+	case TypeNS:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return NS{Host: absoluteName(fields[0], origin)}, nil
+	case TypeCNAME:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return CNAME{Target: absoluteName(fields[0], origin)}, nil
+	case TypePTR:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return PTR{Target: absoluteName(fields[0], origin)}, nil
+	case TypeMX:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		pref, err := strconv.ParseUint(fields[0], 10, 16)
+		if err != nil {
+			return nil, fmt.Errorf("bad MX preference %q", fields[0])
+		}
+		return MX{Preference: uint16(pref), Host: absoluteName(fields[1], origin)}, nil
+	case TypeTXT:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		var texts []string
+		for _, f := range fields {
+			s, _ := quoted(f)
+			texts = append(texts, s)
+		}
+		return TXT{Texts: texts}, nil
+	case TypeSRV:
+		if err := need(4); err != nil {
+			return nil, err
+		}
+		var nums [3]uint64
+		for i := 0; i < 3; i++ {
+			n, err := strconv.ParseUint(fields[i], 10, 16)
+			if err != nil {
+				return nil, fmt.Errorf("bad SRV field %q", fields[i])
+			}
+			nums[i] = n
+		}
+		return SRV{
+			Priority: uint16(nums[0]), Weight: uint16(nums[1]), Port: uint16(nums[2]),
+			Target: absoluteName(fields[3], origin),
+		}, nil
+	case TypeSOA:
+		if err := need(7); err != nil {
+			return nil, err
+		}
+		var nums [5]uint64
+		for i := 0; i < 5; i++ {
+			n, err := strconv.ParseUint(fields[2+i], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("bad SOA field %q", fields[2+i])
+			}
+			nums[i] = n
+		}
+		return SOA{
+			MName: absoluteName(fields[0], origin), RName: absoluteName(fields[1], origin),
+			Serial: uint32(nums[0]), Refresh: uint32(nums[1]), Retry: uint32(nums[2]),
+			Expire: uint32(nums[3]), Minimum: uint32(nums[4]),
+		}, nil
+	default:
+		return nil, fmt.Errorf("unsupported presentation type %v", rtype)
+	}
+}

@@ -1,0 +1,207 @@
+// Package dnswire implements the DNS wire format (RFC 1035) from scratch:
+// message headers, domain-name compression, questions, resource records,
+// EDNS(0) including the padding option (RFC 7830), and the 2-byte length
+// framing used by DNS over TCP, TLS and HTTPS bodies.
+//
+// The package is transport-agnostic: it converts between Message values and
+// byte slices. Transports live in dnsclient, dnsserver, dot and doh.
+package dnswire
+
+import "fmt"
+
+// Type is a DNS resource record type (RFC 1035 §3.2.2 and successors).
+type Type uint16
+
+// Resource record types used by the measurement pipeline.
+const (
+	TypeNone  Type = 0
+	TypeA     Type = 1
+	TypeNS    Type = 2
+	TypeCNAME Type = 5
+	TypeSOA   Type = 6
+	TypePTR   Type = 12
+	TypeMX    Type = 15
+	TypeTXT   Type = 16
+	TypeAAAA  Type = 28
+	TypeSRV   Type = 33
+	TypeOPT   Type = 41
+	TypeANY   Type = 255
+)
+
+var typeNames = map[Type]string{
+	TypeNone:  "NONE",
+	TypeA:     "A",
+	TypeNS:    "NS",
+	TypeCNAME: "CNAME",
+	TypeSOA:   "SOA",
+	TypePTR:   "PTR",
+	TypeMX:    "MX",
+	TypeTXT:   "TXT",
+	TypeAAAA:  "AAAA",
+	TypeSRV:   "SRV",
+	TypeOPT:   "OPT",
+	TypeANY:   "ANY",
+}
+
+// String returns the conventional mnemonic, or TYPEn for unknown types
+// (RFC 3597 presentation style).
+func (t Type) String() string {
+	if s, ok := typeNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("TYPE%d", uint16(t))
+}
+
+// ParseType converts a mnemonic such as "A" or "AAAA" to a Type.
+func ParseType(s string) (Type, bool) {
+	for t, name := range typeNames {
+		if name == s {
+			return t, true
+		}
+	}
+	return TypeNone, false
+}
+
+// Class is a DNS class. Only IN is used on the modern Internet; the OPT
+// pseudo-record reuses the class field for the requestor's UDP payload size.
+type Class uint16
+
+const (
+	ClassINET Class = 1
+	ClassCH   Class = 3
+	ClassANY  Class = 255
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case ClassINET:
+		return "IN"
+	case ClassCH:
+		return "CH"
+	case ClassANY:
+		return "ANY"
+	}
+	return fmt.Sprintf("CLASS%d", uint16(c))
+}
+
+// Opcode is the 4-bit kind-of-query field in the message header.
+type Opcode uint8
+
+const (
+	OpcodeQuery  Opcode = 0
+	OpcodeStatus Opcode = 2
+	OpcodeNotify Opcode = 4
+	OpcodeUpdate Opcode = 5
+)
+
+// String implements fmt.Stringer.
+func (o Opcode) String() string {
+	switch o {
+	case OpcodeQuery:
+		return "QUERY"
+	case OpcodeStatus:
+		return "STATUS"
+	case OpcodeNotify:
+		return "NOTIFY"
+	case OpcodeUpdate:
+		return "UPDATE"
+	}
+	return fmt.Sprintf("OPCODE%d", uint8(o))
+}
+
+// Rcode is a DNS response code. Values above 15 require EDNS(0) extended
+// rcodes; Pack splits them automatically when an OPT record is present.
+type Rcode uint16
+
+const (
+	RcodeSuccess  Rcode = 0 // NOERROR
+	RcodeFormErr  Rcode = 1
+	RcodeServFail Rcode = 2
+	RcodeNXDomain Rcode = 3
+	RcodeNotImp   Rcode = 4
+	RcodeRefused  Rcode = 5
+	RcodeBadVers  Rcode = 16
+)
+
+var rcodeNames = map[Rcode]string{
+	RcodeSuccess:  "NOERROR",
+	RcodeFormErr:  "FORMERR",
+	RcodeServFail: "SERVFAIL",
+	RcodeNXDomain: "NXDOMAIN",
+	RcodeNotImp:   "NOTIMP",
+	RcodeRefused:  "REFUSED",
+	RcodeBadVers:  "BADVERS",
+}
+
+// String implements fmt.Stringer.
+func (r Rcode) String() string {
+	if s, ok := rcodeNames[r]; ok {
+		return s
+	}
+	return fmt.Sprintf("RCODE%d", uint16(r))
+}
+
+// Header is the fixed 12-byte DNS message header, unpacked into named fields.
+type Header struct {
+	ID                 uint16
+	Response           bool
+	Opcode             Opcode
+	Authoritative      bool
+	Truncated          bool
+	RecursionDesired   bool
+	RecursionAvailable bool
+	AuthenticatedData  bool
+	CheckingDisabled   bool
+	Rcode              Rcode
+}
+
+// header flag bit positions within the 16-bit flags word.
+const (
+	flagQR = 1 << 15
+	flagAA = 1 << 10
+	flagTC = 1 << 9
+	flagRD = 1 << 8
+	flagRA = 1 << 7
+	flagAD = 1 << 5
+	flagCD = 1 << 4
+)
+
+func (h *Header) flags() uint16 {
+	f := uint16(h.Opcode&0xF) << 11
+	f |= uint16(h.Rcode & 0xF)
+	if h.Response {
+		f |= flagQR
+	}
+	if h.Authoritative {
+		f |= flagAA
+	}
+	if h.Truncated {
+		f |= flagTC
+	}
+	if h.RecursionDesired {
+		f |= flagRD
+	}
+	if h.RecursionAvailable {
+		f |= flagRA
+	}
+	if h.AuthenticatedData {
+		f |= flagAD
+	}
+	if h.CheckingDisabled {
+		f |= flagCD
+	}
+	return f
+}
+
+func (h *Header) setFlags(f uint16) {
+	h.Response = f&flagQR != 0
+	h.Opcode = Opcode(f >> 11 & 0xF)
+	h.Authoritative = f&flagAA != 0
+	h.Truncated = f&flagTC != 0
+	h.RecursionDesired = f&flagRD != 0
+	h.RecursionAvailable = f&flagRA != 0
+	h.AuthenticatedData = f&flagAD != 0
+	h.CheckingDisabled = f&flagCD != 0
+	h.Rcode = Rcode(f & 0xF)
+}

@@ -1,0 +1,315 @@
+package doh
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/tls"
+	"crypto/x509"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/netip"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+
+	"dnsencryption.info/doe/internal/certs"
+	"dnsencryption.info/doe/internal/dnsclient"
+	"dnsencryption.info/doe/internal/dnswire"
+	"dnsencryption.info/doe/internal/netsim"
+)
+
+// Method selects the RFC 8484 HTTP binding.
+type Method int
+
+// HTTP bindings.
+const (
+	GET Method = iota
+	POST
+)
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	if m == POST {
+		return "POST"
+	}
+	return "GET"
+}
+
+// Errors surfaced by the client.
+var (
+	ErrAuthFailed = errors.New("doh: server authentication failed")
+	ErrHTTPStatus = errors.New("doh: non-200 HTTP status")
+)
+
+// Template is a parsed DoH URI template, e.g.
+// "https://dns.example.com/dns-query{?dns}".
+type Template struct {
+	Host string // hostname to resolve and authenticate
+	Path string // endpoint path
+}
+
+// ParseTemplate parses the subset of RFC 6570 templates DoH services use.
+func ParseTemplate(s string) (Template, error) {
+	s = strings.TrimSuffix(s, "{?dns}")
+	u, err := url.Parse(s)
+	if err != nil {
+		return Template{}, err
+	}
+	if u.Scheme != "https" {
+		return Template{}, fmt.Errorf("doh: template scheme %q, want https", u.Scheme)
+	}
+	path := u.Path
+	if path == "" {
+		path = "/"
+	}
+	return Template{Host: u.Hostname(), Path: path}, nil
+}
+
+// String renders the template back in {?dns} form.
+func (t Template) String() string {
+	return "https://" + t.Host + t.Path + "{?dns}"
+}
+
+// Client issues DoH queries. DoH is Strict-Privacy-only: certificate
+// verification failures abort the lookup.
+type Client struct {
+	World *netsim.World
+	From  netip.Addr
+	Roots *x509.CertPool
+	// Method selects GET (the cache-friendly default) or POST.
+	Method Method
+	// Timeout is the real-time guard per operation.
+	Timeout time.Duration
+	// CryptoCost models per-query TLS+HTTP processing on the client.
+	CryptoCost time.Duration
+	// Bootstrap resolves template hostnames when no override is given:
+	// the address of a clear-text resolver used for bootstrapping (§2.2:
+	// "the hostname in the template should be resolved to bootstrap DoH
+	// lookups, e.g. via clear-text DNS").
+	Bootstrap netip.Addr
+	// Override maps hostnames directly to addresses (measurement configs
+	// pin resolver IPs).
+	Override map[string]netip.Addr
+}
+
+// NewClient returns a Client with study defaults.
+func NewClient(w *netsim.World, from netip.Addr, roots *x509.CertPool) *Client {
+	return &Client{
+		World:      w,
+		From:       from,
+		Roots:      roots,
+		Timeout:    5 * time.Second,
+		CryptoCost: 3 * time.Millisecond,
+		Override:   make(map[string]netip.Addr),
+	}
+}
+
+// Resolve maps a template hostname to an address using the override table
+// or the bootstrap resolver.
+func (c *Client) Resolve(host string) (netip.Addr, error) {
+	if addr, ok := c.Override[dnswire.CanonicalName(host)]; ok {
+		return addr, nil
+	}
+	if addr, ok := c.Override[host]; ok {
+		return addr, nil
+	}
+	if !c.Bootstrap.IsValid() {
+		return netip.Addr{}, fmt.Errorf("doh: no override for %q and no bootstrap resolver", host)
+	}
+	stub := dnsclient.New(c.World, c.From)
+	res, err := stub.QueryUDP(c.Bootstrap, host, dnswire.TypeA)
+	if err != nil {
+		return netip.Addr{}, fmt.Errorf("doh: bootstrap resolution of %q: %w", host, err)
+	}
+	addr, ok := res.FirstA()
+	if !ok {
+		return netip.Addr{}, fmt.Errorf("doh: bootstrap resolution of %q returned no address", host)
+	}
+	return addr, nil
+}
+
+// Conn is a reusable DoH session (one TLS connection, HTTP/1.1 keep-alive).
+type Conn struct {
+	mu       sync.Mutex
+	raw      *netsim.Conn
+	tls      *tls.Conn
+	br       *bufio.Reader
+	client   *Client
+	template Template
+	setup    time.Duration
+	closed   bool
+}
+
+// Dial establishes a DoH session for the template, connecting to addr
+// (resolved by the caller or via Resolve).
+func (c *Client) Dial(t Template, addr netip.Addr) (*Conn, error) {
+	raw, err := c.World.Dial(c.From, addr, Port)
+	if err != nil {
+		return nil, err
+	}
+	return c.DialConn(t, raw)
+}
+
+// DialConn establishes a DoH session over an already connected stream
+// (e.g. a SOCKS tunnel through a proxy network vantage point).
+func (c *Client) DialConn(t Template, raw *netsim.Conn) (*Conn, error) {
+	raw.SetDeadline(time.Now().Add(c.Timeout))
+	tc := tls.Client(raw, &tls.Config{
+		RootCAs:    c.Roots,
+		ServerName: t.Host,
+		Time:       func() time.Time { return certs.RefTime },
+	})
+	if err := tc.Handshake(); err != nil {
+		raw.Close()
+		return nil, fmt.Errorf("%w: %v", ErrAuthFailed, err)
+	}
+	return &Conn{
+		raw:      raw,
+		tls:      tc,
+		br:       bufio.NewReader(tc),
+		client:   c,
+		template: t,
+		setup:    raw.Elapsed(),
+	}, nil
+}
+
+// SetupLatency is the virtual time spent on TCP + TLS establishment.
+func (conn *Conn) SetupLatency() time.Duration { return conn.setup }
+
+// Elapsed is the total virtual time consumed so far.
+func (conn *Conn) Elapsed() time.Duration { return conn.raw.Elapsed() }
+
+// Query performs one wire-format DoH transaction on the session.
+func (conn *Conn) Query(name string, qtype dnswire.Type) (*dnsclient.Result, error) {
+	conn.mu.Lock()
+	defer conn.mu.Unlock()
+	if conn.closed {
+		return nil, dnsclient.ErrClosed
+	}
+	// RFC 8484 recommends ID 0 for cache friendliness.
+	q := dnswire.NewQuery(0, name, qtype)
+	packed, err := q.Pack()
+	if err != nil {
+		return nil, err
+	}
+	req, err := conn.buildRequest(packed)
+	if err != nil {
+		return nil, err
+	}
+	start := conn.raw.Elapsed()
+	conn.raw.AddLatency(conn.client.CryptoCost)
+	if err := req.Write(conn.tls); err != nil {
+		return nil, err
+	}
+	resp, err := http.ReadResponse(conn.br, req)
+	if err != nil {
+		return nil, err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%w: %d", ErrHTTPStatus, resp.StatusCode)
+	}
+	m, err := dnswire.Unpack(body)
+	if err != nil {
+		return nil, err
+	}
+	return &dnsclient.Result{Msg: m, Latency: conn.raw.Elapsed() - start}, nil
+}
+
+func (conn *Conn) buildRequest(packed []byte) (*http.Request, error) {
+	u := &url.URL{Scheme: "https", Host: conn.template.Host, Path: conn.template.Path}
+	var req *http.Request
+	var err error
+	switch conn.client.Method {
+	case POST:
+		req, err = http.NewRequest(http.MethodPost, u.String(), bytes.NewReader(packed))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", ContentType)
+	default:
+		u.RawQuery = "dns=" + base64.RawURLEncoding.EncodeToString(packed)
+		req, err = http.NewRequest(http.MethodGet, u.String(), nil)
+		if err != nil {
+			return nil, err
+		}
+	}
+	req.Header.Set("Accept", ContentType)
+	return req, nil
+}
+
+// QueryJSON performs one Google-style JSON API lookup on the session.
+func (conn *Conn) QueryJSON(name string, qtype dnswire.Type) (*JSONResponse, error) {
+	conn.mu.Lock()
+	defer conn.mu.Unlock()
+	if conn.closed {
+		return nil, dnsclient.ErrClosed
+	}
+	u := &url.URL{
+		Scheme:   "https",
+		Host:     conn.template.Host,
+		Path:     JSONPath,
+		RawQuery: "name=" + url.QueryEscape(name) + "&type=" + fmt.Sprint(uint16(qtype)),
+	}
+	req, err := http.NewRequest(http.MethodGet, u.String(), nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := req.Write(conn.tls); err != nil {
+		return nil, err
+	}
+	resp, err := http.ReadResponse(conn.br, req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%w: %d", ErrHTTPStatus, resp.StatusCode)
+	}
+	var jr JSONResponse
+	if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
+		return nil, err
+	}
+	return &jr, nil
+}
+
+// Close terminates the session.
+func (conn *Conn) Close() error {
+	conn.mu.Lock()
+	defer conn.mu.Unlock()
+	if conn.closed {
+		return nil
+	}
+	conn.closed = true
+	conn.tls.Close()
+	return conn.raw.Close()
+}
+
+// Query is the one-shot convenience: resolve, dial, query once, close. The
+// latency includes bootstrap-free connection establishment (no-reuse case).
+func (c *Client) Query(t Template, name string, qtype dnswire.Type) (*dnsclient.Result, error) {
+	addr, err := c.Resolve(t.Host)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := c.Dial(t, addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	res, err := conn.Query(name, qtype)
+	if err != nil {
+		return nil, err
+	}
+	res.Latency = conn.Elapsed()
+	return res, nil
+}

@@ -1,0 +1,275 @@
+package doh
+
+import (
+	"errors"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"dnsencryption.info/doe/internal/certs"
+	"dnsencryption.info/doe/internal/dnsserver"
+	"dnsencryption.info/doe/internal/dnswire"
+	"dnsencryption.info/doe/internal/geo"
+	"dnsencryption.info/doe/internal/netsim"
+)
+
+var (
+	clientIP = netip.MustParseAddr("10.1.0.2")
+	dohIP    = netip.MustParseAddr("192.0.2.200")
+	answerIP = netip.MustParseAddr("203.0.113.1")
+)
+
+type fixture struct {
+	world *netsim.World
+	ca    *certs.CA
+	zone  *dnsserver.Zone
+	tmpl  Template
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	w := netsim.NewWorld(13)
+	w.Geo.Register(netip.MustParsePrefix("10.1.0.0/16"), geo.Location{Country: "US"})
+	w.Geo.Register(netip.MustParsePrefix("192.0.2.0/24"), geo.Location{Country: "NL"})
+	ca, err := certs.NewCA("DoE Root", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := dnsserver.NewZone("measure.example.org")
+	z.WildcardA = answerIP
+	return &fixture{world: w, ca: ca, zone: z, tmpl: Template{Host: "dns.provider.example", Path: DefaultPath}}
+}
+
+func (f *fixture) serve(t *testing.T, srv *Server) {
+	t.Helper()
+	leaf, err := f.ca.Issue(certs.LeafOptions{
+		CommonName: f.tmpl.Host,
+		IPs:        []netip.Addr{dohIP},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	Serve(f.world, dohIP, leaf, srv)
+}
+
+func (f *fixture) client() *Client {
+	c := NewClient(f.world, clientIP, certs.Pool(f.ca))
+	c.Override[f.tmpl.Host] = dohIP
+	return c
+}
+
+func TestParseTemplate(t *testing.T) {
+	tmpl, err := ParseTemplate("https://dns.example.com/dns-query{?dns}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tmpl.Host != "dns.example.com" || tmpl.Path != "/dns-query" {
+		t.Errorf("template = %+v", tmpl)
+	}
+	if tmpl.String() != "https://dns.example.com/dns-query{?dns}" {
+		t.Errorf("String = %q", tmpl.String())
+	}
+	if _, err := ParseTemplate("http://insecure.example/dns-query"); err == nil {
+		t.Error("accepted http scheme")
+	}
+}
+
+func TestGETQuery(t *testing.T) {
+	f := newFixture(t)
+	f.serve(t, &Server{Handler: f.zone})
+	c := f.client()
+	res, err := c.Query(f.tmpl, "probe-g.measure.example.org", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, ok := res.FirstA(); !ok || a != answerIP {
+		t.Errorf("answer = %v", res.Msg.Answers)
+	}
+}
+
+func TestPOSTQuery(t *testing.T) {
+	f := newFixture(t)
+	f.serve(t, &Server{Handler: f.zone})
+	c := f.client()
+	c.Method = POST
+	res, err := c.Query(f.tmpl, "probe-p.measure.example.org", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, ok := res.FirstA(); !ok || a != answerIP {
+		t.Errorf("answer = %v", res.Msg.Answers)
+	}
+}
+
+func TestConnectionReuse(t *testing.T) {
+	f := newFixture(t)
+	f.world.JitterFrac = 0
+	f.serve(t, &Server{Handler: f.zone})
+	c := f.client()
+	conn, err := c.Dial(f.tmpl, dohIP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	var last time.Duration
+	for i := 0; i < 4; i++ {
+		res, err := conn.Query("reuse.measure.example.org", dnswire.TypeA)
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		last = res.Latency
+	}
+	if last >= conn.SetupLatency() {
+		t.Errorf("reused query latency %v not below setup %v", last, conn.SetupLatency())
+	}
+}
+
+func TestStrictOnlyRejectsUntrustedCert(t *testing.T) {
+	f := newFixture(t)
+	rogue, err := certs.NewCA("Rogue CA", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf, err := rogue.Issue(certs.LeafOptions{CommonName: f.tmpl.Host, IPs: []netip.Addr{dohIP}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	Serve(f.world, dohIP, leaf, &Server{Handler: f.zone})
+	c := f.client()
+	if _, err := c.Query(f.tmpl, "x.measure.example.org", dnswire.TypeA); !errors.Is(err, ErrAuthFailed) {
+		t.Errorf("err = %v, want ErrAuthFailed (DoH is strict-only)", err)
+	}
+}
+
+func TestJSONAPI(t *testing.T) {
+	f := newFixture(t)
+	f.serve(t, &Server{Handler: f.zone, JSONAPI: true})
+	c := f.client()
+	conn, err := c.Dial(f.tmpl, dohIP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	jr, err := conn.QueryJSON("json.measure.example.org", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jr.Status != 0 || len(jr.Answer) != 1 || jr.Answer[0].Data != answerIP.String() {
+		t.Errorf("json response = %+v", jr)
+	}
+}
+
+func TestWebpageAndUnknownPath(t *testing.T) {
+	f := newFixture(t)
+	f.serve(t, &Server{Handler: f.zone, Webpage: "<title>Public DoH resolver</title>"})
+	c := f.client()
+	conn, err := c.Dial(f.tmpl, dohIP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Query against a wrong path yields an HTTP error, not a DNS answer.
+	badTmpl := Template{Host: f.tmpl.Host, Path: "/not-the-endpoint"}
+	conn2, err := c.Dial(badTmpl, dohIP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	if _, err := conn2.Query("x.measure.example.org", dnswire.TypeA); !errors.Is(err, ErrHTTPStatus) {
+		t.Errorf("wrong-path err = %v, want ErrHTTPStatus", err)
+	}
+}
+
+func TestBootstrapResolution(t *testing.T) {
+	f := newFixture(t)
+	f.serve(t, &Server{Handler: f.zone})
+
+	// A clear-text bootstrap resolver that knows the DoH hostname.
+	bootIP := netip.MustParseAddr("192.0.2.5")
+	bootZone := dnsserver.NewZone("provider.example")
+	bootZone.Add(f.tmpl.Host, 300, dnswire.A{Addr: dohIP})
+	f.world.RegisterDatagram(bootIP, 53, dnsserver.DatagramHandler(bootZone))
+
+	c := NewClient(f.world, clientIP, certs.Pool(f.ca))
+	c.Bootstrap = bootIP
+	res, err := c.Query(f.tmpl, "boot.measure.example.org", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, ok := res.FirstA(); !ok || a != answerIP {
+		t.Errorf("answer = %v", res.Msg.Answers)
+	}
+}
+
+func TestResolveFailsWithoutPath(t *testing.T) {
+	f := newFixture(t)
+	c := NewClient(f.world, clientIP, certs.Pool(f.ca))
+	if _, err := c.Resolve("unknown.example"); err == nil {
+		t.Error("Resolve succeeded with no override and no bootstrap")
+	}
+}
+
+func TestQuad9MisconfigurationTimeouts(t *testing.T) {
+	f := newFixture(t)
+	backendIP := netip.MustParseAddr("192.0.2.9")
+
+	// Backend whose processing time alternates fast/slow around the 2 s
+	// front-end timeout.
+	slow := false
+	f.world.RegisterDatagram(backendIP, 53, func(from netip.Addr, req []byte) ([]byte, time.Duration, error) {
+		resp, proc, err := dnsserver.DatagramHandler(f.zone)(from, req)
+		if slow {
+			proc += 3 * time.Second
+		}
+		slow = !slow
+		return resp, proc, err
+	})
+	f.serve(t, &Server{Handler: &UDPBackendForwarder{
+		World:   f.world,
+		From:    dohIP,
+		Backend: backendIP,
+		Timeout: 2 * time.Second,
+	}})
+
+	c := f.client()
+	conn, err := c.Dial(f.tmpl, dohIP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	var servfails, successes int
+	for i := 0; i < 10; i++ {
+		res, err := conn.Query("q9.measure.example.org", dnswire.TypeA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Rcode() == dnswire.RcodeServFail {
+			servfails++
+		} else {
+			successes++
+		}
+	}
+	if servfails == 0 || successes == 0 {
+		t.Errorf("servfails=%d successes=%d, want both > 0 (Finding 2.4)", servfails, successes)
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	if GET.String() != "GET" || POST.String() != "POST" {
+		t.Error("Method.String mismatch")
+	}
+}
+
+func TestGETURLEncodesBase64URL(t *testing.T) {
+	f := newFixture(t)
+	conn := &Conn{client: &Client{Method: GET}, template: f.tmpl}
+	req, err := conn.buildRequest([]byte{0xfb, 0xff, 0xfe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := req.URL.Query().Get("dns")
+	if strings.ContainsAny(q, "+/=") {
+		t.Errorf("dns param %q not base64url-unpadded", q)
+	}
+}

@@ -1,0 +1,272 @@
+// Package doh implements DNS over HTTPS (RFC 8484): a server supporting the
+// wire-format GET (?dns= base64url) and POST bindings plus a Google-style
+// /resolve JSON API, and a client that — like all DoH implementations — is
+// Strict-Privacy-only: if the server cannot be authenticated, the lookup
+// fails (§2.2, §4.2).
+//
+// HTTP runs for real over the simulated TLS connections: requests and
+// responses are produced and parsed with net/http's wire codecs, with
+// HTTP/1.1 keep-alive providing connection reuse.
+package doh
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/tls"
+	"encoding/base64"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/netip"
+	"strconv"
+	"strings"
+	"time"
+
+	"dnsencryption.info/doe/internal/certs"
+	"dnsencryption.info/doe/internal/dnsserver"
+	"dnsencryption.info/doe/internal/dnswire"
+	"dnsencryption.info/doe/internal/netsim"
+)
+
+// Port is the DoH port, shared with all other HTTPS traffic.
+const Port = 443
+
+// ContentType is the RFC 8484 media type for wire-format messages.
+const ContentType = "application/dns-message"
+
+// DefaultPath is the de-facto standard endpoint path ("/dns-query"), used
+// by Cloudflare, Quad9 and most public servers; JSONPath is Google's.
+const (
+	DefaultPath = "/dns-query"
+	JSONPath    = "/resolve"
+)
+
+// Server is a DoH server configuration.
+type Server struct {
+	// Handler answers the DNS queries.
+	Handler dnsserver.Handler
+	// Paths are the wire-format endpoints (default: /dns-query).
+	Paths []string
+	// JSONAPI additionally enables the Google-style JSON endpoint at
+	// /resolve.
+	JSONAPI bool
+	// ExtraProc is charged per query (TLS + HTTP processing).
+	ExtraProc time.Duration
+	// Webpage, when non-empty, is served for "/" — public resolvers run
+	// informational landing pages the study fetches for identification.
+	Webpage string
+}
+
+func (s *Server) paths() map[string]bool {
+	m := make(map[string]bool)
+	if len(s.Paths) == 0 {
+		m[DefaultPath] = true
+	}
+	for _, p := range s.Paths {
+		m[p] = true
+	}
+	return m
+}
+
+// Serve registers the DoH server on addr:443 of the world.
+func Serve(w *netsim.World, addr netip.Addr, leaf *certs.Leaf, srv *Server) {
+	cert := leaf.TLSCertificate()
+	paths := srv.paths()
+	w.RegisterStream(addr, Port, func(conn *netsim.Conn) {
+		defer conn.Close()
+		tc := tlsServer(conn, cert)
+		if tc == nil {
+			return
+		}
+		defer tc.Close()
+		br := bufio.NewReader(tc)
+		for {
+			req, err := http.ReadRequest(br)
+			if err != nil {
+				return
+			}
+			resp := srv.handle(conn, req, paths)
+			if err := resp.Write(tc); err != nil {
+				return
+			}
+			if req.Close || resp.Close {
+				return
+			}
+		}
+	})
+}
+
+func (s *Server) handle(conn *netsim.Conn, req *http.Request, paths map[string]bool) *http.Response {
+	remote := conn.RemoteAddr().(netsim.Addr).IP
+	switch {
+	case paths[req.URL.Path]:
+		return s.handleWire(conn, remote, req)
+	case s.JSONAPI && req.URL.Path == JSONPath:
+		return s.handleJSON(conn, remote, req)
+	case req.URL.Path == "/" && s.Webpage != "":
+		return httpResponse(req, http.StatusOK, "text/html", []byte(s.Webpage))
+	default:
+		return httpResponse(req, http.StatusNotFound, "text/plain", []byte("not found"))
+	}
+}
+
+func (s *Server) handleWire(conn *netsim.Conn, remote netip.Addr, req *http.Request) *http.Response {
+	var body []byte
+	var err error
+	switch req.Method {
+	case http.MethodGet:
+		dns := req.URL.Query().Get("dns")
+		if dns == "" {
+			return httpResponse(req, http.StatusBadRequest, "text/plain", []byte("missing dns parameter"))
+		}
+		body, err = base64.RawURLEncoding.DecodeString(dns)
+		if err != nil {
+			return httpResponse(req, http.StatusBadRequest, "text/plain", []byte("bad dns parameter"))
+		}
+	case http.MethodPost:
+		if ct := req.Header.Get("Content-Type"); ct != ContentType {
+			return httpResponse(req, http.StatusUnsupportedMediaType, "text/plain", []byte("want "+ContentType))
+		}
+		body, err = io.ReadAll(req.Body)
+		if err != nil {
+			return httpResponse(req, http.StatusBadRequest, "text/plain", []byte("bad body"))
+		}
+	default:
+		return httpResponse(req, http.StatusMethodNotAllowed, "text/plain", []byte("GET or POST"))
+	}
+	m, err := dnswire.Unpack(body)
+	if err != nil {
+		return httpResponse(req, http.StatusBadRequest, "text/plain", []byte("malformed DNS message"))
+	}
+	resp, proc := s.Handler.ServeDNS(remote, m)
+	conn.AddLatency(proc + s.ExtraProc)
+	packed, err := resp.Pack()
+	if err != nil {
+		return httpResponse(req, http.StatusInternalServerError, "text/plain", []byte("pack error"))
+	}
+	return httpResponse(req, http.StatusOK, ContentType, packed)
+}
+
+// JSONAnswer is one answer record in the JSON API response.
+type JSONAnswer struct {
+	Name string `json:"name"`
+	Type uint16 `json:"type"`
+	TTL  uint32 `json:"TTL"`
+	Data string `json:"data"`
+}
+
+// JSONResponse is the Google-style JSON API response body.
+type JSONResponse struct {
+	Status   int          `json:"Status"`
+	TC       bool         `json:"TC"`
+	RD       bool         `json:"RD"`
+	RA       bool         `json:"RA"`
+	Question []JSONQ      `json:"Question"`
+	Answer   []JSONAnswer `json:"Answer,omitempty"`
+}
+
+// JSONQ is the question echo in the JSON API response.
+type JSONQ struct {
+	Name string `json:"name"`
+	Type uint16 `json:"type"`
+}
+
+func (s *Server) handleJSON(conn *netsim.Conn, remote netip.Addr, req *http.Request) *http.Response {
+	name := req.URL.Query().Get("name")
+	if name == "" {
+		return httpResponse(req, http.StatusBadRequest, "text/plain", []byte("missing name"))
+	}
+	qtype := dnswire.TypeA
+	if ts := req.URL.Query().Get("type"); ts != "" {
+		if t, ok := dnswire.ParseType(strings.ToUpper(ts)); ok {
+			qtype = t
+		} else if n, err := strconv.Atoi(ts); err == nil {
+			qtype = dnswire.Type(n)
+		}
+	}
+	q := dnswire.NewQuery(0, name, qtype)
+	resp, proc := s.Handler.ServeDNS(remote, q)
+	conn.AddLatency(proc + s.ExtraProc)
+
+	jr := JSONResponse{
+		Status: int(resp.Rcode),
+		RD:     true, RA: true,
+		Question: []JSONQ{{Name: dnswire.CanonicalName(name), Type: uint16(qtype)}},
+	}
+	for _, rr := range resp.Answers {
+		jr.Answer = append(jr.Answer, JSONAnswer{
+			Name: rr.Name, Type: uint16(rr.Type()), TTL: rr.TTL, Data: rr.Data.String(),
+		})
+	}
+	body, _ := json.Marshal(jr)
+	return httpResponse(req, http.StatusOK, "application/json", body)
+}
+
+func httpResponse(req *http.Request, status int, contentType string, body []byte) *http.Response {
+	return &http.Response{
+		StatusCode:    status,
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Request:       req,
+		Header:        http.Header{"Content-Type": []string{contentType}},
+		Body:          io.NopCloser(bytes.NewReader(body)),
+		ContentLength: int64(len(body)),
+	}
+}
+
+// UDPBackendForwarder reproduces the Quad9 misconfiguration of Finding 2.4:
+// the DoH front-end forwards every query to its own clear-text DNS backend
+// over UDP and waits at most Timeout (Quad9 used 2 seconds); when recursive
+// resolution takes longer — busy networks, faraway nameservers — the client
+// gets an unnecessary SERVFAIL.
+type UDPBackendForwarder struct {
+	World   *netsim.World
+	From    netip.Addr // the DoH server's own address
+	Backend netip.Addr // its DNS/UDP backend
+	Timeout time.Duration
+	// ExtraBackendLatency, when non-nil, adds client-dependent backend
+	// latency (anycast PoPs near some clients have warm caches and close
+	// backends; faraway clients land on busier paths — the reason the
+	// SERVFAIL rate differed between the global and censored platforms).
+	ExtraBackendLatency func(remote netip.Addr) time.Duration
+}
+
+// ServeDNS implements dnsserver.Handler.
+func (f *UDPBackendForwarder) ServeDNS(remote netip.Addr, req *dnswire.Message) (*dnswire.Message, time.Duration) {
+	servfail := func(proc time.Duration) (*dnswire.Message, time.Duration) {
+		resp := req.Reply()
+		resp.Rcode = dnswire.RcodeServFail
+		return resp, proc
+	}
+	packed, err := req.Pack()
+	if err != nil {
+		return servfail(time.Millisecond)
+	}
+	raw, elapsed, err := f.World.Exchange(f.From, f.Backend, 53, packed)
+	if err != nil {
+		return servfail(f.Timeout)
+	}
+	if f.ExtraBackendLatency != nil {
+		elapsed += f.ExtraBackendLatency(remote)
+	}
+	if elapsed > f.Timeout {
+		// The backend answered, but after the front-end gave up.
+		return servfail(f.Timeout)
+	}
+	m, err := dnswire.Unpack(raw)
+	if err != nil {
+		return servfail(elapsed)
+	}
+	resp := req.Reply()
+	resp.Rcode = m.Rcode
+	resp.Answers = append(resp.Answers, m.Answers...)
+	return resp, elapsed
+}
+
+func tlsServer(conn *netsim.Conn, cert tls.Certificate) *tls.Conn {
+	tc := tls.Server(conn, &tls.Config{Certificates: []tls.Certificate{cert}})
+	if err := tc.Handshake(); err != nil {
+		return nil
+	}
+	return tc
+}

@@ -1,0 +1,322 @@
+package dot
+
+import (
+	"crypto/tls"
+	"errors"
+	"net/netip"
+	"testing"
+	"time"
+
+	"dnsencryption.info/doe/internal/certs"
+	"dnsencryption.info/doe/internal/dnsserver"
+	"dnsencryption.info/doe/internal/dnswire"
+	"dnsencryption.info/doe/internal/geo"
+	"dnsencryption.info/doe/internal/netsim"
+)
+
+var (
+	clientIP = netip.MustParseAddr("10.1.0.2")
+	dotIP    = netip.MustParseAddr("192.0.2.100")
+	answerIP = netip.MustParseAddr("203.0.113.1")
+)
+
+type fixture struct {
+	world *netsim.World
+	ca    *certs.CA
+	zone  *dnsserver.Zone
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	w := netsim.NewWorld(11)
+	w.Geo.Register(netip.MustParsePrefix("10.1.0.0/16"), geo.Location{Country: "US"})
+	w.Geo.Register(netip.MustParsePrefix("192.0.2.0/24"), geo.Location{Country: "NL"})
+	ca, err := certs.NewCA("DoE Root", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := dnsserver.NewZone("measure.example.org")
+	z.WildcardA = answerIP
+	return &fixture{world: w, ca: ca, zone: z}
+}
+
+func (f *fixture) serveDoT(t *testing.T, leaf *certs.Leaf) {
+	t.Helper()
+	Serve(f.world, dotIP, leaf, f.zone, 0)
+}
+
+func (f *fixture) validLeaf(t *testing.T) *certs.Leaf {
+	t.Helper()
+	leaf, err := f.ca.Issue(certs.LeafOptions{CommonName: "dns.provider.example", IPs: []netip.Addr{dotIP}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return leaf
+}
+
+func TestStrictQueryAgainstValidServer(t *testing.T) {
+	f := newFixture(t)
+	f.serveDoT(t, f.validLeaf(t))
+	c := NewClient(f.world, clientIP, certs.Pool(f.ca), Strict)
+	res, err := c.Query(dotIP, "probe-1.measure.example.org", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, ok := res.FirstA(); !ok || a != answerIP {
+		t.Errorf("answer = %v", res.Msg.Answers)
+	}
+	if res.Latency <= 0 {
+		t.Error("latency not accounted")
+	}
+}
+
+func TestStrictRejectsSelfSigned(t *testing.T) {
+	f := newFixture(t)
+	leaf, err := certs.SelfSigned(certs.LeafOptions{CommonName: "Perfect Privacy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.serveDoT(t, leaf)
+	c := NewClient(f.world, clientIP, certs.Pool(f.ca), Strict)
+	_, err = c.Query(dotIP, "probe.measure.example.org", dnswire.TypeA)
+	if !errors.Is(err, ErrAuthFailed) {
+		t.Errorf("err = %v, want ErrAuthFailed", err)
+	}
+}
+
+func TestOpportunisticProceedsDespiteInvalidCert(t *testing.T) {
+	f := newFixture(t)
+	leaf, err := certs.SelfSigned(certs.LeafOptions{CommonName: "qq.dog"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.serveDoT(t, leaf)
+	c := NewClient(f.world, clientIP, certs.Pool(f.ca), Opportunistic)
+	conn, err := c.Dial(dotIP)
+	if err != nil {
+		t.Fatalf("opportunistic dial failed: %v", err)
+	}
+	defer conn.Close()
+	if conn.VerifyError() == nil {
+		t.Error("verification unexpectedly succeeded for self-signed cert")
+	}
+	res, err := conn.Query("probe.measure.example.org", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, ok := res.FirstA(); !ok || a != answerIP {
+		t.Errorf("answer = %v", res.Msg.Answers)
+	}
+}
+
+func TestConnectionReuseAmortizesSetup(t *testing.T) {
+	f := newFixture(t)
+	f.world.JitterFrac = 0
+	f.serveDoT(t, f.validLeaf(t))
+	c := NewClient(f.world, clientIP, certs.Pool(f.ca), Strict)
+	conn, err := c.Dial(dotIP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	var reused []time.Duration
+	for i := 0; i < 5; i++ {
+		res, err := conn.Query("reuse.measure.example.org", dnswire.TypeA)
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		reused = append(reused, res.Latency)
+	}
+	// Each reused-connection query costs roughly one RTT; the TLS session
+	// setup (TCP + TLS ≈ 2 RTT) must not recur.
+	if reused[2] >= conn.SetupLatency() {
+		t.Errorf("reused query latency %v not below setup cost %v", reused[2], conn.SetupLatency())
+	}
+
+	// One-shot (fresh connection) latency must exceed reused latency.
+	oneShot, err := c.Query(dotIP, "fresh.measure.example.org", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oneShot.Latency <= reused[2] {
+		t.Errorf("fresh latency %v not above reused %v", oneShot.Latency, reused[2])
+	}
+}
+
+func TestStrictWithServerNameMatch(t *testing.T) {
+	f := newFixture(t)
+	f.serveDoT(t, f.validLeaf(t))
+	c := NewClient(f.world, clientIP, certs.Pool(f.ca), Strict)
+	c.ServerName = "dns.provider.example"
+	if _, err := c.Query(dotIP, "p.measure.example.org", dnswire.TypeA); err != nil {
+		t.Fatalf("matching name rejected: %v", err)
+	}
+	c.ServerName = "wrong.example"
+	if _, err := c.Query(dotIP, "p.measure.example.org", dnswire.TypeA); !errors.Is(err, ErrAuthFailed) {
+		t.Errorf("wrong name err = %v, want ErrAuthFailed", err)
+	}
+}
+
+func TestExpiredCertFailsStrictButNotOpportunistic(t *testing.T) {
+	f := newFixture(t)
+	leaf, err := f.ca.IssueExpired(certs.LeafOptions{CommonName: "old.example"}, 30*24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.serveDoT(t, leaf)
+
+	strict := NewClient(f.world, clientIP, certs.Pool(f.ca), Strict)
+	if _, err := strict.Query(dotIP, "x.measure.example.org", dnswire.TypeA); !errors.Is(err, ErrAuthFailed) {
+		t.Errorf("strict err = %v, want ErrAuthFailed", err)
+	}
+	opp := NewClient(f.world, clientIP, certs.Pool(f.ca), Opportunistic)
+	if _, err := opp.Query(dotIP, "x.measure.example.org", dnswire.TypeA); err != nil {
+		t.Errorf("opportunistic err = %v, want success", err)
+	}
+}
+
+func TestPeerCertificatesExposed(t *testing.T) {
+	f := newFixture(t)
+	f.serveDoT(t, f.validLeaf(t))
+	c := NewClient(f.world, clientIP, certs.Pool(f.ca), Opportunistic)
+	conn, err := c.Dial(dotIP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	chain := conn.PeerCertificates()
+	if len(chain) == 0 || chain[0].Subject.CommonName != "dns.provider.example" {
+		t.Errorf("peer chain = %v", chain)
+	}
+	if got := certs.ProviderKey(chain[0]); got != "provider.example" {
+		t.Errorf("provider key = %q", got)
+	}
+}
+
+func TestPaddingOption(t *testing.T) {
+	f := newFixture(t)
+	// Zone handler that checks for the padding option.
+	sawPadding := make(chan bool, 1)
+	h := dnsserver.HandlerFunc(func(remote netip.Addr, req *dnswire.Message) (*dnswire.Message, time.Duration) {
+		if opt, ok := req.OPT(); ok {
+			if _, padded := opt.Padding(); padded {
+				select {
+				case sawPadding <- true:
+				default:
+				}
+			}
+		}
+		return f.zone.ServeDNS(remote, req)
+	})
+	leaf := f.validLeaf(t)
+	Serve(f.world, dotIP, leaf, h, 0)
+
+	c := NewClient(f.world, clientIP, certs.Pool(f.ca), Strict)
+	c.Pad = true
+	if _, err := c.Query(dotIP, "padded.measure.example.org", dnswire.TypeA); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-sawPadding:
+	default:
+		t.Error("server did not observe EDNS(0) padding")
+	}
+}
+
+func TestNotDNSServerFailsQueries(t *testing.T) {
+	f := newFixture(t)
+	leaf := f.validLeaf(t)
+	ServeNotDNS(f.world, dotIP, leaf)
+	c := NewClient(f.world, clientIP, certs.Pool(f.ca), Opportunistic)
+	c.Timeout = 300 * time.Millisecond
+	if _, err := c.Query(dotIP, "probe.measure.example.org", dnswire.TypeA); err == nil {
+		t.Error("query against not-DNS port-853 service succeeded")
+	}
+}
+
+func TestDialRefusedHost(t *testing.T) {
+	f := newFixture(t)
+	c := NewClient(f.world, clientIP, certs.Pool(f.ca), Strict)
+	if _, err := c.Dial(dotIP); !errors.Is(err, netsim.ErrRefused) {
+		t.Errorf("err = %v, want refused", err)
+	}
+}
+
+func TestProfileString(t *testing.T) {
+	if Strict.String() != "strict" || Opportunistic.String() != "opportunistic" {
+		t.Error("Profile.String mismatch")
+	}
+}
+
+func TestServerPadsResponsesWhenClientPads(t *testing.T) {
+	f := newFixture(t)
+	f.serveDoT(t, f.validLeaf(t))
+	c := NewClient(f.world, clientIP, certs.Pool(f.ca), Strict)
+	c.Pad = true
+	conn, err := c.Dial(dotIP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	res, err := conn.Query("padded-resp.measure.example.org", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, ok := res.Msg.OPT()
+	if !ok {
+		t.Fatal("response lacks OPT record")
+	}
+	if _, padded := opt.Padding(); !padded {
+		t.Error("response not padded (RFC 8467 server policy)")
+	}
+	packed, err := res.Msg.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(packed)%ServerPadBlock != 0 {
+		t.Errorf("response length %d not a multiple of %d", len(packed), ServerPadBlock)
+	}
+	// Unpadded clients get unpadded responses.
+	c2 := NewClient(f.world, clientIP, certs.Pool(f.ca), Strict)
+	res2, err := c2.Query(dotIP, "plain-resp.measure.example.org", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res2.Msg.OPT(); ok {
+		t.Error("unpadded query got an OPT response")
+	}
+}
+
+func TestSessionResumption(t *testing.T) {
+	f := newFixture(t)
+	f.serveDoT(t, f.validLeaf(t))
+	c := NewClient(f.world, clientIP, certs.Pool(f.ca), Strict)
+	c.ServerName = "dns.provider.example"
+	c.SessionCache = tls.NewLRUClientSessionCache(8)
+
+	first, err := c.Dial(dotIP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Resumed() {
+		t.Error("first session claims resumption")
+	}
+	// Complete a transaction so the client processes the session tickets.
+	if _, err := first.Query("resume-1.measure.example.org", dnswire.TypeA); err != nil {
+		t.Fatal(err)
+	}
+	first.Close()
+
+	second, err := c.Dial(dotIP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer second.Close()
+	if !second.Resumed() {
+		t.Error("second session not resumed despite session cache")
+	}
+	if _, err := second.Query("resume-2.measure.example.org", dnswire.TypeA); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,220 @@
+// Package geo models the geography of the simulated Internet: which country
+// and autonomous system an IPv4 address belongs to, and the round-trip time
+// between any two locations.
+//
+// The paper's client-side study aggregates results per country (Fig. 9) and
+// per AS (Tables 5 and 6); this package provides the lookup tables those
+// aggregations need, and the latency model that internal/netsim uses to
+// convert protocol round trips into simulated milliseconds.
+package geo
+
+import (
+	"fmt"
+	"math"
+	"net/netip"
+	"sort"
+	"sync"
+)
+
+// Location is the registration data for an address.
+type Location struct {
+	Country string // ISO 3166-1 alpha-2
+	ASN     int
+	ASName  string
+}
+
+// Country describes one country in the synthetic world. Coordinates are in
+// an abstract plane; inter-country RTT grows with Euclidean distance.
+type Country struct {
+	Code string
+	Name string
+	// X, Y place the country on the latency plane (arbitrary units where
+	// one unit of distance adds DistanceRTTPerUnit of round-trip time).
+	X, Y float64
+	// LastMileMS is the typical access-network latency added to every
+	// round trip originating in this country. Residential networks in the
+	// paper's high-overhead countries (e.g. Indonesia) have larger values.
+	LastMileMS float64
+}
+
+// DistanceRTTPerUnit converts latency-plane distance into milliseconds.
+const DistanceRTTPerUnit = 0.9
+
+// Countries used by the default world. Codes cover every country the paper's
+// tables name, plus enough others to populate 166-country vantage sets.
+var builtinCountries = []Country{
+	{"US", "United States", 10, 40, 8},
+	{"CA", "Canada", 12, 48, 9},
+	{"BR", "Brazil", 28, 0, 18},
+	{"MX", "Mexico", 8, 30, 14},
+	{"AR", "Argentina", 27, -12, 20},
+	{"CO", "Colombia", 22, 12, 18},
+	{"GB", "United Kingdom", 48, 52, 7},
+	{"IE", "Ireland", 46, 53, 7},
+	{"DE", "Germany", 53, 50, 6},
+	{"FR", "France", 50, 47, 7},
+	{"NL", "Netherlands", 52, 52, 6},
+	{"IT", "Italy", 54, 43, 9},
+	{"ES", "Spain", 47, 41, 9},
+	{"SE", "Sweden", 55, 60, 7},
+	{"PL", "Poland", 57, 51, 8},
+	{"RU", "Russia", 70, 55, 12},
+	{"UA", "Ukraine", 62, 49, 11},
+	{"TR", "Turkey", 60, 40, 12},
+	{"CN", "China", 95, 35, 12},
+	{"JP", "Japan", 105, 37, 8},
+	{"KR", "South Korea", 102, 36, 7},
+	{"HK", "Hong Kong", 96, 25, 8},
+	{"TW", "Taiwan", 99, 26, 8},
+	{"SG", "Singapore", 92, 8, 8},
+	{"IN", "India", 80, 25, 16},
+	{"ID", "Indonesia", 94, 2, 24},
+	{"VN", "Vietnam", 92, 20, 20},
+	{"TH", "Thailand", 90, 18, 16},
+	{"MY", "Malaysia", 91, 10, 16},
+	{"PH", "Philippines", 100, 15, 20},
+	{"LA", "Laos", 91, 21, 22},
+	{"AU", "Australia", 105, -20, 10},
+	{"NZ", "New Zealand", 115, -28, 11},
+	{"ZA", "South Africa", 55, -15, 18},
+	{"NG", "Nigeria", 48, 10, 22},
+	{"EG", "Egypt", 58, 32, 16},
+	{"KE", "Kenya", 60, 2, 20},
+	{"SA", "Saudi Arabia", 64, 30, 13},
+	{"AE", "United Arab Emirates", 68, 28, 11},
+	{"IL", "Israel", 59, 36, 10},
+	{"PK", "Pakistan", 76, 30, 18},
+	{"BD", "Bangladesh", 84, 26, 20},
+	{"IR", "Iran", 68, 34, 16},
+	{"KZ", "Kazakhstan", 74, 46, 14},
+	{"CL", "Chile", 24, -15, 16},
+	{"PE", "Peru", 21, 2, 18},
+	{"VE", "Venezuela", 23, 14, 20},
+	{"PT", "Portugal", 45, 40, 9},
+	{"CH", "Switzerland", 52, 47, 6},
+	{"AT", "Austria", 55, 48, 7},
+	{"BE", "Belgium", 51, 51, 6},
+	{"DK", "Denmark", 53, 56, 6},
+	{"NO", "Norway", 52, 61, 7},
+	{"FI", "Finland", 59, 61, 7},
+	{"CZ", "Czechia", 55, 50, 7},
+	{"RO", "Romania", 60, 45, 9},
+	{"GR", "Greece", 57, 40, 10},
+	{"HU", "Hungary", 57, 47, 8},
+	{"BG", "Bulgaria", 59, 43, 9},
+}
+
+// CountryByCode returns the built-in country table entry for code.
+func CountryByCode(code string) (Country, bool) {
+	for _, c := range builtinCountries {
+		if c.Code == code {
+			return c, true
+		}
+	}
+	return Country{}, false
+}
+
+// Countries returns a copy of the built-in country table.
+func Countries() []Country {
+	return append([]Country(nil), builtinCountries...)
+}
+
+// CountryCodes returns all built-in country codes in table order.
+func CountryCodes() []string {
+	codes := make([]string, len(builtinCountries))
+	for i, c := range builtinCountries {
+		codes[i] = c.Code
+	}
+	return codes
+}
+
+// RTTModel computes simulated round-trip times between countries.
+type RTTModel struct {
+	countries map[string]Country
+}
+
+// NewRTTModel builds a model from the built-in country table plus extras.
+func NewRTTModel(extra ...Country) *RTTModel {
+	m := &RTTModel{countries: make(map[string]Country, len(builtinCountries)+len(extra))}
+	for _, c := range builtinCountries {
+		m.countries[c.Code] = c
+	}
+	for _, c := range extra {
+		m.countries[c.Code] = c
+	}
+	return m
+}
+
+// RTTMillis returns the modeled round-trip time in milliseconds between two
+// countries: last-mile latency of both ends plus distance on the plane.
+// Unknown countries get a generous default.
+func (m *RTTModel) RTTMillis(from, to string) float64 {
+	a, okA := m.countries[from]
+	b, okB := m.countries[to]
+	if !okA || !okB {
+		return 150
+	}
+	dx, dy := a.X-b.X, a.Y-b.Y
+	dist := math.Sqrt(dx*dx + dy*dy)
+	rtt := a.LastMileMS + b.LastMileMS + dist*DistanceRTTPerUnit
+	if from == to {
+		// Domestic paths still traverse the access networks.
+		rtt = a.LastMileMS * 2
+	}
+	return rtt
+}
+
+// Registry maps IPv4 prefixes to Locations, longest prefix first.
+type Registry struct {
+	mu       sync.RWMutex
+	prefixes []prefixEntry
+	sorted   bool
+}
+
+type prefixEntry struct {
+	prefix netip.Prefix
+	loc    Location
+}
+
+// Register associates every address in prefix with loc. Later registrations
+// of longer prefixes override shorter ones.
+func (r *Registry) Register(prefix netip.Prefix, loc Location) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.prefixes = append(r.prefixes, prefixEntry{prefix.Masked(), loc})
+	r.sorted = false
+}
+
+// Lookup returns the most specific registration covering ip.
+func (r *Registry) Lookup(ip netip.Addr) (Location, bool) {
+	r.mu.Lock()
+	if !r.sorted {
+		sort.SliceStable(r.prefixes, func(i, j int) bool {
+			return r.prefixes[i].prefix.Bits() > r.prefixes[j].prefix.Bits()
+		})
+		r.sorted = true
+	}
+	entries := r.prefixes
+	r.mu.Unlock()
+	for _, e := range entries {
+		if e.prefix.Contains(ip) {
+			return e.loc, true
+		}
+	}
+	return Location{}, false
+}
+
+// Country is a convenience wrapper around Lookup returning only the country
+// code, with "ZZ" (unknown) for unregistered space.
+func (r *Registry) Country(ip netip.Addr) string {
+	if loc, ok := r.Lookup(ip); ok {
+		return loc.Country
+	}
+	return "ZZ"
+}
+
+// ASNameString renders an AS the way the paper's tables do, e.g.
+// "AS44725 Sinam LLC".
+func ASNameString(asn int, name string) string {
+	return fmt.Sprintf("AS%d %s", asn, name)
+}

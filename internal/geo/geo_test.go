@@ -1,0 +1,115 @@
+package geo
+
+import (
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func TestCountryByCode(t *testing.T) {
+	c, ok := CountryByCode("CN")
+	if !ok || c.Name != "China" {
+		t.Fatalf("CountryByCode(CN) = %+v, %v", c, ok)
+	}
+	if _, ok := CountryByCode("XX"); ok {
+		t.Error("CountryByCode accepted unknown code")
+	}
+}
+
+func TestPaperCountriesPresent(t *testing.T) {
+	// Every country named in the paper's tables must exist in the model.
+	for _, cc := range []string{
+		"IE", "CN", "US", "DE", "FR", "JP", "NL", "GB", "BR", "RU", // Table 2
+		"ID", "VN", "IN", // footnote 4, Fig 9
+		"LA", "MY", "IT", "KR", // Tables 5-6
+		"AU", "HK", // Table 7
+	} {
+		if _, ok := CountryByCode(cc); !ok {
+			t.Errorf("country %s missing from model", cc)
+		}
+	}
+}
+
+func TestRTTSymmetric(t *testing.T) {
+	m := NewRTTModel()
+	f := func(i, j uint8) bool {
+		codes := CountryCodes()
+		a := codes[int(i)%len(codes)]
+		b := codes[int(j)%len(codes)]
+		return m.RTTMillis(a, b) == m.RTTMillis(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRTTPositiveAndDomesticSmaller(t *testing.T) {
+	m := NewRTTModel()
+	for _, cc := range CountryCodes() {
+		dom := m.RTTMillis(cc, cc)
+		if dom <= 0 {
+			t.Errorf("domestic RTT for %s = %v", cc, dom)
+		}
+		far := m.RTTMillis(cc, "AU")
+		if cc != "AU" && far <= dom {
+			t.Errorf("%s->AU RTT %v not greater than domestic %v", cc, far, dom)
+		}
+	}
+}
+
+func TestRTTUnknownCountryDefault(t *testing.T) {
+	m := NewRTTModel()
+	if got := m.RTTMillis("XX", "US"); got != 150 {
+		t.Errorf("unknown-country RTT = %v, want 150", got)
+	}
+}
+
+func TestRTTModelExtraCountry(t *testing.T) {
+	m := NewRTTModel(Country{Code: "QQ", Name: "Test", X: 10, Y: 40, LastMileMS: 5})
+	if got := m.RTTMillis("QQ", "QQ"); got != 10 {
+		t.Errorf("extra-country domestic RTT = %v, want 10", got)
+	}
+}
+
+func TestRegistryLongestPrefixWins(t *testing.T) {
+	var r Registry
+	r.Register(netip.MustParsePrefix("10.0.0.0/8"), Location{Country: "US", ASN: 1, ASName: "Big"})
+	r.Register(netip.MustParsePrefix("10.1.0.0/16"), Location{Country: "CN", ASN: 2, ASName: "Small"})
+
+	if got := r.Country(netip.MustParseAddr("10.2.3.4")); got != "US" {
+		t.Errorf("10.2.3.4 country = %s, want US", got)
+	}
+	if got := r.Country(netip.MustParseAddr("10.1.3.4")); got != "CN" {
+		t.Errorf("10.1.3.4 country = %s, want CN", got)
+	}
+	loc, ok := r.Lookup(netip.MustParseAddr("10.1.9.9"))
+	if !ok || loc.ASN != 2 {
+		t.Errorf("Lookup = %+v, %v", loc, ok)
+	}
+}
+
+func TestRegistryUnknown(t *testing.T) {
+	var r Registry
+	if got := r.Country(netip.MustParseAddr("192.0.2.1")); got != "ZZ" {
+		t.Errorf("unregistered country = %s, want ZZ", got)
+	}
+	if _, ok := r.Lookup(netip.MustParseAddr("192.0.2.1")); ok {
+		t.Error("Lookup succeeded on empty registry")
+	}
+}
+
+func TestRegistryRegisterAfterLookup(t *testing.T) {
+	var r Registry
+	r.Register(netip.MustParsePrefix("10.0.0.0/8"), Location{Country: "US"})
+	_ = r.Country(netip.MustParseAddr("10.0.0.1")) // force sort
+	r.Register(netip.MustParsePrefix("10.9.0.0/16"), Location{Country: "JP"})
+	if got := r.Country(netip.MustParseAddr("10.9.0.1")); got != "JP" {
+		t.Errorf("post-sort registration: got %s, want JP", got)
+	}
+}
+
+func TestASNameString(t *testing.T) {
+	if got := ASNameString(44725, "Sinam LLC"); got != "AS44725 Sinam LLC" {
+		t.Errorf("ASNameString = %q", got)
+	}
+}

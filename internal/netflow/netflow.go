@@ -1,0 +1,277 @@
+// Package netflow models the §5.1 passive DoT measurement: NetFlow-style
+// flow records produced by a sampling backbone router (the paper's ISP used
+// 1/3,000 packet sampling and a 15-second idle timeout), and the analysis
+// that selects DoT traffic — TCP port 853 toward known resolvers, excluding
+// single-SYN flows — with /24 client truncation for ethics.
+package netflow
+
+import (
+	"net/netip"
+	"sort"
+	"time"
+)
+
+// TCP flag bits, as unioned into NetFlow records.
+const (
+	FlagFIN uint8 = 1 << 0
+	FlagSYN uint8 = 1 << 1
+	FlagRST uint8 = 1 << 2
+	FlagPSH uint8 = 1 << 3
+	FlagACK uint8 = 1 << 4
+)
+
+// IP protocol numbers.
+const (
+	ProtoTCP uint8 = 6
+	ProtoUDP uint8 = 17
+)
+
+// Packet is one observed packet at the router.
+type Packet struct {
+	Time    time.Time
+	Src     netip.Addr
+	Dst     netip.Addr
+	SrcPort uint16
+	DstPort uint16
+	Proto   uint8
+	Bytes   int
+	Flags   uint8
+}
+
+// Record is one exported flow record.
+type Record struct {
+	First   time.Time
+	Last    time.Time
+	Src     netip.Addr
+	Dst     netip.Addr
+	SrcPort uint16
+	DstPort uint16
+	Proto   uint8
+	Packets uint64
+	Bytes   uint64
+	// Flags is the union of TCP flags over all sampled packets of the
+	// flow (footnote 5: a single SYN flag indicates an incomplete
+	// handshake and cannot contain DoT queries).
+	Flags uint8
+}
+
+// flowKey identifies a flow: same 5-tuple.
+type flowKey struct {
+	src, dst         netip.Addr
+	srcPort, dstPort uint16
+	proto            uint8
+}
+
+// Router aggregates sampled packets into flow records.
+type Router struct {
+	// SampleRate is the deterministic 1-in-N packet sampling rate.
+	SampleRate int
+	// IdleExpiry closes a flow unseen for this long.
+	IdleExpiry time.Duration
+
+	counter uint64
+	cache   map[flowKey]*Record
+	export  []Record
+}
+
+// NewRouter creates a router with the paper's parameters (1/3000, 15 s).
+func NewRouter(sampleRate int, idleExpiry time.Duration) *Router {
+	if sampleRate < 1 {
+		sampleRate = 1
+	}
+	return &Router{
+		SampleRate: sampleRate,
+		IdleExpiry: idleExpiry,
+		cache:      make(map[flowKey]*Record),
+	}
+}
+
+// Observe feeds one packet through the sampler. Packets must arrive in
+// non-decreasing time order.
+func (r *Router) Observe(p Packet) {
+	r.expire(p.Time)
+	r.counter++
+	if r.counter%uint64(r.SampleRate) != 0 {
+		return
+	}
+	key := flowKey{p.Src, p.Dst, p.SrcPort, p.DstPort, p.Proto}
+	rec, ok := r.cache[key]
+	if !ok {
+		rec = &Record{
+			First: p.Time, Last: p.Time,
+			Src: p.Src, Dst: p.Dst,
+			SrcPort: p.SrcPort, DstPort: p.DstPort,
+			Proto: p.Proto,
+		}
+		r.cache[key] = rec
+	}
+	rec.Last = p.Time
+	rec.Packets++
+	rec.Bytes += uint64(p.Bytes)
+	rec.Flags |= p.Flags
+}
+
+// expire exports flows idle at the given time.
+func (r *Router) expire(now time.Time) {
+	for key, rec := range r.cache {
+		if now.Sub(rec.Last) > r.IdleExpiry {
+			r.export = append(r.export, *rec)
+			delete(r.cache, key)
+		}
+	}
+}
+
+// Flush exports all remaining flows and returns every record collected so
+// far, ordered by first-seen time.
+func (r *Router) Flush() []Record {
+	for key, rec := range r.cache {
+		r.export = append(r.export, *rec)
+		delete(r.cache, key)
+	}
+	sort.Slice(r.export, func(i, j int) bool { return r.export[i].First.Before(r.export[j].First) })
+	out := r.export
+	r.export = nil
+	return out
+}
+
+// Truncate24 zeroes the host byte of an IPv4 address — the paper keeps only
+// the /24 of each client address before analysis, for ethics.
+func Truncate24(ip netip.Addr) netip.Addr {
+	if !ip.Is4() {
+		return ip
+	}
+	b := ip.As4()
+	b[3] = 0
+	return netip.AddrFrom4(b)
+}
+
+// Analyzer selects and aggregates DoT traffic from flow records.
+type Analyzer struct {
+	// Resolvers maps known DoT resolver addresses to provider names (the
+	// list produced by the §3 scans).
+	Resolvers map[netip.Addr]string
+}
+
+// DoTFlow is one selected DoT flow with its client truncated to /24.
+type DoTFlow struct {
+	Month    string // "2018-07"
+	Day      string // "2018-07-15"
+	Client24 netip.Addr
+	Provider string
+	Packets  uint64
+	Bytes    uint64
+}
+
+// SelectDoT applies §5.1's filter: TCP port 853 toward a known DoT
+// resolver, excluding flows whose only TCP flag is a single SYN.
+func (a *Analyzer) SelectDoT(records []Record) []DoTFlow {
+	var out []DoTFlow
+	for _, rec := range records {
+		if rec.Proto != ProtoTCP || rec.DstPort != 853 {
+			continue
+		}
+		provider, known := a.Resolvers[rec.Dst]
+		if !known {
+			continue
+		}
+		if rec.Flags == FlagSYN {
+			continue
+		}
+		out = append(out, DoTFlow{
+			Month:    rec.First.Format("2006-01"),
+			Day:      rec.First.Format("2006-01-02"),
+			Client24: Truncate24(rec.Src),
+			Provider: provider,
+			Packets:  rec.Packets,
+			Bytes:    rec.Bytes,
+		})
+	}
+	return out
+}
+
+// MonthlyCounts returns flows per month per provider (Fig. 11).
+func MonthlyCounts(flows []DoTFlow) map[string]map[string]int {
+	out := map[string]map[string]int{}
+	for _, f := range flows {
+		m, ok := out[f.Provider]
+		if !ok {
+			m = map[string]int{}
+			out[f.Provider] = m
+		}
+		m[f.Month]++
+	}
+	return out
+}
+
+// NetblockStat summarizes one client /24's DoT activity (Fig. 12).
+type NetblockStat struct {
+	Client24 netip.Addr
+	Flows    int
+	// ActiveDays is the count of distinct days with observed traffic
+	// (the "active time" color of Fig. 12).
+	ActiveDays int
+}
+
+// NetblockStats aggregates flows per client /24 toward one provider,
+// sorted by flow count descending.
+func NetblockStats(flows []DoTFlow, provider string) []NetblockStat {
+	type acc struct {
+		flows int
+		days  map[string]bool
+	}
+	byClient := map[netip.Addr]*acc{}
+	for _, f := range flows {
+		if f.Provider != provider {
+			continue
+		}
+		a, ok := byClient[f.Client24]
+		if !ok {
+			a = &acc{days: map[string]bool{}}
+			byClient[f.Client24] = a
+		}
+		a.flows++
+		a.days[f.Day] = true
+	}
+	out := make([]NetblockStat, 0, len(byClient))
+	for ip, a := range byClient {
+		out = append(out, NetblockStat{Client24: ip, Flows: a.flows, ActiveDays: len(a.days)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Flows != out[j].Flows {
+			return out[i].Flows > out[j].Flows
+		}
+		return out[i].Client24.Less(out[j].Client24)
+	})
+	return out
+}
+
+// TopShare returns the fraction of flows contributed by the top n
+// netblocks (§5.2: top five /24s account for 44% of Cloudflare DoT flows).
+func TopShare(stats []NetblockStat, n int) float64 {
+	total, top := 0, 0
+	for i, s := range stats {
+		total += s.Flows
+		if i < n {
+			top += s.Flows
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(top) / float64(total)
+}
+
+// TemporaryFraction returns the fraction of netblocks active for fewer
+// than the given number of days (§5.2: 96% active less than one week).
+func TemporaryFraction(stats []NetblockStat, days int) float64 {
+	if len(stats) == 0 {
+		return 0
+	}
+	short := 0
+	for _, s := range stats {
+		if s.ActiveDays < days {
+			short++
+		}
+	}
+	return float64(short) / float64(len(stats))
+}

@@ -1,0 +1,327 @@
+// Package netsim simulates the Internet the study measures: IPv4 hosts
+// offering stream and datagram services, a per-country latency model, and
+// the in-path middleboxes the paper encounters (censorship, TLS
+// interception, devices squatting on resolver addresses).
+//
+// Connections are in-memory full-duplex pipes over which real protocol
+// stacks run (crypto/tls handshakes, net/http servers). Latency is
+// *virtual*: every connection carries a virtual clock; each write is
+// stamped with an arrival time of clock + RTT/2 and each read advances the
+// clock to the stamp of the data it consumes. A full TLS 1.3 handshake thus
+// costs one virtual RTT, exactly as on the wire, while tests complete in
+// microseconds of wall time — and the accounting is independent of
+// goroutine scheduling.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+)
+
+// ErrDeadline is returned on reads past the configured deadline.
+// It reports Timeout() == true like os.ErrDeadlineExceeded.
+var ErrDeadline = &timeoutError{}
+
+type timeoutError struct{}
+
+func (*timeoutError) Error() string   { return "netsim: deadline exceeded" }
+func (*timeoutError) Timeout() bool   { return true }
+func (*timeoutError) Temporary() bool { return true }
+
+// Addr is a net.Addr for simulated endpoints.
+type Addr struct {
+	IP   netip.Addr
+	Port uint16
+}
+
+// Network implements net.Addr.
+func (Addr) Network() string { return "sim" }
+
+// String implements net.Addr.
+func (a Addr) String() string { return fmt.Sprintf("%s:%d", a.IP, a.Port) }
+
+// link is the state shared by the two endpoints of a connection: the
+// virtual clock and the latency model for this path.
+type link struct {
+	mu  sync.Mutex
+	now time.Duration
+	rtt time.Duration
+	// jitterRNG/jitterFrac scale each half-RTT by a factor in
+	// [1, 1+jitterFrac].
+	jitterRNG  *rand.Rand
+	jitterFrac float64
+}
+
+// stampArrival returns the virtual time at which data written now will
+// reach the peer.
+func (l *link) stampArrival() time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	half := l.rtt / 2
+	if l.jitterRNG != nil && l.jitterFrac > 0 {
+		half = time.Duration(float64(half) * (1 + l.jitterRNG.Float64()*l.jitterFrac))
+	}
+	return l.now + half
+}
+
+// advance moves the clock forward to t (never backward).
+func (l *link) advance(t time.Duration) {
+	l.mu.Lock()
+	if t > l.now {
+		l.now = t
+	}
+	l.mu.Unlock()
+}
+
+func (l *link) add(d time.Duration) {
+	l.mu.Lock()
+	l.now += d
+	l.mu.Unlock()
+}
+
+func (l *link) total() time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.now
+}
+
+// segment is one write's worth of in-flight data.
+type segment struct {
+	data    []byte
+	readyAt time.Duration
+}
+
+// buffer is one direction of a connection: a queue of stamped segments with
+// blocking reads and deadline support.
+type buffer struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	segs     []segment
+	closed   bool // writer closed: EOF after drain
+	deadline time.Time
+	timer    *time.Timer
+	link     *link
+}
+
+func newBuffer(l *link) *buffer {
+	b := &buffer{link: l}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *buffer) write(p []byte) (int, error) {
+	stamp := b.link.stampArrival()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return 0, io.ErrClosedPipe
+	}
+	b.segs = append(b.segs, segment{data: append([]byte(nil), p...), readyAt: stamp})
+	b.cond.Broadcast()
+	return len(p), nil
+}
+
+func (b *buffer) read(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for len(b.segs) == 0 {
+		if b.closed {
+			return 0, io.EOF
+		}
+		if !b.deadline.IsZero() && !time.Now().Before(b.deadline) {
+			return 0, ErrDeadline
+		}
+		b.cond.Wait()
+	}
+	seg := &b.segs[0]
+	b.link.advance(seg.readyAt)
+	n := copy(p, seg.data)
+	seg.data = seg.data[n:]
+	if len(seg.data) == 0 {
+		b.segs = b.segs[1:]
+	}
+	return n, nil
+}
+
+func (b *buffer) closeWrite() {
+	b.mu.Lock()
+	b.closed = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+func (b *buffer) setDeadline(t time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.deadline = t
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+	if !t.IsZero() {
+		d := time.Until(t)
+		if d < 0 {
+			d = 0
+		}
+		b.timer = time.AfterFunc(d, func() {
+			b.mu.Lock()
+			b.cond.Broadcast()
+			b.mu.Unlock()
+		})
+	}
+	b.cond.Broadcast()
+}
+
+// Conn is one endpoint of a simulated connection. It implements net.Conn.
+type Conn struct {
+	recv   *buffer // data the peer wrote to us
+	send   *buffer // data we write to the peer
+	local  Addr
+	remote Addr
+	link   *link
+
+	closeOnce sync.Once
+}
+
+// Pair creates a connected pair of Conns with the given round-trip time.
+// The first return value is the "client" end. rng (optional) adds jitter.
+func Pair(client, server Addr, rtt time.Duration, rng *rand.Rand, jitterFrac float64) (*Conn, *Conn) {
+	l := &link{rtt: rtt, jitterRNG: rng, jitterFrac: jitterFrac}
+	ab := newBuffer(l) // client -> server
+	ba := newBuffer(l) // server -> client
+	c := &Conn{recv: ba, send: ab, local: client, remote: server, link: l}
+	s := &Conn{recv: ab, send: ba, local: server, remote: client, link: l}
+	return c, s
+}
+
+// Read implements net.Conn.
+func (c *Conn) Read(p []byte) (int, error) { return c.recv.read(p) }
+
+// Write implements net.Conn.
+func (c *Conn) Write(p []byte) (int, error) { return c.send.write(p) }
+
+// Close implements net.Conn. It closes both directions.
+func (c *Conn) Close() error {
+	c.closeOnce.Do(func() {
+		c.send.closeWrite()
+		c.recv.closeWrite()
+	})
+	return nil
+}
+
+// LocalAddr implements net.Conn.
+func (c *Conn) LocalAddr() net.Addr { return c.local }
+
+// RemoteAddr implements net.Conn.
+func (c *Conn) RemoteAddr() net.Addr { return c.remote }
+
+// SetDeadline implements net.Conn. Deadlines are real-time bounds used to
+// abort stuck exchanges; virtual latency is tracked separately.
+func (c *Conn) SetDeadline(t time.Time) error {
+	c.recv.setDeadline(t)
+	return nil
+}
+
+// SetReadDeadline implements net.Conn.
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	c.recv.setDeadline(t)
+	return nil
+}
+
+// SetWriteDeadline implements net.Conn. Writes never block, so this is a
+// no-op kept for interface completeness.
+func (c *Conn) SetWriteDeadline(time.Time) error { return nil }
+
+// Elapsed returns the virtual time this connection has consumed, including
+// the connection-establishment RTT added by Dial.
+func (c *Conn) Elapsed() time.Duration { return c.link.total() }
+
+// AddLatency charges extra virtual time to the connection. Servers use it
+// to model processing costs (e.g. recursive resolution at the resolver).
+func (c *Conn) AddLatency(d time.Duration) { c.link.add(d) }
+
+// AddLatency charges virtual time to conn if it is (or wraps) a *Conn.
+// It unwraps tls.Conn-style wrappers exposing NetConn() net.Conn.
+func AddLatency(conn net.Conn, d time.Duration) {
+	if sc := Unwrap(conn); sc != nil {
+		sc.AddLatency(d)
+	}
+}
+
+// Elapsed reports conn's virtual elapsed time, unwrapping TLS if needed.
+func Elapsed(conn net.Conn) time.Duration {
+	if sc := Unwrap(conn); sc != nil {
+		return sc.Elapsed()
+	}
+	return 0
+}
+
+// Unwrap digs through wrappers exposing NetConn() net.Conn (like *tls.Conn)
+// until it finds the underlying *Conn, or returns nil.
+func Unwrap(conn net.Conn) *Conn {
+	for {
+		switch c := conn.(type) {
+		case *Conn:
+			return c
+		case interface{ NetConn() net.Conn }:
+			conn = c.NetConn()
+		default:
+			return nil
+		}
+	}
+}
+
+// Listener accepts simulated connections for one host:port. It implements
+// net.Listener so stdlib servers (net/http, tls.NewListener) work unchanged.
+type Listener struct {
+	addr    Addr
+	ch      chan *Conn
+	mu      sync.Mutex
+	closed  bool
+	closeCh chan struct{}
+}
+
+func newListener(addr Addr) *Listener {
+	return &Listener{addr: addr, ch: make(chan *Conn, 64), closeCh: make(chan struct{})}
+}
+
+// Accept implements net.Listener.
+func (l *Listener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.ch:
+		return c, nil
+	case <-l.closeCh:
+		return nil, errors.New("netsim: listener closed")
+	}
+}
+
+// Close implements net.Listener.
+func (l *Listener) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.closed {
+		l.closed = true
+		close(l.closeCh)
+	}
+	return nil
+}
+
+// Addr implements net.Listener.
+func (l *Listener) Addr() net.Addr { return l.addr }
+
+// deliver hands a server-side conn to Accept, failing if the listener is
+// closed or saturated.
+func (l *Listener) deliver(c *Conn) error {
+	select {
+	case l.ch <- c:
+		return nil
+	case <-l.closeCh:
+		return errors.New("netsim: listener closed")
+	}
+}

@@ -1,0 +1,468 @@
+package netsim
+
+import (
+	"crypto/tls"
+	"crypto/x509"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"dnsencryption.info/doe/internal/certs"
+	"dnsencryption.info/doe/internal/geo"
+)
+
+var (
+	clientIP = netip.MustParseAddr("10.1.0.2")
+	serverIP = netip.MustParseAddr("192.0.2.10")
+)
+
+func newTestWorld(t *testing.T) *World {
+	t.Helper()
+	w := NewWorld(1)
+	w.Geo.Register(netip.MustParsePrefix("10.1.0.0/16"), geo.Location{Country: "US", ASN: 100, ASName: "Client ISP"})
+	w.Geo.Register(netip.MustParsePrefix("192.0.2.0/24"), geo.Location{Country: "NL", ASN: 200, ASName: "Hosting"})
+	return w
+}
+
+// echoHandler echoes everything back.
+func echoHandler(conn *Conn) {
+	defer conn.Close()
+	io.Copy(conn, conn) //nolint:errcheck
+}
+
+func TestDialAndEcho(t *testing.T) {
+	w := newTestWorld(t)
+	w.RegisterStream(serverIP, 7, echoHandler)
+
+	conn, err := w.Dial(clientIP, serverIP, 7)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(2 * time.Second))
+	if _, err := conn.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "hello" {
+		t.Errorf("echo = %q", buf)
+	}
+}
+
+func TestDialUnknownHostRefused(t *testing.T) {
+	w := newTestWorld(t)
+	if _, err := w.Dial(clientIP, serverIP, 853); !errors.Is(err, ErrRefused) {
+		t.Errorf("err = %v, want ErrRefused", err)
+	}
+}
+
+func TestVirtualLatencyAccounting(t *testing.T) {
+	w := newTestWorld(t)
+	w.JitterFrac = 0 // deterministic
+	w.RegisterStream(serverIP, 7, echoHandler)
+
+	conn, err := w.Dial(clientIP, serverIP, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(2 * time.Second))
+
+	rtt := w.pathRTT(clientIP, serverIP)
+	if got := conn.Elapsed(); got != rtt {
+		t.Errorf("post-dial elapsed = %v, want 1 RTT (%v)", got, rtt)
+	}
+	// One request/response adds one more RTT (half on the server's read
+	// wait, half on ours).
+	conn.Write([]byte("x")) //nolint:errcheck
+	buf := make([]byte, 1)
+	io.ReadFull(conn, buf) //nolint:errcheck
+	want := 2 * rtt
+	if got := conn.Elapsed(); got < want*9/10 || got > want*11/10 {
+		t.Errorf("post-exchange elapsed = %v, want ≈%v", got, want)
+	}
+}
+
+func TestAddLatency(t *testing.T) {
+	w := newTestWorld(t)
+	w.RegisterStream(serverIP, 7, func(conn *Conn) {
+		conn.AddLatency(42 * time.Millisecond)
+		conn.Close()
+	})
+	conn, err := w.Dial(clientIP, serverIP, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(time.Second))
+	io.ReadAll(conn) //nolint:errcheck // wait for close
+	base := w.pathRTT(clientIP, serverIP)
+	if got := conn.Elapsed(); got < base+42*time.Millisecond {
+		t.Errorf("elapsed = %v, want at least %v", got, base+42*time.Millisecond)
+	}
+}
+
+func TestReadDeadline(t *testing.T) {
+	w := newTestWorld(t)
+	w.RegisterStream(serverIP, 7, func(conn *Conn) {
+		// Never respond.
+		buf := make([]byte, 16)
+		conn.Read(buf) //nolint:errcheck
+	})
+	conn, err := w.Dial(clientIP, serverIP, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetReadDeadline(time.Now().Add(30 * time.Millisecond))
+	_, err = conn.Read(make([]byte, 1))
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Errorf("read err = %v, want timeout", err)
+	}
+}
+
+func TestCloseUnblocksPeer(t *testing.T) {
+	w := newTestWorld(t)
+	done := make(chan error, 1)
+	w.RegisterStream(serverIP, 7, func(conn *Conn) {
+		_, err := conn.Read(make([]byte, 1))
+		done <- err
+	})
+	conn, err := w.Dial(clientIP, serverIP, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	select {
+	case err := <-done:
+		if err != io.EOF {
+			t.Errorf("peer read err = %v, want EOF", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("peer read did not unblock")
+	}
+}
+
+func TestWriteAfterCloseFails(t *testing.T) {
+	w := newTestWorld(t)
+	w.RegisterStream(serverIP, 7, echoHandler)
+	conn, err := w.Dial(clientIP, serverIP, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	if _, err := conn.Write([]byte("x")); err == nil {
+		t.Error("write after close succeeded")
+	}
+}
+
+func TestTLSOverSimulatedNetwork(t *testing.T) {
+	w := newTestWorld(t)
+	w.JitterFrac = 0
+	ca, err := certs.NewCA("Root", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf, err := ca.Issue(certs.LeafOptions{CommonName: "dns.example", IPs: []netip.Addr{serverIP}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert := leaf.TLSCertificate()
+	w.RegisterStream(serverIP, 853, func(conn *Conn) {
+		tc := tls.Server(conn, &tls.Config{Certificates: []tls.Certificate{cert}})
+		defer tc.Close()
+		if err := tc.Handshake(); err != nil {
+			return
+		}
+		io.Copy(tc, tc) //nolint:errcheck
+	})
+
+	conn, err := w.Dial(clientIP, serverIP, 853)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+	roots := x509.NewCertPool()
+	roots.AddCert(ca.Cert)
+	tc := tls.Client(conn, &tls.Config{RootCAs: roots, ServerName: "dns.example", Time: func() time.Time { return certs.RefTime }})
+	if err := tc.Handshake(); err != nil {
+		t.Fatalf("TLS handshake: %v", err)
+	}
+	if _, err := tc.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(tc, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "ping" {
+		t.Errorf("echo over TLS = %q", buf)
+	}
+	// TLS 1.3 handshake costs about one extra virtual RTT over the dial.
+	rtt := w.pathRTT(clientIP, serverIP)
+	elapsed := conn.Elapsed()
+	if elapsed < 2*rtt || elapsed > 5*rtt {
+		t.Errorf("TLS session elapsed = %v, want within [2,5] RTT (%v)", elapsed, rtt)
+	}
+}
+
+func TestExchange(t *testing.T) {
+	w := newTestWorld(t)
+	w.RegisterDatagram(serverIP, 53, func(_ netip.Addr, req []byte) ([]byte, time.Duration, error) {
+		return append([]byte("re:"), req...), 3 * time.Millisecond, nil
+	})
+	resp, elapsed, err := w.Exchange(clientIP, serverIP, 53, []byte("q"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "re:q" {
+		t.Errorf("resp = %q", resp)
+	}
+	if want := w.pathRTT(clientIP, serverIP) + 3*time.Millisecond; elapsed != want {
+		t.Errorf("elapsed = %v, want %v", elapsed, want)
+	}
+}
+
+func TestExchangeNoService(t *testing.T) {
+	w := newTestWorld(t)
+	if _, _, err := w.Exchange(clientIP, serverIP, 53, []byte("q")); !errors.Is(err, ErrNoRoute) {
+		t.Errorf("err = %v, want ErrNoRoute", err)
+	}
+}
+
+func TestCensorRefusesAndSpoofs(t *testing.T) {
+	w := newTestWorld(t)
+	blocked := netip.MustParseAddr("192.0.2.99")
+	w.RegisterStream(blocked, 443, echoHandler)
+	w.RegisterDatagram(blocked, 53, func(_ netip.Addr, req []byte) ([]byte, time.Duration, error) {
+		return []byte("real"), 0, nil
+	})
+	w.AddPolicy(&Censor{
+		Countries: map[string]bool{"US": true},
+		BlockIPs:  map[netip.Addr]bool{blocked: true},
+		Blackhole: true,
+		SpoofDNS:  func(req []byte) []byte { return []byte("forged") },
+	})
+
+	if _, err := w.Dial(clientIP, blocked, 443); !errors.Is(err, ErrBlackhole) {
+		t.Errorf("dial err = %v, want blackhole", err)
+	}
+	resp, _, err := w.Exchange(clientIP, blocked, 53, []byte("q"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "forged" {
+		t.Errorf("spoofed resp = %q", resp)
+	}
+	// A client outside the censored country is unaffected.
+	otherClient := netip.MustParseAddr("192.0.2.200")
+	if _, err := w.Dial(otherClient, blocked, 443); err != nil {
+		t.Errorf("uncensored dial failed: %v", err)
+	}
+}
+
+func TestPortFilter(t *testing.T) {
+	w := newTestWorld(t)
+	w.RegisterStream(serverIP, 53, echoHandler)
+	w.RegisterStream(serverIP, 853, echoHandler)
+	w.AddPolicy(&PortFilter{
+		ClientPrefixes: []netip.Prefix{netip.MustParsePrefix("10.1.0.0/16")},
+		Port:           53,
+	})
+	if _, err := w.Dial(clientIP, serverIP, 53); !errors.Is(err, ErrRefused) {
+		t.Errorf("port 53 err = %v, want refused", err)
+	}
+	if _, err := w.Dial(clientIP, serverIP, 853); err != nil {
+		t.Errorf("port 853 should pass, got %v", err)
+	}
+}
+
+func TestConflictDevice(t *testing.T) {
+	w := newTestWorld(t)
+	oneone := netip.MustParseAddr("1.1.1.1")
+	w.RegisterStream(oneone, 853, echoHandler) // the real resolver
+	w.AddPolicy(&ConflictDevice{
+		ClientPrefixes: []netip.Prefix{netip.MustParsePrefix("10.1.0.0/16")},
+		ConflictIP:     oneone,
+		Kind:           DeviceRouter,
+		OpenPorts:      map[uint16]string{80: "<title>RouterOS admin</title>"},
+	})
+
+	// Port 80 serves the device's page.
+	conn, err := w.Dial(clientIP, oneone, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.SetDeadline(time.Now().Add(2 * time.Second))
+	fmt.Fprint(conn, "GET / HTTP/1.0\r\n\r\n")
+	page, _ := io.ReadAll(conn)
+	if !strings.Contains(string(page), "RouterOS") {
+		t.Errorf("page = %q", page)
+	}
+	// Port 853 is blackholed by the device for affected clients.
+	if _, err := w.Dial(clientIP, oneone, 853); !errors.Is(err, ErrBlackhole) {
+		t.Errorf("853 err = %v, want blackhole", err)
+	}
+	// Unaffected clients reach the real resolver.
+	other := netip.MustParseAddr("192.0.2.77")
+	if _, err := w.Dial(other, oneone, 853); err != nil {
+		t.Errorf("unaffected client: %v", err)
+	}
+}
+
+func TestTLSInterceptorMITM(t *testing.T) {
+	w := newTestWorld(t)
+	w.JitterFrac = 0
+	rootCA, err := certs.NewCA("Trusted Root", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf, err := rootCA.Issue(certs.LeafOptions{CommonName: "dns.example", IPs: []netip.Addr{serverIP}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert := leaf.TLSCertificate()
+	w.RegisterStream(serverIP, 853, func(conn *Conn) {
+		tc := tls.Server(conn, &tls.Config{Certificates: []tls.Certificate{cert}})
+		defer tc.Close()
+		if tc.Handshake() != nil {
+			return
+		}
+		// Echo one message.
+		buf := make([]byte, 64)
+		n, err := tc.Read(buf)
+		if err != nil {
+			return
+		}
+		tc.Write(buf[:n]) //nolint:errcheck
+	})
+
+	dpiCA, err := certs.NewCA("SonicWall Firewall DPI-SSL", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mitm := NewTLSInterceptor(dpiCA, []netip.Prefix{netip.MustParsePrefix("10.1.0.0/16")}, 853)
+	w.AddPolicy(mitm)
+
+	conn, err := w.Dial(clientIP, serverIP, 853)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+
+	// Opportunistic client: no verification. The session works end to end
+	// but the presented certificate is the forged one.
+	tc := tls.Client(conn, &tls.Config{InsecureSkipVerify: true}) //nolint:gosec // opportunistic profile
+	if err := tc.Handshake(); err != nil {
+		t.Fatalf("handshake through MITM: %v", err)
+	}
+	got := tc.ConnectionState().PeerCertificates[0]
+	if got.Issuer.CommonName != "SonicWall Firewall DPI-SSL" {
+		t.Errorf("issuer = %q, want DPI CA", got.Issuer.CommonName)
+	}
+	if got.Subject.CommonName != "dns.example" {
+		t.Errorf("subject = %q, want original CN preserved", got.Subject.CommonName)
+	}
+	if _, err := tc.Write([]byte("query")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if _, err := io.ReadFull(tc, buf); err != nil {
+		t.Fatalf("read through MITM: %v", err)
+	}
+	if string(buf) != "query" {
+		t.Errorf("relayed data = %q", buf)
+	}
+
+	// Strict client: verification fails, handshake aborts.
+	conn2, err := w.Dial(clientIP, serverIP, 853)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	conn2.SetDeadline(time.Now().Add(5 * time.Second))
+	roots := x509.NewCertPool()
+	roots.AddCert(rootCA.Cert)
+	strict := tls.Client(conn2, &tls.Config{RootCAs: roots, ServerName: "dns.example", Time: func() time.Time { return certs.RefTime }})
+	if err := strict.Handshake(); err == nil {
+		t.Error("strict handshake through MITM unexpectedly succeeded")
+	}
+
+	// The proxy records the failed strict handshake asynchronously.
+	var sessions []InterceptedSession
+	for deadline := time.Now().Add(3 * time.Second); ; {
+		sessions = mitm.Sessions()
+		if len(sessions) >= 2 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if len(sessions) < 2 {
+		t.Fatalf("sessions = %d, want >= 2", len(sessions))
+	}
+	if !sessions[0].RelayedToOrigin {
+		t.Error("opportunistic session not marked relayed")
+	}
+}
+
+func TestOptOutList(t *testing.T) {
+	var o OptOutList
+	o.Add(netip.MustParsePrefix("203.0.113.0/24"))
+	if !o.Contains(netip.MustParseAddr("203.0.113.7")) {
+		t.Error("opt-out address not matched")
+	}
+	if o.Contains(netip.MustParseAddr("203.0.114.7")) {
+		t.Error("non-opted address matched")
+	}
+	if o.Len() != 1 {
+		t.Errorf("Len = %d", o.Len())
+	}
+}
+
+func TestListenerCloseStopsAccept(t *testing.T) {
+	w := newTestWorld(t)
+	l, err := w.Listen(serverIP, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	if _, err := l.Accept(); err == nil {
+		t.Error("Accept on closed listener succeeded")
+	}
+}
+
+func TestStreamAddrs(t *testing.T) {
+	w := newTestWorld(t)
+	a := netip.MustParseAddr("192.0.2.1")
+	b := netip.MustParseAddr("192.0.2.2")
+	w.RegisterStream(a, 853, echoHandler)
+	w.RegisterStream(b, 853, echoHandler)
+	w.RegisterStream(b, 443, echoHandler)
+	if got := len(w.StreamAddrs(853)); got != 2 {
+		t.Errorf("StreamAddrs(853) = %d, want 2", got)
+	}
+	if !w.HasStream(a, 853) || w.HasStream(a, 443) {
+		t.Error("HasStream mismatch")
+	}
+}
+
+// mustCA builds an untrusted CA for interception tests.
+func mustCA(t *testing.T) *certs.CA {
+	t.Helper()
+	ca, err := certs.NewCA("Test DPI CA", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ca
+}

@@ -1,0 +1,203 @@
+package netsim
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+)
+
+// Censor models national-level filtering: for clients inside Countries, it
+// blocks (refuses or blackholes) connections matching the destination sets,
+// and can inject spoofed answers to datagram queries (DNS injection).
+type Censor struct {
+	// Countries of the *clients* whose traffic is filtered.
+	Countries map[string]bool
+	// BlockIPs are destination addresses to block on any port.
+	BlockIPs map[netip.Addr]bool
+	// BlockPorts restricts blocking to these ports; empty means all ports.
+	BlockPorts map[uint16]bool
+	// Blackhole silently drops instead of refusing (the common behaviour).
+	Blackhole bool
+	// SpoofDNS, when non-nil, answers datagram port-53 queries to blocked
+	// destinations with a forged payload instead of dropping them.
+	SpoofDNS func(req []byte) []byte
+}
+
+// Decide implements DialPolicy.
+func (c *Censor) Decide(w *World, from, to netip.Addr, port uint16, proto Proto) Verdict {
+	if len(c.Countries) > 0 && !c.Countries[w.Geo.Country(from)] {
+		return Verdict{Action: ActNext}
+	}
+	if !c.BlockIPs[to] {
+		return Verdict{Action: ActNext}
+	}
+	if len(c.BlockPorts) > 0 && !c.BlockPorts[port] {
+		return Verdict{Action: ActNext}
+	}
+	if proto == Datagram && port == 53 && c.SpoofDNS != nil {
+		return Verdict{Action: ActSpoof, Spoof: c.SpoofDNS}
+	}
+	if c.Blackhole {
+		return Verdict{Action: ActBlackhole}
+	}
+	return Verdict{Action: ActRefuse}
+}
+
+// PortFilter models middleboxes that filter a port for specific client
+// prefixes — the paper's explanation for clear-text DNS (port 53) failing
+// for 16% of clients while ports 853/443 pass ("filtering policies on a
+// particular port").
+type PortFilter struct {
+	// ClientPrefixes whose traffic is filtered.
+	ClientPrefixes []netip.Prefix
+	Port           uint16
+	// DstIPs restricts filtering to these destinations; empty = all.
+	DstIPs map[netip.Addr]bool
+	// Blackhole drops instead of refusing.
+	Blackhole bool
+}
+
+// Decide implements DialPolicy.
+func (f *PortFilter) Decide(_ *World, from, to netip.Addr, port uint16, _ Proto) Verdict {
+	if port != f.Port {
+		return Verdict{Action: ActNext}
+	}
+	if len(f.DstIPs) > 0 && !f.DstIPs[to] {
+		return Verdict{Action: ActNext}
+	}
+	for _, p := range f.ClientPrefixes {
+		if p.Contains(from) {
+			if f.Blackhole {
+				return Verdict{Action: ActBlackhole}
+			}
+			return Verdict{Action: ActRefuse}
+		}
+	}
+	return Verdict{Action: ActNext}
+}
+
+// DeviceKind labels the devices found squatting on 1.1.1.1 in Table 5 and
+// the surrounding discussion.
+type DeviceKind string
+
+// Device kinds observed by the paper's webpage fetches.
+const (
+	DeviceRouter     DeviceKind = "MikroTik Router"
+	DeviceModem      DeviceKind = "Powerbox Gvt Modem"
+	DeviceAuthPortal DeviceKind = "Authentication System"
+	DeviceMiner      DeviceKind = "Cryptojacked MikroTik Router"
+)
+
+// ConflictDevice models an in-path device that has taken over a well-known
+// resolver address (e.g. 1.1.1.1 used as a router's virtual IP). Clients in
+// ClientPrefixes reaching ConflictIP get the device instead of the resolver.
+type ConflictDevice struct {
+	ClientPrefixes []netip.Prefix
+	ConflictIP     netip.Addr
+	Kind           DeviceKind
+	// OpenPorts maps ports the device listens on to the body of the page
+	// it serves (an HTTP response is synthesized around it). Ports not in
+	// the map are refused when RefuseOthers, otherwise blackholed —
+	// the paper finds most conflicting destinations are silent.
+	OpenPorts    map[uint16]string
+	RefuseOthers bool
+}
+
+// Decide implements DialPolicy.
+func (d *ConflictDevice) Decide(_ *World, from, to netip.Addr, port uint16, proto Proto) Verdict {
+	if to != d.ConflictIP {
+		return Verdict{Action: ActNext}
+	}
+	match := false
+	for _, p := range d.ClientPrefixes {
+		if p.Contains(from) {
+			match = true
+			break
+		}
+	}
+	if !match {
+		return Verdict{Action: ActNext}
+	}
+	if proto == Datagram {
+		// Devices here do not answer DNS datagrams.
+		return Verdict{Action: ActBlackhole}
+	}
+	body, open := d.OpenPorts[port]
+	if !open {
+		if d.RefuseOthers {
+			return Verdict{Action: ActRefuse}
+		}
+		return Verdict{Action: ActBlackhole}
+	}
+	kind := d.Kind
+	return Verdict{Action: ActRedirect, Handler: func(conn *Conn, dst Addr) {
+		defer conn.Close()
+		if dst.Port == 80 || dst.Port == 443 {
+			serveFixedHTTP(conn, string(kind), body)
+			return
+		}
+		// Non-HTTP ports just present a banner (SSH, telnet, ...).
+		fmt.Fprintf(conn, "%s\r\n", body)
+	}}
+}
+
+// serveFixedHTTP writes a minimal HTTP/1.0 response with the given body and
+// a Server header, then returns. It does not parse the request beyond
+// draining what is immediately available, which is all the paper's webpage
+// fetch needs.
+func serveFixedHTTP(conn *Conn, server, body string) {
+	buf := make([]byte, 1024)
+	conn.Read(buf) //nolint:errcheck // drain whatever request bytes arrived
+	fmt.Fprintf(conn, "HTTP/1.0 200 OK\r\nServer: %s\r\nContent-Type: text/html\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s",
+		server, len(body), body)
+}
+
+// RawTCPDevice accepts connections on arbitrary ports and immediately
+// closes them after a banner; used for conflicting devices exposing SSH,
+// telnet, BGP and similar ports in Table 5.
+type RawTCPDevice struct {
+	Banner string
+}
+
+// Handler returns a StreamHandler serving the banner.
+func (d RawTCPDevice) Handler() StreamHandler {
+	return func(conn *Conn) {
+		defer conn.Close()
+		if d.Banner != "" {
+			fmt.Fprintf(conn, "%s\r\n", d.Banner)
+		}
+	}
+}
+
+// OptOutList tracks prefixes whose owners opted out of scanning (§3.1's
+// ethics mechanism). It is concurrency-safe.
+type OptOutList struct {
+	mu       sync.RWMutex
+	prefixes []netip.Prefix
+}
+
+// Add registers an opt-out request.
+func (o *OptOutList) Add(p netip.Prefix) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.prefixes = append(o.prefixes, p)
+}
+
+// Contains reports whether ip opted out.
+func (o *OptOutList) Contains(ip netip.Addr) bool {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	for _, p := range o.prefixes {
+		if p.Contains(ip) {
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the number of opt-out entries.
+func (o *OptOutList) Len() int {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return len(o.prefixes)
+}

@@ -1,0 +1,300 @@
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dnsencryption.info/doe/internal/geo"
+)
+
+// Dial errors, distinguishable the way a measurement client distinguishes
+// connection refusal from silence.
+var (
+	ErrRefused   = errors.New("netsim: connection refused")
+	ErrBlackhole = &blackholeError{}
+	ErrNoRoute   = errors.New("netsim: no such host/port")
+)
+
+type blackholeError struct{}
+
+func (*blackholeError) Error() string   { return "netsim: i/o timeout (blackholed)" }
+func (*blackholeError) Timeout() bool   { return true }
+func (*blackholeError) Temporary() bool { return true }
+
+// Proto distinguishes stream (TCP-like) from datagram (UDP-like) traffic for
+// policy decisions.
+type Proto int
+
+// Protocols.
+const (
+	Stream Proto = iota
+	Datagram
+)
+
+// Action is a middlebox decision about a connection attempt.
+type Action int
+
+// Policy actions. ActNext lets the next policy decide.
+const (
+	ActNext Action = iota
+	ActAllow
+	ActRefuse
+	ActBlackhole
+	ActRedirect // hand the stream to Verdict.Handler instead of the target
+	ActSpoof    // answer the datagram with Verdict.Spoof's payload
+)
+
+// Verdict is a policy decision.
+type Verdict struct {
+	Action  Action
+	Handler RedirectHandler
+	Spoof   func(req []byte) []byte
+}
+
+// RedirectHandler serves a redirected stream. dst is the address the client
+// believed it was connecting to.
+type RedirectHandler func(conn *Conn, dst Addr)
+
+// DialPolicy models an in-path middlebox consulted on every connection
+// attempt, in registration order.
+type DialPolicy interface {
+	Decide(w *World, from, to netip.Addr, port uint16, proto Proto) Verdict
+}
+
+// PolicyFunc adapts a function to DialPolicy.
+type PolicyFunc func(w *World, from, to netip.Addr, port uint16, proto Proto) Verdict
+
+// Decide implements DialPolicy.
+func (f PolicyFunc) Decide(w *World, from, to netip.Addr, port uint16, proto Proto) Verdict {
+	return f(w, from, to, port, proto)
+}
+
+// StreamHandler serves one accepted connection.
+type StreamHandler func(conn *Conn)
+
+// DatagramHandler answers one datagram exchange. proc is the virtual
+// server-side processing time to charge on top of the path RTT (cache hits
+// are fast; recursive resolution to faraway nameservers is slow).
+type DatagramHandler func(from netip.Addr, req []byte) (resp []byte, proc time.Duration, err error)
+
+// World is the simulated Internet.
+type World struct {
+	Geo *geo.Registry
+	RTT *geo.RTTModel
+
+	mu        sync.RWMutex
+	listeners map[Addr]*Listener
+	dgrams    map[Addr]*dgramService
+	policies  []DialPolicy
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	// JitterFrac adds up to this fraction of extra delay per wait.
+	JitterFrac float64
+	// HandshakeRTTs is the virtual cost of connection establishment,
+	// charged by Dial (1 = TCP three-way handshake).
+	HandshakeRTTs float64
+
+	ephemeral atomic.Uint32
+}
+
+type dgramService struct {
+	handler DatagramHandler
+}
+
+// NewWorld creates an empty world with the built-in geography.
+func NewWorld(seed int64) *World {
+	return &World{
+		Geo:           &geo.Registry{},
+		RTT:           geo.NewRTTModel(),
+		listeners:     make(map[Addr]*Listener),
+		dgrams:        make(map[Addr]*dgramService),
+		rng:           rand.New(rand.NewSource(seed)),
+		JitterFrac:    0.10,
+		HandshakeRTTs: 1,
+	}
+}
+
+// AddPolicy appends a middlebox policy; earlier policies win.
+func (w *World) AddPolicy(p DialPolicy) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.policies = append(w.policies, p)
+}
+
+// Listen opens a net.Listener for ip:port, replacing any previous one.
+func (w *World) Listen(ip netip.Addr, port uint16) (*Listener, error) {
+	addr := Addr{IP: ip, Port: port}
+	l := newListener(addr)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if old, ok := w.listeners[addr]; ok {
+		old.Close()
+	}
+	w.listeners[addr] = l
+	return l, nil
+}
+
+// RegisterStream runs handler in a goroutine for every connection accepted
+// on ip:port.
+func (w *World) RegisterStream(ip netip.Addr, port uint16, handler StreamHandler) {
+	l, _ := w.Listen(ip, port)
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go handler(c.(*Conn))
+		}
+	}()
+}
+
+// CloseService removes the stream service on ip:port.
+func (w *World) CloseService(ip netip.Addr, port uint16) {
+	addr := Addr{IP: ip, Port: port}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if l, ok := w.listeners[addr]; ok {
+		l.Close()
+		delete(w.listeners, addr)
+	}
+}
+
+// RegisterDatagram installs a datagram service on ip:port.
+func (w *World) RegisterDatagram(ip netip.Addr, port uint16, handler DatagramHandler) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.dgrams[Addr{IP: ip, Port: port}] = &dgramService{handler: handler}
+}
+
+// HasStream reports whether a stream service is registered on ip:port,
+// ignoring policies. Tests and world builders use it; measurements must go
+// through Dial.
+func (w *World) HasStream(ip netip.Addr, port uint16) bool {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	_, ok := w.listeners[Addr{IP: ip, Port: port}]
+	return ok
+}
+
+// StreamAddrs returns every address with a service on port, in unspecified
+// order. World builders use it to compile ground-truth lists.
+func (w *World) StreamAddrs(port uint16) []netip.Addr {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	var addrs []netip.Addr
+	for a := range w.listeners {
+		if a.Port == port {
+			addrs = append(addrs, a.IP)
+		}
+	}
+	return addrs
+}
+
+func (w *World) childRNG() *rand.Rand {
+	w.rngMu.Lock()
+	defer w.rngMu.Unlock()
+	return rand.New(rand.NewSource(w.rng.Int63()))
+}
+
+func (w *World) decide(from, to netip.Addr, port uint16, proto Proto) Verdict {
+	w.mu.RLock()
+	policies := w.policies
+	w.mu.RUnlock()
+	for _, p := range policies {
+		v := p.Decide(w, from, to, port, proto)
+		if v.Action != ActNext {
+			return v
+		}
+	}
+	return Verdict{Action: ActAllow}
+}
+
+// pathRTT returns the modeled round-trip time between two addresses.
+func (w *World) pathRTT(from, to netip.Addr) time.Duration {
+	ms := w.RTT.RTTMillis(w.Geo.Country(from), w.Geo.Country(to))
+	return time.Duration(ms * float64(time.Millisecond))
+}
+
+// Dial opens a stream from the client address `from` to `to:port`,
+// traversing middlebox policies. The returned Conn's Elapsed already
+// includes the connection-establishment RTT.
+func (w *World) Dial(from, to netip.Addr, port uint16) (*Conn, error) {
+	v := w.decide(from, to, port, Stream)
+	switch v.Action {
+	case ActRefuse:
+		return nil, ErrRefused
+	case ActBlackhole:
+		return nil, ErrBlackhole
+	case ActRedirect:
+		return w.connect(from, to, port, func(server *Conn) {
+			// Handlers block on I/O, so they must not run on the
+			// dialer's goroutine.
+			go v.Handler(server, Addr{IP: to, Port: port})
+		})
+	}
+	w.mu.RLock()
+	l, ok := w.listeners[Addr{IP: to, Port: port}]
+	w.mu.RUnlock()
+	if !ok {
+		return nil, ErrRefused
+	}
+	return w.connect(from, to, port, func(server *Conn) {
+		if err := l.deliver(server); err != nil {
+			server.Close()
+		}
+	})
+}
+
+func (w *World) connect(from, to netip.Addr, port uint16, serve func(server *Conn)) (*Conn, error) {
+	clientAddr := Addr{IP: from, Port: uint16(32768 + w.ephemeral.Add(1)%32768)}
+	serverAddr := Addr{IP: to, Port: port}
+	rtt := w.pathRTT(from, to)
+	client, server := Pair(clientAddr, serverAddr, rtt, w.childRNG(), w.JitterFrac)
+	client.link.add(time.Duration(float64(rtt) * w.HandshakeRTTs))
+	serve(server)
+	return client, nil
+}
+
+// Exchange performs one datagram round trip (UDP-like). It returns the
+// response payload and the virtual elapsed time.
+func (w *World) Exchange(from, to netip.Addr, port uint16, req []byte) ([]byte, time.Duration, error) {
+	v := w.decide(from, to, port, Datagram)
+	rtt := w.pathRTT(from, to)
+	switch v.Action {
+	case ActRefuse:
+		return nil, 0, ErrRefused
+	case ActBlackhole:
+		return nil, 0, ErrBlackhole
+	case ActSpoof:
+		// Injected responses arrive faster than the genuine server's:
+		// the injector sits in-path.
+		return v.Spoof(req), rtt / 2, nil
+	}
+	w.mu.RLock()
+	svc, ok := w.dgrams[Addr{IP: to, Port: port}]
+	w.mu.RUnlock()
+	if !ok {
+		return nil, 0, ErrNoRoute
+	}
+	resp, proc, err := svc.handler(from, req)
+	if err != nil {
+		return nil, 0, err
+	}
+	return resp, rtt + proc, nil
+}
+
+// String summarizes the world for diagnostics.
+func (w *World) String() string {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return fmt.Sprintf("netsim.World{streams: %d, datagrams: %d, policies: %d}",
+		len(w.listeners), len(w.dgrams), len(w.policies))
+}

@@ -1,0 +1,170 @@
+// Package passivedns models the two passive DNS databases of §5.1: a
+// DNSDB-style aggregate view (first/last seen, total lookup count, broad
+// coverage) and a 360-PassiveDNS-style daily-volume view (per-domain daily
+// query counts), both fed by a sensor observing recursive resolver traffic.
+// §5.3 evaluates DoH usage by querying these for DoH bootstrap domains.
+package passivedns
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"dnsencryption.info/doe/internal/dnswire"
+)
+
+// Observation is one sensed DNS lookup.
+type Observation struct {
+	Time  time.Time
+	QName string
+	QType dnswire.Type
+}
+
+// Aggregate is the DNSDB-style summary of one domain.
+type Aggregate struct {
+	QName     string
+	FirstSeen time.Time
+	LastSeen  time.Time
+	Count     int
+}
+
+// DailyPoint is one day's query volume for a domain.
+type DailyPoint struct {
+	Day   string // "2019-03-05"
+	Count int
+}
+
+// DB is a passive DNS database. It is safe for concurrent use.
+type DB struct {
+	mu    sync.RWMutex
+	agg   map[string]*Aggregate
+	daily map[string]map[string]int
+}
+
+// NewDB creates an empty database.
+func NewDB() *DB {
+	return &DB{
+		agg:   make(map[string]*Aggregate),
+		daily: make(map[string]map[string]int),
+	}
+}
+
+// Observe records one lookup.
+func (db *DB) Observe(obs Observation) {
+	name := dnswire.CanonicalName(obs.QName)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	a, ok := db.agg[name]
+	if !ok {
+		a = &Aggregate{QName: name, FirstSeen: obs.Time, LastSeen: obs.Time}
+		db.agg[name] = a
+	}
+	if obs.Time.Before(a.FirstSeen) {
+		a.FirstSeen = obs.Time
+	}
+	if obs.Time.After(a.LastSeen) {
+		a.LastSeen = obs.Time
+	}
+	a.Count++
+
+	day := obs.Time.Format("2006-01-02")
+	byDay, ok := db.daily[name]
+	if !ok {
+		byDay = make(map[string]int)
+		db.daily[name] = byDay
+	}
+	byDay[day]++
+}
+
+// ObserveCount records n identical lookups spread across one day —
+// workload generators use it to feed aggregate volumes efficiently.
+func (db *DB) ObserveCount(t time.Time, qname string, n int) {
+	if n <= 0 {
+		return
+	}
+	name := dnswire.CanonicalName(qname)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	a, ok := db.agg[name]
+	if !ok {
+		a = &Aggregate{QName: name, FirstSeen: t, LastSeen: t}
+		db.agg[name] = a
+	}
+	if t.Before(a.FirstSeen) {
+		a.FirstSeen = t
+	}
+	if t.After(a.LastSeen) {
+		a.LastSeen = t
+	}
+	a.Count += n
+
+	day := t.Format("2006-01-02")
+	byDay, ok := db.daily[name]
+	if !ok {
+		byDay = make(map[string]int)
+		db.daily[name] = byDay
+	}
+	byDay[day] += n
+}
+
+// Lookup returns the DNSDB-style aggregate for a domain.
+func (db *DB) Lookup(qname string) (Aggregate, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	a, ok := db.agg[dnswire.CanonicalName(qname)]
+	if !ok {
+		return Aggregate{}, false
+	}
+	return *a, true
+}
+
+// DailyVolume returns the 360-style daily series for a domain, sorted by
+// day.
+func (db *DB) DailyVolume(qname string) []DailyPoint {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	byDay, ok := db.daily[dnswire.CanonicalName(qname)]
+	if !ok {
+		return nil
+	}
+	out := make([]DailyPoint, 0, len(byDay))
+	for day, n := range byDay {
+		out = append(out, DailyPoint{Day: day, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Day < out[j].Day })
+	return out
+}
+
+// MonthlyVolume rolls the daily series up to months ("2019-03" keys),
+// the granularity of Fig. 13.
+func (db *DB) MonthlyVolume(qname string) []DailyPoint {
+	daily := db.DailyVolume(qname)
+	byMonth := map[string]int{}
+	for _, p := range daily {
+		byMonth[p.Day[:7]] += p.Count
+	}
+	out := make([]DailyPoint, 0, len(byMonth))
+	for m, n := range byMonth {
+		out = append(out, DailyPoint{Day: m, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Day < out[j].Day })
+	return out
+}
+
+// Domains returns all recorded domains sorted by total count descending —
+// used to find which DoH domains "have more than 10K queries" (§5.3).
+func (db *DB) Domains() []Aggregate {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]Aggregate, 0, len(db.agg))
+	for _, a := range db.agg {
+		out = append(out, *a)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].QName < out[j].QName
+	})
+	return out
+}

@@ -1,0 +1,82 @@
+package passivedns
+
+import (
+	"testing"
+	"time"
+
+	"dnsencryption.info/doe/internal/dnswire"
+)
+
+var day1 = time.Date(2019, 3, 5, 10, 0, 0, 0, time.UTC)
+
+func TestObserveAndLookup(t *testing.T) {
+	db := NewDB()
+	db.Observe(Observation{Time: day1, QName: "dns.Google", QType: dnswire.TypeA})
+	db.Observe(Observation{Time: day1.Add(time.Hour), QName: "dns.google.", QType: dnswire.TypeA})
+	agg, ok := db.Lookup("DNS.GOOGLE")
+	if !ok {
+		t.Fatal("lookup failed")
+	}
+	if agg.Count != 2 || agg.QName != "dns.google." {
+		t.Errorf("agg = %+v", agg)
+	}
+	if !agg.FirstSeen.Equal(day1) || !agg.LastSeen.Equal(day1.Add(time.Hour)) {
+		t.Errorf("seen range = %v..%v", agg.FirstSeen, agg.LastSeen)
+	}
+}
+
+func TestLookupMissing(t *testing.T) {
+	db := NewDB()
+	if _, ok := db.Lookup("nothing.example"); ok {
+		t.Error("lookup of unseen domain succeeded")
+	}
+	if db.DailyVolume("nothing.example") != nil {
+		t.Error("daily volume of unseen domain non-nil")
+	}
+}
+
+func TestDailyAndMonthlyVolume(t *testing.T) {
+	db := NewDB()
+	db.ObserveCount(day1, "doh.cleanbrowsing.org", 100)
+	db.ObserveCount(day1.AddDate(0, 0, 1), "doh.cleanbrowsing.org", 50)
+	db.ObserveCount(day1.AddDate(0, 1, 0), "doh.cleanbrowsing.org", 300)
+
+	daily := db.DailyVolume("doh.cleanbrowsing.org")
+	if len(daily) != 3 || daily[0].Count != 100 || daily[0].Day != "2019-03-05" {
+		t.Errorf("daily = %+v", daily)
+	}
+	monthly := db.MonthlyVolume("doh.cleanbrowsing.org")
+	if len(monthly) != 2 || monthly[0].Count != 150 || monthly[0].Day != "2019-03" || monthly[1].Count != 300 {
+		t.Errorf("monthly = %+v", monthly)
+	}
+}
+
+func TestObserveCountIgnoresNonPositive(t *testing.T) {
+	db := NewDB()
+	db.ObserveCount(day1, "x.example", 0)
+	db.ObserveCount(day1, "x.example", -5)
+	if _, ok := db.Lookup("x.example"); ok {
+		t.Error("non-positive counts recorded")
+	}
+}
+
+func TestDomainsSortedByCount(t *testing.T) {
+	db := NewDB()
+	db.ObserveCount(day1, "dns.google", 1000000)
+	db.ObserveCount(day1, "mozilla.cloudflare-dns.com", 50000)
+	db.ObserveCount(day1, "doh.crypto.sx", 120)
+	domains := db.Domains()
+	if len(domains) != 3 || domains[0].QName != "dns.google." || domains[2].QName != "doh.crypto.sx." {
+		t.Errorf("domains = %+v", domains)
+	}
+}
+
+func TestFirstSeenMovesBackward(t *testing.T) {
+	db := NewDB()
+	db.Observe(Observation{Time: day1, QName: "a.example"})
+	db.Observe(Observation{Time: day1.Add(-24 * time.Hour), QName: "a.example"})
+	agg, _ := db.Lookup("a.example")
+	if !agg.FirstSeen.Equal(day1.Add(-24 * time.Hour)) {
+		t.Errorf("FirstSeen = %v", agg.FirstSeen)
+	}
+}

@@ -1,0 +1,188 @@
+package proxy
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sort"
+	"sync"
+	"time"
+
+	"dnsencryption.info/doe/internal/netsim"
+)
+
+// ExitNode is one residential endpoint of a proxy network.
+type ExitNode struct {
+	ID      string
+	Addr    netip.Addr
+	Country string
+	ASN     int
+	ASName  string
+	// Lifetime is the node's remaining session budget. Residential nodes
+	// churn; the paper checks remaining uptime via the platform API and
+	// discards nodes that would expire mid-measurement.
+	Lifetime time.Duration
+}
+
+// Errors returned by the network.
+var (
+	ErrNoSuchNode  = errors.New("proxy: no such exit node")
+	ErrNodeExpired = errors.New("proxy: exit node expired")
+)
+
+// Network models a commercial residential SOCKS proxy platform (ProxyRack,
+// Zhima): a super proxy address plus a pool of exit nodes. Sessions select
+// their exit via the SOCKS username, mirroring username-keyed sessions on
+// real platforms.
+type Network struct {
+	Name      string
+	World     *netsim.World
+	SuperAddr netip.Addr
+	// RequireAuth demands RFC 1929 credentials at the super proxy.
+	RequireAuth bool
+	// PerDialCost is how much lifetime one tunneled session consumes.
+	PerDialCost time.Duration
+
+	mu    sync.Mutex
+	nodes map[string]*ExitNode
+	order []string
+	rng   *rand.Rand
+}
+
+// NewNetwork creates a proxy platform and installs its super proxy and exit
+// node servers into the world.
+func NewNetwork(w *netsim.World, name string, superAddr netip.Addr, seed int64) *Network {
+	n := &Network{
+		Name:        name,
+		World:       w,
+		SuperAddr:   superAddr,
+		RequireAuth: true,
+		PerDialCost: 30 * time.Second,
+		nodes:       make(map[string]*ExitNode),
+		rng:         rand.New(rand.NewSource(seed)),
+	}
+	w.RegisterStream(superAddr, 1080, func(conn *netsim.Conn) {
+		ServeConn(conn, n.RequireAuth, n.dialViaExit)
+	})
+	return n
+}
+
+// AddNode registers an exit node and starts its SOCKS service.
+func (n *Network) AddNode(node ExitNode) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	cp := node
+	n.nodes[node.ID] = &cp
+	n.order = append(n.order, node.ID)
+	// The exit node's own SOCKS server: dials targets from the node's
+	// address, so in-path middleboxes near the node apply.
+	n.World.RegisterStream(node.Addr, 1080, func(conn *netsim.Conn) {
+		ServeConn(conn, false, func(req Request) (*netsim.Conn, error) {
+			if !req.Target.IsValid() {
+				return nil, netsim.ErrNoRoute
+			}
+			return n.World.Dial(cp.Addr, req.Target, req.Port)
+		})
+	})
+}
+
+// Nodes returns all exit nodes sorted by ID.
+func (n *Network) Nodes() []ExitNode {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]ExitNode, 0, len(n.nodes))
+	for _, node := range n.nodes {
+		out = append(out, *node)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// NodeCount reports the pool size.
+func (n *Network) NodeCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.nodes)
+}
+
+// RemainingUptime is the platform API the paper polls before using a node
+// ("we first check its remaining uptime and discard it if expiring soon").
+func (n *Network) RemainingUptime(id string) (time.Duration, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	node, ok := n.nodes[id]
+	if !ok {
+		return 0, ErrNoSuchNode
+	}
+	return node.Lifetime, nil
+}
+
+// dialViaExit is the super proxy's outbound leg: pick the exit node named
+// by the SOCKS username (or a random live one), tunnel through its SOCKS
+// service, and complete a nested CONNECT to the real target.
+func (n *Network) dialViaExit(req Request) (*netsim.Conn, error) {
+	node, err := n.reserve(req.Username)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := n.World.Dial(n.SuperAddr, node.Addr, 1080)
+	if err != nil {
+		return nil, err
+	}
+	if err := ClientConnect(conn, nil, req.Target, req.Port); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return conn, nil
+}
+
+func (n *Network) reserve(id string) (*ExitNode, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var node *ExitNode
+	if id != "" {
+		var ok bool
+		node, ok = n.nodes[id]
+		if !ok {
+			return nil, ErrNoSuchNode
+		}
+	} else {
+		live := make([]*ExitNode, 0, len(n.nodes))
+		for _, id := range n.order {
+			if nd := n.nodes[id]; nd.Lifetime > 0 {
+				live = append(live, nd)
+			}
+		}
+		if len(live) == 0 {
+			return nil, ErrNodeExpired
+		}
+		node = live[n.rng.Intn(len(live))]
+	}
+	if node.Lifetime <= 0 {
+		return nil, ErrNodeExpired
+	}
+	node.Lifetime -= n.PerDialCost
+	return node, nil
+}
+
+// Dial opens a tunnel from the measurement client at `from` through the
+// platform to target:port, pinned to exit node nodeID ("" = platform
+// chooses). The returned conn carries composed virtual latency across all
+// three segments.
+func (n *Network) Dial(from netip.Addr, nodeID string, target netip.Addr, port uint16) (*netsim.Conn, error) {
+	conn, err := n.World.Dial(from, n.SuperAddr, 1080)
+	if err != nil {
+		return nil, err
+	}
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	var creds *Credentials
+	if n.RequireAuth {
+		creds = &Credentials{Username: nodeID, Password: "measurement"}
+	}
+	if err := ClientConnect(conn, creds, target, port); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("via %s node %q: %w", n.Name, nodeID, err)
+	}
+	return conn, nil
+}

@@ -1,0 +1,244 @@
+package proxy
+
+import (
+	"errors"
+	"io"
+	"net/netip"
+	"testing"
+	"time"
+
+	"dnsencryption.info/doe/internal/dnswire"
+	"dnsencryption.info/doe/internal/geo"
+	"dnsencryption.info/doe/internal/netsim"
+)
+
+var (
+	measureIP = netip.MustParseAddr("10.0.0.1") // measurement client
+	superIP   = netip.MustParseAddr("172.16.0.1")
+	exitUS    = netip.MustParseAddr("10.10.0.5")
+	exitID    = netip.MustParseAddr("10.20.0.5") // Indonesia
+	targetIP  = netip.MustParseAddr("192.0.2.80")
+)
+
+func newWorld() *netsim.World {
+	w := netsim.NewWorld(21)
+	w.JitterFrac = 0
+	w.Geo.Register(netip.MustParsePrefix("10.0.0.0/16"), geo.Location{Country: "US", ASN: 1, ASName: "Lab"})
+	w.Geo.Register(netip.MustParsePrefix("172.16.0.0/16"), geo.Location{Country: "US", ASN: 2, ASName: "Cloud"})
+	w.Geo.Register(netip.MustParsePrefix("10.10.0.0/16"), geo.Location{Country: "US", ASN: 3, ASName: "US ISP"})
+	w.Geo.Register(netip.MustParsePrefix("10.20.0.0/16"), geo.Location{Country: "ID", ASN: 4, ASName: "ID ISP"})
+	w.Geo.Register(netip.MustParsePrefix("192.0.2.0/24"), geo.Location{Country: "NL", ASN: 5, ASName: "Host"})
+	return w
+}
+
+// echoTarget registers a byte-echo service at targetIP:port.
+func echoTarget(w *netsim.World, port uint16) {
+	w.RegisterStream(targetIP, port, func(conn *netsim.Conn) {
+		defer conn.Close()
+		io.Copy(conn, conn) //nolint:errcheck
+	})
+}
+
+func newNetwork(w *netsim.World) *Network {
+	n := NewNetwork(w, "testrack", superIP, 5)
+	n.AddNode(ExitNode{ID: "us-1", Addr: exitUS, Country: "US", ASN: 3, ASName: "US ISP", Lifetime: time.Hour})
+	n.AddNode(ExitNode{ID: "id-1", Addr: exitID, Country: "ID", ASN: 4, ASName: "ID ISP", Lifetime: time.Hour})
+	return n
+}
+
+func TestTunnelEcho(t *testing.T) {
+	w := newWorld()
+	echoTarget(w, 80)
+	n := newNetwork(w)
+	conn, err := n.Dial(measureIP, "us-1", targetIP, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "hello" {
+		t.Errorf("echo = %q", buf)
+	}
+}
+
+func TestLatencyComposesAcrossHops(t *testing.T) {
+	w := newWorld()
+	echoTarget(w, 80)
+	n := newNetwork(w)
+
+	measure := func(nodeID string) time.Duration {
+		conn, err := n.Dial(measureIP, nodeID, targetIP, 80)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		before := conn.Elapsed()
+		conn.Write([]byte("x")) //nolint:errcheck
+		buf := make([]byte, 1)
+		io.ReadFull(conn, buf) //nolint:errcheck
+		return conn.Elapsed() - before
+	}
+
+	viaUS := measure("us-1")
+	viaID := measure("id-1")
+	if viaUS <= 0 || viaID <= 0 {
+		t.Fatalf("latencies not accounted: US=%v ID=%v", viaUS, viaID)
+	}
+	// The Indonesian exit sits farther from both super proxy and target,
+	// and has a slower access network: round trips must cost more.
+	if viaID <= viaUS {
+		t.Errorf("via-ID latency %v not above via-US %v", viaID, viaUS)
+	}
+}
+
+func TestConnectRefusedTargetReported(t *testing.T) {
+	w := newWorld()
+	n := newNetwork(w)
+	_, err := n.Dial(measureIP, "us-1", targetIP, 9999)
+	if !errors.Is(err, ErrConnectFailed) {
+		t.Errorf("err = %v, want ErrConnectFailed", err)
+	}
+}
+
+func TestNodeSelectionByUsername(t *testing.T) {
+	w := newWorld()
+	echoTarget(w, 80)
+	n := newNetwork(w)
+	if _, err := n.Dial(measureIP, "nope", targetIP, 80); err == nil {
+		t.Error("dial via unknown node succeeded")
+	}
+	conn, err := n.Dial(measureIP, "", targetIP, 80) // platform chooses
+	if err != nil {
+		t.Fatalf("random node dial: %v", err)
+	}
+	conn.Close()
+}
+
+func TestLifetimeExhaustion(t *testing.T) {
+	w := newWorld()
+	echoTarget(w, 80)
+	n := NewNetwork(w, "short", superIP, 6)
+	n.PerDialCost = 40 * time.Minute
+	n.AddNode(ExitNode{ID: "brief", Addr: exitUS, Country: "US", Lifetime: time.Hour})
+
+	if _, err := n.RemainingUptime("brief"); err != nil {
+		t.Fatal(err)
+	}
+	c1, err := n.Dial(measureIP, "brief", targetIP, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1.Close()
+	left, err := n.RemainingUptime("brief")
+	if err != nil || left != 20*time.Minute {
+		t.Errorf("remaining = %v, %v; want 20m", left, err)
+	}
+	c2, err := n.Dial(measureIP, "brief", targetIP, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2.Close()
+	if _, err := n.Dial(measureIP, "brief", targetIP, 80); err == nil {
+		t.Error("dial via exhausted node succeeded")
+	}
+	if _, err := n.RemainingUptime("missing"); !errors.Is(err, ErrNoSuchNode) {
+		t.Errorf("err = %v, want ErrNoSuchNode", err)
+	}
+}
+
+func TestPoliciesApplyAtExitNode(t *testing.T) {
+	w := newWorld()
+	echoTarget(w, 443)
+	// Censor blocks the target for clients in ID only.
+	w.AddPolicy(&netsim.Censor{
+		Countries: map[string]bool{"ID": true},
+		BlockIPs:  map[netip.Addr]bool{targetIP: true},
+	})
+	n := newNetwork(w)
+
+	if conn, err := n.Dial(measureIP, "us-1", targetIP, 443); err != nil {
+		t.Errorf("US exit should pass: %v", err)
+	} else {
+		conn.Close()
+	}
+	if _, err := n.Dial(measureIP, "id-1", targetIP, 443); !errors.Is(err, ErrConnectFailed) {
+		t.Errorf("ID exit err = %v, want ErrConnectFailed (censored)", err)
+	}
+}
+
+func TestDNSOverTunnel(t *testing.T) {
+	w := newWorld()
+	fixed := netip.MustParseAddr("203.0.113.3")
+	w.RegisterStream(targetIP, 53, func(conn *netsim.Conn) {
+		defer conn.Close()
+		for {
+			raw, err := dnswire.ReadTCP(conn)
+			if err != nil {
+				return
+			}
+			m, err := dnswire.Unpack(raw)
+			if err != nil {
+				return
+			}
+			resp := m.Reply()
+			resp.AddAnswer(m.Question1().Name, 60, dnswire.A{Addr: fixed})
+			packed, _ := resp.Pack()
+			if err := dnswire.WriteTCP(conn, packed); err != nil {
+				return
+			}
+		}
+	})
+	n := newNetwork(w)
+	conn, err := n.Dial(measureIP, "us-1", targetIP, 53)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	q := dnswire.NewQuery(77, "proxied.example.org", dnswire.TypeA)
+	framed, _ := dnswire.PackTCP(q)
+	if _, err := conn.Write(framed); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := dnswire.ReadTCP(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := dnswire.Unpack(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, ok := m.Answers[0].Data.(dnswire.A); !ok || a.Addr != fixed {
+		t.Errorf("answer = %v", m.Answers)
+	}
+}
+
+func TestNodesListing(t *testing.T) {
+	w := newWorld()
+	n := newNetwork(w)
+	nodes := n.Nodes()
+	if len(nodes) != 2 || nodes[0].ID != "id-1" || nodes[1].ID != "us-1" {
+		t.Errorf("nodes = %+v", nodes)
+	}
+	if n.NodeCount() != 2 {
+		t.Errorf("count = %d", n.NodeCount())
+	}
+}
+
+func TestNoAuthSuperProxy(t *testing.T) {
+	w := newWorld()
+	echoTarget(w, 80)
+	n := NewNetwork(w, "open", superIP, 7)
+	n.RequireAuth = false
+	n.AddNode(ExitNode{ID: "x", Addr: exitUS, Country: "US", Lifetime: time.Hour})
+	conn, err := n.Dial(measureIP, "", targetIP, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+}

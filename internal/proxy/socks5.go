@@ -1,0 +1,387 @@
+// Package proxy implements SOCKS5 (RFC 1928, with RFC 1929 username/password
+// authentication) and the residential proxy networks the paper uses as
+// vantage-point platforms (§4.1): a super proxy that forwards measurement
+// traffic to geographically distributed exit nodes, which connect to the
+// actual targets. Virtual latency is propagated across hops, so a
+// measurement client's observed time T_R composes client→super, super→exit
+// and exit→target segments exactly as in the paper's Figure 8.
+package proxy
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net/netip"
+
+	"dnsencryption.info/doe/internal/netsim"
+)
+
+// SOCKS protocol constants (RFC 1928).
+const (
+	socksVersion = 5
+
+	authNone         = 0x00
+	authUserPass     = 0x02
+	authNoAcceptable = 0xFF
+
+	cmdConnect = 0x01
+
+	atypIPv4   = 0x01
+	atypDomain = 0x03
+	atypIPv6   = 0x04
+
+	repSuccess            = 0x00
+	repGeneralFailure     = 0x01
+	repNetworkUnreachable = 0x03
+	repHostUnreachable    = 0x04
+	repConnRefused        = 0x05
+	repCmdNotSupported    = 0x07
+)
+
+// Errors surfaced by the SOCKS layer.
+var (
+	ErrAuthRequired   = errors.New("proxy: server requires credentials")
+	ErrAuthRejected   = errors.New("proxy: credentials rejected")
+	ErrConnectFailed  = errors.New("proxy: CONNECT failed")
+	ErrBadProtocol    = errors.New("proxy: protocol violation")
+	ErrUnsupportedCmd = errors.New("proxy: unsupported command")
+)
+
+// ConnectError is a CONNECT rejection carrying the server's reply code.
+// Codes propagate unchanged across chained proxies, so a measurement
+// client can distinguish target-side failures (refused, unreachable) from
+// platform-side disruptions (general failure: exit churn, expired session).
+type ConnectError struct {
+	Code byte
+}
+
+// Error implements error.
+func (e *ConnectError) Error() string {
+	return fmt.Sprintf("proxy: CONNECT failed: reply code %d", e.Code)
+}
+
+// Unwrap lets errors.Is(err, ErrConnectFailed) hold.
+func (e *ConnectError) Unwrap() error { return ErrConnectFailed }
+
+// IsPlatformDisruption reports whether err is the proxy platform failing
+// (rather than the destination being unreachable). The paper removes such
+// vantage points from the dataset ("upon any service disruption of exit
+// nodes ... we remove this node from our dataset").
+func IsPlatformDisruption(err error) bool {
+	var ce *ConnectError
+	return errors.As(err, &ce) && ce.Code == repGeneralFailure
+}
+
+// Credentials carry RFC 1929 username/password. The paper-style networks
+// use the username to pin a session to a specific exit node.
+type Credentials struct {
+	Username string
+	Password string
+}
+
+// ClientConnect performs the client side of a SOCKS5 session on conn:
+// method negotiation, optional authentication, then a CONNECT to
+// target:port. On return the conn is a transparent tunnel to the target.
+func ClientConnect(conn io.ReadWriter, creds *Credentials, target netip.Addr, port uint16) error {
+	methods := []byte{authNone}
+	if creds != nil {
+		methods = []byte{authUserPass, authNone}
+	}
+	greeting := append([]byte{socksVersion, byte(len(methods))}, methods...)
+	if _, err := conn.Write(greeting); err != nil {
+		return err
+	}
+	var sel [2]byte
+	if _, err := io.ReadFull(conn, sel[:]); err != nil {
+		return err
+	}
+	if sel[0] != socksVersion {
+		return ErrBadProtocol
+	}
+	switch sel[1] {
+	case authNone:
+	case authUserPass:
+		if creds == nil {
+			return ErrAuthRequired
+		}
+		if err := clientAuth(conn, creds); err != nil {
+			return err
+		}
+	default:
+		return ErrAuthRequired
+	}
+
+	req := []byte{socksVersion, cmdConnect, 0}
+	if target.Is4() {
+		v4 := target.As4()
+		req = append(req, atypIPv4)
+		req = append(req, v4[:]...)
+	} else {
+		v6 := target.As16()
+		req = append(req, atypIPv6)
+		req = append(req, v6[:]...)
+	}
+	req = binary.BigEndian.AppendUint16(req, port)
+	if _, err := conn.Write(req); err != nil {
+		return err
+	}
+	var head [4]byte
+	if _, err := io.ReadFull(conn, head[:]); err != nil {
+		return err
+	}
+	if head[0] != socksVersion {
+		return ErrBadProtocol
+	}
+	// Consume BND.ADDR/BND.PORT.
+	var skip int
+	switch head[3] {
+	case atypIPv4:
+		skip = 4 + 2
+	case atypIPv6:
+		skip = 16 + 2
+	case atypDomain:
+		var l [1]byte
+		if _, err := io.ReadFull(conn, l[:]); err != nil {
+			return err
+		}
+		skip = int(l[0]) + 2
+	default:
+		return ErrBadProtocol
+	}
+	if _, err := io.ReadFull(conn, make([]byte, skip)); err != nil {
+		return err
+	}
+	if head[1] != repSuccess {
+		return &ConnectError{Code: head[1]}
+	}
+	return nil
+}
+
+func clientAuth(conn io.ReadWriter, creds *Credentials) error {
+	msg := []byte{1, byte(len(creds.Username))}
+	msg = append(msg, creds.Username...)
+	msg = append(msg, byte(len(creds.Password)))
+	msg = append(msg, creds.Password...)
+	if _, err := conn.Write(msg); err != nil {
+		return err
+	}
+	var resp [2]byte
+	if _, err := io.ReadFull(conn, resp[:]); err != nil {
+		return err
+	}
+	if resp[1] != 0 {
+		return ErrAuthRejected
+	}
+	return nil
+}
+
+// Request is a parsed CONNECT request received by a server.
+type Request struct {
+	Target netip.Addr
+	// Domain is set instead of Target when the client sent a hostname.
+	Domain string
+	Port   uint16
+	// Username the client authenticated with ("" for no-auth).
+	Username string
+}
+
+// Dialer establishes the outbound leg for a CONNECT request. It returns the
+// downstream conn, whose virtual elapsed time (connection setup) the server
+// charges to the client before replying.
+type Dialer func(req Request) (*netsim.Conn, error)
+
+// ServeConn runs the server side of one SOCKS5 session on conn. requireAuth
+// demands username/password (any password accepted; the username is
+// surfaced in the Request for session routing, like ProxyRack's
+// username-keyed sessions).
+func ServeConn(conn *netsim.Conn, requireAuth bool, dial Dialer) {
+	defer conn.Close()
+	req, err := serverHandshake(conn, requireAuth)
+	if err != nil {
+		return
+	}
+	downstream, err := dial(*req)
+	if err != nil {
+		reply(conn, errorReply(err))
+		return
+	}
+	defer downstream.Close()
+	// The client waited while the downstream leg was established; charge
+	// that virtual time to its connection before confirming.
+	conn.AddLatency(downstream.Elapsed())
+	if err := reply(conn, repSuccess); err != nil {
+		return
+	}
+	Relay(conn, downstream)
+}
+
+func serverHandshake(conn *netsim.Conn, requireAuth bool) (*Request, error) {
+	var head [2]byte
+	if _, err := io.ReadFull(conn, head[:]); err != nil {
+		return nil, err
+	}
+	if head[0] != socksVersion {
+		return nil, ErrBadProtocol
+	}
+	methods := make([]byte, head[1])
+	if _, err := io.ReadFull(conn, methods); err != nil {
+		return nil, err
+	}
+	var username string
+	if requireAuth {
+		if !contains(methods, authUserPass) {
+			conn.Write([]byte{socksVersion, authNoAcceptable}) //nolint:errcheck
+			return nil, ErrAuthRequired
+		}
+		if _, err := conn.Write([]byte{socksVersion, authUserPass}); err != nil {
+			return nil, err
+		}
+		var err error
+		username, err = serverAuth(conn)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		if _, err := conn.Write([]byte{socksVersion, authNone}); err != nil {
+			return nil, err
+		}
+	}
+
+	var reqHead [4]byte
+	if _, err := io.ReadFull(conn, reqHead[:]); err != nil {
+		return nil, err
+	}
+	if reqHead[0] != socksVersion {
+		return nil, ErrBadProtocol
+	}
+	if reqHead[1] != cmdConnect {
+		reply(conn, repCmdNotSupported) //nolint:errcheck
+		return nil, ErrUnsupportedCmd
+	}
+	req := &Request{Username: username}
+	switch reqHead[3] {
+	case atypIPv4:
+		var a [4]byte
+		if _, err := io.ReadFull(conn, a[:]); err != nil {
+			return nil, err
+		}
+		req.Target = netip.AddrFrom4(a)
+	case atypIPv6:
+		var a [16]byte
+		if _, err := io.ReadFull(conn, a[:]); err != nil {
+			return nil, err
+		}
+		req.Target = netip.AddrFrom16(a)
+	case atypDomain:
+		var l [1]byte
+		if _, err := io.ReadFull(conn, l[:]); err != nil {
+			return nil, err
+		}
+		name := make([]byte, l[0])
+		if _, err := io.ReadFull(conn, name); err != nil {
+			return nil, err
+		}
+		req.Domain = string(name)
+	default:
+		return nil, ErrBadProtocol
+	}
+	var p [2]byte
+	if _, err := io.ReadFull(conn, p[:]); err != nil {
+		return nil, err
+	}
+	req.Port = binary.BigEndian.Uint16(p[:])
+	return req, nil
+}
+
+func serverAuth(conn *netsim.Conn) (string, error) {
+	var head [2]byte
+	if _, err := io.ReadFull(conn, head[:]); err != nil {
+		return "", err
+	}
+	if head[0] != 1 {
+		return "", ErrBadProtocol
+	}
+	user := make([]byte, head[1])
+	if _, err := io.ReadFull(conn, user); err != nil {
+		return "", err
+	}
+	var plen [1]byte
+	if _, err := io.ReadFull(conn, plen[:]); err != nil {
+		return "", err
+	}
+	if _, err := io.ReadFull(conn, make([]byte, plen[0])); err != nil {
+		return "", err
+	}
+	if _, err := conn.Write([]byte{1, 0}); err != nil {
+		return "", err
+	}
+	return string(user), nil
+}
+
+func reply(conn *netsim.Conn, code byte) error {
+	_, err := conn.Write([]byte{socksVersion, code, 0, atypIPv4, 0, 0, 0, 0, 0, 0})
+	return err
+}
+
+func errorReply(err error) byte {
+	var ce *ConnectError
+	switch {
+	case errors.As(err, &ce):
+		// Propagate the downstream hop's code unchanged.
+		return ce.Code
+	case errors.Is(err, netsim.ErrRefused):
+		return repConnRefused
+	case errors.Is(err, netsim.ErrBlackhole):
+		return repHostUnreachable
+	case errors.Is(err, netsim.ErrNoRoute):
+		return repNetworkUnreachable
+	default:
+		return repGeneralFailure
+	}
+}
+
+func contains(b []byte, v byte) bool {
+	for _, x := range b {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Relay copies bytes between the client-facing conn and the downstream
+// conn in both directions, propagating the downstream leg's virtual time
+// onto the client's connection so end-to-end latency composes across hops.
+func Relay(client, downstream *netsim.Conn) {
+	done := make(chan struct{}, 2)
+	go func() {
+		io.Copy(downstream, client) //nolint:errcheck
+		downstream.Close()
+		done <- struct{}{}
+	}()
+	go func() {
+		buf := make([]byte, 32*1024)
+		last := downstream.Elapsed()
+		for {
+			n, err := downstream.Read(buf)
+			if n > 0 {
+				now := downstream.Elapsed()
+				if now > last {
+					client.AddLatency(now - last)
+					last = now
+				}
+				if _, werr := client.Write(buf[:n]); werr != nil {
+					break
+				}
+			}
+			if err != nil {
+				break
+			}
+		}
+		client.Close()
+		done <- struct{}{}
+	}()
+	<-done
+	<-done
+}

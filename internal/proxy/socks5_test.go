@@ -1,0 +1,195 @@
+package proxy
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+	"net/netip"
+	"testing"
+	"time"
+
+	"dnsencryption.info/doe/internal/netsim"
+)
+
+// servePair wires a SOCKS server on an in-memory conn pair and returns the
+// client end.
+func servePair(t *testing.T, requireAuth bool, dial Dialer) *netsim.Conn {
+	t.Helper()
+	client, server := netsim.Pair(
+		netsim.Addr{IP: netip.MustParseAddr("10.0.0.1"), Port: 50000},
+		netsim.Addr{IP: netip.MustParseAddr("10.0.0.2"), Port: 1080},
+		time.Millisecond, nil, 0)
+	client.SetDeadline(time.Now().Add(2 * time.Second))
+	go ServeConn(server, requireAuth, dial)
+	return client
+}
+
+// echoDialer returns a loopback pipe as the "target".
+func echoDialer(t *testing.T) Dialer {
+	t.Helper()
+	return func(req Request) (*netsim.Conn, error) {
+		a, b := netsim.Pair(
+			netsim.Addr{IP: netip.MustParseAddr("127.0.0.1"), Port: 1},
+			netsim.Addr{IP: req.Target, Port: req.Port},
+			time.Millisecond, nil, 0)
+		go func() {
+			defer b.Close()
+			io.Copy(b, b) //nolint:errcheck
+		}()
+		return a, nil
+	}
+}
+
+func TestClientConnectNoAuth(t *testing.T) {
+	client := servePair(t, false, echoDialer(t))
+	defer client.Close()
+	if err := ClientConnect(client, nil, netip.MustParseAddr("192.0.2.1"), 80); err != nil {
+		t.Fatal(err)
+	}
+	client.Write([]byte("ping")) //nolint:errcheck
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(client, buf); err != nil || string(buf) != "ping" {
+		t.Fatalf("tunnel echo = %q, %v", buf, err)
+	}
+}
+
+func TestServerRejectsNoAuthWhenRequired(t *testing.T) {
+	client := servePair(t, true, echoDialer(t))
+	defer client.Close()
+	err := ClientConnect(client, nil, netip.MustParseAddr("192.0.2.1"), 80)
+	if !errors.Is(err, ErrAuthRequired) {
+		t.Errorf("err = %v, want ErrAuthRequired", err)
+	}
+}
+
+func TestUsernamePropagatesToDialer(t *testing.T) {
+	var gotUser string
+	dial := func(req Request) (*netsim.Conn, error) {
+		gotUser = req.Username
+		return echoDialer(t)(req)
+	}
+	client := servePair(t, true, dial)
+	defer client.Close()
+	creds := &Credentials{Username: "node-42", Password: "x"}
+	if err := ClientConnect(client, creds, netip.MustParseAddr("192.0.2.1"), 80); err != nil {
+		t.Fatal(err)
+	}
+	if gotUser != "node-42" {
+		t.Errorf("username = %q", gotUser)
+	}
+}
+
+func TestIPv6Target(t *testing.T) {
+	var gotTarget netip.Addr
+	dial := func(req Request) (*netsim.Conn, error) {
+		gotTarget = req.Target
+		return echoDialer(t)(req)
+	}
+	client := servePair(t, false, dial)
+	defer client.Close()
+	v6 := netip.MustParseAddr("2001:db8::53")
+	if err := ClientConnect(client, nil, v6, 853); err != nil {
+		t.Fatal(err)
+	}
+	if gotTarget != v6 {
+		t.Errorf("target = %v", gotTarget)
+	}
+}
+
+func TestDomainATYPRequest(t *testing.T) {
+	var gotDomain string
+	dial := func(req Request) (*netsim.Conn, error) {
+		gotDomain = req.Domain
+		return nil, netsim.ErrRefused
+	}
+	client := servePair(t, false, dial)
+	defer client.Close()
+	// Hand-roll a domain-ATYP CONNECT (our client only sends IPs).
+	client.Write([]byte{5, 1, 0}) //nolint:errcheck
+	sel := make([]byte, 2)
+	io.ReadFull(client, sel) //nolint:errcheck
+	req := []byte{5, 1, 0, 3, byte(len("dns.example"))}
+	req = append(req, "dns.example"...)
+	req = binary.BigEndian.AppendUint16(req, 853)
+	client.Write(req) //nolint:errcheck
+	head := make([]byte, 4)
+	if _, err := io.ReadFull(client, head); err != nil {
+		t.Fatal(err)
+	}
+	if head[1] != 5 { // connection refused
+		t.Errorf("reply code = %d, want 5", head[1])
+	}
+	if gotDomain != "dns.example" {
+		t.Errorf("domain = %q", gotDomain)
+	}
+}
+
+func TestUnsupportedCommandRejected(t *testing.T) {
+	client := servePair(t, false, echoDialer(t))
+	defer client.Close()
+	client.Write([]byte{5, 1, 0}) //nolint:errcheck
+	sel := make([]byte, 2)
+	io.ReadFull(client, sel) //nolint:errcheck
+	// BIND (0x02) request.
+	req := []byte{5, 2, 0, 1, 192, 0, 2, 1, 0, 80}
+	client.Write(req) //nolint:errcheck
+	head := make([]byte, 4)
+	if _, err := io.ReadFull(client, head); err != nil {
+		t.Fatal(err)
+	}
+	if head[1] != 7 { // command not supported
+		t.Errorf("reply code = %d, want 7", head[1])
+	}
+}
+
+func TestBadVersionDropped(t *testing.T) {
+	client := servePair(t, false, echoDialer(t))
+	defer client.Close()
+	client.Write([]byte{4, 1, 0}) //nolint:errcheck // SOCKS4 greeting
+	buf := make([]byte, 1)
+	if _, err := client.Read(buf); err != io.EOF {
+		t.Errorf("read after bad version = %v, want EOF", err)
+	}
+}
+
+func TestReplyCodeClassification(t *testing.T) {
+	cases := []struct {
+		err      error
+		platform bool
+	}{
+		{&ConnectError{Code: 1}, true},  // general failure = platform
+		{&ConnectError{Code: 4}, false}, // host unreachable = target
+		{&ConnectError{Code: 5}, false}, // refused = target
+		{errors.New("other"), false},
+	}
+	for _, c := range cases {
+		if got := IsPlatformDisruption(c.err); got != c.platform {
+			t.Errorf("IsPlatformDisruption(%v) = %v, want %v", c.err, got, c.platform)
+		}
+	}
+	var ce *ConnectError
+	if !errors.As(error(&ConnectError{Code: 4}), &ce) || ce.Code != 4 {
+		t.Error("ConnectError does not unwrap via errors.As")
+	}
+	if !errors.Is(&ConnectError{Code: 4}, ErrConnectFailed) {
+		t.Error("ConnectError is not ErrConnectFailed")
+	}
+}
+
+func TestErrorReplyMapping(t *testing.T) {
+	cases := []struct {
+		err  error
+		code byte
+	}{
+		{netsim.ErrRefused, 5},
+		{netsim.ErrBlackhole, 4},
+		{netsim.ErrNoRoute, 3},
+		{&ConnectError{Code: 4}, 4}, // propagated unchanged
+		{errors.New("anything"), 1},
+	}
+	for _, c := range cases {
+		if got := errorReply(c.err); got != c.code {
+			t.Errorf("errorReply(%v) = %d, want %d", c.err, got, c.code)
+		}
+	}
+}

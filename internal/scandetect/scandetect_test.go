@@ -1,0 +1,108 @@
+package scandetect
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"dnsencryption.info/doe/internal/netflow"
+)
+
+var t0 = time.Date(2018, 9, 1, 0, 0, 0, 0, time.UTC)
+
+func synFlow(src netip.Addr, dstIdx int) netflow.Record {
+	return netflow.Record{
+		First: t0, Src: src,
+		Dst:     netip.AddrFrom4([4]byte{60, 0, byte(dstIdx >> 8), byte(dstIdx)}),
+		DstPort: 853, Proto: netflow.ProtoTCP,
+		Packets: 1, Flags: netflow.FlagSYN,
+	}
+}
+
+func organicFlow(src, dst netip.Addr) netflow.Record {
+	return netflow.Record{
+		First: t0, Src: src, Dst: dst,
+		DstPort: 853, Proto: netflow.ProtoTCP,
+		Packets: 8, Flags: netflow.FlagSYN | netflow.FlagACK | netflow.FlagPSH,
+	}
+}
+
+func TestDetectsHighFanoutScanner(t *testing.T) {
+	scanner := netip.MustParseAddr("50.0.0.1")
+	var recs []netflow.Record
+	for i := 0; i < 150; i++ {
+		recs = append(recs, synFlow(scanner, i))
+	}
+	verdicts := NewDetector(853).Classify(recs)
+	if len(verdicts) != 1 || !verdicts[0].Scanner {
+		t.Fatalf("verdicts = %+v", verdicts)
+	}
+	if verdicts[0].DistinctDsts != 150 {
+		t.Errorf("fanout = %d", verdicts[0].DistinctDsts)
+	}
+}
+
+func TestDetectsModerateFanoutSYNOnly(t *testing.T) {
+	scanner := netip.MustParseAddr("50.0.0.2")
+	var recs []netflow.Record
+	for i := 0; i < 20; i++ { // above FanoutThreshold/10
+		recs = append(recs, synFlow(scanner, i))
+	}
+	verdicts := NewDetector(853).Classify(recs)
+	if !verdicts[0].Scanner || verdicts[0].SYNOnlyFraction != 1 {
+		t.Errorf("verdict = %+v", verdicts[0])
+	}
+}
+
+func TestOrganicClientNotFlagged(t *testing.T) {
+	client := netip.MustParseAddr("40.1.2.3")
+	recs := []netflow.Record{
+		organicFlow(client, netip.MustParseAddr("1.1.1.1")),
+		organicFlow(client, netip.MustParseAddr("9.9.9.9")),
+	}
+	verdicts := NewDetector(853).Classify(recs)
+	if verdicts[0].Scanner {
+		t.Errorf("organic client flagged: %+v", verdicts[0])
+	}
+}
+
+func TestReverseNameFingerprint(t *testing.T) {
+	src := netip.MustParseAddr("50.0.0.3")
+	d := NewDetector(853)
+	d.ReverseNames = func(ip netip.Addr) []string {
+		if ip == src {
+			return []string{"dot-Scanner-optout.research.example.org."}
+		}
+		return nil
+	}
+	recs := []netflow.Record{organicFlow(src, netip.MustParseAddr("1.1.1.1"))}
+	verdicts := d.Classify(recs)
+	if !verdicts[0].Scanner || verdicts[0].Reason != "scanner fingerprint in PTR/SOA" {
+		t.Errorf("verdict = %+v", verdicts[0])
+	}
+}
+
+func TestNonTargetPortIgnored(t *testing.T) {
+	src := netip.MustParseAddr("50.0.0.4")
+	rec := organicFlow(src, netip.MustParseAddr("1.1.1.1"))
+	rec.DstPort = 443
+	verdicts := NewDetector(853).Classify([]netflow.Record{rec})
+	if len(verdicts) != 0 {
+		t.Errorf("verdicts = %+v", verdicts)
+	}
+}
+
+func TestFilterOrganic(t *testing.T) {
+	scanner := netip.MustParseAddr("50.0.0.5")
+	client := netip.MustParseAddr("40.1.2.3")
+	var recs []netflow.Record
+	for i := 0; i < 150; i++ {
+		recs = append(recs, synFlow(scanner, i))
+	}
+	recs = append(recs, organicFlow(client, netip.MustParseAddr("1.1.1.1")))
+	verdicts := NewDetector(853).Classify(recs)
+	organic := FilterOrganic(recs, verdicts)
+	if len(organic) != 1 || organic[0].Src != client {
+		t.Errorf("organic = %d records", len(organic))
+	}
+}

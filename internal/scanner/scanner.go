@@ -1,0 +1,236 @@
+package scanner
+
+import (
+	"crypto/x509"
+	"fmt"
+	"net/netip"
+	"sort"
+	"sync"
+	"time"
+
+	"dnsencryption.info/doe/internal/certs"
+	"dnsencryption.info/doe/internal/dnswire"
+	"dnsencryption.info/doe/internal/dot"
+	"dnsencryption.info/doe/internal/netsim"
+)
+
+// Resolver is one verified open DoT resolver discovered by a scan.
+type Resolver struct {
+	Addr netip.Addr
+	// Provider is the grouping key from the certificate Common Name
+	// (SLD for domain-shaped CNs), per §3.2.
+	Provider string
+	// CommonName is the certificate subject CN as presented.
+	CommonName string
+	// CertStatus classifies the presented chain against the root store.
+	CertStatus certs.Status
+	// NotAfter is the leaf's expiry (spotting long-expired certificates).
+	NotAfter time.Time
+	// AnswerCorrect reports whether the resolver returned the
+	// authoritative answer for the probe domain (dnsfilter-style
+	// services fail this).
+	AnswerCorrect bool
+	// Country is the resolver's geolocation.
+	Country string
+}
+
+// Result is the outcome of one Internet-wide DoT scan.
+type Result struct {
+	// Label identifies the scan round (the paper scans every 10 days,
+	// "Feb 1" ... "May 1").
+	Label string
+	// ProbedAddrs is how many addresses the sweep covered.
+	ProbedAddrs uint64
+	// PortOpen counts hosts accepting connections on 853.
+	PortOpen int
+	// SkippedOptOut counts addresses excluded by the opt-out list.
+	SkippedOptOut int
+	// Resolvers are the verified open DoT resolvers.
+	Resolvers []Resolver
+	// VirtualDuration is how long the sweep would take at the configured
+	// probe rate (the paper: 24 hours per scan).
+	VirtualDuration time.Duration
+}
+
+// ProviderCounts groups the scan's resolvers by provider.
+func (r *Result) ProviderCounts() map[string]int {
+	m := make(map[string]int)
+	for _, res := range r.Resolvers {
+		m[res.Provider]++
+	}
+	return m
+}
+
+// InvalidCertProviders returns providers with at least one resolver whose
+// certificate fails validation (Finding 1.2's 25%).
+func (r *Result) InvalidCertProviders() []string {
+	set := map[string]bool{}
+	for _, res := range r.Resolvers {
+		if res.CertStatus != certs.StatusValid {
+			set[res.Provider] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CountryCounts groups the scan's resolvers by country.
+func (r *Result) CountryCounts() map[string]int {
+	m := make(map[string]int)
+	for _, res := range r.Resolvers {
+		m[res.Country]++
+	}
+	return m
+}
+
+// Space is the IPv4 range a sweep covers.
+type Space struct {
+	Base netip.Addr
+	// Size is the number of addresses from Base.
+	Size uint64
+}
+
+// Addr returns the i-th address of the space.
+func (s Space) Addr(i uint64) netip.Addr {
+	b := s.Base.As4()
+	v := uint64(b[0])<<24 | uint64(b[1])<<16 | uint64(b[2])<<8 | uint64(b[3])
+	v += i
+	return netip.AddrFrom4([4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)})
+}
+
+// Scanner performs §3.1's two-stage discovery: a port-853 sweep in
+// permuted order, then DoT verification probes of responsive hosts.
+type Scanner struct {
+	World *netsim.World
+	// Sources are the scan origins (the paper used 3 cloud addresses in
+	// China and the US); the sweep alternates between them.
+	Sources []netip.Addr
+	// Space is the address range to cover.
+	Space Space
+	// OptOut excludes networks that requested exclusion.
+	OptOut *netsim.OptOutList
+	// ProbeDomain is a domain registered by the scanners; open resolvers
+	// must answer it (via the measurement zone).
+	ProbeDomain string
+	// ExpectedA is the authoritative answer, used for validation.
+	ExpectedA netip.Addr
+	// Roots is the trust store for certificate classification.
+	Roots *x509.CertPool
+	// Workers bounds concurrent DoT probes.
+	Workers int
+	// Seed randomizes the sweep order.
+	Seed uint64
+	// RatePPS is the sweep's probe budget in packets per second; it
+	// determines the *virtual* duration of a scan (the paper's sweeps of
+	// the whole IPv4 space took 24 hours each at ZMap-conservative
+	// rates). Zero disables duration accounting.
+	RatePPS int
+}
+
+// Scan runs one full sweep and probe round.
+func (s *Scanner) Scan(label string) (*Result, error) {
+	if len(s.Sources) == 0 {
+		return nil, fmt.Errorf("scanner: no scan sources")
+	}
+	perm, err := NewPermutation(s.Space.Size, s.Seed+uint64(len(label)))
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Label: label, ProbedAddrs: s.Space.Size}
+
+	var open []netip.Addr
+	i := 0
+	for {
+		idx, ok := perm.Next()
+		if !ok {
+			break
+		}
+		addr := s.Space.Addr(idx)
+		if s.OptOut != nil && s.OptOut.Contains(addr) {
+			res.SkippedOptOut++
+			continue
+		}
+		src := s.Sources[i%len(s.Sources)]
+		i++
+		conn, err := s.World.Dial(src, addr, dot.Port)
+		if err != nil {
+			continue
+		}
+		conn.Close()
+		open = append(open, addr)
+	}
+	res.PortOpen = len(open)
+
+	workers := s.Workers
+	if workers <= 0 {
+		workers = 8
+	}
+	var (
+		mu   sync.Mutex
+		wg   sync.WaitGroup
+		work = make(chan netip.Addr)
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(src netip.Addr) {
+			defer wg.Done()
+			for addr := range work {
+				if r, ok := s.probeDoT(src, addr); ok {
+					mu.Lock()
+					res.Resolvers = append(res.Resolvers, r)
+					mu.Unlock()
+				}
+			}
+		}(s.Sources[w%len(s.Sources)])
+	}
+	for _, addr := range open {
+		work <- addr
+	}
+	close(work)
+	wg.Wait()
+
+	sort.Slice(res.Resolvers, func(i, j int) bool {
+		return res.Resolvers[i].Addr.Less(res.Resolvers[j].Addr)
+	})
+	if s.RatePPS > 0 {
+		res.VirtualDuration = time.Duration(float64(res.ProbedAddrs)/float64(s.RatePPS)) * time.Second
+	}
+	return res, nil
+}
+
+// probeDoT issues the verification query of §3.1 ("probe the addresses with
+// DoT queries of a domain registered by us"). Opportunistic profile: the
+// point is to find out who answers, not to authenticate them.
+func (s *Scanner) probeDoT(src, addr netip.Addr) (Resolver, bool) {
+	client := dot.NewClient(s.World, src, s.Roots, dot.Opportunistic)
+	client.Timeout = 2 * time.Second
+	conn, err := client.Dial(addr)
+	if err != nil {
+		return Resolver{}, false
+	}
+	defer conn.Close()
+	resp, err := conn.Query(s.ProbeDomain, dnswire.TypeA)
+	if err != nil || resp.Rcode() != dnswire.RcodeSuccess || len(resp.Msg.Answers) == 0 {
+		// Port open but "not providing DoT" — the vast majority in §3.2.
+		return Resolver{}, false
+	}
+	r := Resolver{Addr: addr, Country: s.World.Geo.Country(addr)}
+	if a, ok := resp.FirstA(); ok && s.ExpectedA.IsValid() {
+		r.AnswerCorrect = a == s.ExpectedA
+	}
+	chain := conn.PeerCertificates()
+	if len(chain) > 0 {
+		r.Provider = certs.ProviderKey(chain[0])
+		r.CommonName = chain[0].Subject.CommonName
+		r.NotAfter = chain[0].NotAfter
+		r.CertStatus = certs.Classify(chain, s.Roots)
+	} else {
+		r.Provider = "(no certificate)"
+		r.CertStatus = certs.StatusBadChain
+	}
+	return r, true
+}

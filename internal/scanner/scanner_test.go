@@ -1,0 +1,293 @@
+package scanner
+
+import (
+	"net/netip"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"dnsencryption.info/doe/internal/certs"
+	"dnsencryption.info/doe/internal/dnsserver"
+	"dnsencryption.info/doe/internal/doh"
+	"dnsencryption.info/doe/internal/dot"
+	"dnsencryption.info/doe/internal/geo"
+	"dnsencryption.info/doe/internal/netsim"
+)
+
+func TestPermutationCoversExactlyOnce(t *testing.T) {
+	for _, n := range []uint64{1, 2, 7, 64, 100, 1000} {
+		p, err := NewPermutation(n, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := make(map[uint64]bool, n)
+		for {
+			v, ok := p.Next()
+			if !ok {
+				break
+			}
+			if v >= n {
+				t.Fatalf("n=%d: out-of-range value %d", n, v)
+			}
+			if seen[v] {
+				t.Fatalf("n=%d: duplicate value %d", n, v)
+			}
+			seen[v] = true
+		}
+		if uint64(len(seen)) != n {
+			t.Fatalf("n=%d: covered %d values", n, len(seen))
+		}
+	}
+}
+
+func TestQuickPermutationBijective(t *testing.T) {
+	f := func(nRaw uint16, seed uint64) bool {
+		n := uint64(nRaw%2000) + 1
+		p, err := NewPermutation(n, seed)
+		if err != nil {
+			return false
+		}
+		seen := make(map[uint64]bool, n)
+		for {
+			v, ok := p.Next()
+			if !ok {
+				break
+			}
+			if v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return uint64(len(seen)) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPermutationIsNotSequential(t *testing.T) {
+	p, _ := NewPermutation(1024, 9)
+	sequentialRuns := 0
+	prev, _ := p.Next()
+	for i := 0; i < 200; i++ {
+		v, ok := p.Next()
+		if !ok {
+			break
+		}
+		if v == prev+1 {
+			sequentialRuns++
+		}
+		prev = v
+	}
+	if sequentialRuns > 20 {
+		t.Errorf("permutation looks sequential: %d adjacent steps of 200", sequentialRuns)
+	}
+}
+
+func TestPermutationEmpty(t *testing.T) {
+	if _, err := NewPermutation(0, 1); err == nil {
+		t.Error("accepted empty permutation")
+	}
+}
+
+// scanFixture builds a small world with a mixed port-853 population.
+type scanFixture struct {
+	world    *netsim.World
+	ca       *certs.CA
+	scanner  *Scanner
+	expected netip.Addr
+}
+
+func newScanFixture(t *testing.T) *scanFixture {
+	t.Helper()
+	w := netsim.NewWorld(31)
+	w.Geo.Register(netip.MustParsePrefix("100.64.0.0/16"), geo.Location{Country: "US"})
+	w.Geo.Register(netip.MustParsePrefix("100.64.1.0/24"), geo.Location{Country: "IE"})
+	ca, err := certs.NewCA("Root", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expected := netip.MustParseAddr("203.0.113.10")
+	zone := dnsserver.NewZone("scan.example.org")
+	zone.WildcardA = expected
+
+	mk := func(ip string, leaf *certs.Leaf, h dnsserver.Handler) {
+		dot.Serve(w, netip.MustParseAddr(ip), leaf, h, 0)
+	}
+	valid := func(cn string) *certs.Leaf {
+		leaf, err := ca.Issue(certs.LeafOptions{CommonName: cn})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return leaf
+	}
+	// Two resolvers of one provider (valid certs), one small provider
+	// (self-signed), one dnsfilter-style fixed-answer resolver, one
+	// port-open-but-not-DNS host, one with an expired cert.
+	mk("100.64.0.10", valid("dns.bigdns.example"), zone)
+	mk("100.64.1.11", valid("dot.bigdns.example"), zone)
+	selfSigned, err := certs.SelfSigned(certs.LeafOptions{CommonName: "qq.dog"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk("100.64.0.20", selfSigned, zone)
+	mk("100.64.0.30", valid("dns.dnsfilter.example"), dnsserver.Static{Addr: netip.MustParseAddr("1.2.3.4")})
+	dot.ServeNotDNS(w, netip.MustParseAddr("100.64.0.40"), valid("mail.example"))
+	expired, err := ca.IssueExpired(certs.LeafOptions{CommonName: "old.example"}, 9*30*24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk("100.64.0.50", expired, zone)
+
+	s := &Scanner{
+		World:       w,
+		Sources:     []netip.Addr{netip.MustParseAddr("100.64.0.1"), netip.MustParseAddr("100.64.0.2")},
+		Space:       Space{Base: netip.MustParseAddr("100.64.0.0"), Size: 512},
+		OptOut:      &netsim.OptOutList{},
+		ProbeDomain: "probe-1.scan.example.org",
+		ExpectedA:   expected,
+		Roots:       certs.Pool(ca),
+		Workers:     4,
+		Seed:        7,
+	}
+	return &scanFixture{world: w, ca: ca, scanner: s, expected: expected}
+}
+
+func TestScanDiscoversResolvers(t *testing.T) {
+	f := newScanFixture(t)
+	res, err := f.scanner.Scan("test-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PortOpen != 6 {
+		t.Errorf("port open = %d, want 6", res.PortOpen)
+	}
+	// The not-DNS host must be excluded from resolvers.
+	if len(res.Resolvers) != 5 {
+		t.Fatalf("resolvers = %d, want 5: %+v", len(res.Resolvers), res.Resolvers)
+	}
+	byAddr := map[string]Resolver{}
+	for _, r := range res.Resolvers {
+		byAddr[r.Addr.String()] = r
+	}
+	if r := byAddr["100.64.0.10"]; r.Provider != "bigdns.example" || r.CertStatus != certs.StatusValid || !r.AnswerCorrect {
+		t.Errorf("big provider resolver = %+v", r)
+	}
+	if r := byAddr["100.64.0.20"]; r.CertStatus != certs.StatusSelfSigned {
+		t.Errorf("self-signed resolver = %+v", r)
+	}
+	if r := byAddr["100.64.0.30"]; r.AnswerCorrect {
+		t.Errorf("dnsfilter-style resolver marked correct: %+v", r)
+	}
+	if r := byAddr["100.64.0.50"]; r.CertStatus != certs.StatusExpired {
+		t.Errorf("expired resolver = %+v", r)
+	}
+	// Provider grouping: bigdns.example has two addresses.
+	if got := res.ProviderCounts()["bigdns.example"]; got != 2 {
+		t.Errorf("bigdns.example count = %d, want 2", got)
+	}
+	invalid := res.InvalidCertProviders()
+	if len(invalid) != 2 { // qq.dog (self-signed) + old.example (expired)
+		t.Errorf("invalid providers = %v", invalid)
+	}
+	// Country grouping: 100.64.1.11 is in IE.
+	if res.CountryCounts()["IE"] != 1 {
+		t.Errorf("country counts = %v", res.CountryCounts())
+	}
+}
+
+func TestScanHonorsOptOut(t *testing.T) {
+	f := newScanFixture(t)
+	f.scanner.OptOut.Add(netip.MustParsePrefix("100.64.0.10/32"))
+	res, err := f.scanner.Scan("optout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SkippedOptOut != 1 {
+		t.Errorf("skipped = %d, want 1", res.SkippedOptOut)
+	}
+	for _, r := range res.Resolvers {
+		if r.Addr == netip.MustParseAddr("100.64.0.10") {
+			t.Error("opted-out address was probed")
+		}
+	}
+}
+
+func TestScanNoSources(t *testing.T) {
+	f := newScanFixture(t)
+	f.scanner.Sources = nil
+	if _, err := f.scanner.Scan("x"); err == nil {
+		t.Error("scan without sources succeeded")
+	}
+}
+
+func TestInspectCorpus(t *testing.T) {
+	urls := []string{
+		"https://dns.example.com/dns-query",
+		"https://dns.example.com/dns-query?dns=AAAA", // params stripped, dedup
+		"https://dns.google/resolve",
+		"https://cdn.example.net/assets/app.js", // noise
+		"https://hidden.example.org/secret-doh", // unknown path: missed
+		"http://insecure.example/dns-query",     // not https
+		"https://dns.233py.example/dns-query",
+	}
+	cands := InspectCorpus(urls)
+	if len(cands) != 3 {
+		t.Fatalf("candidates = %+v", cands)
+	}
+	if cands[0].Host != "dns.233py.example" {
+		t.Errorf("order/dedup wrong: %+v", cands)
+	}
+}
+
+func TestDoHDiscoveryVerify(t *testing.T) {
+	f := newScanFixture(t)
+	dohIP := netip.MustParseAddr("100.64.0.100")
+	zone := dnsserver.NewZone("scan.example.org")
+	zone.WildcardA = f.expected
+	leaf, err := f.ca.Issue(certs.LeafOptions{CommonName: "doh.worker.example"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doh.Serve(f.world, dohIP, leaf, &doh.Server{Handler: zone})
+
+	d := &DoHDiscovery{
+		World: f.world,
+		From:  netip.MustParseAddr("100.64.0.1"),
+		Roots: certs.Pool(f.ca),
+		Resolve: map[string]netip.Addr{
+			"doh.worker.example": dohIP,
+			"dead.example":       netip.MustParseAddr("100.64.0.99"),
+		},
+		ProbeDomain: "probe-2.scan.example.org",
+		KnownList:   []string{"https://known.example/dns-query{?dns}"},
+	}
+	found := d.Verify([]DoHCandidate{
+		{Host: "doh.worker.example", Path: "/dns-query"},
+		{Host: "dead.example", Path: "/dns-query"},
+		{Host: "unresolvable.example", Path: "/dns-query"},
+	})
+	if len(found) != 1 {
+		t.Fatalf("found = %+v", found)
+	}
+	if found[0].InKnownList {
+		t.Error("new resolver wrongly marked as known")
+	}
+	if found[0].Template.Host != "doh.worker.example" {
+		t.Errorf("template = %+v", found[0].Template)
+	}
+}
+
+func TestScanVirtualDuration(t *testing.T) {
+	f := newScanFixture(t)
+	// The paper's full-IPv4 sweeps take 24 hours; at this space size and
+	// rate, duration scales linearly with the probed space.
+	f.scanner.RatePPS = 64
+	res, err := f.scanner.Scan("rated")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 8 * time.Second; res.VirtualDuration != want { // 512 addrs / 64 pps
+		t.Errorf("virtual duration = %v, want %v", res.VirtualDuration, want)
+	}
+}

@@ -1,0 +1,243 @@
+package vantage
+
+import (
+	"crypto/x509"
+	"fmt"
+	"net/netip"
+	"time"
+
+	"dnsencryption.info/doe/internal/analysis"
+	"dnsencryption.info/doe/internal/dnsclient"
+	"dnsencryption.info/doe/internal/dnswire"
+	"dnsencryption.info/doe/internal/doh"
+	"dnsencryption.info/doe/internal/dot"
+	"dnsencryption.info/doe/internal/netsim"
+	"dnsencryption.info/doe/internal/proxy"
+)
+
+// PerfSample is one vantage point's relative-performance measurement with
+// reused connections (§4.3): per-protocol medians of T_R over N queries.
+type PerfSample struct {
+	NodeID  string
+	Country string
+	// Medians of observed per-query latency, milliseconds.
+	DNSMedianMS float64
+	DoTMedianMS float64
+	DoHMedianMS float64
+}
+
+// DoTOverheadMS is the per-client DoT extra latency over clear-text DNS.
+func (s PerfSample) DoTOverheadMS() float64 { return s.DoTMedianMS - s.DNSMedianMS }
+
+// DoHOverheadMS is the per-client DoH extra latency over clear-text DNS.
+func (s PerfSample) DoHOverheadMS() float64 { return s.DoHMedianMS - s.DNSMedianMS }
+
+// MeasurePerformance runs the reused-connection test from one node: N
+// DNS/TCP, N DoT and N DoH queries each on a single connection, reporting
+// per-protocol medians. The comparison of T_R differences is valid because
+// the client→proxy leg adds the same latency to every protocol (§4.1).
+func (p *Platform) MeasurePerformance(node proxy.ExitNode, tgt Target, n int) (PerfSample, error) {
+	sample := PerfSample{NodeID: node.ID, Country: node.Country}
+
+	dnsLat, err := p.timeDNSQueries(node, tgt.DNS, n)
+	if err != nil {
+		return sample, err
+	}
+	sample.DNSMedianMS = analysis.Median(dnsLat)
+
+	dotLat, err := p.timeDoTQueries(node, tgt.DoT, n)
+	if err != nil {
+		return sample, err
+	}
+	sample.DoTMedianMS = analysis.Median(dotLat)
+
+	dohLat, err := p.timeDoHQueries(node, tgt.DoH, tgt.DoHAddr, n)
+	if err != nil {
+		return sample, err
+	}
+	sample.DoHMedianMS = analysis.Median(dohLat)
+	return sample, nil
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func (p *Platform) timeDNSQueries(node proxy.ExitNode, target netip.Addr, n int) ([]float64, error) {
+	tunnel, err := p.Network.Dial(p.From, node.ID, target, 53)
+	if err != nil {
+		return nil, err
+	}
+	conn := dnsclient.TCPFromConn(tunnel)
+	defer conn.Close()
+	var lat []float64
+	for i := 0; i < n; i++ {
+		res, err := conn.Query(p.UniqueName(node.ID+"-perf-dns"), dnswire.TypeA)
+		if err != nil {
+			return nil, err
+		}
+		lat = append(lat, ms(res.Latency))
+	}
+	return lat, nil
+}
+
+func (p *Platform) timeDoTQueries(node proxy.ExitNode, target netip.Addr, n int) ([]float64, error) {
+	tunnel, err := p.Network.Dial(p.From, node.ID, target, dot.Port)
+	if err != nil {
+		return nil, err
+	}
+	client := dot.NewClient(nil, p.From, p.Roots, dot.Opportunistic)
+	conn, err := client.DialConn(tunnel)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	var lat []float64
+	for i := 0; i < n; i++ {
+		res, err := conn.Query(p.UniqueName(node.ID+"-perf-dot"), dnswire.TypeA)
+		if err != nil {
+			return nil, err
+		}
+		lat = append(lat, ms(res.Latency))
+	}
+	return lat, nil
+}
+
+func (p *Platform) timeDoHQueries(node proxy.ExitNode, tmpl doh.Template, addr netip.Addr, n int) ([]float64, error) {
+	tunnel, err := p.Network.Dial(p.From, node.ID, addr, doh.Port)
+	if err != nil {
+		return nil, err
+	}
+	client := doh.NewClient(nil, p.From, p.Roots)
+	conn, err := client.DialConn(tmpl, tunnel)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	var lat []float64
+	for i := 0; i < n; i++ {
+		res, err := conn.Query(p.UniqueName(node.ID+"-perf-doh"), dnswire.TypeA)
+		if err != nil {
+			return nil, err
+		}
+		lat = append(lat, ms(res.Latency))
+	}
+	return lat, nil
+}
+
+// CountryPerf aggregates per-client overheads per country (Fig. 9).
+type CountryPerf struct {
+	Country string
+	Clients int
+	// Overheads in milliseconds relative to clear-text DNS.
+	DoTAvgMS, DoTMedianMS float64
+	DoHAvgMS, DoHMedianMS float64
+}
+
+// AggregateByCountry computes Fig. 9's per-country series.
+func AggregateByCountry(samples []PerfSample) []CountryPerf {
+	byCountry := map[string][]PerfSample{}
+	for _, s := range samples {
+		byCountry[s.Country] = append(byCountry[s.Country], s)
+	}
+	var out []CountryPerf
+	for cc, ss := range byCountry {
+		var dotOH, dohOH []float64
+		for _, s := range ss {
+			dotOH = append(dotOH, s.DoTOverheadMS())
+			dohOH = append(dohOH, s.DoHOverheadMS())
+		}
+		out = append(out, CountryPerf{
+			Country:     cc,
+			Clients:     len(ss),
+			DoTAvgMS:    analysis.Mean(dotOH),
+			DoTMedianMS: analysis.Median(dotOH),
+			DoHAvgMS:    analysis.Mean(dohOH),
+			DoHMedianMS: analysis.Median(dohOH),
+		})
+	}
+	sortCountryPerf(out)
+	return out
+}
+
+func sortCountryPerf(s []CountryPerf) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && (s[j].Clients > s[j-1].Clients ||
+			(s[j].Clients == s[j-1].Clients && s[j].Country < s[j-1].Country)); j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// GlobalOverheads computes the paper's headline averages/medians over all
+// per-client overheads ("5ms/9ms for DoT, 8ms/6ms for DoH").
+func GlobalOverheads(samples []PerfSample) (dotAvg, dotMed, dohAvg, dohMed float64) {
+	var dotOH, dohOH []float64
+	for _, s := range samples {
+		dotOH = append(dotOH, s.DoTOverheadMS())
+		dohOH = append(dohOH, s.DoHOverheadMS())
+	}
+	return analysis.Mean(dotOH), analysis.Median(dotOH), analysis.Mean(dohOH), analysis.Median(dohOH)
+}
+
+// NoReuseSample is one controlled vantage's fresh-connection comparison
+// (Table 7): medians over n queries, each on a brand-new connection.
+type NoReuseSample struct {
+	Vantage     string
+	DNSMedianMS float64
+	DoTMedianMS float64
+	DoHMedianMS float64
+}
+
+// DoTOverheadMS is the no-reuse DoT penalty.
+func (s NoReuseSample) DoTOverheadMS() float64 { return s.DoTMedianMS - s.DNSMedianMS }
+
+// DoHOverheadMS is the no-reuse DoH penalty.
+func (s NoReuseSample) DoHOverheadMS() float64 { return s.DoHMedianMS - s.DNSMedianMS }
+
+// MeasureNoReuse runs Table 7's controlled-vantage test: n queries per
+// protocol, every one on a fresh connection (TCP+TLS each time), directly
+// from a controlled address (no proxy hop).
+func MeasureNoReuse(w *netsim.World, label string, from netip.Addr, tgt Target, probeZone string, roots *x509.CertPool, n int) (NoReuseSample, error) {
+	sample := NoReuseSample{Vantage: label}
+	uniq := 0
+	name := func(tag string) string {
+		uniq++
+		return fmt.Sprintf("nr%d-%s.%s", uniq, tag, probeZone)
+	}
+
+	var dnsLat, dotLat, dohLat []float64
+	stub := dnsclient.New(w, from)
+	for i := 0; i < n; i++ {
+		conn, err := stub.DialTCP(tgt.DNS)
+		if err != nil {
+			return sample, err
+		}
+		res, err := conn.Query(name("dns"), dnswire.TypeA)
+		if err != nil {
+			conn.Close()
+			return sample, err
+		}
+		dnsLat = append(dnsLat, ms(conn.SetupLatency()+res.Latency))
+		conn.Close()
+	}
+	dotClient := dot.NewClient(w, from, roots, dot.Strict)
+	for i := 0; i < n; i++ {
+		res, err := dotClient.Query(tgt.DoT, name("dot"), dnswire.TypeA)
+		if err != nil {
+			return sample, err
+		}
+		dotLat = append(dotLat, ms(res.Latency))
+	}
+	dohClient := doh.NewClient(w, from, roots)
+	dohClient.Override[tgt.DoH.Host] = tgt.DoHAddr
+	for i := 0; i < n; i++ {
+		res, err := dohClient.Query(tgt.DoH, name("doh"), dnswire.TypeA)
+		if err != nil {
+			return sample, err
+		}
+		dohLat = append(dohLat, ms(res.Latency))
+	}
+	sample.DNSMedianMS = analysis.Median(dnsLat)
+	sample.DoTMedianMS = analysis.Median(dotLat)
+	sample.DoHMedianMS = analysis.Median(dohLat)
+	return sample, nil
+}

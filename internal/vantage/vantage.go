@@ -1,0 +1,352 @@
+// Package vantage is the client-side measurement platform of §4: from each
+// proxy-network exit node it runs the Fig. 7 reachability workflow
+// (clear-text DNS/TCP, DoT and DoH queries against a resolver list, with
+// certificate collection and verification), the failure forensics of
+// Finding 2.1 (port probes and webpage fetches of conflicted addresses),
+// the TLS-interception detection of Finding 2.3, and the relative
+// performance tests of §4.3.
+package vantage
+
+import (
+	"crypto/x509"
+	"fmt"
+	"net/netip"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dnsencryption.info/doe/internal/dnsclient"
+	"dnsencryption.info/doe/internal/dnswire"
+	"dnsencryption.info/doe/internal/doh"
+	"dnsencryption.info/doe/internal/dot"
+	"dnsencryption.info/doe/internal/proxy"
+)
+
+// Proto identifies the tested transport.
+type Proto string
+
+// Transports of the reachability test.
+const (
+	ProtoDNS Proto = "dns"
+	ProtoDoT Proto = "dot"
+	ProtoDoH Proto = "doh"
+)
+
+// Outcome classifies one lookup per Table 4's footnote: Failed = no DNS
+// response packets; Incorrect = SERVFAIL or zero-answer (or spoofed)
+// responses; Correct = the authoritative answer.
+type Outcome int
+
+// Outcomes.
+const (
+	Correct Outcome = iota
+	Incorrect
+	Failed
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case Correct:
+		return "correct"
+	case Incorrect:
+		return "incorrect"
+	default:
+		return "failed"
+	}
+}
+
+// Target is one resolver in the test list (Fig. 7). Invalid addresses mark
+// services the resolver does not offer (Google DoT was not announced at the
+// time of the experiment).
+type Target struct {
+	Name    string
+	DNS     netip.Addr
+	DoT     netip.Addr
+	DoH     doh.Template
+	DoHAddr netip.Addr
+}
+
+// Result is one lookup's classification.
+type Result struct {
+	NodeID   string
+	Country  string
+	ASN      int
+	ASName   string
+	Resolver string
+	Proto    Proto
+	Outcome  Outcome
+	// Intercepted marks sessions whose certificate was re-signed by an
+	// untrusted CA while the lookup still answered (opportunistic DoT
+	// through a TLS-inspecting middlebox).
+	Intercepted bool
+	// IssuerCN is the certificate issuer observed on encrypted probes.
+	IssuerCN string
+	// Err preserves the failure cause.
+	Err string
+	// Dropped marks measurements lost to proxy-platform disruption (exit
+	// node churn); the paper removes such nodes from its dataset, so
+	// dropped results are excluded from every tally.
+	Dropped bool
+}
+
+// Platform drives measurements through a proxy network.
+type Platform struct {
+	Network *proxy.Network
+	// From is the measurement client's own address.
+	From  netip.Addr
+	Roots *x509.CertPool
+	// ProbeZone is the measurement domain; queries use unique prefixes
+	// "in order to avoid caching".
+	ProbeZone string
+	// ExpectedA is the authoritative answer for probe names.
+	ExpectedA netip.Addr
+	// MinUptime discards exit nodes expiring sooner than this.
+	MinUptime time.Duration
+
+	seq atomic.Uint64
+}
+
+// UniqueName returns a fresh uniquely-prefixed probe name.
+func (p *Platform) UniqueName(tag string) string {
+	n := p.seq.Add(1)
+	tag = strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-':
+			return r
+		case r >= 'A' && r <= 'Z':
+			return r + 32
+		default:
+			return '-'
+		}
+	}, tag)
+	return fmt.Sprintf("u%d-%s.%s", n, tag, p.ProbeZone)
+}
+
+// UsableNode applies the paper's node-selection rule: check remaining
+// uptime via the platform API and discard nodes expiring soon.
+func (p *Platform) UsableNode(node proxy.ExitNode) bool {
+	left, err := p.Network.RemainingUptime(node.ID)
+	return err == nil && left >= p.MinUptime
+}
+
+// TestReachability runs the Fig. 7 workflow for one node against targets.
+func (p *Platform) TestReachability(node proxy.ExitNode, targets []Target) []Result {
+	var out []Result
+	for _, tgt := range targets {
+		if tgt.DNS.IsValid() {
+			out = append(out, p.testDNS(node, tgt))
+		}
+		if tgt.DoT.IsValid() {
+			out = append(out, p.testDoT(node, tgt))
+		}
+		if tgt.DoHAddr.IsValid() {
+			out = append(out, p.testDoH(node, tgt))
+		}
+	}
+	return out
+}
+
+func (p *Platform) baseResult(node proxy.ExitNode, resolver string, proto Proto) Result {
+	return Result{
+		NodeID:   node.ID,
+		Country:  node.Country,
+		ASN:      node.ASN,
+		ASName:   node.ASName,
+		Resolver: resolver,
+		Proto:    proto,
+	}
+}
+
+// classify applies the Table 4 rules to a completed transaction.
+func (p *Platform) classify(res *dnsclient.Result) Outcome {
+	if res.Rcode() != dnswire.RcodeSuccess || len(res.Msg.Answers) == 0 {
+		return Incorrect
+	}
+	if a, ok := res.FirstA(); ok && a == p.ExpectedA {
+		return Correct
+	}
+	return Incorrect
+}
+
+func (p *Platform) testDNS(node proxy.ExitNode, tgt Target) Result {
+	r := p.baseResult(node, tgt.Name, ProtoDNS)
+	tunnel, err := p.Network.Dial(p.From, node.ID, tgt.DNS, 53)
+	if err != nil {
+		r.Outcome, r.Err = Failed, err.Error()
+		r.Dropped = proxy.IsPlatformDisruption(err)
+		return r
+	}
+	conn := dnsclient.TCPFromConn(tunnel)
+	defer conn.Close()
+	res, err := conn.Query(p.UniqueName(node.ID+"-"+tgt.Name+"-dns"), dnswire.TypeA)
+	if err != nil {
+		r.Outcome, r.Err = Failed, err.Error()
+		return r
+	}
+	r.Outcome = p.classify(res)
+	return r
+}
+
+func (p *Platform) testDoT(node proxy.ExitNode, tgt Target) Result {
+	r := p.baseResult(node, tgt.Name, ProtoDoT)
+	tunnel, err := p.Network.Dial(p.From, node.ID, tgt.DoT, dot.Port)
+	if err != nil {
+		r.Outcome, r.Err = Failed, err.Error()
+		r.Dropped = proxy.IsPlatformDisruption(err)
+		return r
+	}
+	// Opportunistic profile, per §4.1: "to understand the real-world
+	// risks of opportunistic requests".
+	client := dot.NewClient(nil, p.From, p.Roots, dot.Opportunistic)
+	conn, err := client.DialConn(tunnel)
+	if err != nil {
+		r.Outcome, r.Err = Failed, err.Error()
+		return r
+	}
+	defer conn.Close()
+	if chain := conn.PeerCertificates(); len(chain) > 0 {
+		r.IssuerCN = chain[0].Issuer.CommonName
+	}
+	res, err := conn.Query(p.UniqueName(node.ID+"-"+tgt.Name+"-dot"), dnswire.TypeA)
+	if err != nil {
+		r.Outcome, r.Err = Failed, err.Error()
+		return r
+	}
+	r.Outcome = p.classify(res)
+	// Interception detection: the lookup proceeded, but the certificate
+	// does not verify — re-signed in path (Finding 2.3).
+	if conn.VerifyError() != nil && r.Outcome == Correct {
+		r.Intercepted = true
+	}
+	return r
+}
+
+func (p *Platform) testDoH(node proxy.ExitNode, tgt Target) Result {
+	r := p.baseResult(node, tgt.Name, ProtoDoH)
+	tunnel, err := p.Network.Dial(p.From, node.ID, tgt.DoHAddr, doh.Port)
+	if err != nil {
+		r.Outcome, r.Err = Failed, err.Error()
+		r.Dropped = proxy.IsPlatformDisruption(err)
+		return r
+	}
+	client := doh.NewClient(nil, p.From, p.Roots)
+	conn, err := client.DialConn(tgt.DoH, tunnel)
+	if err != nil {
+		// Strict-only: a forged certificate terminates the handshake
+		// and the client sees a failure (Finding 2.3's DoH side).
+		r.Outcome, r.Err = Failed, err.Error()
+		return r
+	}
+	defer conn.Close()
+	res, err := conn.Query(p.UniqueName(node.ID+"-"+tgt.Name+"-doh"), dnswire.TypeA)
+	if err != nil {
+		r.Outcome, r.Err = Failed, err.Error()
+		return r
+	}
+	r.Outcome = p.classify(res)
+	return r
+}
+
+// Campaign runs reachability tests from every usable node, bounded by
+// workers, and returns all results.
+func (p *Platform) Campaign(targets []Target, workers int) []Result {
+	nodes := p.Network.Nodes()
+	if workers <= 0 {
+		workers = 8
+	}
+	var (
+		mu  sync.Mutex
+		wg  sync.WaitGroup
+		out []Result
+	)
+	work := make(chan proxy.ExitNode)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for node := range work {
+				res := p.TestReachability(node, targets)
+				mu.Lock()
+				out = append(out, res...)
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, node := range nodes {
+		if p.UsableNode(node) {
+			work <- node
+		}
+	}
+	close(work)
+	wg.Wait()
+	return out
+}
+
+// Tally aggregates results into Table 4 cells: per (resolver, proto),
+// fraction correct / incorrect / failed.
+type Tally struct {
+	Correct, Incorrect, Failed int
+}
+
+// Total is the number of classified lookups.
+func (t Tally) Total() int { return t.Correct + t.Incorrect + t.Failed }
+
+// Rates returns the three fractions (0 when empty).
+func (t Tally) Rates() (correct, incorrect, failed float64) {
+	n := float64(t.Total())
+	if n == 0 {
+		return 0, 0, 0
+	}
+	return float64(t.Correct) / n, float64(t.Incorrect) / n, float64(t.Failed) / n
+}
+
+// TallyResults groups results by (resolver, proto).
+func TallyResults(results []Result) map[string]map[Proto]Tally {
+	out := map[string]map[Proto]Tally{}
+	for _, r := range results {
+		if r.Dropped {
+			continue
+		}
+		byProto, ok := out[r.Resolver]
+		if !ok {
+			byProto = map[Proto]Tally{}
+			out[r.Resolver] = byProto
+		}
+		t := byProto[r.Proto]
+		switch r.Outcome {
+		case Correct:
+			t.Correct++
+		case Incorrect:
+			t.Incorrect++
+		default:
+			t.Failed++
+		}
+		byProto[r.Proto] = t
+	}
+	return out
+}
+
+// InterceptedResults filters the sessions flagged as TLS-intercepted.
+func InterceptedResults(results []Result) []Result {
+	var out []Result
+	for _, r := range results {
+		if r.Intercepted {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// FailedNodes returns the IDs of nodes whose lookup of (resolver, proto)
+// failed — the population fed into the Table 5 port probes.
+func FailedNodes(results []Result, resolver string, proto Proto) []string {
+	var out []string
+	for _, r := range results {
+		if r.Resolver == resolver && r.Proto == proto && r.Outcome == Failed && !r.Dropped {
+			out = append(out, r.NodeID)
+		}
+	}
+	return out
+}

@@ -1,0 +1,150 @@
+package workload
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"dnsencryption.info/doe/internal/netflow"
+	"dnsencryption.info/doe/internal/passivedns"
+)
+
+var (
+	cfDoT = netip.MustParseAddr("1.1.1.1")
+	q9DoT = netip.MustParseAddr("9.9.9.9")
+)
+
+func TestMonthsBetween(t *testing.T) {
+	months := MonthsBetween("2017-07", "2019-01")
+	if len(months) != 19 {
+		t.Fatalf("months = %d, want 19", len(months))
+	}
+	if months[0] != "2017-07" || months[18] != "2019-01" {
+		t.Errorf("range = %v..%v", months[0], months[18])
+	}
+}
+
+func TestGenerateProducesGrowingMonthlySeries(t *testing.T) {
+	g := NewDoTGenerator(1)
+	g.Providers = []ProviderTraffic{{
+		Provider: "cloudflare",
+		Resolver: cfDoT,
+		MonthlyFlows: map[Month]int{
+			"2018-07": 400,
+			"2018-12": 640, // +60%, mirroring the paper's +56%
+		},
+	}}
+	router := netflow.NewRouter(1, 15*time.Second)
+	organic := g.Generate(router)
+	if organic != 1040 {
+		t.Errorf("organic flows = %d", organic)
+	}
+	analyzer := &netflow.Analyzer{Resolvers: map[netip.Addr]string{cfDoT: "cloudflare"}}
+	flows := analyzer.SelectDoT(router.Flush())
+	counts := netflow.MonthlyCounts(flows)["cloudflare"]
+	jul, dec := counts["2018-07"], counts["2018-12"]
+	if jul == 0 || dec == 0 {
+		t.Fatalf("monthly counts = %v", counts)
+	}
+	growth := float64(dec-jul) / float64(jul)
+	if growth < 0.3 || growth > 0.9 {
+		t.Errorf("growth = %v, want ≈0.6", growth)
+	}
+}
+
+func TestGenerateHeavyTailNetblocks(t *testing.T) {
+	g := NewDoTGenerator(2)
+	g.Providers = []ProviderTraffic{{
+		Provider:     "cloudflare",
+		Resolver:     cfDoT,
+		MonthlyFlows: map[Month]int{"2018-10": 2000},
+	}}
+	router := netflow.NewRouter(1, 15*time.Second)
+	g.Generate(router)
+	analyzer := &netflow.Analyzer{Resolvers: map[netip.Addr]string{cfDoT: "cloudflare"}}
+	flows := analyzer.SelectDoT(router.Flush())
+	stats := netflow.NetblockStats(flows, "cloudflare")
+
+	top5 := netflow.TopShare(stats, 5)
+	if top5 < 0.35 || top5 > 0.55 {
+		t.Errorf("top-5 share = %v, want ≈0.44", top5)
+	}
+	// At this miniature scale the fixed giant/medium tiers weigh more
+	// than at study scale (where the fraction lands at ≈95%).
+	temp := netflow.TemporaryFraction(stats, 7)
+	if temp < 0.85 {
+		t.Errorf("temporary fraction = %v, want >= 0.85 (paper: 96%%)", temp)
+	}
+}
+
+func TestGenerateMultipleProviders(t *testing.T) {
+	g := NewDoTGenerator(3)
+	g.Providers = []ProviderTraffic{
+		{Provider: "cloudflare", Resolver: cfDoT, MonthlyFlows: map[Month]int{"2018-10": 300}},
+		{Provider: "quad9", Resolver: q9DoT, MonthlyFlows: map[Month]int{"2018-10": 100}},
+	}
+	router := netflow.NewRouter(1, 15*time.Second)
+	g.Generate(router)
+	analyzer := &netflow.Analyzer{Resolvers: map[netip.Addr]string{cfDoT: "cloudflare", q9DoT: "quad9"}}
+	counts := netflow.MonthlyCounts(analyzer.SelectDoT(router.Flush()))
+	if counts["cloudflare"]["2018-10"] <= counts["quad9"]["2018-10"] {
+		t.Errorf("provider volumes out of order: %v", counts)
+	}
+}
+
+func TestGenerateScanIsDetectable(t *testing.T) {
+	router := netflow.NewRouter(1, 15*time.Second)
+	src := netip.MustParseAddr("50.1.1.1")
+	GenerateScan(router, src, time.Date(2018, 9, 3, 0, 0, 0, 0, time.UTC), 200)
+	recs := router.Flush()
+	if len(recs) != 200 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	for _, r := range recs {
+		if r.Flags != netflow.FlagSYN {
+			t.Fatalf("scan flow has flags %x, want bare SYN", r.Flags)
+		}
+	}
+}
+
+func TestGenerateDoH(t *testing.T) {
+	db := passivedns.NewDB()
+	GenerateDoH(db, []DoHDomainTraffic{{
+		Domain: "doh.cleanbrowsing.org",
+		MonthlyQueries: map[Month]int{
+			"2018-09": 200,
+			"2019-03": 1915,
+		},
+	}})
+	monthly := db.MonthlyVolume("doh.cleanbrowsing.org")
+	if len(monthly) != 2 {
+		t.Fatalf("monthly = %+v", monthly)
+	}
+	if monthly[0].Count != 200 || monthly[1].Count != 1915 {
+		t.Errorf("volumes = %+v", monthly)
+	}
+	// The paper's ~10x growth claim should be derivable.
+	if g := float64(monthly[1].Count) / float64(monthly[0].Count); g < 9 || g > 10.5 {
+		t.Errorf("growth factor = %v", g)
+	}
+	agg, ok := db.Lookup("doh.cleanbrowsing.org")
+	if !ok || agg.Count != 2115 {
+		t.Errorf("aggregate = %+v", agg)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() int {
+		g := NewDoTGenerator(9)
+		g.Providers = []ProviderTraffic{{
+			Provider: "cloudflare", Resolver: cfDoT,
+			MonthlyFlows: map[Month]int{"2018-10": 500},
+		}}
+		router := netflow.NewRouter(3, 15*time.Second)
+		g.Generate(router)
+		return len(router.Flush())
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("non-deterministic: %d vs %d sampled records", a, b)
+	}
+}

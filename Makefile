@@ -1,0 +1,30 @@
+# Verify path for the DNS-over-Encryption measurement repo.
+#
+# `make verify` is what CI runs and what a PR must keep green: build, vet,
+# the custom static-analysis suite (cmd/doelint), the test suite, and the
+# race detector over the concurrency-heavy packages. The doelint gate also
+# runs inside `go test ./...` (internal/lint.TestRepositoryIsClean), so
+# plain tier-1 testing cannot drift from the lint suite.
+
+GO ?= go
+
+RACE_PKGS := ./internal/netsim ./internal/proxy ./internal/dnsserver ./internal/scanner
+
+.PHONY: verify build vet lint test race
+
+verify: build vet lint test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+lint:
+	$(GO) run ./cmd/doelint ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -count=1 $(RACE_PKGS)

@@ -12,7 +12,7 @@ import (
 func (s *Study) RunAll(w io.Writer) error {
 	var firstErr error
 	for _, exp := range Experiments() {
-		start := time.Now()
+		start := time.Now() //doelint:allow determinism -- reports real runtime of the experiment, not simulated time
 		out, err := exp.Run(s)
 		if err != nil {
 			if firstErr == nil {
@@ -21,6 +21,7 @@ func (s *Study) RunAll(w io.Writer) error {
 			fmt.Fprintf(w, "== %s: %s\nERROR: %v\n\n", exp.ID, exp.Title, err)
 			continue
 		}
+		//doelint:allow determinism -- reports real runtime of the experiment, not simulated time
 		fmt.Fprintf(w, "== %s: %s (%.1fs)\n%s\n", exp.ID, exp.Title, time.Since(start).Seconds(), out)
 	}
 	return firstErr

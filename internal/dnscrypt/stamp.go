@@ -80,7 +80,7 @@ func ParseStamp(uri string) (*Stamp, error) {
 	}
 	raw, err := base64.RawURLEncoding.DecodeString(uri[len(stampPrefix):])
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadStamp, err)
+		return nil, fmt.Errorf("%w: %w", ErrBadStamp, err)
 	}
 	if len(raw) < 9 {
 		return nil, ErrBadStamp

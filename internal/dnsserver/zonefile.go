@@ -47,7 +47,7 @@ func LoadZone(origin string, r io.Reader) (*Zone, error) {
 			}
 			n, err := strconv.ParseUint(fields[1], 10, 32)
 			if err != nil {
-				return nil, fmt.Errorf("dnsserver: line %d: bad $TTL value: %v", lineNo, err)
+				return nil, fmt.Errorf("dnsserver: line %d: bad $TTL value: %w", lineNo, err)
 			}
 			defaultTTL = uint32(n)
 			continue

@@ -166,7 +166,7 @@ func (c *Client) DialConn(t Template, raw *netsim.Conn) (*Conn, error) {
 	})
 	if err := tc.Handshake(); err != nil {
 		raw.Close()
-		return nil, fmt.Errorf("%w: %v", ErrAuthFailed, err)
+		return nil, fmt.Errorf("%w: %w", ErrAuthFailed, err)
 	}
 	return &Conn{
 		raw:      raw,

@@ -1,6 +1,7 @@
 package doh
 
 import (
+	"crypto/x509"
 	"errors"
 	"net/netip"
 	"strings"
@@ -137,8 +138,15 @@ func TestStrictOnlyRejectsUntrustedCert(t *testing.T) {
 	}
 	Serve(f.world, dohIP, leaf, &Server{Handler: f.zone})
 	c := f.client()
-	if _, err := c.Query(f.tmpl, "x.measure.example.org", dnswire.TypeA); !errors.Is(err, ErrAuthFailed) {
+	_, err = c.Query(f.tmpl, "x.measure.example.org", dnswire.TypeA)
+	if !errors.Is(err, ErrAuthFailed) {
 		t.Errorf("err = %v, want ErrAuthFailed (DoH is strict-only)", err)
+	}
+	// The wrap preserves the TLS cause so callers can tell an untrusted
+	// issuer apart from expiry or a timeout.
+	var uae x509.UnknownAuthorityError
+	if !errors.As(err, &uae) {
+		t.Errorf("err = %v, want x509.UnknownAuthorityError via errors.As", err)
 	}
 }
 

@@ -193,7 +193,7 @@ func (c *Client) DialConn(raw *netsim.Conn) (*Conn, error) {
 	if err := tc.Handshake(); err != nil {
 		raw.Close()
 		if conn.verifyErr != nil {
-			return nil, fmt.Errorf("%w: %v", ErrAuthFailed, conn.verifyErr)
+			return nil, fmt.Errorf("%w: %w", ErrAuthFailed, conn.verifyErr)
 		}
 		return nil, err
 	}

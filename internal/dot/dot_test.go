@@ -2,7 +2,9 @@ package dot
 
 import (
 	"crypto/tls"
+	"crypto/x509"
 	"errors"
+	"net"
 	"net/netip"
 	"testing"
 	"time"
@@ -81,6 +83,12 @@ func TestStrictRejectsSelfSigned(t *testing.T) {
 	_, err = c.Query(dotIP, "probe.measure.example.org", dnswire.TypeA)
 	if !errors.Is(err, ErrAuthFailed) {
 		t.Errorf("err = %v, want ErrAuthFailed", err)
+	}
+	// The wrap exposes the verification cause: a self-signed cert fails
+	// with an unknown authority, distinguishable from expiry or timeouts.
+	var uae x509.UnknownAuthorityError
+	if !errors.As(err, &uae) {
+		t.Errorf("err = %v, want x509.UnknownAuthorityError via errors.As", err)
 	}
 }
 
@@ -167,8 +175,13 @@ func TestExpiredCertFailsStrictButNotOpportunistic(t *testing.T) {
 	f.serveDoT(t, leaf)
 
 	strict := NewClient(f.world, clientIP, certs.Pool(f.ca), Strict)
-	if _, err := strict.Query(dotIP, "x.measure.example.org", dnswire.TypeA); !errors.Is(err, ErrAuthFailed) {
-		t.Errorf("strict err = %v, want ErrAuthFailed", err)
+	_, strictErr := strict.Query(dotIP, "x.measure.example.org", dnswire.TypeA)
+	if !errors.Is(strictErr, ErrAuthFailed) {
+		t.Errorf("strict err = %v, want ErrAuthFailed", strictErr)
+	}
+	var cie x509.CertificateInvalidError
+	if !errors.As(strictErr, &cie) || cie.Reason != x509.Expired {
+		t.Errorf("strict err = %v, want x509.CertificateInvalidError{Reason: Expired} via errors.As", strictErr)
 	}
 	opp := NewClient(f.world, clientIP, certs.Pool(f.ca), Opportunistic)
 	if _, err := opp.Query(dotIP, "x.measure.example.org", dnswire.TypeA); err != nil {
@@ -240,6 +253,30 @@ func TestDialRefusedHost(t *testing.T) {
 	c := NewClient(f.world, clientIP, certs.Pool(f.ca), Strict)
 	if _, err := c.Dial(dotIP); !errors.Is(err, netsim.ErrRefused) {
 		t.Errorf("err = %v, want refused", err)
+	}
+}
+
+func TestDialBlackholedHostIsTimeout(t *testing.T) {
+	f := newFixture(t)
+	f.world.AddPolicy(netsim.PolicyFunc(func(_ *netsim.World, _, to netip.Addr, _ uint16, _ netsim.Proto) netsim.Verdict {
+		if to == dotIP {
+			return netsim.Verdict{Action: netsim.ActBlackhole}
+		}
+		return netsim.Verdict{}
+	}))
+	c := NewClient(f.world, clientIP, certs.Pool(f.ca), Strict)
+	_, err := c.Dial(dotIP)
+	if !errors.Is(err, netsim.ErrBlackhole) {
+		t.Fatalf("err = %v, want ErrBlackhole", err)
+	}
+	// Timeouts must be classifiable as net.Error timeouts, distinct from
+	// authentication failures.
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Errorf("err = %v, want a net.Error with Timeout() == true", err)
+	}
+	if errors.Is(err, ErrAuthFailed) {
+		t.Errorf("timeout misclassified as authentication failure")
 	}
 }
 

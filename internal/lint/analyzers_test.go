@@ -1,0 +1,311 @@
+package lint_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dnsencryption.info/doe/internal/lint"
+)
+
+// lintFixtures writes files (keyed by module-relative path) into a fresh
+// module and runs the full driver over it — go list, export data, type
+// checking, analyzers, directives — exactly as doelint does on the real
+// repository.
+func lintFixtures(t *testing.T, cfg *lint.Config, files map[string]string) []lint.Finding {
+	t.Helper()
+	dir := t.TempDir()
+	mod := "module fixture.example/m\n\ngo 1.22\n"
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte(mod), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for rel, content := range files {
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	findings, err := lint.Run(dir, []string{"./..."}, cfg)
+	if err != nil {
+		t.Fatalf("lint.Run: %v", err)
+	}
+	return findings
+}
+
+// byCheck filters findings to one check and renders them as file:line for
+// compact assertions.
+func byCheck(findings []lint.Finding, check string) []string {
+	var out []string
+	for _, f := range findings {
+		if f.Check == check {
+			out = append(out, fmt.Sprintf("%s:%d", filepath.ToSlash(f.File), f.Line))
+		}
+	}
+	return out
+}
+
+func wantFindings(t *testing.T, findings []lint.Finding, check string, want []string) {
+	t.Helper()
+	got := byCheck(findings, check)
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Errorf("%s findings = %v, want %v\nall: %v", check, got, want, findings)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := lint.DefaultConfig()
+	cfg.DeterministicPackages = []string{"det"}
+	findings := lintFixtures(t, cfg, map[string]string{
+		// True positives: global rand and wall clock in a deterministic
+		// package; one suppressed by directive.
+		"det/det.go": `package det
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Bad() int {
+	n := rand.Intn(10)                   // line 9: finding
+	_ = time.Now()                       // line 10: finding
+	_ = time.Since(time.Unix(0, 0))      // line 11: finding
+	return n
+}
+
+func Allowed() time.Time {
+	return time.Now() //doelint:allow determinism -- fixture: deliberate wall-clock read
+}
+
+func Seeded() int {
+	rng := rand.New(rand.NewSource(42)) // constructors are fine
+	return rng.Intn(10)
+}
+`,
+		// True negative: same code outside the deterministic set.
+		"free/free.go": `package free
+
+import "time"
+
+func Fine() time.Time { return time.Now() }
+`,
+	})
+	wantFindings(t, findings, "determinism", []string{
+		"det/det.go:9", "det/det.go:10", "det/det.go:11",
+	})
+}
+
+func TestErrwrap(t *testing.T) {
+	findings := lintFixtures(t, lint.DefaultConfig(), map[string]string{
+		"wrap/wrap.go": `package wrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrBase = errors.New("base")
+
+func Bad(err error) error {
+	return fmt.Errorf("doing thing: %v", err) // line 11: finding
+}
+
+func HalfWrapped(err error) error {
+	return fmt.Errorf("%w: %v", ErrBase, err) // line 15: finding (2 errors, 1 %w)
+}
+
+func Allowed(err error) error {
+	return fmt.Errorf("lossy on purpose: %v", err) //doelint:allow errwrap -- fixture: message intentionally flattens
+}
+
+func Good(err error) error {
+	return fmt.Errorf("doing thing: %w", err)
+}
+
+func BothWrapped(err error) error {
+	return fmt.Errorf("%w: %w", ErrBase, err)
+}
+
+func NoError(n int) error {
+	return fmt.Errorf("count %d of %s", n, "things")
+}
+
+func NilArg() error {
+	return fmt.Errorf("value %v", nil)
+}
+`,
+	})
+	wantFindings(t, findings, "errwrap", []string{"wrap/wrap.go:11", "wrap/wrap.go:15"})
+}
+
+func TestConnclose(t *testing.T) {
+	findings := lintFixtures(t, lint.DefaultConfig(), map[string]string{
+		"conns/conns.go": `package conns
+
+import "net"
+
+func Leaky(addr string) error {
+	conn, err := net.Dial("tcp", addr) // line 6: finding (never closed)
+	if err != nil {
+		return err
+	}
+	_ = conn.SetDeadline
+	return nil
+}
+
+func EarlyReturn(addr string, bail bool) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if bail {
+		return nil // line 20: finding (close below is skipped)
+	}
+	return conn.Close()
+}
+
+func Allowed(addr string) error {
+	conn, err := net.Dial("tcp", addr) //doelint:allow connclose -- fixture: closed by the caller via package registry
+	if err != nil {
+		return err
+	}
+	_ = conn.RemoteAddr()
+	return nil
+}
+
+func Deferred(addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	return nil
+}
+
+func Transferred(addr string) (net.Conn, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return conn, nil
+}
+
+func GoroutineOwned(addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	go func() {
+		defer conn.Close()
+		buf := make([]byte, 1)
+		conn.Read(buf)
+	}()
+	return nil
+}
+`,
+	})
+	wantFindings(t, findings, "connclose", []string{"conns/conns.go:6", "conns/conns.go:20"})
+}
+
+func TestLockbalance(t *testing.T) {
+	findings := lintFixtures(t, lint.DefaultConfig(), map[string]string{
+		"locks/locks.go": `package locks
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	ro sync.RWMutex
+	n  int
+}
+
+func (b *box) Bad() {
+	b.mu.Lock() // line 12: finding
+	b.n++
+}
+
+func (b *box) BadRead() int {
+	b.ro.RLock() // line 17: finding
+	return b.n
+}
+
+func (b *box) Allowed() {
+	//doelint:allow lockbalance -- fixture: unlocked by the monitor goroutine
+	b.mu.Lock()
+	b.n++
+}
+
+func (b *box) Good() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.n++
+}
+
+func (b *box) GoodInline() {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+}
+
+func (b *box) GoodClosure() {
+	b.mu.Lock()
+	defer func() { b.mu.Unlock() }()
+	b.n++
+}
+
+func (b *box) GoodRead() int {
+	b.ro.RLock()
+	defer b.ro.RUnlock()
+	return b.n
+}
+`,
+	})
+	wantFindings(t, findings, "lockbalance", []string{"locks/locks.go:12", "locks/locks.go:17"})
+}
+
+func TestDirectiveValidation(t *testing.T) {
+	findings := lintFixtures(t, lint.DefaultConfig(), map[string]string{
+		"dir/dir.go": `package dir
+
+//doelint:allow errwrap
+func A() {} // line 3: finding (no justification)
+
+//doelint:allow nosuchcheck -- whatever
+func B() {} // line 6: finding (unknown check)
+
+//doelint:frobnicate the thing
+func C() {} // line 9: finding (unknown directive)
+
+//doelint:allow errwrap -- a legitimate, justified suppression
+func D() {}
+`,
+	})
+	wantFindings(t, findings, lint.DirectiveCheck, []string{"dir/dir.go:3", "dir/dir.go:6", "dir/dir.go:9"})
+}
+
+func TestCheckSelection(t *testing.T) {
+	cfg := lint.DefaultConfig()
+	cfg.Checks = []string{"lockbalance"}
+	findings := lintFixtures(t, cfg, map[string]string{
+		"sel/sel.go": `package sel
+
+import (
+	"fmt"
+	"sync"
+)
+
+var mu sync.Mutex
+
+func Bad(err error) error {
+	mu.Lock() // finding: lockbalance runs
+	return fmt.Errorf("oops: %v", err) // no finding: errwrap disabled
+}
+`,
+	})
+	wantFindings(t, findings, "lockbalance", []string{"sel/sel.go:11"})
+	wantFindings(t, findings, "errwrap", nil)
+}

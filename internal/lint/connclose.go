@@ -1,0 +1,365 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// analyzerConnclose flags acquired connections (or any io.Closer obtained
+// from a Dial/Listen/Accept/Open-style call) that can leak: either no
+// Close/ownership transfer exists at all, or a return path is reachable
+// before any Close with no deferred Close pending. Ownership transfer —
+// passing the value to another call, storing it in a struct or variable,
+// returning it, or sending it on a channel — discharges the obligation,
+// as does a return guarded by the acquisition's own error (the value is
+// not live on that path). The check is lexical, not flow-sensitive: a
+// Close in an earlier branch satisfies a later return. That approximation
+// errs quiet, and the deliberate exceptions carry //doelint:allow.
+var analyzerConnclose = &Analyzer{
+	Name: "connclose",
+	Doc:  "conns acquired via Dial/Listen/Accept/Open must be closed on every return path",
+	Run:  runConnclose,
+}
+
+// acquirePattern matches function or method names whose result the caller
+// owns and must close.
+var acquirePattern = regexp.MustCompile(`^(Dial|Listen|Accept|Open)`)
+
+func runConnclose(pass *Pass) {
+	closer := newCloserInterface()
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkConnFunc(pass, fn.Body, closer)
+				}
+			case *ast.FuncLit:
+				checkConnFunc(pass, fn.Body, closer)
+			}
+			return true
+		})
+	}
+}
+
+// newCloserInterface builds interface{ Close() error } without importing io,
+// so the check works on any package regardless of its import graph.
+func newCloserInterface() *types.Interface {
+	errType := types.Universe.Lookup("error").Type()
+	results := types.NewTuple(types.NewVar(token.NoPos, nil, "", errType))
+	sig := types.NewSignatureType(nil, nil, nil, nil, results, false)
+	closeFn := types.NewFunc(token.NoPos, nil, "Close", sig)
+	iface := types.NewInterfaceType([]*types.Func{closeFn}, nil)
+	iface.Complete()
+	return iface
+}
+
+func implementsCloser(t types.Type, closer *types.Interface) bool {
+	if t == nil {
+		return false
+	}
+	if types.Implements(t, closer) {
+		return true
+	}
+	if _, isPtr := t.(*types.Pointer); !isPtr {
+		return types.Implements(types.NewPointer(t), closer)
+	}
+	return false
+}
+
+// acquisition is one "v, err := Dial(...)"-style statement in a function.
+type acquisition struct {
+	obj    types.Object // the closeable value
+	errObj types.Object // the error assigned alongside it, if any
+	pos    token.Pos
+	name   string // source name, for messages
+	callee string // acquiring function name, for messages
+}
+
+func checkConnFunc(pass *Pass, body *ast.BlockStmt, closer *types.Interface) {
+	acqs := findAcquisitions(pass, body, closer)
+	for _, acq := range acqs {
+		uses := collectUses(pass, body, acq.obj)
+		if len(uses.closes) == 0 && len(uses.deferCloses) == 0 && len(uses.escapes) == 0 {
+			pass.Reportf(acq.pos,
+				"%s acquired from %s is never closed in this function (no Close, no ownership transfer)",
+				acq.name, acq.callee)
+			continue
+		}
+		if len(uses.deferCloses) > 0 {
+			continue
+		}
+		// No deferred Close: every return reachable after the acquisition
+		// must be preceded by a Close or an ownership transfer, except
+		// returns guarded by the acquisition's own error. An escape within
+		// the return statement itself ("return wrap(conn)") counts, hence
+		// the comparison against the statement's End.
+		for _, ret := range collectReturns(pass, body, acq) {
+			if !anyBefore(uses.closes, ret.End()) && !anyBefore(uses.escapes, ret.End()) {
+				pass.Reportf(ret.Pos(),
+					"return without closing %s (acquired from %s at line %d) and no deferred Close pending",
+					acq.name, acq.callee, pass.Fset.Position(acq.pos).Line)
+				break // one report per acquisition keeps the signal readable
+			}
+		}
+	}
+}
+
+// findAcquisitions scans the statements of this function — not of nested
+// function literals, which are analyzed as their own functions — for
+// assignments from acquiring calls whose result implements io.Closer.
+func findAcquisitions(pass *Pass, body *ast.BlockStmt, closer *types.Interface) []acquisition {
+	var acqs []acquisition
+	inspectSkippingFuncLits(body, func(n ast.Node) {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		callee := calleeName(call)
+		if !acquirePattern.MatchString(callee) {
+			return
+		}
+		var closeables []acquisition
+		var errObj types.Object
+		for _, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := pass.objectOf(id)
+			if obj == nil {
+				continue
+			}
+			if types.AssignableTo(obj.Type(), types.Universe.Lookup("error").Type()) {
+				errObj = obj
+				continue
+			}
+			if implementsCloser(obj.Type(), closer) {
+				closeables = append(closeables, acquisition{
+					obj: obj, pos: id.Pos(), name: id.Name, callee: callee,
+				})
+			}
+		}
+		for i := range closeables {
+			closeables[i].errObj = errObj
+			acqs = append(acqs, closeables[i])
+		}
+	})
+	return acqs
+}
+
+// calleeName extracts the final name of a call's function expression.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// connUses partitions the uses of an acquired object within a function
+// body (nested function literals included, since deferred closures and
+// goroutines act on the outer function's values).
+type connUses struct {
+	closes      []token.Pos // v.Close() executed inline
+	deferCloses []token.Pos // v.Close() under a defer (directly or in a closure)
+	escapes     []token.Pos // ownership transfers: call argument, return, store, send
+}
+
+func collectUses(pass *Pass, body *ast.BlockStmt, obj types.Object) connUses {
+	var uses connUses
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		id, ok := n.(*ast.Ident)
+		if !ok || pass.Info.Uses[id] != obj {
+			return true
+		}
+		// Capture inside a go-launched closure transfers ownership: the
+		// goroutine's lifetime, not this function's, bounds the value
+		// (e.g. an accept loop running on a stored listener).
+		if goroutineCapture(stack) {
+			uses.escapes = append(uses.escapes, id.Pos())
+			return true
+		}
+		// Method/field access on the object: v.Close() is the discharge
+		// we are looking for; any other method call or field read keeps
+		// ownership here.
+		if sel, ok := parentAt(stack, 1).(*ast.SelectorExpr); ok && sel.X == id {
+			call, isCall := parentAt(stack, 2).(*ast.CallExpr)
+			if isCall && call.Fun == sel {
+				if sel.Sel.Name == "Close" {
+					if underDefer(stack) {
+						uses.deferCloses = append(uses.deferCloses, id.Pos())
+					} else {
+						uses.closes = append(uses.closes, id.Pos())
+					}
+				}
+				return true
+			}
+			// Method value (v.Close passed around) or field read: treat a
+			// bare selector used elsewhere as neutral.
+			return true
+		}
+		if escapesAt(stack, id) {
+			uses.escapes = append(uses.escapes, id.Pos())
+		}
+		return true
+	})
+	return uses
+}
+
+// parentAt returns the ancestor `up` levels above the node on top of the
+// stack (up=1 is the direct parent).
+func parentAt(stack []ast.Node, up int) ast.Node {
+	idx := len(stack) - 1 - up
+	if idx < 0 {
+		return nil
+	}
+	return stack[idx]
+}
+
+// underDefer reports whether the top of the stack sits under a defer
+// statement, including via an immediately-deferred closure.
+func underDefer(stack []ast.Node) bool {
+	for _, n := range stack {
+		if _, ok := n.(*ast.DeferStmt); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// goroutineCapture reports whether the node on top of the stack sits
+// inside a function literal that is launched with `go`.
+func goroutineCapture(stack []ast.Node) bool {
+	sawFuncLit := false
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncLit:
+			sawFuncLit = true
+		case *ast.GoStmt:
+			if sawFuncLit {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// escapesAt decides whether a bare identifier use transfers ownership.
+// Walking outward from the identifier to its enclosing statement: being an
+// argument of a call or composite literal, part of a return, the source of
+// an assignment, or a channel send all transfer ownership.
+func escapesAt(stack []ast.Node, id *ast.Ident) bool {
+	var child ast.Node = id
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch anc := stack[i].(type) {
+		case *ast.CallExpr:
+			if anc.Fun != child {
+				return true // argument position
+			}
+		case *ast.CompositeLit, *ast.KeyValueExpr:
+			return true
+		case *ast.ReturnStmt, *ast.GoStmt, *ast.SendStmt:
+			return true
+		case *ast.AssignStmt:
+			for _, rhs := range anc.Rhs {
+				if rhs == child {
+					return true
+				}
+			}
+			return false // write into the variable, not a transfer
+		case ast.Stmt:
+			return false
+		}
+		child = stack[i]
+	}
+	return false
+}
+
+// collectReturns gathers return statements of this function (skipping
+// nested function literals) that appear after the acquisition and are not
+// guarded by the acquisition's own error check.
+func collectReturns(pass *Pass, body *ast.BlockStmt, acq acquisition) []*ast.ReturnStmt {
+	var rets []*ast.ReturnStmt
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // not pushed: Inspect sends no nil for pruned subtrees
+		}
+		stack = append(stack, n)
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || ret.Pos() < acq.pos {
+			return true
+		}
+		if acq.errObj != nil && guardedByError(pass, stack, acq.errObj) {
+			return true
+		}
+		rets = append(rets, ret)
+		return true
+	})
+	return rets
+}
+
+// guardedByError reports whether some enclosing if-statement's condition
+// mentions errObj — the `if err != nil { return ... }` idiom right after a
+// failed acquisition, where the conn is not live.
+func guardedByError(pass *Pass, stack []ast.Node, errObj types.Object) bool {
+	for _, n := range stack {
+		ifStmt, ok := n.(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		mentions := false
+		ast.Inspect(ifStmt.Cond, func(c ast.Node) bool {
+			if id, ok := c.(*ast.Ident); ok && pass.Info.Uses[id] == errObj {
+				mentions = true
+			}
+			return !mentions
+		})
+		if mentions {
+			return true
+		}
+	}
+	return false
+}
+
+func anyBefore(positions []token.Pos, limit token.Pos) bool {
+	for _, p := range positions {
+		if p < limit {
+			return true
+		}
+	}
+	return false
+}
+
+// inspectSkippingFuncLits walks a subtree without descending into nested
+// function literals.
+func inspectSkippingFuncLits(root ast.Node, visit func(ast.Node)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}

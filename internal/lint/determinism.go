@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// analyzerDeterminism flags reads of ambient nondeterminism — the global
+// math/rand generator and the wall clock — inside packages declared
+// deterministic (Config.DeterministicPackages). The simulation core must
+// produce identical results for a given seed; randomness has to flow from a
+// seeded *rand.Rand and time from the simulated clock. Constructor calls
+// (rand.New, rand.NewSource, rand.NewZipf) are fine: they are how seeded
+// generators get built.
+var analyzerDeterminism = &Analyzer{
+	Name: "determinism",
+	Doc:  "no global math/rand or wall-clock reads in deterministic packages",
+	Run:  runDeterminism,
+}
+
+// randConstructors are math/rand top-level functions that construct seeded
+// state rather than consult the global generator.
+var randConstructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+// wallClockFuncs are time package functions that read or schedule against
+// the wall clock.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+}
+
+func runDeterminism(pass *Pass) {
+	if !pass.Config.IsDeterministic(pass.Pkg.Path()) {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.Info.Uses[id].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			switch pkgName.Imported().Path() {
+			case "math/rand", "math/rand/v2":
+				if !randConstructors[sel.Sel.Name] {
+					pass.Reportf(call.Pos(),
+						"global rand.%s in deterministic package %s; draw from a seeded *rand.Rand instead",
+						sel.Sel.Name, pass.Pkg.Path())
+				}
+			case "time":
+				if wallClockFuncs[sel.Sel.Name] {
+					pass.Reportf(call.Pos(),
+						"wall-clock time.%s in deterministic package %s; derive time from the simulation clock",
+						sel.Sel.Name, pass.Pkg.Path())
+				}
+			}
+			return true
+		})
+	}
+}

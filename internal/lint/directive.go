@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// directivePrefix introduces every doelint control comment.
+const directivePrefix = "//doelint:"
+
+// allowKey identifies one suppressed (file, line, check) cell.
+type allowKey struct {
+	file  string
+	line  int
+	check string
+}
+
+// allowSet records which findings //doelint:allow directives suppress.
+type allowSet map[allowKey]bool
+
+// parseDirectives scans a file's comments for doelint directives, records
+// the allowed (line, check) cells into allow, and returns findings for
+// malformed directives. The accepted form is
+//
+//	//doelint:allow <check>[,<check>...] -- <justification>
+//
+// A directive suppresses matching findings on its own line and on the line
+// immediately below, so it can either trail the offending statement or sit
+// on its own line above it. The justification is mandatory: suppressions
+// must explain themselves to survive review.
+func parseDirectives(fset *token.FileSet, f *ast.File, allow allowSet) []Finding {
+	var bad []Finding
+	report := func(pos token.Pos, format string, args ...any) {
+		p := fset.Position(pos)
+		bad = append(bad, Finding{
+			File:    p.Filename,
+			Line:    p.Line,
+			Col:     p.Column,
+			Check:   DirectiveCheck,
+			Message: fmt.Sprintf(format, args...),
+			abs:     p.Filename,
+		})
+	}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, directivePrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(c.Text, directivePrefix)
+			verb, arg, _ := strings.Cut(rest, " ")
+			if verb != "allow" {
+				report(c.Pos(), "unknown doelint directive %q (only \"allow\" is defined)", verb)
+				continue
+			}
+			checksPart, justification, found := strings.Cut(arg, "--")
+			if !found || strings.TrimSpace(justification) == "" {
+				report(c.Pos(), "doelint:allow needs a justification: //doelint:allow <check> -- <why>")
+				continue
+			}
+			names := strings.Split(strings.TrimSpace(checksPart), ",")
+			pos := fset.Position(c.Pos())
+			for _, name := range names {
+				name = strings.TrimSpace(name)
+				if name == "" || !knownCheck(name) {
+					report(c.Pos(), "doelint:allow names unknown check %q", name)
+					continue
+				}
+				if name == DirectiveCheck {
+					report(c.Pos(), "the %q check cannot be suppressed", DirectiveCheck)
+					continue
+				}
+				allow[allowKey{pos.Filename, pos.Line, name}] = true
+				allow[allowKey{pos.Filename, pos.Line + 1, name}] = true
+			}
+		}
+	}
+	return bad
+}
+
+// filter drops findings covered by an allow directive. Directive findings
+// themselves are never suppressible.
+func (a allowSet) filter(findings []Finding) []Finding {
+	kept := findings[:0]
+	for _, f := range findings {
+		if f.Check != DirectiveCheck && a[allowKey{f.abs, f.Line, f.Check}] {
+			continue
+		}
+		kept = append(kept, f)
+	}
+	return kept
+}

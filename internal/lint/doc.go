@@ -1,0 +1,59 @@
+// Package lint is the repository's custom static-analysis suite, run as
+// `go run ./cmd/doelint ./...` and from the self-lint test that keeps the
+// tree clean. It is built only on the standard library (go/ast, go/parser,
+// go/types, go/token): dependencies are imported from compiler export data
+// produced by `go list -export`, so loading the whole module takes well
+// under a second and needs no module outside the toolchain.
+//
+// # Checks
+//
+//   - determinism: packages listed in Config.DeterministicPackages (the
+//     simulation core: internal/netsim, internal/core, internal/workload)
+//     must not call global math/rand functions or read the wall clock
+//     (time.Now, time.Since, time.After, ...). Randomness flows from a
+//     seeded *rand.Rand, time from the simulated clock; rand.New /
+//     rand.NewSource / rand.NewZipf are constructors and always allowed.
+//
+//   - connclose: a value acquired from a Dial/Listen/Accept/Open-style
+//     call whose type implements io.Closer must be closed on every return
+//     path — via defer, an inline Close, or an ownership transfer
+//     (returned, stored, passed to another call, sent on a channel).
+//     Returns guarded by the acquisition's own error are exempt: the
+//     value is not live when the acquisition failed.
+//
+//   - errwrap: fmt.Errorf calls that interpolate error values must use
+//     %w for each of them, so callers can errors.Is / errors.As through
+//     the wrap — the difference between classifying a probe failure as a
+//     timeout versus a TLS authentication error.
+//
+//   - lockbalance: a sync Lock()/RLock() call must have a matching
+//     Unlock()/RUnlock() on the same receiver somewhere in the same
+//     top-level function (deferred closures included).
+//
+// # Suppressing a finding
+//
+// Deliberate exceptions carry an allow directive with a mandatory
+// justification, either trailing the offending line or on its own line
+// directly above it:
+//
+//	if !b.deadline.IsZero() && !time.Now().Before(b.deadline) { //doelint:allow determinism -- real-time deadline guard
+//
+//	//doelint:allow lockbalance -- unlocked by the monitor goroutine
+//	m.mu.Lock()
+//
+// Several checks can share one directive, comma-separated. A directive
+// with an unknown check name or a missing justification is itself reported
+// under the unsuppressible "directive" check.
+//
+// # Adding an analyzer
+//
+// Write a `var analyzerFoo = &Analyzer{Name: "foo", Doc: ..., Run: ...}`
+// in a new file, using Pass.Reportf to emit findings, and append it to the
+// registry slice in lint.go. The driver hands every analyzer a fully
+// type-checked package (AST, *types.Package, *types.Info), so checks can
+// resolve imports, methods, and interface satisfaction precisely instead
+// of pattern-matching on names. Add a fixture package exercising a true
+// positive, a true negative, and a suppressed finding to the table in
+// analyzers_test.go — the test harness lints all fixtures in one driver
+// run.
+package lint

@@ -1,0 +1,217 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// listPackage is the subset of `go list -json` output the driver consumes.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Module     *listModule
+	Error      *listError
+}
+
+type listModule struct {
+	Path string
+	Main bool
+}
+
+type listError struct {
+	Err string
+}
+
+// Run loads the packages matched by patterns (resolved by the go tool from
+// dir), type-checks every package of the main module from source, runs the
+// enabled analyzers, applies //doelint:allow directives, and returns the
+// surviving findings sorted by position. Dependencies — standard library and
+// module-internal alike — are imported from compiler export data produced by
+// `go list -export`, so the whole module loads in well under a second and no
+// dependency outside the standard library is needed.
+func Run(dir string, patterns []string, cfg *Config) ([]Finding, error) {
+	if cfg == nil {
+		cfg = DefaultConfig()
+	}
+	for _, c := range cfg.Checks {
+		if !knownCheck(c) {
+			return nil, fmt.Errorf("lint: unknown check %q (run doelint -list for the registered checks)", c)
+		}
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	byPath := make(map[string]*listPackage, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.ImportPath] = p
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		p, ok := byPath[path]
+		if !ok || p.Export == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(p.Export)
+	})
+
+	var analyzers []*Analyzer
+	for _, a := range registry {
+		if cfg.checkEnabled(a.Name) {
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	var findings []Finding
+	linted := 0
+	allow := allowSet{}
+	for _, lp := range pkgs {
+		if lp.Standard || lp.DepOnly || lp.Module == nil || !lp.Module.Main {
+			continue
+		}
+		linted++
+		if lp.Error != nil {
+			return nil, fmt.Errorf("lint: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		files, err := parseFiles(fset, lp)
+		if err != nil {
+			return nil, err
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+		var typeErr error
+		conf := types.Config{
+			Importer: imp,
+			Error: func(err error) {
+				if typeErr == nil {
+					typeErr = err
+				}
+			},
+		}
+		tpkg, _ := conf.Check(lp.ImportPath, fset, files, info)
+		if typeErr != nil {
+			return nil, fmt.Errorf("lint: type-checking %s: %w", lp.ImportPath, typeErr)
+		}
+		for _, f := range files {
+			bad := parseDirectives(fset, f, allow)
+			findings = append(findings, bad...)
+		}
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     fset,
+				Files:    files,
+				Pkg:      tpkg,
+				Info:     info,
+				Config:   cfg,
+				findings: &findings,
+			}
+			a.Run(pass)
+		}
+	}
+
+	if linted == 0 {
+		return nil, fmt.Errorf("lint: patterns %v matched no main-module packages in %s", patterns, dir)
+	}
+
+	findings = allow.filter(findings)
+	relativize(findings, dir)
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Check < b.Check
+	})
+	return findings, nil
+}
+
+// goList shells out to the go tool for package metadata and export data.
+// The go tool is the one dependency a Go build already has; -export makes it
+// write compiler export data for every listed package into the build cache
+// and report the file paths, which is how the driver resolves imports
+// without golang.org/x/tools.
+func goList(dir string, patterns []string) ([]*listPackage, error) {
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,GoFiles,Export,Standard,DepOnly,Module,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint: go list: %w\n%s", err, stderr.Bytes())
+	}
+	var pkgs []*listPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+func parseFiles(fset *token.FileSet, lp *listPackage) ([]*ast.File, error) {
+	files := make([]*ast.File, 0, len(lp.GoFiles))
+	for _, name := range lp.GoFiles {
+		path := filepath.Join(lp.Dir, name)
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// relativize rewrites finding paths relative to dir when possible, for
+// stable output independent of where the module happens to be checked out.
+func relativize(findings []Finding, dir string) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return
+	}
+	for i := range findings {
+		if rel, err := filepath.Rel(abs, findings[i].File); err == nil && !filepath.IsAbs(rel) &&
+			rel != ".." && !((len(rel) > 2) && rel[:3] == ".."+string(filepath.Separator)) {
+			findings[i].File = rel
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// analyzerErrwrap flags fmt.Errorf calls that interpolate an error value
+// without the %w verb. Unwrapped errors break errors.Is/errors.As for
+// callers — a scanner that cannot distinguish a timeout from a TLS
+// authentication failure misclassifies resolvers. The check counts
+// error-typed arguments against %w verbs in the format string, so
+// "%w: %v" with two error arguments is still a finding.
+var analyzerErrwrap = &Analyzer{
+	Name: "errwrap",
+	Doc:  "fmt.Errorf with an error argument must wrap it with %w",
+	Run:  runErrwrap,
+}
+
+func runErrwrap(pass *Pass) {
+	errType := types.Universe.Lookup("error").Type()
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) < 2 {
+				return true
+			}
+			if !isPkgFunc(pass, call, "fmt", "Errorf") {
+				return true
+			}
+			format, ok := stringLiteral(call.Args[0])
+			if !ok {
+				return true
+			}
+			wVerbs := countWVerbs(format)
+			errArgs := 0
+			var firstErrArg ast.Expr
+			for _, arg := range call.Args[1:] {
+				t := pass.Info.TypeOf(arg)
+				if t == nil {
+					continue
+				}
+				if b, isBasic := t.(*types.Basic); isBasic && b.Kind() == types.UntypedNil {
+					continue
+				}
+				if types.AssignableTo(t, errType) {
+					errArgs++
+					if firstErrArg == nil {
+						firstErrArg = arg
+					}
+				}
+			}
+			if errArgs > wVerbs {
+				pass.Reportf(firstErrArg.Pos(),
+					"fmt.Errorf passes %d error value(s) but the format has %d %%w verb(s); wrap with %%w so callers can errors.Is/errors.As",
+					errArgs, wVerbs)
+			}
+			return true
+		})
+	}
+}
+
+// isPkgFunc reports whether call invokes pkgPath.funcName through a plain
+// package selector (aliased imports included, method values excluded).
+func isPkgFunc(pass *Pass, call *ast.CallExpr, pkgPath, funcName string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != funcName {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkgName, ok := pass.Info.Uses[id].(*types.PkgName)
+	return ok && pkgName.Imported().Path() == pkgPath
+}
+
+// stringLiteral extracts a constant string from an expression, following
+// "+" concatenation of literals.
+func stringLiteral(e ast.Expr) (string, bool) {
+	switch e := e.(type) {
+	case *ast.BasicLit:
+		s, err := strconv.Unquote(e.Value)
+		return s, err == nil
+	case *ast.BinaryExpr:
+		left, okL := stringLiteral(e.X)
+		right, okR := stringLiteral(e.Y)
+		return left + right, okL && okR
+	case *ast.ParenExpr:
+		return stringLiteral(e.X)
+	}
+	return "", false
+}
+
+// countWVerbs counts %w verbs in a fmt format string.
+func countWVerbs(format string) int {
+	n := 0
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		for i < len(format) && strings.ContainsRune("#+-0 .*[]0123456789", rune(format[i])) {
+			i++
+		}
+		if i < len(format) && format[i] == 'w' {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,151 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Finding is one diagnostic produced by an analyzer (or by the directive
+// parser for malformed //doelint: comments).
+type Finding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+
+	// abs is the absolute filename as recorded in the FileSet, used to
+	// match suppression directives before paths are relativized.
+	abs string
+}
+
+// String renders the finding in the canonical file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.File, f.Line, f.Col, f.Check, f.Message)
+}
+
+// Analyzer is one registered check. Run inspects a fully type-checked
+// package via the Pass and reports findings with Pass.Reportf.
+type Analyzer struct {
+	// Name is the check name used in output and in //doelint:allow
+	// directives. Lowercase, no spaces.
+	Name string
+	// Doc is a one-line description shown by `doelint -list`.
+	Doc string
+	// Run analyzes one package.
+	Run func(*Pass)
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	Config   *Config
+
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	*p.findings = append(*p.findings, Finding{
+		File:    position.Filename,
+		Line:    position.Line,
+		Col:     position.Column,
+		Check:   p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+		abs:     position.Filename,
+	})
+}
+
+// objectOf resolves an identifier whether it defines (":=") or uses ("=")
+// the object.
+func (p *Pass) objectOf(id *ast.Ident) types.Object {
+	if obj := p.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return p.Info.Uses[id]
+}
+
+// Config tunes the suite for a repository.
+type Config struct {
+	// DeterministicPackages lists import-path suffixes of packages that
+	// must not consult wall-clock time or the global math/rand state.
+	DeterministicPackages []string
+	// Checks restricts which analyzers run; empty means all registered.
+	Checks []string
+}
+
+// DefaultConfig returns the configuration used for this repository: the
+// simulation core packages are deterministic and every check runs.
+func DefaultConfig() *Config {
+	return &Config{
+		DeterministicPackages: []string{
+			"internal/netsim",
+			"internal/core",
+			"internal/workload",
+		},
+	}
+}
+
+// IsDeterministic reports whether the package at pkgPath is subject to the
+// determinism check. Entries match the whole path or a "/"-delimited suffix.
+func (c *Config) IsDeterministic(pkgPath string) bool {
+	for _, suf := range c.DeterministicPackages {
+		if pkgPath == suf || strings.HasSuffix(pkgPath, "/"+suf) {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Config) checkEnabled(name string) bool {
+	if len(c.Checks) == 0 {
+		return true
+	}
+	for _, want := range c.Checks {
+		if want == name {
+			return true
+		}
+	}
+	return false
+}
+
+// DirectiveCheck is the pseudo-check name under which malformed
+// //doelint: comments are reported. It cannot be suppressed.
+const DirectiveCheck = "directive"
+
+// registry holds every analyzer the driver runs, in execution order.
+var registry = []*Analyzer{
+	analyzerDeterminism,
+	analyzerConnclose,
+	analyzerErrwrap,
+	analyzerLockbalance,
+}
+
+// Analyzers returns the registered analyzers.
+func Analyzers() []*Analyzer {
+	out := make([]*Analyzer, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// knownCheck reports whether name is a registered analyzer name (or the
+// directive pseudo-check), i.e. valid in a //doelint:allow directive.
+func knownCheck(name string) bool {
+	if name == DirectiveCheck {
+		return true
+	}
+	for _, a := range registry {
+		if a.Name == name {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+)
+
+// analyzerLockbalance flags a mutex Lock (or RLock) with no matching
+// Unlock (RUnlock) anywhere in the same top-level function — the shape of
+// bug that deadlocks a concurrent scanner only under load. Receivers are
+// matched textually (m.mu, s.cacheMu, ...), and unlocks inside nested
+// closures count for the enclosing function, so `defer func() {
+// mu.Unlock() }()` and handler literals that lock and unlock inline are
+// both fine. Lock/Unlock pairs split across function boundaries need a
+// //doelint:allow with the reason.
+var analyzerLockbalance = &Analyzer{
+	Name: "lockbalance",
+	Doc:  "a sync Lock()/RLock() must have a matching Unlock in the same function",
+	Run:  runLockbalance,
+}
+
+func runLockbalance(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkLockFunc(pass, fn.Body)
+		}
+	}
+}
+
+// lockTally tracks lock/unlock calls against one receiver expression.
+type lockTally struct {
+	locks    []token.Pos
+	unlocks  int
+	rlocks   []token.Pos
+	runlocks int
+}
+
+func checkLockFunc(pass *Pass, body *ast.BlockStmt) {
+	tallies := map[string]*lockTally{}
+	var order []string
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		method, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || method.Pkg() == nil || method.Pkg().Path() != "sync" {
+			return true
+		}
+		key := exprString(pass.Fset, sel.X)
+		tally := tallies[key]
+		if tally == nil {
+			tally = &lockTally{}
+			tallies[key] = tally
+			order = append(order, key)
+		}
+		switch sel.Sel.Name {
+		case "Lock":
+			tally.locks = append(tally.locks, call.Pos())
+		case "Unlock":
+			tally.unlocks++
+		case "RLock":
+			tally.rlocks = append(tally.rlocks, call.Pos())
+		case "RUnlock":
+			tally.runlocks++
+		}
+		return true
+	})
+	for _, key := range order {
+		tally := tallies[key]
+		if len(tally.locks) > 0 && tally.unlocks == 0 {
+			pass.Reportf(tally.locks[0],
+				"%s.Lock() with no %s.Unlock() in this function; defer the unlock or annotate the handoff",
+				key, key)
+		}
+		if len(tally.rlocks) > 0 && tally.runlocks == 0 {
+			pass.Reportf(tally.rlocks[0],
+				"%s.RLock() with no %s.RUnlock() in this function; defer the unlock or annotate the handoff",
+				key, key)
+		}
+	}
+}
+
+// exprString renders a receiver expression for keying and messages.
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return "<expr>"
+	}
+	return buf.String()
+}

@@ -1,0 +1,24 @@
+package lint_test
+
+import (
+	"testing"
+
+	"dnsencryption.info/doe/internal/lint"
+)
+
+// TestRepositoryIsClean runs the full suite over this module, the same as
+// `go run ./cmd/doelint ./...`. Being part of `go test ./...` makes the
+// lint gate part of the tier-1 verify path: a new violation anywhere in
+// the module fails this test with the finding's position and message.
+func TestRepositoryIsClean(t *testing.T) {
+	findings, err := lint.Run("../..", nil, lint.DefaultConfig())
+	if err != nil {
+		t.Fatalf("lint.Run on repository: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+	if len(findings) > 0 {
+		t.Logf("fix the finding or add a justified //doelint:allow directive (see internal/lint/doc.go)")
+	}
+}

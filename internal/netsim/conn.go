@@ -134,6 +134,7 @@ func (b *buffer) read(p []byte) (int, error) {
 		if b.closed {
 			return 0, io.EOF
 		}
+		//doelint:allow determinism -- deadlines guard against real hangs and are deliberately wall-clock
 		if !b.deadline.IsZero() && !time.Now().Before(b.deadline) {
 			return 0, ErrDeadline
 		}
@@ -165,10 +166,11 @@ func (b *buffer) setDeadline(t time.Time) {
 		b.timer = nil
 	}
 	if !t.IsZero() {
-		d := time.Until(t)
+		d := time.Until(t) //doelint:allow determinism -- deadline timers run in real time by design
 		if d < 0 {
 			d = 0
 		}
+		//doelint:allow determinism -- deadline timers run in real time by design
 		b.timer = time.AfterFunc(d, func() {
 			b.mu.Lock()
 			b.cond.Broadcast()

@@ -355,6 +355,11 @@ func contains(b []byte, v byte) bool {
 // onto the client's connection so end-to-end latency composes across hops.
 func Relay(client, downstream *netsim.Conn) {
 	done := make(chan struct{}, 2)
+	// Snapshot the downstream clock before either copier starts: once the
+	// client→downstream goroutine runs, request bytes advance the
+	// downstream clock, and a late snapshot would drop that leg from the
+	// composed latency.
+	last := downstream.Elapsed()
 	go func() {
 		io.Copy(downstream, client) //nolint:errcheck
 		downstream.Close()
@@ -362,7 +367,6 @@ func Relay(client, downstream *netsim.Conn) {
 	}()
 	go func() {
 		buf := make([]byte, 32*1024)
-		last := downstream.Elapsed()
 		for {
 			n, err := downstream.Read(buf)
 			if n > 0 {

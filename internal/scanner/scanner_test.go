@@ -1,6 +1,8 @@
 package scanner
 
 import (
+	"errors"
+	"net"
 	"net/netip"
 	"testing"
 	"testing/quick"
@@ -193,6 +195,41 @@ func TestScanDiscoversResolvers(t *testing.T) {
 	// Country grouping: 100.64.1.11 is in IE.
 	if res.CountryCounts()["IE"] != 1 {
 		t.Errorf("country counts = %v", res.CountryCounts())
+	}
+}
+
+func TestScanTreatsBlackholeAsClosed(t *testing.T) {
+	f := newScanFixture(t)
+	// Blackhole one of the serving resolvers: probes must time out rather
+	// than fail authentication, and the scan must count the port closed.
+	dropped := netip.MustParseAddr("100.64.0.10")
+	f.world.AddPolicy(netsim.PolicyFunc(func(_ *netsim.World, _, to netip.Addr, _ uint16, _ netsim.Proto) netsim.Verdict {
+		if to == dropped {
+			return netsim.Verdict{Action: netsim.ActBlackhole}
+		}
+		return netsim.Verdict{}
+	}))
+
+	_, err := f.world.Dial(f.scanner.Sources[0], dropped, dot.Port)
+	if !errors.Is(err, netsim.ErrBlackhole) {
+		t.Fatalf("dial err = %v, want ErrBlackhole", err)
+	}
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Errorf("dial err = %v, want a net.Error with Timeout() == true", err)
+	}
+
+	res, err := f.scanner.Scan("blackhole")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PortOpen != 5 {
+		t.Errorf("port open = %d, want 5 (blackholed host excluded)", res.PortOpen)
+	}
+	for _, r := range res.Resolvers {
+		if r.Addr == dropped {
+			t.Errorf("blackholed host %v still listed as resolver", dropped)
+		}
 	}
 }
 

@@ -8,11 +8,12 @@
 
 GO ?= go
 
-RACE_PKGS := ./internal/netsim ./internal/proxy ./internal/dnsserver ./internal/scanner
+RACE_PKGS := ./internal/netsim ./internal/proxy ./internal/dnsserver \
+	./internal/scanner ./internal/vantage ./internal/runner ./internal/resolver
 
-.PHONY: verify build vet lint test race
+.PHONY: verify build vet lint test race bench-smoke
 
-verify: build vet lint test race
+verify: build vet lint test race bench-smoke
 
 build:
 	$(GO) build ./...
@@ -28,3 +29,9 @@ test:
 
 race:
 	$(GO) test -race -count=1 $(RACE_PKGS)
+
+# One iteration of the worker-count ablation: proves the parallel scan path
+# executes end to end. Speedup itself is hardware-dependent (bounded by
+# GOMAXPROCS) and is read off full -benchtime runs, not this smoke pass.
+bench-smoke:
+	$(GO) test -run=NONE -bench='BenchmarkParallelScan' -benchtime=1x .

@@ -101,6 +101,32 @@ func BenchmarkTable2DoTCountries(b *testing.B) {
 	}
 }
 
+// benchmarkParallelScan ablates the parallel engine's worker count on the
+// Table 2 scan workload. The merged report is bit-for-bit identical at any
+// width (TestReportByteIdenticalAcrossWorkerCounts pins that), so the only
+// thing the knob moves is wall time.
+func benchmarkParallelScan(b *testing.B, workers int) {
+	s := study(b)
+	s.SetScanRound(0)
+	prev := s.Scanner.Workers
+	s.Scanner.Workers = workers
+	b.Cleanup(func() { s.Scanner.Workers = prev })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := s.Scanner.Scan("bench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.CountryCounts()) == 0 {
+			b.Fatal("no countries")
+		}
+	}
+}
+
+func BenchmarkParallelScanN1(b *testing.B)  { benchmarkParallelScan(b, 1) }
+func BenchmarkParallelScanN4(b *testing.B)  { benchmarkParallelScan(b, 4) }
+func BenchmarkParallelScanN16(b *testing.B) { benchmarkParallelScan(b, 16) }
+
 func BenchmarkFig3ResolversPerScan(b *testing.B) {
 	s := study(b)
 	s.SetScanRound(s.ScanRounds - 1)

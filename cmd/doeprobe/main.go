@@ -19,6 +19,7 @@ func main() {
 	log.SetPrefix("doeprobe: ")
 	seed := flag.Int64("seed", 0, "override the study seed (0 = default)")
 	small := flag.Bool("small", false, "use the miniature test-scale world")
+	workers := flag.Int("workers", 0, "parallel measurement workers (0 = default; output is identical for any value)")
 	flag.Parse()
 
 	cfg := core.DefaultConfig()
@@ -27,6 +28,9 @@ func main() {
 	}
 	if *seed != 0 {
 		cfg.Seed = *seed
+	}
+	if *workers > 0 {
+		cfg.Workers = *workers
 	}
 	study, err := core.NewStudy(cfg)
 	if err != nil {

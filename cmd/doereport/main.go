@@ -12,6 +12,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"time"
 
 	"dnsencryption.info/doe/internal/core"
 )
@@ -24,6 +25,8 @@ func main() {
 	only := flag.String("only", "", "run a single experiment by id (e.g. table4)")
 	outPath := flag.String("o", "", "write the report to a file instead of stdout")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	workers := flag.Int("workers", 0, "parallel measurement workers (0 = default; report bytes are identical for any value)")
+	timing := flag.Bool("timing", false, "log per-experiment wall time to stderr")
 	flag.Parse()
 
 	if *list {
@@ -40,9 +43,17 @@ func main() {
 	if *seed != 0 {
 		cfg.Seed = *seed
 	}
+	if *workers > 0 {
+		cfg.Workers = *workers
+	}
 	study, err := core.NewStudy(cfg)
 	if err != nil {
 		log.Fatalf("building study world: %v", err)
+	}
+	if *timing {
+		study.Progress = func(id, title string, elapsed time.Duration) {
+			log.Printf("%s (%.1fs)", id, elapsed.Seconds())
+		}
 	}
 
 	var w io.Writer = os.Stdout

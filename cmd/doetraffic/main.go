@@ -18,6 +18,7 @@ func main() {
 	log.SetPrefix("doetraffic: ")
 	seed := flag.Int64("seed", 0, "override the study seed (0 = default)")
 	scale := flag.Float64("scale", 0, "override the traffic scale (0 = default)")
+	workers := flag.Int("workers", 0, "parallel measurement workers (0 = default; output is identical for any value)")
 	flag.Parse()
 
 	cfg := core.DefaultConfig()
@@ -26,6 +27,9 @@ func main() {
 	}
 	if *scale > 0 {
 		cfg.TrafficScale = *scale
+	}
+	if *workers > 0 {
+		cfg.Workers = *workers
 	}
 	study, err := core.NewStudy(cfg)
 	if err != nil {

@@ -27,8 +27,12 @@ type Config struct {
 	// May 1, 2019 (paper: 10).
 	ScanRounds int
 
-	// ReachabilityWorkers bounds concurrent vantage measurements.
-	ReachabilityWorkers int
+	// Workers bounds the parallel execution engine: scan sweeps, DoT
+	// verification probes, vantage campaigns, performance sampling, port
+	// forensics and the no-reuse comparison all shard across this many
+	// goroutines. Results are merged deterministically, so any value
+	// (including 1) produces bit-for-bit identical reports.
+	Workers int
 	// PerfNodes is how many global nodes run the performance test
 	// (paper: 8,257).
 	PerfNodes int
@@ -58,20 +62,20 @@ type Config struct {
 // DefaultConfig is the full-study scale.
 func DefaultConfig() Config {
 	return Config{
-		Seed:                20190501,
-		GlobalNodes:         600,
-		CensoredNodes:       300,
-		ScanSpaceBits:       17, // 131,072 addresses
-		PortOpenNotDoT:      1200,
-		ScanRounds:          10,
-		ReachabilityWorkers: 16,
-		PerfNodes:           120,
-		PerfQueriesReused:   20,
-		PerfQueriesFresh:    50,
-		TrafficScale:        1.0,
-		NetFlowSampleRate:   3,
-		NetFlowIdleExpiry:   15 * time.Second,
-		CorpusNoise:         20000,
+		Seed:              20190501,
+		GlobalNodes:       600,
+		CensoredNodes:     300,
+		ScanSpaceBits:     17, // 131,072 addresses
+		PortOpenNotDoT:    1200,
+		ScanRounds:        10,
+		Workers:           16,
+		PerfNodes:         120,
+		PerfQueriesReused: 20,
+		PerfQueriesFresh:  50,
+		TrafficScale:      1.0,
+		NetFlowSampleRate: 3,
+		NetFlowIdleExpiry: 15 * time.Second,
+		CorpusNoise:       20000,
 	}
 }
 

@@ -355,3 +355,51 @@ func TestDeterministicReports(t *testing.T) {
 		t.Errorf("fig11 not deterministic:\n%s\nvs\n%s", f1, f2)
 	}
 }
+
+// TestReportByteIdenticalAcrossWorkerCounts is the parallel engine's
+// end-to-end guarantee: the complete doereport output — every experiment,
+// including the worker-sharded scans, campaigns, forensics and perf stages
+// — must be byte-for-byte identical at workers=1 and workers=8.
+func TestReportByteIdenticalAcrossWorkerCounts(t *testing.T) {
+	cfg := TestConfig()
+	cfg.ScanRounds = 2
+	cfg.GlobalNodes = 24
+	cfg.CensoredNodes = 12
+	cfg.PerfNodes = 6
+	cfg.PerfQueriesReused = 4
+	cfg.PerfQueriesFresh = 4
+	run := func(workers int) string {
+		c := cfg
+		c.Workers = workers
+		s, err := NewStudy(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		if err := s.RunAll(&b); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return b.String()
+	}
+	serial := run(1)
+	parallel := run(8)
+	if serial != parallel {
+		// Find the first divergence for a readable failure.
+		line := 1
+		for i := 0; i < len(serial) && i < len(parallel); i++ {
+			if serial[i] != parallel[i] {
+				lo, hi := max(0, i-120), min(len(serial), i+120)
+				hi2 := min(len(parallel), i+120)
+				t.Fatalf("report diverges at byte %d (line %d):\nworkers=1: ...%q...\nworkers=8: ...%q...",
+					i, line, serial[lo:hi], parallel[lo:hi2])
+			}
+			if serial[i] == '\n' {
+				line++
+			}
+		}
+		t.Fatalf("reports differ in length: workers=1 %d bytes, workers=8 %d bytes", len(serial), len(parallel))
+	}
+	if !strings.Contains(serial, "== table4") || strings.Contains(serial, "ERROR") {
+		t.Fatalf("report incomplete or errored:\n%s", serial)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"dnsencryption.info/doe/internal/certs"
 	"dnsencryption.info/doe/internal/netflow"
 	"dnsencryption.info/doe/internal/proxy"
+	"dnsencryption.info/doe/internal/runner"
 	"dnsencryption.info/doe/internal/scanner"
 	"dnsencryption.info/doe/internal/vantage"
 )
@@ -50,8 +51,8 @@ func (s *Study) Reachability() *ReachabilityData {
 		// The reachability test observes the May 1 resolver population.
 		s.SetScanRound(s.ScanRounds - 1)
 		s.reach = &ReachabilityData{
-			Global:   s.GlobalPlatform.Campaign(s.Targets, s.ReachabilityWorkers),
-			Censored: s.CensoredPlatform.Campaign(s.Targets, s.ReachabilityWorkers),
+			Global:   s.GlobalPlatform.Campaign(s.Targets, s.Workers),
+			Censored: s.CensoredPlatform.Campaign(s.Targets, s.Workers),
 		}
 	})
 	return s.reach
@@ -63,18 +64,30 @@ func (s *Study) PerfSamples() []vantage.PerfSample {
 	s.perfOnce.Do(func() {
 		target := s.Targets[0] // cloudflare
 		nodes := s.Global.Nodes()
-		for _, node := range nodes {
+		// Every node is attempted so the work list is fixed up front (a
+		// serial take-first-N loop would make the attempted set depend on
+		// how many predecessors failed); the sample set is then the first
+		// PerfNodes successes in node order, identical for any worker
+		// count. Node session budgets comfortably cover the extra
+		// attempts, so no vantage point expires from the overshoot.
+		type perfOutcome struct {
+			sample vantage.PerfSample
+			ok     bool
+		}
+		outcomes := runner.Map(s.Workers, len(nodes), func(i int) perfOutcome {
+			sample, err := s.GlobalPlatform.MeasurePerformance(nodes[i], target, s.PerfQueriesReused)
+			// Afflicted vantages cannot complete all three protocols;
+			// the paper's perf dataset is likewise the subset of clients
+			// that can (8,257 of 29,622).
+			return perfOutcome{sample: sample, ok: err == nil}
+		})
+		for _, o := range outcomes {
 			if len(s.perfSamples) >= s.PerfNodes {
 				break
 			}
-			sample, err := s.GlobalPlatform.MeasurePerformance(node, target, s.PerfQueriesReused)
-			if err != nil {
-				// Afflicted vantages cannot complete all three
-				// protocols; the paper's perf dataset is likewise the
-				// subset of clients that can (8,257 of 29,622).
-				continue
+			if o.ok {
+				s.perfSamples = append(s.perfSamples, o.sample)
 			}
-			s.perfSamples = append(s.perfSamples, sample)
 		}
 	})
 	return s.perfSamples
@@ -308,25 +321,41 @@ func runTable5(s *Study) (string, error) {
 	for _, n := range s.Global.Nodes() {
 		nodesByID[n.ID] = n
 	}
+	// Probes fan out per failed node; the tallies are folded in
+	// failed-list order so counts and example ASes match a serial pass.
+	type table5Probe struct {
+		probe vantage.PortProbe
+		node  proxy.ExitNode
+		ok    bool
+	}
+	probes := runner.Map(s.Workers, len(failed), func(i int) table5Probe {
+		node, ok := nodesByID[failed[i]]
+		if !ok {
+			return table5Probe{}
+		}
+		return table5Probe{
+			probe: s.GlobalPlatform.ProbePorts(node, cloudflareDNS, vantage.Table5Ports),
+			node:  node,
+			ok:    true,
+		}
+	})
 	portCount := analysis.Counter{}
 	deviceCount := analysis.Counter{}
 	none := 0
 	var exampleAS []string
-	for _, id := range failed {
-		node, ok := nodesByID[id]
-		if !ok {
+	for _, p := range probes {
+		if !p.ok {
 			continue
 		}
-		probe := s.GlobalPlatform.ProbePorts(node, cloudflareDNS, vantage.Table5Ports)
-		if !probe.HasAnyOpen() {
+		if !p.probe.HasAnyOpen() {
 			none++
 		}
-		for _, port := range probe.Open {
+		for _, port := range p.probe.Open {
 			portCount.Inc(fmt.Sprintf("%d", port))
 		}
-		deviceCount.Inc(vantage.IdentifyDevice(probe))
+		deviceCount.Inc(vantage.IdentifyDevice(p.probe))
 		if len(exampleAS) < 5 {
-			exampleAS = append(exampleAS, fmt.Sprintf("AS%d %s", node.ASN, node.ASName))
+			exampleAS = append(exampleAS, fmt.Sprintf("AS%d %s", p.node.ASN, p.node.ASName))
 		}
 	}
 	t := &analysis.Table{
@@ -381,15 +410,26 @@ func runTable7(s *Study) (string, error) {
 		Title:   "Table 7: Performance test results w/o connection reuse (medians, ms)",
 		Columns: []string{"Vantage", "DNS/TCP", "DoT (overhead)", "DoH (overhead)"},
 	}
-	for _, v := range ControlledVantages {
+	// The four controlled vantages measure concurrently; each derives its
+	// probe names from its own label, so measurements are independent and
+	// the table rows stay in ControlledVantages order.
+	type table7Row struct {
+		sample vantage.NoReuseSample
+		err    error
+	}
+	rows := runner.Map(s.Workers, len(ControlledVantages), func(i int) table7Row {
+		v := ControlledVantages[i]
 		sample, err := vantage.MeasureNoReuse(s.World, v.Label, v.Addr, s.Targets[0], ProbeZone, s.Roots, s.PerfQueriesFresh)
-		if err != nil {
-			return "", fmt.Errorf("vantage %s: %w", v.Label, err)
+		return table7Row{sample: sample, err: err}
+	})
+	for i, row := range rows {
+		if row.err != nil {
+			return "", fmt.Errorf("vantage %s: %w", ControlledVantages[i].Label, row.err)
 		}
-		t.AddRow(v.Label,
-			fmt.Sprintf("%.1f", sample.DNSMedianMS),
-			fmt.Sprintf("%.1f (+%.1f)", sample.DoTMedianMS, sample.DoTOverheadMS()),
-			fmt.Sprintf("%.1f (+%.1f)", sample.DoHMedianMS, sample.DoHOverheadMS()))
+		t.AddRow(ControlledVantages[i].Label,
+			fmt.Sprintf("%.1f", row.sample.DNSMedianMS),
+			fmt.Sprintf("%.1f (+%.1f)", row.sample.DoTMedianMS, row.sample.DoTOverheadMS()),
+			fmt.Sprintf("%.1f (+%.1f)", row.sample.DoHMedianMS, row.sample.DoHOverheadMS()))
 	}
 	return t.Render(), nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"net/netip"
 	"time"
@@ -12,6 +13,8 @@ import (
 	"dnsencryption.info/doe/internal/dnswire"
 	"dnsencryption.info/doe/internal/dot"
 	"dnsencryption.info/doe/internal/geo"
+	"dnsencryption.info/doe/internal/resolver"
+	"dnsencryption.info/doe/internal/runner"
 )
 
 // opendnsAddr hosts the study's DNSCrypt deployment (OpenDNS has offered
@@ -73,23 +76,26 @@ func (s *Study) buildLocalResolvers() error {
 // bootstrap over clear-text TXT, Ed25519 verification, then encrypted
 // queries under X25519-XSalsa20Poly1305.
 func runDNSCrypt(s *Study) (string, error) {
+	ctx := context.Background()
 	client, err := dnscrypt.NewClient(s.World, ControlledVantages[0].Addr, s.DNSCryptProvider, s.DNSCryptPK)
 	if err != nil {
 		return "", err
 	}
-	if err := client.FetchCert(s.DNSCryptAddr); err != nil {
+	if err := client.FetchCertContext(ctx, s.DNSCryptAddr); err != nil {
 		return "", fmt.Errorf("certificate bootstrap: %w", err)
 	}
+	ex := resolver.DNSCrypt(client, s.DNSCryptAddr)
 	var lat []float64
 	for i := 0; i < 10; i++ {
-		res, err := client.Query(s.DNSCryptAddr, fmt.Sprintf("dc-%d.%s", i, ProbeZone), dnswire.TypeA)
+		q := dnswire.NewQuery(0, fmt.Sprintf("dc-%d.%s", i, ProbeZone), dnswire.TypeA)
+		m, err := ex.Exchange(ctx, q)
 		if err != nil {
 			return "", err
 		}
-		if a, ok := res.FirstA(); !ok || a != s.ExpectedA {
-			return "", fmt.Errorf("wrong answer: %v", res.Msg.Answers)
+		if a, ok := m.FirstA(); !ok || a != s.ExpectedA {
+			return "", fmt.Errorf("wrong answer: %v", m.Answers)
 		}
-		lat = append(lat, float64(res.Latency)/float64(time.Millisecond))
+		lat = append(lat, float64(ex.LastLatency())/float64(time.Millisecond))
 	}
 	var b analysis.Table
 	b.Title = "DNSCrypt deployment check (Table 1's fifth protocol, working end to end)"
@@ -107,30 +113,47 @@ func runDNSCrypt(s *Study) (string, error) {
 // vantage points' own ISP resolvers, RIPE-Atlas style.
 func runLocalDoT(s *Study) (string, error) {
 	nodes := s.Global.Nodes()
-	probed, succeeded := 0, 0
-	var capable []string
-	for _, node := range nodes {
+	// One probe per vantage point, fanned out; successes fold in node
+	// order so the counters and the example list stay deterministic.
+	type localProbe struct {
+		example string
+		ok      bool
+	}
+	results := runner.Map(s.Workers, len(nodes), func(i int) localProbe {
+		node := nodes[i]
 		b := node.Addr.As4()
 		b[3] = 53
 		lr := netip.AddrFrom4(b)
 		tunnel, err := s.Global.Dial(s.GlobalPlatform.From, node.ID, lr, dot.Port)
-		probed++
 		if err != nil {
-			continue
+			return localProbe{}
 		}
 		client := dot.NewClient(nil, s.GlobalPlatform.From, s.Roots, dot.Opportunistic)
 		conn, err := client.DialConn(tunnel)
 		if err != nil {
-			continue
+			return localProbe{}
 		}
-		res, err := conn.Query(s.GlobalPlatform.UniqueName(node.ID+"-local"), dnswire.TypeA)
-		conn.Close()
-		if err != nil || res.Rcode() != dnswire.RcodeSuccess {
+		sess := resolver.DoTSession(conn)
+		q := dnswire.NewQuery(0, s.GlobalPlatform.UniqueName(node.ID+"-local"), dnswire.TypeA)
+		m, err := sess.Exchange(context.Background(), q)
+		sess.Close()
+		if err != nil || m.Rcode != dnswire.RcodeSuccess {
+			return localProbe{}
+		}
+		return localProbe{
+			example: fmt.Sprintf("%s (AS%d %s)", lr, node.ASN, node.ASName),
+			ok:      true,
+		}
+	})
+	probed, succeeded := len(nodes), 0
+	var capable []string
+	for _, r := range results {
+		if !r.ok {
 			continue
 		}
 		succeeded++
 		if len(capable) < 5 {
-			capable = append(capable, fmt.Sprintf("%s (AS%d %s)", lr, node.ASN, node.ASName))
+			capable = append(capable, r.example)
 		}
 	}
 	out := "Local (ISP) resolver DoT deployment, RIPE-Atlas-style probes (§3.1)\n"

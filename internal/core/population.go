@@ -269,7 +269,7 @@ func (s *Study) buildScanner() {
 		ProbeDomain: "scanprobe." + ProbeZone,
 		ExpectedA:   s.ExpectedA,
 		Roots:       s.Roots,
-		Workers:     16,
+		Workers:     s.Workers,
 		Seed:        uint64(s.Seed),
 	}
 }

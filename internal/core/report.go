@@ -6,14 +6,25 @@ import (
 	"time"
 )
 
+// Progress receives per-experiment wall-clock timing as RunAll advances.
+// Timing stays out of the report body on purpose: the report is a seeded
+// artifact that must be byte-for-byte identical for any worker count, while
+// wall time is exactly the thing parallelism changes.
+type Progress func(id, title string, elapsed time.Duration)
+
 // RunAll executes every experiment in paper order and writes a full report.
 // It returns the first error but keeps going so one failing experiment does
-// not mask the rest.
+// not mask the rest. If s.Progress is set, it is invoked after each
+// experiment with its wall-clock duration.
 func (s *Study) RunAll(w io.Writer) error {
 	var firstErr error
 	for _, exp := range Experiments() {
 		start := time.Now() //doelint:allow determinism -- reports real runtime of the experiment, not simulated time
 		out, err := exp.Run(s)
+		if s.Progress != nil {
+			//doelint:allow determinism -- reports real runtime of the experiment, not simulated time
+			s.Progress(exp.ID, exp.Title, time.Since(start))
+		}
 		if err != nil {
 			if firstErr == nil {
 				firstErr = fmt.Errorf("%s: %w", exp.ID, err)
@@ -21,8 +32,7 @@ func (s *Study) RunAll(w io.Writer) error {
 			fmt.Fprintf(w, "== %s: %s\nERROR: %v\n\n", exp.ID, exp.Title, err)
 			continue
 		}
-		//doelint:allow determinism -- reports real runtime of the experiment, not simulated time
-		fmt.Fprintf(w, "== %s: %s (%.1fs)\n%s\n", exp.ID, exp.Title, time.Since(start).Seconds(), out)
+		fmt.Fprintf(w, "== %s: %s\n%s\n", exp.ID, exp.Title, out)
 	}
 	return firstErr
 }

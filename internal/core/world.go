@@ -4,6 +4,7 @@ import (
 	"crypto/ed25519"
 	"crypto/x509"
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 	"net/netip"
 	"sync"
@@ -85,6 +86,10 @@ type Study struct {
 	World  *netsim.World
 	RootCA *certs.CA
 	Roots  *x509.CertPool
+
+	// Progress, when set, receives per-experiment wall-clock timing from
+	// RunAll (stderr logging in cmd/doereport); it never feeds the report.
+	Progress Progress
 
 	// Zone is the authoritative measurement zone; ExpectedA its wildcard
 	// answer.
@@ -355,8 +360,25 @@ func (s *Study) buildPublicResolvers() error {
 		return err
 	}
 	dot.Serve(s.World, quad9Addr, q9Leaf, q9Enc, time.Millisecond)
+	// Backend latency draws are keyed by the querying exit node, not by a
+	// single shared stream: with one RNG, the value each client observed
+	// would depend on the global order of arrival, and parallel campaigns
+	// would reshuffle it. A per-remote RNG (seeded from the study seed and
+	// the client address) makes each vantage point's draw sequence a
+	// property of that vantage point alone.
 	var q9mu sync.Mutex
-	q9rng := rand.New(rand.NewSource(s.Seed + 105))
+	q9rngs := make(map[netip.Addr]*rand.Rand)
+	q9rngFor := func(remote netip.Addr) *rand.Rand {
+		h := fnv.New64a()
+		b, _ := remote.MarshalBinary()
+		h.Write(b)
+		if r, ok := q9rngs[remote]; ok {
+			return r
+		}
+		r := rand.New(rand.NewSource(s.Seed + 105 + int64(h.Sum64()>>1)))
+		q9rngs[remote] = r
+		return r
+	}
 	doh.Serve(s.World, quad9Addr, q9Leaf, &doh.Server{
 		Handler: &doh.UDPBackendForwarder{
 			World:   s.World,
@@ -373,10 +395,11 @@ func (s *Study) buildPublicResolvers() error {
 				}
 				q9mu.Lock()
 				defer q9mu.Unlock()
-				if q9rng.Float64() < p {
+				rng := q9rngFor(remote)
+				if rng.Float64() < p {
 					return 2500 * time.Millisecond
 				}
-				return time.Duration(q9rng.Intn(200)) * time.Millisecond
+				return time.Duration(rng.Intn(200)) * time.Millisecond
 			},
 		},
 		Webpage: "<title>Quad9</title>",

@@ -5,6 +5,7 @@
 package dnsclient
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net/netip"
@@ -33,14 +34,7 @@ type Result struct {
 func (r *Result) Rcode() dnswire.Rcode { return r.Msg.Rcode }
 
 // FirstA returns the first A answer, if any.
-func (r *Result) FirstA() (netip.Addr, bool) {
-	for _, rr := range r.Msg.Answers {
-		if a, ok := rr.Data.(dnswire.A); ok {
-			return a.Addr, true
-		}
-	}
-	return netip.Addr{}, false
-}
+func (r *Result) FirstA() (netip.Addr, bool) { return r.Msg.FirstA() }
 
 // Client issues clear-text DNS queries from a fixed vantage address.
 type Client struct {
@@ -58,8 +52,27 @@ func New(w *netsim.World, from netip.Addr) *Client {
 	return &Client{World: w, From: from, Timeout: 5 * time.Second, Retries: 1}
 }
 
+// Deadline resolves a transaction's real-time guard: the earlier of the
+// context deadline and now+timeout. Contexts carry cancellation across the
+// client packages; the timeout field remains the per-transaction default.
+func Deadline(ctx context.Context, timeout time.Duration) time.Time {
+	d := time.Now().Add(timeout)
+	if cd, ok := ctx.Deadline(); ok && cd.Before(d) {
+		return cd
+	}
+	return d
+}
+
 // QueryUDP performs a DNS-over-UDP lookup.
+//
+// Deprecated: use QueryUDPContext; this delegates with context.Background().
 func (c *Client) QueryUDP(server netip.Addr, name string, qtype dnswire.Type) (*Result, error) {
+	return c.QueryUDPContext(context.Background(), server, name, qtype)
+}
+
+// QueryUDPContext performs a DNS-over-UDP lookup, honouring ctx between
+// retry attempts.
+func (c *Client) QueryUDPContext(ctx context.Context, server netip.Addr, name string, qtype dnswire.Type) (*Result, error) {
 	q := dnswire.NewQuery(dnswire.NewID(), name, qtype)
 	packed, err := q.Pack()
 	if err != nil {
@@ -67,6 +80,9 @@ func (c *Client) QueryUDP(server netip.Addr, name string, qtype dnswire.Type) (*
 	}
 	var lastErr error
 	for attempt := 0; attempt <= c.Retries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("dnsclient: UDP query: %w", err)
+		}
 		raw, elapsed, err := c.World.Exchange(c.From, server, 53, packed)
 		if err != nil {
 			lastErr = err
@@ -88,13 +104,20 @@ func (c *Client) QueryUDP(server netip.Addr, name string, qtype dnswire.Type) (*
 
 // QueryTCP performs a DNS-over-TCP lookup on a fresh connection, including
 // connection setup in the reported latency.
+//
+// Deprecated: use QueryTCPContext; this delegates with context.Background().
 func (c *Client) QueryTCP(server netip.Addr, name string, qtype dnswire.Type) (*Result, error) {
-	conn, err := c.DialTCP(server)
+	return c.QueryTCPContext(context.Background(), server, name, qtype)
+}
+
+// QueryTCPContext performs a DNS-over-TCP lookup on a fresh connection.
+func (c *Client) QueryTCPContext(ctx context.Context, server netip.Addr, name string, qtype dnswire.Type) (*Result, error) {
+	conn, err := c.DialTCPContext(ctx, server)
 	if err != nil {
 		return nil, err
 	}
 	defer conn.Close()
-	return conn.Query(name, qtype)
+	return conn.QueryContext(ctx, name, qtype)
 }
 
 // TCPConn is a reusable DNS-over-TCP connection. It is safe for sequential
@@ -109,17 +132,36 @@ type TCPConn struct {
 }
 
 // DialTCP opens a reusable DNS-over-TCP connection to server:53.
+//
+// Deprecated: use DialTCPContext; this delegates with context.Background().
 func (c *Client) DialTCP(server netip.Addr) (*TCPConn, error) {
-	return c.DialTCPPort(server, 53)
+	return c.DialTCPContext(context.Background(), server)
+}
+
+// DialTCPContext opens a reusable DNS-over-TCP connection to server:53.
+func (c *Client) DialTCPContext(ctx context.Context, server netip.Addr) (*TCPConn, error) {
+	return c.DialTCPPortContext(ctx, server, 53)
 }
 
 // DialTCPPort opens a reusable DNS-over-TCP connection to an arbitrary port.
+//
+// Deprecated: use DialTCPPortContext; this delegates with
+// context.Background().
 func (c *Client) DialTCPPort(server netip.Addr, port uint16) (*TCPConn, error) {
+	return c.DialTCPPortContext(context.Background(), server, port)
+}
+
+// DialTCPPortContext opens a reusable DNS-over-TCP connection to an
+// arbitrary port, bounded by the context deadline if one is set.
+func (c *Client) DialTCPPortContext(ctx context.Context, server netip.Addr, port uint16) (*TCPConn, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("dnsclient: dial: %w", err)
+	}
 	conn, err := c.World.Dial(c.From, server, port)
 	if err != nil {
 		return nil, err
 	}
-	conn.SetDeadline(time.Now().Add(c.Timeout))
+	conn.SetDeadline(Deadline(ctx, c.Timeout))
 	return TCPFromConn(conn), nil
 }
 
@@ -132,11 +174,23 @@ func TCPFromConn(conn *netsim.Conn) *TCPConn {
 // SetupLatency is the virtual time spent establishing the connection.
 func (t *TCPConn) SetupLatency() time.Duration { return t.established }
 
+// Elapsed is the total virtual time the connection has consumed.
+func (t *TCPConn) Elapsed() time.Duration { return t.conn.Elapsed() }
+
 // Query sends one query on the (possibly reused) connection. Latency covers
 // only this transaction, as observed on an already open connection.
 func (t *TCPConn) Query(name string, qtype dnswire.Type) (*Result, error) {
+	return t.QueryContext(context.Background(), name, qtype)
+}
+
+// QueryContext sends one query on the (possibly reused) connection,
+// checking ctx before the transaction starts.
+func (t *TCPConn) QueryContext(ctx context.Context, name string, qtype dnswire.Type) (*Result, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("dnsclient: query: %w", err)
+	}
 	if t.closed {
 		return nil, ErrClosed
 	}

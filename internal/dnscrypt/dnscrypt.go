@@ -2,6 +2,7 @@ package dnscrypt
 
 import (
 	"bytes"
+	"context"
 	"crypto/ed25519"
 	"crypto/rand"
 	"encoding/binary"
@@ -285,7 +286,18 @@ func NewClient(w *netsim.World, from netip.Addr, providerName string, providerPK
 
 // FetchCert retrieves and verifies the resolver certificate via the
 // clear-text TXT bootstrap query.
+//
+// Deprecated: use FetchCertContext; this delegates with context.Background().
 func (c *Client) FetchCert(resolver netip.Addr) error {
+	return c.FetchCertContext(context.Background(), resolver)
+}
+
+// FetchCertContext retrieves and verifies the resolver certificate via the
+// clear-text TXT bootstrap query, checking ctx before the exchange.
+func (c *Client) FetchCertContext(ctx context.Context, resolver netip.Addr) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("dnscrypt: fetch cert: %w", err)
+	}
 	q := dnswire.NewQuery(dnswire.NewID(), "2.dnscrypt-cert."+c.ProviderName, dnswire.TypeTXT)
 	packed, err := q.Pack()
 	if err != nil {
@@ -319,7 +331,18 @@ func (c *Client) FetchCert(resolver netip.Addr) error {
 }
 
 // Query performs one encrypted lookup. FetchCert must have succeeded.
+//
+// Deprecated: use QueryContext; this delegates with context.Background().
 func (c *Client) Query(resolver netip.Addr, name string, qtype dnswire.Type) (*dnsclient.Result, error) {
+	return c.QueryContext(context.Background(), resolver, name, qtype)
+}
+
+// QueryContext performs one encrypted lookup, checking ctx before the
+// exchange. FetchCert must have succeeded.
+func (c *Client) QueryContext(ctx context.Context, resolver netip.Addr, name string, qtype dnswire.Type) (*dnsclient.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("dnscrypt: query: %w", err)
+	}
 	if c.cert == nil {
 		return nil, ErrNoCert
 	}

@@ -28,6 +28,16 @@ type A struct{ Addr netip.Addr }
 // RType implements RData.
 func (A) RType() Type { return TypeA }
 
+// FirstA returns the first A answer of the message, if any.
+func (m *Message) FirstA() (netip.Addr, bool) {
+	for _, rr := range m.Answers {
+		if a, ok := rr.Data.(A); ok {
+			return a.Addr, true
+		}
+	}
+	return netip.Addr{}, false
+}
+
 func (a A) appendTo(buf []byte, _ map[string]int) ([]byte, error) {
 	if !a.Addr.Is4() {
 		return nil, fmt.Errorf("dnswire: A record requires IPv4 address, got %v", a.Addr)

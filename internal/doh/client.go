@@ -3,6 +3,7 @@ package doh
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"crypto/tls"
 	"crypto/x509"
 	"encoding/base64"
@@ -111,7 +112,15 @@ func NewClient(w *netsim.World, from netip.Addr, roots *x509.CertPool) *Client {
 
 // Resolve maps a template hostname to an address using the override table
 // or the bootstrap resolver.
+//
+// Deprecated: use ResolveContext; this delegates with context.Background().
 func (c *Client) Resolve(host string) (netip.Addr, error) {
+	return c.ResolveContext(context.Background(), host)
+}
+
+// ResolveContext maps a template hostname to an address using the override
+// table or the bootstrap resolver, honouring ctx on the bootstrap lookup.
+func (c *Client) ResolveContext(ctx context.Context, host string) (netip.Addr, error) {
 	if addr, ok := c.Override[dnswire.CanonicalName(host)]; ok {
 		return addr, nil
 	}
@@ -122,7 +131,7 @@ func (c *Client) Resolve(host string) (netip.Addr, error) {
 		return netip.Addr{}, fmt.Errorf("doh: no override for %q and no bootstrap resolver", host)
 	}
 	stub := dnsclient.New(c.World, c.From)
-	res, err := stub.QueryUDP(c.Bootstrap, host, dnswire.TypeA)
+	res, err := stub.QueryUDPContext(ctx, c.Bootstrap, host, dnswire.TypeA)
 	if err != nil {
 		return netip.Addr{}, fmt.Errorf("doh: bootstrap resolution of %q: %w", host, err)
 	}
@@ -148,17 +157,36 @@ type Conn struct {
 // Dial establishes a DoH session for the template, connecting to addr
 // (resolved by the caller or via Resolve).
 func (c *Client) Dial(t Template, addr netip.Addr) (*Conn, error) {
+	return c.DialContext(context.Background(), t, addr)
+}
+
+// DialContext establishes a DoH session for the template, bounded by the
+// context deadline if one is set.
+func (c *Client) DialContext(ctx context.Context, t Template, addr netip.Addr) (*Conn, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("doh: dial: %w", err)
+	}
 	raw, err := c.World.Dial(c.From, addr, Port)
 	if err != nil {
 		return nil, err
 	}
-	return c.DialConn(t, raw)
+	return c.DialConnContext(ctx, t, raw)
 }
 
 // DialConn establishes a DoH session over an already connected stream
 // (e.g. a SOCKS tunnel through a proxy network vantage point).
 func (c *Client) DialConn(t Template, raw *netsim.Conn) (*Conn, error) {
-	raw.SetDeadline(time.Now().Add(c.Timeout))
+	return c.DialConnContext(context.Background(), t, raw)
+}
+
+// DialConnContext establishes a DoH session over an already connected
+// stream, bounded by the context deadline if one is set.
+func (c *Client) DialConnContext(ctx context.Context, t Template, raw *netsim.Conn) (*Conn, error) {
+	if err := ctx.Err(); err != nil {
+		raw.Close()
+		return nil, fmt.Errorf("doh: dial: %w", err)
+	}
+	raw.SetDeadline(dnsclient.Deadline(ctx, c.Timeout))
 	tc := tls.Client(raw, &tls.Config{
 		RootCAs:    c.Roots,
 		ServerName: t.Host,
@@ -186,8 +214,17 @@ func (conn *Conn) Elapsed() time.Duration { return conn.raw.Elapsed() }
 
 // Query performs one wire-format DoH transaction on the session.
 func (conn *Conn) Query(name string, qtype dnswire.Type) (*dnsclient.Result, error) {
+	return conn.QueryContext(context.Background(), name, qtype)
+}
+
+// QueryContext performs one wire-format DoH transaction on the session,
+// checking ctx before the transaction starts.
+func (conn *Conn) QueryContext(ctx context.Context, name string, qtype dnswire.Type) (*dnsclient.Result, error) {
 	conn.mu.Lock()
 	defer conn.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("doh: query: %w", err)
+	}
 	if conn.closed {
 		return nil, dnsclient.ErrClosed
 	}
@@ -297,16 +334,22 @@ func (conn *Conn) Close() error {
 // Query is the one-shot convenience: resolve, dial, query once, close. The
 // latency includes bootstrap-free connection establishment (no-reuse case).
 func (c *Client) Query(t Template, name string, qtype dnswire.Type) (*dnsclient.Result, error) {
-	addr, err := c.Resolve(t.Host)
+	return c.QueryContext(context.Background(), t, name, qtype)
+}
+
+// QueryContext is the one-shot convenience, bounded by ctx: resolve, dial,
+// query once, close.
+func (c *Client) QueryContext(ctx context.Context, t Template, name string, qtype dnswire.Type) (*dnsclient.Result, error) {
+	addr, err := c.ResolveContext(ctx, t.Host)
 	if err != nil {
 		return nil, err
 	}
-	conn, err := c.Dial(t, addr)
+	conn, err := c.DialContext(ctx, t, addr)
 	if err != nil {
 		return nil, err
 	}
 	defer conn.Close()
-	res, err := conn.Query(name, qtype)
+	res, err := conn.QueryContext(ctx, name, qtype)
 	if err != nil {
 		return nil, err
 	}

@@ -7,6 +7,7 @@
 package dot
 
 import (
+	"context"
 	"crypto/tls"
 	"crypto/x509"
 	"errors"
@@ -164,17 +165,36 @@ type Conn struct {
 
 // Dial establishes a DoT session with server.
 func (c *Client) Dial(server netip.Addr) (*Conn, error) {
+	return c.DialContext(context.Background(), server)
+}
+
+// DialContext establishes a DoT session with server, bounded by the
+// context deadline if one is set.
+func (c *Client) DialContext(ctx context.Context, server netip.Addr) (*Conn, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("dot: dial: %w", err)
+	}
 	raw, err := c.World.Dial(c.From, server, Port)
 	if err != nil {
 		return nil, err
 	}
-	return c.DialConn(raw)
+	return c.DialConnContext(ctx, raw)
 }
 
 // DialConn establishes a DoT session over an already connected stream
 // (e.g. a SOCKS tunnel through a proxy network vantage point).
 func (c *Client) DialConn(raw *netsim.Conn) (*Conn, error) {
-	raw.SetDeadline(time.Now().Add(c.Timeout))
+	return c.DialConnContext(context.Background(), raw)
+}
+
+// DialConnContext establishes a DoT session over an already connected
+// stream, bounded by the context deadline if one is set.
+func (c *Client) DialConnContext(ctx context.Context, raw *netsim.Conn) (*Conn, error) {
+	if err := ctx.Err(); err != nil {
+		raw.Close()
+		return nil, fmt.Errorf("dot: dial: %w", err)
+	}
+	raw.SetDeadline(dnsclient.Deadline(ctx, c.Timeout))
 
 	conn := &Conn{raw: raw, client: c}
 	cfg := &tls.Config{
@@ -253,8 +273,17 @@ func (conn *Conn) Elapsed() time.Duration { return conn.raw.Elapsed() }
 
 // Query performs one DNS transaction on the session.
 func (conn *Conn) Query(name string, qtype dnswire.Type) (*dnsclient.Result, error) {
+	return conn.QueryContext(context.Background(), name, qtype)
+}
+
+// QueryContext performs one DNS transaction on the session, checking ctx
+// before the transaction starts.
+func (conn *Conn) QueryContext(ctx context.Context, name string, qtype dnswire.Type) (*dnsclient.Result, error) {
 	conn.mu.Lock()
 	defer conn.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("dot: query: %w", err)
+	}
 	if conn.closed {
 		return nil, dnsclient.ErrClosed
 	}
@@ -303,12 +332,18 @@ func (conn *Conn) Close() error {
 // Query is the one-shot convenience: dial, query once, close. The reported
 // latency includes connection establishment (the no-reuse case of §4.3).
 func (c *Client) Query(server netip.Addr, name string, qtype dnswire.Type) (*dnsclient.Result, error) {
-	conn, err := c.Dial(server)
+	return c.QueryContext(context.Background(), server, name, qtype)
+}
+
+// QueryContext is the one-shot convenience with cancellation: dial, query
+// once, close.
+func (c *Client) QueryContext(ctx context.Context, server netip.Addr, name string, qtype dnswire.Type) (*dnsclient.Result, error) {
+	conn, err := c.DialContext(ctx, server)
 	if err != nil {
 		return nil, err
 	}
 	defer conn.Close()
-	res, err := conn.Query(name, qtype)
+	res, err := conn.QueryContext(ctx, name, qtype)
 	if err != nil {
 		return nil, err
 	}

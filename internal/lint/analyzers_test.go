@@ -99,6 +99,45 @@ func Fine() time.Time { return time.Now() }
 	})
 }
 
+func TestSimsleep(t *testing.T) {
+	cfg := lint.DefaultConfig()
+	cfg.SimulationPackages = []string{"sim"}
+	findings := lintFixtures(t, cfg, map[string]string{
+		// True positives: real blocking calls in a simulation package;
+		// one suppressed by directive. Non-blocking time uses (Duration
+		// arithmetic, timers the package never starts) stay silent.
+		"sim/sim.go": `package sim
+
+import "time"
+
+func Bad(ch chan int) {
+	time.Sleep(time.Millisecond) // line 6: finding
+	select {
+	case <-ch:
+	case <-time.After(time.Second): // line 9: finding
+	}
+}
+
+func Allowed() {
+	time.Sleep(time.Millisecond) //doelint:allow simsleep -- fixture: deliberate real sleep
+}
+
+func Fine() time.Duration {
+	return 3 * time.Millisecond
+}
+`,
+		// True negative: the same blocking calls outside the simulation
+		// set (real-time harness code may sleep).
+		"harness/harness.go": `package harness
+
+import "time"
+
+func Wait() { time.Sleep(time.Millisecond) }
+`,
+	})
+	wantFindings(t, findings, "simsleep", []string{"sim/sim.go:6", "sim/sim.go:9"})
+}
+
 func TestErrwrap(t *testing.T) {
 	findings := lintFixtures(t, lint.DefaultConfig(), map[string]string{
 		"wrap/wrap.go": `package wrap

@@ -78,6 +78,10 @@ type Config struct {
 	// DeterministicPackages lists import-path suffixes of packages that
 	// must not consult wall-clock time or the global math/rand state.
 	DeterministicPackages []string
+	// SimulationPackages lists import-path suffixes of packages that run
+	// on the virtual clock and therefore must never block on real time
+	// (time.Sleep / time.After).
+	SimulationPackages []string
 	// Checks restricts which analyzers run; empty means all registered.
 	Checks []string
 }
@@ -91,13 +95,38 @@ func DefaultConfig() *Config {
 			"internal/core",
 			"internal/workload",
 		},
+		SimulationPackages: []string{
+			"internal/netsim",
+			"internal/core",
+			"internal/workload",
+			"internal/scanner",
+			"internal/vantage",
+			"internal/proxy",
+			"internal/dnsserver",
+			"internal/dnsclient",
+			"internal/dnscrypt",
+			"internal/dot",
+			"internal/doh",
+			"internal/resolver",
+			"internal/runner",
+		},
 	}
 }
 
 // IsDeterministic reports whether the package at pkgPath is subject to the
 // determinism check. Entries match the whole path or a "/"-delimited suffix.
 func (c *Config) IsDeterministic(pkgPath string) bool {
-	for _, suf := range c.DeterministicPackages {
+	return matchPackage(c.DeterministicPackages, pkgPath)
+}
+
+// IsSimulation reports whether the package at pkgPath is subject to the
+// simsleep check. Entries match the whole path or a "/"-delimited suffix.
+func (c *Config) IsSimulation(pkgPath string) bool {
+	return matchPackage(c.SimulationPackages, pkgPath)
+}
+
+func matchPackage(suffixes []string, pkgPath string) bool {
+	for _, suf := range suffixes {
 		if pkgPath == suf || strings.HasSuffix(pkgPath, "/"+suf) {
 			return true
 		}
@@ -124,6 +153,7 @@ const DirectiveCheck = "directive"
 // registry holds every analyzer the driver runs, in execution order.
 var registry = []*Analyzer{
 	analyzerDeterminism,
+	analyzerSimsleep,
 	analyzerConnclose,
 	analyzerErrwrap,
 	analyzerLockbalance,

@@ -1,0 +1,59 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// analyzerSimsleep flags real-time blocking — time.Sleep and time.After —
+// inside simulation packages (Config.SimulationPackages). The measurement
+// pipeline runs on a virtual clock: latency is modeled by netsim's
+// AddLatency/Elapsed accounting, never by actually blocking the goroutine.
+// A real sleep is worse than a wall-clock read (the determinism check's
+// territory): it silently stretches test wall time, and under the parallel
+// runner it serializes workers without changing any reported number, so it
+// hides as "the suite got slow" rather than failing loudly.
+var analyzerSimsleep = &Analyzer{
+	Name: "simsleep",
+	Doc:  "no real time.Sleep/time.After in simulation packages (virtual clock only)",
+	Run:  runSimsleep,
+}
+
+// realBlockFuncs are the time package calls that block on (or schedule
+// against) the wall clock instead of the simulated one.
+var realBlockFuncs = map[string]bool{
+	"Sleep": true,
+	"After": true,
+}
+
+func runSimsleep(pass *Pass) {
+	if !pass.Config.IsSimulation(pass.Pkg.Path()) {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.Info.Uses[id].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			if pkgName.Imported().Path() == "time" && realBlockFuncs[sel.Sel.Name] {
+				pass.Reportf(call.Pos(),
+					"real time.%s in simulation package %s; model delay with the virtual clock (netsim AddLatency) instead",
+					sel.Sel.Name, pass.Pkg.Path())
+			}
+			return true
+		})
+	}
+}

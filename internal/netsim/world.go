@@ -1,8 +1,10 @@
 package netsim
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 	"net/netip"
 	"sync"
@@ -92,8 +94,7 @@ type World struct {
 	dgrams    map[Addr]*dgramService
 	policies  []DialPolicy
 
-	rngMu sync.Mutex
-	rng   *rand.Rand
+	seed int64
 
 	// JitterFrac adds up to this fraction of extra delay per wait.
 	JitterFrac float64
@@ -115,7 +116,7 @@ func NewWorld(seed int64) *World {
 		RTT:           geo.NewRTTModel(),
 		listeners:     make(map[Addr]*Listener),
 		dgrams:        make(map[Addr]*dgramService),
-		rng:           rand.New(rand.NewSource(seed)),
+		seed:          seed,
 		JitterFrac:    0.10,
 		HandshakeRTTs: 1,
 	}
@@ -198,10 +199,23 @@ func (w *World) StreamAddrs(port uint16) []netip.Addr {
 	return addrs
 }
 
-func (w *World) childRNG() *rand.Rand {
-	w.rngMu.Lock()
-	defer w.rngMu.Unlock()
-	return rand.New(rand.NewSource(w.rng.Int63()))
+// flowRNG derives a connection's jitter stream from the flow tuple and the
+// world seed alone, never from dial order: jitter is a property of the path,
+// so concurrent dialers observe exactly the latencies a serial sweep would.
+// Connections sharing a (from, to, port) tuple replay the same jitter
+// stream, which is the price of schedule independence.
+func (w *World) flowRNG(from, to netip.Addr, port uint16) *rand.Rand {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(w.seed))
+	h.Write(buf[:])
+	b, _ := from.MarshalBinary()
+	h.Write(b)
+	b, _ = to.MarshalBinary()
+	h.Write(b)
+	binary.BigEndian.PutUint64(buf[:], uint64(port))
+	h.Write(buf[:])
+	return rand.New(rand.NewSource(int64(h.Sum64())))
 }
 
 func (w *World) decide(from, to netip.Addr, port uint16, proto Proto) Verdict {
@@ -257,7 +271,7 @@ func (w *World) connect(from, to netip.Addr, port uint16, serve func(server *Con
 	clientAddr := Addr{IP: from, Port: uint16(32768 + w.ephemeral.Add(1)%32768)}
 	serverAddr := Addr{IP: to, Port: port}
 	rtt := w.pathRTT(from, to)
-	client, server := Pair(clientAddr, serverAddr, rtt, w.childRNG(), w.JitterFrac)
+	client, server := Pair(clientAddr, serverAddr, rtt, w.flowRNG(from, to, port), w.JitterFrac)
 	client.link.add(time.Duration(float64(rtt) * w.HandshakeRTTs))
 	serve(server)
 	return client, nil

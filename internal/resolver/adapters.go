@@ -1,0 +1,139 @@
+package resolver
+
+import (
+	"context"
+	"net/netip"
+	"sync"
+	"time"
+
+	"dnsencryption.info/doe/internal/dnsclient"
+	"dnsencryption.info/doe/internal/dnscrypt"
+	"dnsencryption.info/doe/internal/dnswire"
+	"dnsencryption.info/doe/internal/doh"
+	"dnsencryption.info/doe/internal/dot"
+)
+
+// udpExchanger is the connectionless clear-text transport.
+type udpExchanger struct {
+	client *dnsclient.Client
+	server netip.Addr
+}
+
+func (u udpExchanger) Exchange(ctx context.Context, msg *dnswire.Message) (*dnswire.Message, error) {
+	name, qtype, err := Question(msg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := u.client.QueryUDPContext(ctx, u.server, name, qtype)
+	if err != nil {
+		return nil, err
+	}
+	return res.Msg, nil
+}
+
+// TCPSession adapts an established DNS-over-TCP connection (possibly riding
+// a SOCKS tunnel via dnsclient.TCPFromConn) to the unified API.
+func TCPSession(conn *dnsclient.TCPConn) Session { return tcpSession{conn} }
+
+type tcpSession struct{ conn *dnsclient.TCPConn }
+
+func (s tcpSession) Exchange(ctx context.Context, msg *dnswire.Message) (*dnswire.Message, error) {
+	name, qtype, err := Question(msg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.conn.QueryContext(ctx, name, qtype)
+	if err != nil {
+		return nil, err
+	}
+	return res.Msg, nil
+}
+
+func (s tcpSession) Close() error                { return s.conn.Close() }
+func (s tcpSession) SetupLatency() time.Duration { return s.conn.SetupLatency() }
+func (s tcpSession) Elapsed() time.Duration      { return s.conn.Elapsed() }
+
+// DoTSession adapts an established DoT session to the unified API. The
+// underlying conn stays available for transport-specific inspection
+// (certificates, verification outcome).
+func DoTSession(conn *dot.Conn) Session { return dotSession{conn} }
+
+type dotSession struct{ conn *dot.Conn }
+
+func (s dotSession) Exchange(ctx context.Context, msg *dnswire.Message) (*dnswire.Message, error) {
+	name, qtype, err := Question(msg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.conn.QueryContext(ctx, name, qtype)
+	if err != nil {
+		return nil, err
+	}
+	return res.Msg, nil
+}
+
+func (s dotSession) Close() error                { return s.conn.Close() }
+func (s dotSession) SetupLatency() time.Duration { return s.conn.SetupLatency() }
+func (s dotSession) Elapsed() time.Duration      { return s.conn.Elapsed() }
+
+// DoHSession adapts an established DoH session to the unified API.
+func DoHSession(conn *doh.Conn) Session { return dohSession{conn} }
+
+type dohSession struct{ conn *doh.Conn }
+
+func (s dohSession) Exchange(ctx context.Context, msg *dnswire.Message) (*dnswire.Message, error) {
+	name, qtype, err := Question(msg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.conn.QueryContext(ctx, name, qtype)
+	if err != nil {
+		return nil, err
+	}
+	return res.Msg, nil
+}
+
+func (s dohSession) Close() error                { return s.conn.Close() }
+func (s dohSession) SetupLatency() time.Duration { return s.conn.SetupLatency() }
+func (s dohSession) Elapsed() time.Duration      { return s.conn.Elapsed() }
+
+// DNSCrypt adapts a dnscrypt client to the unified API. The client's
+// certificate must already be fetched (FetchCertContext); exchanges on an
+// uncertified client surface dnscrypt.ErrNoCert.
+func DNSCrypt(client *dnscrypt.Client, server netip.Addr) *DNSCryptExchanger {
+	return &DNSCryptExchanger{client: client, server: server}
+}
+
+// DNSCryptExchanger is the datagram DNSCrypt transport. Like Transport, it
+// records the virtual latency of the most recent exchange — datagram
+// transports have no session whose Elapsed could be read instead.
+type DNSCryptExchanger struct {
+	client *dnscrypt.Client
+	server netip.Addr
+
+	mu   sync.Mutex
+	last time.Duration
+}
+
+// Exchange performs one encrypted lookup.
+func (d *DNSCryptExchanger) Exchange(ctx context.Context, msg *dnswire.Message) (*dnswire.Message, error) {
+	name, qtype, err := Question(msg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := d.client.QueryContext(ctx, d.server, name, qtype)
+	if err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	d.last = res.Latency
+	d.mu.Unlock()
+	return res.Msg, nil
+}
+
+// LastLatency is the virtual time the most recent Exchange took.
+func (d *DNSCryptExchanger) LastLatency() time.Duration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.last
+}

@@ -1,0 +1,246 @@
+// Package resolver presents every transport the study measures — clear-text
+// DNS over UDP and TCP, DoT (RFC 7858), DoH (RFC 8484) and DNSCrypt — behind
+// one Exchanger interface: a single DNS transaction under a context. The
+// measurement code in internal/vantage and internal/core compares protocols
+// side by side; giving all of them the same call shape keeps that comparison
+// honest (the harness around each query is identical, only the transport
+// differs) and lets the parallel campaign engine cancel any of them the same
+// way.
+//
+// Transports own their transaction IDs: UDP, TCP and DoT pick fresh random
+// IDs per exchange, DoH always sends ID 0 (RFC 8484 §4.1 cache
+// friendliness). The ID on the message passed to Exchange is therefore
+// advisory, and the returned message carries whatever ID the transport used.
+package resolver
+
+import (
+	"context"
+	"crypto/x509"
+	"errors"
+	"net/netip"
+	"sync"
+	"time"
+
+	"dnsencryption.info/doe/internal/dnsclient"
+	"dnsencryption.info/doe/internal/dnswire"
+	"dnsencryption.info/doe/internal/doh"
+	"dnsencryption.info/doe/internal/dot"
+	"dnsencryption.info/doe/internal/netsim"
+)
+
+// Exchanger is the unified client API: one DNS transaction, any transport.
+type Exchanger interface {
+	Exchange(ctx context.Context, msg *dnswire.Message) (*dnswire.Message, error)
+}
+
+// Session is an Exchanger bound to one connection, exposing the virtual-time
+// accounting the performance experiments (§4.3) need: setup cost and total
+// elapsed time, so per-query latency is the Elapsed delta around an
+// Exchange.
+type Session interface {
+	Exchanger
+	Close() error
+	// SetupLatency is the virtual time spent establishing the connection
+	// (TCP handshake, plus TLS where the transport has one).
+	SetupLatency() time.Duration
+	// Elapsed is the total virtual time the connection has consumed.
+	Elapsed() time.Duration
+}
+
+// ErrNoQuestion is returned when Exchange is handed a message without a
+// question section.
+var ErrNoQuestion = errors.New("resolver: message has no question")
+
+// Question extracts the question a transport forwards: adapters delegate to
+// the per-transport clients, which build their own wire messages.
+func Question(msg *dnswire.Message) (string, dnswire.Type, error) {
+	if msg == nil || len(msg.Questions) == 0 {
+		return "", 0, ErrNoQuestion
+	}
+	return msg.Questions[0].Name, msg.Questions[0].Type, nil
+}
+
+// Options collects the cross-transport knobs. The zero value is not useful;
+// construct via New, which applies defaults before the functional options.
+type Options struct {
+	// Timeout is the per-transaction real-time guard (virtual latency is
+	// unaffected; this protects the test harness).
+	Timeout time.Duration
+	// Reuse keeps one session open across Exchanges on a Transport. With
+	// it off, every Exchange dials, queries once and closes — the no-reuse
+	// arm of the §4.3 comparison.
+	Reuse bool
+	// Profile selects the DoT usage profile (RFC 8310).
+	Profile dot.Profile
+	// Padding adds EDNS(0) padding (RFC 8467) to DoT queries.
+	Padding bool
+}
+
+// Option mutates Options; see WithTimeout, WithReuse, WithProfile,
+// WithPadding.
+type Option func(*Options)
+
+// WithTimeout sets the per-transaction real-time guard.
+func WithTimeout(d time.Duration) Option { return func(o *Options) { o.Timeout = d } }
+
+// WithReuse controls connection reuse on Transports (default true).
+func WithReuse(on bool) Option { return func(o *Options) { o.Reuse = on } }
+
+// WithProfile selects the DoT usage profile (default Opportunistic, the
+// paper's client-side choice).
+func WithProfile(p dot.Profile) Option { return func(o *Options) { o.Profile = p } }
+
+// WithPadding enables EDNS(0) padding on DoT queries (default off).
+func WithPadding(on bool) Option { return func(o *Options) { o.Padding = on } }
+
+func applyOptions(opts []Option) Options {
+	o := Options{Timeout: 5 * time.Second, Reuse: true, Profile: dot.Opportunistic}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}
+
+// Client builds Exchangers over a simulated world from one vantage address.
+type Client struct {
+	World *netsim.World
+	From  netip.Addr
+	Roots *x509.CertPool
+	opts  Options
+}
+
+// New returns a Client with study defaults, adjusted by opts.
+func New(w *netsim.World, from netip.Addr, roots *x509.CertPool, opts ...Option) *Client {
+	return &Client{World: w, From: from, Roots: roots, opts: applyOptions(opts)}
+}
+
+func (c *Client) stub() *dnsclient.Client {
+	s := dnsclient.New(c.World, c.From)
+	s.Timeout = c.opts.Timeout
+	return s
+}
+
+// UDP returns the connectionless clear-text exchanger for server:53.
+func (c *Client) UDP(server netip.Addr) Exchanger {
+	return udpExchanger{client: c.stub(), server: server}
+}
+
+// DialTCP opens a clear-text DNS-over-TCP session to server:53.
+func (c *Client) DialTCP(ctx context.Context, server netip.Addr) (Session, error) {
+	conn, err := c.stub().DialTCPContext(ctx, server)
+	if err != nil {
+		return nil, err
+	}
+	return TCPSession(conn), nil
+}
+
+// DialDoT opens a DoT session to server:853 under the configured profile
+// and padding policy.
+func (c *Client) DialDoT(ctx context.Context, server netip.Addr) (Session, error) {
+	dc := dot.NewClient(c.World, c.From, c.Roots, c.opts.Profile)
+	dc.Timeout = c.opts.Timeout
+	dc.Pad = c.opts.Padding
+	conn, err := dc.DialContext(ctx, server)
+	if err != nil {
+		return nil, err
+	}
+	return DoTSession(conn), nil
+}
+
+// DialDoH opens a DoH session for template t at the pinned address.
+func (c *Client) DialDoH(ctx context.Context, t doh.Template, addr netip.Addr) (Session, error) {
+	dc := doh.NewClient(c.World, c.From, c.Roots)
+	dc.Timeout = c.opts.Timeout
+	conn, err := dc.DialContext(ctx, t, addr)
+	if err != nil {
+		return nil, err
+	}
+	return DoHSession(conn), nil
+}
+
+// TCP returns a reuse-aware Transport for clear-text DNS over TCP.
+func (c *Client) TCP(server netip.Addr) *Transport {
+	return newTransport(c.opts.Reuse, func(ctx context.Context) (Session, error) {
+		return c.DialTCP(ctx, server)
+	})
+}
+
+// DoT returns a reuse-aware Transport for DNS over TLS.
+func (c *Client) DoT(server netip.Addr) *Transport {
+	return newTransport(c.opts.Reuse, func(ctx context.Context) (Session, error) {
+		return c.DialDoT(ctx, server)
+	})
+}
+
+// DoH returns a reuse-aware Transport for DNS over HTTPS.
+func (c *Client) DoH(t doh.Template, addr netip.Addr) *Transport {
+	return newTransport(c.opts.Reuse, func(ctx context.Context) (Session, error) {
+		return c.DialDoH(ctx, t, addr)
+	})
+}
+
+// Transport is a connection-managing Exchanger. With reuse, the first
+// Exchange dials and later ones share the session (the amortized arm of
+// §4.3); without, every Exchange pays connection setup (the no-reuse arm).
+type Transport struct {
+	dial  func(ctx context.Context) (Session, error)
+	reuse bool
+
+	mu   sync.Mutex
+	sess Session
+	// last is the virtual time the most recent Exchange consumed on its
+	// connection, including setup when the session was dialed for it.
+	last time.Duration
+}
+
+func newTransport(reuse bool, dial func(ctx context.Context) (Session, error)) *Transport {
+	return &Transport{dial: dial, reuse: reuse}
+}
+
+// Exchange performs one transaction, dialing per the reuse policy.
+func (t *Transport) Exchange(ctx context.Context, msg *dnswire.Message) (*dnswire.Message, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.reuse {
+		sess, err := t.dial(ctx)
+		if err != nil {
+			return nil, err
+		}
+		defer sess.Close()
+		resp, err := sess.Exchange(ctx, msg)
+		t.last = sess.Elapsed()
+		return resp, err
+	}
+	if t.sess == nil {
+		sess, err := t.dial(ctx)
+		if err != nil {
+			return nil, err
+		}
+		t.sess = sess
+	}
+	start := t.sess.Elapsed()
+	resp, err := t.sess.Exchange(ctx, msg)
+	t.last = t.sess.Elapsed() - start
+	return resp, err
+}
+
+// LastLatency is the virtual time the most recent Exchange took: the
+// on-connection delta when reusing, the whole dial-query-close cost when
+// not.
+func (t *Transport) LastLatency() time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.last
+}
+
+// Close releases the retained session, if any.
+func (t *Transport) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.sess == nil {
+		return nil
+	}
+	err := t.sess.Close()
+	t.sess = nil
+	return err
+}

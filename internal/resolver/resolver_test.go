@@ -1,0 +1,253 @@
+package resolver
+
+import (
+	"context"
+	"errors"
+	"net/netip"
+	"testing"
+
+	"dnsencryption.info/doe/internal/certs"
+	"dnsencryption.info/doe/internal/dnscrypt"
+	"dnsencryption.info/doe/internal/dnsserver"
+	"dnsencryption.info/doe/internal/dnswire"
+	"dnsencryption.info/doe/internal/doh"
+	"dnsencryption.info/doe/internal/dot"
+	"dnsencryption.info/doe/internal/geo"
+	"dnsencryption.info/doe/internal/netsim"
+)
+
+var (
+	clientIP = netip.MustParseAddr("10.1.0.2")
+	serverIP = netip.MustParseAddr("192.0.2.100")
+	answerIP = netip.MustParseAddr("203.0.113.1")
+)
+
+// fixture deploys one resolver address speaking every transport the package
+// adapts: UDP+TCP clear-text on 53, DoT on 853, DoH on 443.
+type fixture struct {
+	world *netsim.World
+	ca    *certs.CA
+	zone  *dnsserver.Zone
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	w := netsim.NewWorld(17)
+	w.Geo.Register(netip.MustParsePrefix("10.1.0.0/16"), geo.Location{Country: "US"})
+	w.Geo.Register(netip.MustParsePrefix("192.0.2.0/24"), geo.Location{Country: "NL"})
+	ca, err := certs.NewCA("DoE Root", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := dnsserver.NewZone("measure.example.org")
+	z.WildcardA = answerIP
+
+	w.RegisterDatagram(serverIP, 53, dnsserver.DatagramHandler(z))
+	w.RegisterStream(serverIP, 53, func(conn *netsim.Conn) {
+		defer conn.Close()
+		dnsserver.ServeStream(conn, z)
+	})
+	leaf, err := ca.Issue(certs.LeafOptions{
+		CommonName: "dns.provider.example",
+		DNSNames:   []string{"dns.provider.example"},
+		IPs:        []netip.Addr{serverIP},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot.Serve(w, serverIP, leaf, z, 0)
+	doh.Serve(w, serverIP, leaf, &doh.Server{Handler: z})
+	return &fixture{world: w, ca: ca, zone: z}
+}
+
+func (f *fixture) client(t *testing.T, opts ...Option) *Client {
+	t.Helper()
+	return New(f.world, clientIP, certs.Pool(f.ca), opts...)
+}
+
+func query(name string) *dnswire.Message {
+	return dnswire.NewQuery(0, name, dnswire.TypeA)
+}
+
+func checkAnswer(t *testing.T, m *dnswire.Message, err error, transport string) {
+	t.Helper()
+	if err != nil {
+		t.Fatalf("%s: %v", transport, err)
+	}
+	if a, ok := m.FirstA(); !ok || a != answerIP {
+		t.Errorf("%s answer = %v, want %v", transport, m.Answers, answerIP)
+	}
+}
+
+func TestEveryTransportAnswersThroughExchange(t *testing.T) {
+	f := newFixture(t)
+	c := f.client(t)
+	ctx := context.Background()
+	tmpl := doh.Template{Host: "dns.provider.example", Path: "/dns-query"}
+
+	m, err := c.UDP(serverIP).Exchange(ctx, query("u.measure.example.org"))
+	checkAnswer(t, m, err, "udp")
+
+	for _, tc := range []struct {
+		name string
+		ex   Exchanger
+	}{
+		{"tcp", c.TCP(serverIP)},
+		{"dot", c.DoT(serverIP)},
+		{"doh", c.DoH(tmpl, serverIP)},
+	} {
+		m, err := tc.ex.Exchange(ctx, query(tc.name+".measure.example.org"))
+		checkAnswer(t, m, err, tc.name)
+	}
+}
+
+func TestSessionAccountsSetupAndElapsed(t *testing.T) {
+	f := newFixture(t)
+	c := f.client(t, WithProfile(dot.Strict))
+	ctx := context.Background()
+	sess, err := c.DialDoT(ctx, serverIP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if sess.SetupLatency() <= 0 {
+		t.Error("setup latency not accounted")
+	}
+	before := sess.Elapsed()
+	m, err := sess.Exchange(ctx, query("s.measure.example.org"))
+	checkAnswer(t, m, err, "dot session")
+	if sess.Elapsed() <= before {
+		t.Error("exchange consumed no virtual time")
+	}
+}
+
+func TestReuseAmortizesSetup(t *testing.T) {
+	f := newFixture(t)
+	ctx := context.Background()
+
+	reused := f.client(t, WithReuse(true)).DoT(serverIP)
+	defer reused.Close()
+	for i := 0; i < 2; i++ {
+		if _, err := reused.Exchange(ctx, query("r.measure.example.org")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	onConn := reused.LastLatency() // second exchange: no setup in the delta
+
+	fresh := f.client(t, WithReuse(false)).DoT(serverIP)
+	for i := 0; i < 2; i++ {
+		if _, err := fresh.Exchange(ctx, query("f.measure.example.org")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	perDial := fresh.LastLatency() // every exchange pays TCP+TLS setup
+
+	if perDial <= onConn {
+		t.Errorf("no-reuse latency %v should exceed reused on-connection latency %v", perDial, onConn)
+	}
+}
+
+func TestStrictProfileOptionRejectsUntrustedServer(t *testing.T) {
+	f := newFixture(t)
+	// A client whose trust store does not contain the serving CA: the
+	// Strict profile must refuse, Opportunistic must proceed.
+	otherCA, err := certs.NewCA("Unrelated Root", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	strict := New(f.world, clientIP, certs.Pool(otherCA), WithProfile(dot.Strict))
+	if _, err := strict.DialDoT(ctx, serverIP); !errors.Is(err, dot.ErrAuthFailed) {
+		t.Errorf("strict dial err = %v, want ErrAuthFailed", err)
+	}
+	opp := New(f.world, clientIP, certs.Pool(otherCA), WithProfile(dot.Opportunistic))
+	m, err := opp.DoT(serverIP).Exchange(ctx, query("o.measure.example.org"))
+	checkAnswer(t, m, err, "opportunistic dot")
+}
+
+func TestPaddingOptionTriggersServerPadding(t *testing.T) {
+	f := newFixture(t)
+	ctx := context.Background()
+	// RFC 8467 servers pad responses only to queries that carried the
+	// padding option, so the response reveals whether WithPadding reached
+	// the wire.
+	run := func(pad bool) bool {
+		sess, err := f.client(t, WithPadding(pad)).DialDoT(ctx, serverIP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sess.Close()
+		m, err := sess.Exchange(ctx, query("p.measure.example.org"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, ok := m.OPT()
+		if !ok {
+			return false
+		}
+		_, padded := opt.Padding()
+		return padded
+	}
+	if !run(true) {
+		t.Error("WithPadding(true): response not padded, option did not reach the query")
+	}
+	if run(false) {
+		t.Error("WithPadding(false): response padded, query unexpectedly carried the option")
+	}
+}
+
+func TestDNSCryptAdapter(t *testing.T) {
+	f := newFixture(t)
+	srv, providerPK, err := dnscrypt.NewServer("2.dnscrypt-cert.provider.example", f.zone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.world.RegisterDatagram(serverIP, dnscrypt.Port, srv.DatagramHandler())
+
+	client, err := dnscrypt.NewClient(f.world, clientIP, "2.dnscrypt-cert.provider.example", providerPK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	ex := DNSCrypt(client, serverIP)
+	if _, err := ex.Exchange(ctx, query("dc.measure.example.org")); !errors.Is(err, dnscrypt.ErrNoCert) {
+		t.Fatalf("exchange before FetchCert err = %v, want ErrNoCert", err)
+	}
+	if err := client.FetchCertContext(ctx, serverIP); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ex.Exchange(ctx, query("dc.measure.example.org"))
+	checkAnswer(t, m, err, "dnscrypt")
+	if ex.LastLatency() <= 0 {
+		t.Error("latency not recorded")
+	}
+}
+
+func TestExchangeHonoursCancelledContext(t *testing.T) {
+	f := newFixture(t)
+	c := f.client(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, tc := range []struct {
+		name string
+		ex   Exchanger
+	}{
+		{"udp", c.UDP(serverIP)},
+		{"tcp", c.TCP(serverIP)},
+		{"dot", c.DoT(serverIP)},
+		{"doh", c.DoH(doh.Template{Host: "dns.provider.example", Path: "/dns-query"}, serverIP)},
+	} {
+		if _, err := tc.ex.Exchange(ctx, query("c.measure.example.org")); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err = %v, want context.Canceled", tc.name, err)
+		}
+	}
+}
+
+func TestQuestionRejectsEmptyMessage(t *testing.T) {
+	if _, _, err := Question(&dnswire.Message{}); !errors.Is(err, ErrNoQuestion) {
+		t.Errorf("err = %v, want ErrNoQuestion", err)
+	}
+	if _, _, err := Question(nil); !errors.Is(err, ErrNoQuestion) {
+		t.Errorf("nil message err = %v, want ErrNoQuestion", err)
+	}
+}

@@ -1,0 +1,105 @@
+// Package runner is the parallel execution engine for the measurement
+// pipeline: a bounded worker pool that shards an indexed workload across N
+// goroutines and merges results deterministically.
+//
+// Determinism contract: Map(workers, n, fn) returns exactly
+// [fn(0), fn(1), ..., fn(n-1)] — each result is stored at its input index,
+// so the merged slice is identical for every worker count, including
+// workers=1. Callers keep reports bit-for-bit reproducible by (a) deriving
+// any randomness inside fn(i) from the task's own identity (index, address,
+// vantage key) rather than from call order, and (b) reducing the returned
+// slice in index order. The pool itself adds no ordering of its own: work
+// items are handed out through a single atomic counter (natural
+// backpressure — a worker takes a new index only when it finishes the
+// previous one) and the pool always joins every worker before returning, so
+// no goroutines outlive the call.
+package runner
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// Map runs fn(i) for every i in [0, n) on at most `workers` goroutines and
+// returns the results in input order. workers <= 1 degenerates to a serial
+// loop on the calling goroutine; workers is clamped to n so short workloads
+// never spawn idle goroutines. Map returns only after every worker has
+// exited.
+func Map[T any](workers, n int, fn func(i int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([]T, n)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// MapCtx is Map with cooperative cancellation: once ctx is done, workers
+// stop taking new indices and MapCtx returns ctx.Err() alongside the
+// partial results (indices that never ran hold T's zero value). In-flight
+// fn calls are not interrupted — fn observes ctx itself if it wants
+// mid-task cancellation — but the pool still joins every worker before
+// returning, so shutdown leaks no goroutines.
+func MapCtx[T any](ctx context.Context, workers, n int, fn func(ctx context.Context, i int) T) ([]T, error) {
+	if n <= 0 {
+		return nil, ctx.Err()
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([]T, n)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return out, err
+			}
+			out[i] = fn(ctx, i)
+		}
+		return out, ctx.Err()
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = fn(ctx, i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out, ctx.Err()
+}

@@ -5,13 +5,13 @@ import (
 	"fmt"
 	"net/netip"
 	"sort"
-	"sync"
 	"time"
 
 	"dnsencryption.info/doe/internal/certs"
 	"dnsencryption.info/doe/internal/dnswire"
 	"dnsencryption.info/doe/internal/dot"
 	"dnsencryption.info/doe/internal/netsim"
+	"dnsencryption.info/doe/internal/runner"
 )
 
 // Resolver is one verified open DoT resolver discovered by a scan.
@@ -141,9 +141,22 @@ func (s *Scanner) Scan(label string) (*Result, error) {
 		return nil, err
 	}
 	res := &Result{Label: label, ProbedAddrs: s.Space.Size}
+	workers := s.Workers
+	if workers <= 0 {
+		workers = 8
+	}
 
-	var open []netip.Addr
-	i := 0
+	// Stage 1, sweep. Drawing the permutation is cheap; the expensive part
+	// is the dials, so the ordinals are materialized serially (fixing each
+	// target's scan source by its position in permuted order, exactly as
+	// the serial sweep alternated sources) and the dials fan out across the
+	// worker pool. Open flags land at their ordinal index, so the open list
+	// is identical for every worker count.
+	type sweepTask struct {
+		addr netip.Addr
+		src  netip.Addr
+	}
+	var tasks []sweepTask
 	for {
 		idx, ok := perm.Next()
 		if !ok {
@@ -154,44 +167,36 @@ func (s *Scanner) Scan(label string) (*Result, error) {
 			res.SkippedOptOut++
 			continue
 		}
-		src := s.Sources[i%len(s.Sources)]
-		i++
-		conn, err := s.World.Dial(src, addr, dot.Port)
+		tasks = append(tasks, sweepTask{addr: addr, src: s.Sources[len(tasks)%len(s.Sources)]})
+	}
+	openFlags := runner.Map(workers, len(tasks), func(i int) bool {
+		conn, err := s.World.Dial(tasks[i].src, tasks[i].addr, dot.Port)
 		if err != nil {
-			continue
+			return false
 		}
 		conn.Close()
-		open = append(open, addr)
+		return true
+	})
+	var open []netip.Addr
+	for i, ok := range openFlags {
+		if ok {
+			open = append(open, tasks[i].addr)
+		}
 	}
 	res.PortOpen = len(open)
 
-	workers := s.Workers
-	if workers <= 0 {
-		workers = 8
+	// Stage 2, DoT verification. Each responsive host's probe source is a
+	// function of its position in the open list, so probe outcomes don't
+	// depend on which worker picked the address up.
+	probed := runner.Map(workers, len(open), func(i int) probeOutcome {
+		r, ok := s.probeDoT(s.Sources[i%len(s.Sources)], open[i])
+		return probeOutcome{r: r, ok: ok}
+	})
+	for _, p := range probed {
+		if p.ok {
+			res.Resolvers = append(res.Resolvers, p.r)
+		}
 	}
-	var (
-		mu   sync.Mutex
-		wg   sync.WaitGroup
-		work = make(chan netip.Addr)
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(src netip.Addr) {
-			defer wg.Done()
-			for addr := range work {
-				if r, ok := s.probeDoT(src, addr); ok {
-					mu.Lock()
-					res.Resolvers = append(res.Resolvers, r)
-					mu.Unlock()
-				}
-			}
-		}(s.Sources[w%len(s.Sources)])
-	}
-	for _, addr := range open {
-		work <- addr
-	}
-	close(work)
-	wg.Wait()
 
 	sort.Slice(res.Resolvers, func(i, j int) bool {
 		return res.Resolvers[i].Addr.Less(res.Resolvers[j].Addr)
@@ -200,6 +205,11 @@ func (s *Scanner) Scan(label string) (*Result, error) {
 		res.VirtualDuration = time.Duration(float64(res.ProbedAddrs)/float64(s.RatePPS)) * time.Second
 	}
 	return res, nil
+}
+
+type probeOutcome struct {
+	r  Resolver
+	ok bool
 }
 
 // probeDoT issues the verification query of §3.1 ("probe the addresses with

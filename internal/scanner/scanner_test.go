@@ -4,6 +4,7 @@ import (
 	"errors"
 	"net"
 	"net/netip"
+	"reflect"
 	"testing"
 	"testing/quick"
 	"time"
@@ -195,6 +196,28 @@ func TestScanDiscoversResolvers(t *testing.T) {
 	// Country grouping: 100.64.1.11 is in IE.
 	if res.CountryCounts()["IE"] != 1 {
 		t.Errorf("country counts = %v", res.CountryCounts())
+	}
+}
+
+// TestScanDeterministicAcrossWorkerCounts is the scanner's half of the
+// parallel-engine contract: the merged scan result must be identical for
+// every worker count.
+func TestScanDeterministicAcrossWorkerCounts(t *testing.T) {
+	var want *Result
+	for _, workers := range []int{1, 4, 16} {
+		f := newScanFixture(t)
+		f.scanner.Workers = workers
+		res, err := f.scanner.Scan("det")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = res
+			continue
+		}
+		if !reflect.DeepEqual(res, want) {
+			t.Errorf("workers=%d: scan result diverged\n got: %+v\nwant: %+v", workers, res, want)
+		}
 	}
 }
 

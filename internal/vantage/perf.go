@@ -1,9 +1,11 @@
 package vantage
 
 import (
+	"context"
 	"crypto/x509"
 	"fmt"
 	"net/netip"
+	"strings"
 	"time"
 
 	"dnsencryption.info/doe/internal/analysis"
@@ -13,6 +15,7 @@ import (
 	"dnsencryption.info/doe/internal/dot"
 	"dnsencryption.info/doe/internal/netsim"
 	"dnsencryption.info/doe/internal/proxy"
+	"dnsencryption.info/doe/internal/resolver"
 )
 
 // PerfSample is one vantage point's relative-performance measurement with
@@ -61,22 +64,32 @@ func (p *Platform) MeasurePerformance(node proxy.ExitNode, tgt Target, n int) (P
 
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 
+// timeQueries issues n uniquely-named A lookups on one session and returns
+// the per-query latencies in milliseconds — the session's Elapsed delta
+// around each Exchange, the one clock every transport shares. This is the
+// point of the unified API for §4.3: the timing harness is literally the
+// same code for DNS/TCP, DoT and DoH.
+func (p *Platform) timeQueries(ctx context.Context, sess resolver.Session, tag string, n int) ([]float64, error) {
+	var lat []float64
+	for i := 0; i < n; i++ {
+		q := dnswire.NewQuery(0, p.UniqueName(tag), dnswire.TypeA)
+		start := sess.Elapsed()
+		if _, err := sess.Exchange(ctx, q); err != nil {
+			return nil, err
+		}
+		lat = append(lat, ms(sess.Elapsed()-start))
+	}
+	return lat, nil
+}
+
 func (p *Platform) timeDNSQueries(node proxy.ExitNode, target netip.Addr, n int) ([]float64, error) {
 	tunnel, err := p.Network.Dial(p.From, node.ID, target, 53)
 	if err != nil {
 		return nil, err
 	}
-	conn := dnsclient.TCPFromConn(tunnel)
-	defer conn.Close()
-	var lat []float64
-	for i := 0; i < n; i++ {
-		res, err := conn.Query(p.UniqueName(node.ID+"-perf-dns"), dnswire.TypeA)
-		if err != nil {
-			return nil, err
-		}
-		lat = append(lat, ms(res.Latency))
-	}
-	return lat, nil
+	sess := resolver.TCPSession(dnsclient.TCPFromConn(tunnel))
+	defer sess.Close()
+	return p.timeQueries(context.Background(), sess, node.ID+"-perf-dns", n)
 }
 
 func (p *Platform) timeDoTQueries(node proxy.ExitNode, target netip.Addr, n int) ([]float64, error) {
@@ -89,16 +102,9 @@ func (p *Platform) timeDoTQueries(node proxy.ExitNode, target netip.Addr, n int)
 	if err != nil {
 		return nil, err
 	}
-	defer conn.Close()
-	var lat []float64
-	for i := 0; i < n; i++ {
-		res, err := conn.Query(p.UniqueName(node.ID+"-perf-dot"), dnswire.TypeA)
-		if err != nil {
-			return nil, err
-		}
-		lat = append(lat, ms(res.Latency))
-	}
-	return lat, nil
+	sess := resolver.DoTSession(conn)
+	defer sess.Close()
+	return p.timeQueries(context.Background(), sess, node.ID+"-perf-dot", n)
 }
 
 func (p *Platform) timeDoHQueries(node proxy.ExitNode, tmpl doh.Template, addr netip.Addr, n int) ([]float64, error) {
@@ -111,16 +117,9 @@ func (p *Platform) timeDoHQueries(node proxy.ExitNode, tmpl doh.Template, addr n
 	if err != nil {
 		return nil, err
 	}
-	defer conn.Close()
-	var lat []float64
-	for i := 0; i < n; i++ {
-		res, err := conn.Query(p.UniqueName(node.ID+"-perf-doh"), dnswire.TypeA)
-		if err != nil {
-			return nil, err
-		}
-		lat = append(lat, ms(res.Latency))
-	}
-	return lat, nil
+	sess := resolver.DoHSession(conn)
+	defer sess.Close()
+	return p.timeQueries(context.Background(), sess, node.ID+"-perf-doh", n)
 }
 
 // CountryPerf aggregates per-client overheads per country (Fig. 9).
@@ -198,43 +197,44 @@ func (s NoReuseSample) DoHOverheadMS() float64 { return s.DoHMedianMS - s.DNSMed
 // from a controlled address (no proxy hop).
 func MeasureNoReuse(w *netsim.World, label string, from netip.Addr, tgt Target, probeZone string, roots *x509.CertPool, n int) (NoReuseSample, error) {
 	sample := NoReuseSample{Vantage: label}
+	// Probe names carry the vantage label so concurrent vantages never
+	// share a name: a shared name would let one vantage's query warm the
+	// resolver cache for another's, making observed latency depend on
+	// which vantage asked first.
 	uniq := 0
 	name := func(tag string) string {
 		uniq++
-		return fmt.Sprintf("nr%d-%s.%s", uniq, tag, probeZone)
+		return fmt.Sprintf("nr%d-%s-%s.%s", uniq, strings.ToLower(label), tag, probeZone)
 	}
 
-	var dnsLat, dotLat, dohLat []float64
-	stub := dnsclient.New(w, from)
-	for i := 0; i < n; i++ {
-		conn, err := stub.DialTCP(tgt.DNS)
-		if err != nil {
-			return sample, err
+	// WithReuse(false) makes every Exchange pay TCP+TLS setup afresh —
+	// exactly the no-reuse condition Table 7 measures. DoT runs Strict
+	// here: the controlled vantages authenticate the public resolvers.
+	rc := resolver.New(w, from, roots,
+		resolver.WithReuse(false), resolver.WithProfile(dot.Strict))
+	ctx := context.Background()
+	timeFresh := func(t *resolver.Transport, tag string) ([]float64, error) {
+		var lat []float64
+		for i := 0; i < n; i++ {
+			q := dnswire.NewQuery(0, name(tag), dnswire.TypeA)
+			if _, err := t.Exchange(ctx, q); err != nil {
+				return nil, err
+			}
+			lat = append(lat, ms(t.LastLatency()))
 		}
-		res, err := conn.Query(name("dns"), dnswire.TypeA)
-		if err != nil {
-			conn.Close()
-			return sample, err
-		}
-		dnsLat = append(dnsLat, ms(conn.SetupLatency()+res.Latency))
-		conn.Close()
+		return lat, nil
 	}
-	dotClient := dot.NewClient(w, from, roots, dot.Strict)
-	for i := 0; i < n; i++ {
-		res, err := dotClient.Query(tgt.DoT, name("dot"), dnswire.TypeA)
-		if err != nil {
-			return sample, err
-		}
-		dotLat = append(dotLat, ms(res.Latency))
+	dnsLat, err := timeFresh(rc.TCP(tgt.DNS), "dns")
+	if err != nil {
+		return sample, err
 	}
-	dohClient := doh.NewClient(w, from, roots)
-	dohClient.Override[tgt.DoH.Host] = tgt.DoHAddr
-	for i := 0; i < n; i++ {
-		res, err := dohClient.Query(tgt.DoH, name("doh"), dnswire.TypeA)
-		if err != nil {
-			return sample, err
-		}
-		dohLat = append(dohLat, ms(res.Latency))
+	dotLat, err := timeFresh(rc.DoT(tgt.DoT), "dot")
+	if err != nil {
+		return sample, err
+	}
+	dohLat, err := timeFresh(rc.DoH(tgt.DoH, tgt.DoHAddr), "doh")
+	if err != nil {
+		return sample, err
 	}
 	sample.DNSMedianMS = analysis.Median(dnsLat)
 	sample.DoTMedianMS = analysis.Median(dotLat)

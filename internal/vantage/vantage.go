@@ -8,11 +8,11 @@
 package vantage
 
 import (
+	"context"
 	"crypto/x509"
 	"fmt"
 	"net/netip"
 	"strings"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -21,6 +21,8 @@ import (
 	"dnsencryption.info/doe/internal/doh"
 	"dnsencryption.info/doe/internal/dot"
 	"dnsencryption.info/doe/internal/proxy"
+	"dnsencryption.info/doe/internal/resolver"
+	"dnsencryption.info/doe/internal/runner"
 )
 
 // Proto identifies the tested transport.
@@ -133,16 +135,22 @@ func (p *Platform) UsableNode(node proxy.ExitNode) bool {
 
 // TestReachability runs the Fig. 7 workflow for one node against targets.
 func (p *Platform) TestReachability(node proxy.ExitNode, targets []Target) []Result {
+	return p.TestReachabilityContext(context.Background(), node, targets)
+}
+
+// TestReachabilityContext runs the Fig. 7 workflow for one node against
+// targets, honouring ctx on every lookup.
+func (p *Platform) TestReachabilityContext(ctx context.Context, node proxy.ExitNode, targets []Target) []Result {
 	var out []Result
 	for _, tgt := range targets {
 		if tgt.DNS.IsValid() {
-			out = append(out, p.testDNS(node, tgt))
+			out = append(out, p.testDNS(ctx, node, tgt))
 		}
 		if tgt.DoT.IsValid() {
-			out = append(out, p.testDoT(node, tgt))
+			out = append(out, p.testDoT(ctx, node, tgt))
 		}
 		if tgt.DoHAddr.IsValid() {
-			out = append(out, p.testDoH(node, tgt))
+			out = append(out, p.testDoH(ctx, node, tgt))
 		}
 	}
 	return out
@@ -160,17 +168,29 @@ func (p *Platform) baseResult(node proxy.ExitNode, resolver string, proto Proto)
 }
 
 // classify applies the Table 4 rules to a completed transaction.
-func (p *Platform) classify(res *dnsclient.Result) Outcome {
-	if res.Rcode() != dnswire.RcodeSuccess || len(res.Msg.Answers) == 0 {
+func (p *Platform) classify(m *dnswire.Message) Outcome {
+	if m.Rcode != dnswire.RcodeSuccess || len(m.Answers) == 0 {
 		return Incorrect
 	}
-	if a, ok := res.FirstA(); ok && a == p.ExpectedA {
+	if a, ok := m.FirstA(); ok && a == p.ExpectedA {
 		return Correct
 	}
 	return Incorrect
 }
 
-func (p *Platform) testDNS(node proxy.ExitNode, tgt Target) Result {
+// exchange runs one uniquely-named A lookup through the unified client API
+// and classifies the answer into r.
+func (p *Platform) exchange(ctx context.Context, sess resolver.Exchanger, tag string, r *Result) {
+	q := dnswire.NewQuery(0, p.UniqueName(tag), dnswire.TypeA)
+	m, err := sess.Exchange(ctx, q)
+	if err != nil {
+		r.Outcome, r.Err = Failed, err.Error()
+		return
+	}
+	r.Outcome = p.classify(m)
+}
+
+func (p *Platform) testDNS(ctx context.Context, node proxy.ExitNode, tgt Target) Result {
 	r := p.baseResult(node, tgt.Name, ProtoDNS)
 	tunnel, err := p.Network.Dial(p.From, node.ID, tgt.DNS, 53)
 	if err != nil {
@@ -178,18 +198,13 @@ func (p *Platform) testDNS(node proxy.ExitNode, tgt Target) Result {
 		r.Dropped = proxy.IsPlatformDisruption(err)
 		return r
 	}
-	conn := dnsclient.TCPFromConn(tunnel)
-	defer conn.Close()
-	res, err := conn.Query(p.UniqueName(node.ID+"-"+tgt.Name+"-dns"), dnswire.TypeA)
-	if err != nil {
-		r.Outcome, r.Err = Failed, err.Error()
-		return r
-	}
-	r.Outcome = p.classify(res)
+	sess := resolver.TCPSession(dnsclient.TCPFromConn(tunnel))
+	defer sess.Close()
+	p.exchange(ctx, sess, node.ID+"-"+tgt.Name+"-dns", &r)
 	return r
 }
 
-func (p *Platform) testDoT(node proxy.ExitNode, tgt Target) Result {
+func (p *Platform) testDoT(ctx context.Context, node proxy.ExitNode, tgt Target) Result {
 	r := p.baseResult(node, tgt.Name, ProtoDoT)
 	tunnel, err := p.Network.Dial(p.From, node.ID, tgt.DoT, dot.Port)
 	if err != nil {
@@ -200,21 +215,17 @@ func (p *Platform) testDoT(node proxy.ExitNode, tgt Target) Result {
 	// Opportunistic profile, per §4.1: "to understand the real-world
 	// risks of opportunistic requests".
 	client := dot.NewClient(nil, p.From, p.Roots, dot.Opportunistic)
-	conn, err := client.DialConn(tunnel)
+	conn, err := client.DialConnContext(ctx, tunnel)
 	if err != nil {
 		r.Outcome, r.Err = Failed, err.Error()
 		return r
 	}
-	defer conn.Close()
+	sess := resolver.DoTSession(conn)
+	defer sess.Close()
 	if chain := conn.PeerCertificates(); len(chain) > 0 {
 		r.IssuerCN = chain[0].Issuer.CommonName
 	}
-	res, err := conn.Query(p.UniqueName(node.ID+"-"+tgt.Name+"-dot"), dnswire.TypeA)
-	if err != nil {
-		r.Outcome, r.Err = Failed, err.Error()
-		return r
-	}
-	r.Outcome = p.classify(res)
+	p.exchange(ctx, sess, node.ID+"-"+tgt.Name+"-dot", &r)
 	// Interception detection: the lookup proceeded, but the certificate
 	// does not verify — re-signed in path (Finding 2.3).
 	if conn.VerifyError() != nil && r.Outcome == Correct {
@@ -223,7 +234,7 @@ func (p *Platform) testDoT(node proxy.ExitNode, tgt Target) Result {
 	return r
 }
 
-func (p *Platform) testDoH(node proxy.ExitNode, tgt Target) Result {
+func (p *Platform) testDoH(ctx context.Context, node proxy.ExitNode, tgt Target) Result {
 	r := p.baseResult(node, tgt.Name, ProtoDoH)
 	tunnel, err := p.Network.Dial(p.From, node.ID, tgt.DoHAddr, doh.Port)
 	if err != nil {
@@ -232,56 +243,49 @@ func (p *Platform) testDoH(node proxy.ExitNode, tgt Target) Result {
 		return r
 	}
 	client := doh.NewClient(nil, p.From, p.Roots)
-	conn, err := client.DialConn(tgt.DoH, tunnel)
+	conn, err := client.DialConnContext(ctx, tgt.DoH, tunnel)
 	if err != nil {
 		// Strict-only: a forged certificate terminates the handshake
 		// and the client sees a failure (Finding 2.3's DoH side).
 		r.Outcome, r.Err = Failed, err.Error()
 		return r
 	}
-	defer conn.Close()
-	res, err := conn.Query(p.UniqueName(node.ID+"-"+tgt.Name+"-doh"), dnswire.TypeA)
-	if err != nil {
-		r.Outcome, r.Err = Failed, err.Error()
-		return r
-	}
-	r.Outcome = p.classify(res)
+	sess := resolver.DoHSession(conn)
+	defer sess.Close()
+	p.exchange(ctx, sess, node.ID+"-"+tgt.Name+"-doh", &r)
 	return r
 }
 
 // Campaign runs reachability tests from every usable node, bounded by
-// workers, and returns all results.
+// workers, and returns all results grouped by node in Nodes() order — the
+// same concatenation a serial campaign produces, for any worker count.
+// Node selection happens up front (a node's own tests are the only thing
+// that consumes its session budget, so filtering before dispatch sees the
+// same remaining uptimes a serial sweep would).
 func (p *Platform) Campaign(targets []Target, workers int) []Result {
-	nodes := p.Network.Nodes()
-	if workers <= 0 {
-		workers = 8
-	}
-	var (
-		mu  sync.Mutex
-		wg  sync.WaitGroup
-		out []Result
-	)
-	work := make(chan proxy.ExitNode)
-	for i := 0; i < workers; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for node := range work {
-				res := p.TestReachability(node, targets)
-				mu.Lock()
-				out = append(out, res...)
-				mu.Unlock()
-			}
-		}()
-	}
-	for _, node := range nodes {
+	out, _ := p.CampaignContext(context.Background(), targets, workers)
+	return out
+}
+
+// CampaignContext is Campaign with cancellation: once ctx is done, workers
+// stop taking new nodes and in-flight lookups fail fast. The partial result
+// keeps per-node grouping in Nodes() order; the error is ctx.Err() when the
+// campaign was cut short.
+func (p *Platform) CampaignContext(ctx context.Context, targets []Target, workers int) ([]Result, error) {
+	var usable []proxy.ExitNode
+	for _, node := range p.Network.Nodes() {
 		if p.UsableNode(node) {
-			work <- node
+			usable = append(usable, node)
 		}
 	}
-	close(work)
-	wg.Wait()
-	return out
+	perNode, err := runner.MapCtx(ctx, workers, len(usable), func(ctx context.Context, i int) []Result {
+		return p.TestReachabilityContext(ctx, usable[i], targets)
+	})
+	var out []Result
+	for _, res := range perNode {
+		out = append(out, res...)
+	}
+	return out, err
 }
 
 // Tally aggregates results into Table 4 cells: per (resolver, proto),

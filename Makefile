@@ -9,11 +9,18 @@
 GO ?= go
 
 RACE_PKGS := ./internal/netsim ./internal/proxy ./internal/dnsserver \
-	./internal/scanner ./internal/vantage ./internal/runner ./internal/resolver
+	./internal/scanner ./internal/vantage ./internal/runner ./internal/resolver \
+	./internal/faults
 
-.PHONY: verify build vet lint test race bench-smoke
+# Fuzz targets hardened against panics; fuzz-smoke runs each briefly so a
+# codec regression that panics on malformed wire input fails the gate.
+FUZZ_PKG := ./internal/dnswire
+FUZZ_TARGETS := FuzzParseMessage FuzzParseName FuzzRData
+FUZZTIME ?= 10s
 
-verify: build vet lint test race bench-smoke
+.PHONY: verify build vet lint test race bench-smoke fuzz-smoke
+
+verify: build vet lint test race bench-smoke fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -35,3 +42,9 @@ race:
 # GOMAXPROCS) and is read off full -benchtime runs, not this smoke pass.
 bench-smoke:
 	$(GO) test -run=NONE -bench='BenchmarkParallelScan' -benchtime=1x .
+
+fuzz-smoke:
+	@for target in $(FUZZ_TARGETS); do \
+		echo "fuzz $$target ($(FUZZTIME))"; \
+		$(GO) test $(FUZZ_PKG) -run='^$$' -fuzz="^$$target$$" -fuzztime=$(FUZZTIME) || exit 1; \
+	done

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"dnsencryption.info/doe/internal/core"
 )
@@ -20,6 +21,8 @@ func main() {
 	seed := flag.Int64("seed", 0, "override the study seed (0 = default)")
 	small := flag.Bool("small", false, "use the miniature test-scale world")
 	workers := flag.Int("workers", 0, "parallel measurement workers (0 = default; output is identical for any value)")
+	faults := flag.String("faults", "", "fault-injection profile: "+strings.Join(core.FaultProfileNames(), ", "))
+	faultSeed := flag.Int64("fault-seed", 0, "fault-schedule seed (independent of the study seed)")
 	flag.Parse()
 
 	cfg := core.DefaultConfig()
@@ -31,6 +34,9 @@ func main() {
 	}
 	if *workers > 0 {
 		cfg.Workers = *workers
+	}
+	if *faults != "" {
+		cfg.Faults = core.FaultsConfig{Profile: *faults, Seed: *faultSeed}
 	}
 	study, err := core.NewStudy(cfg)
 	if err != nil {

@@ -12,6 +12,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"strings"
 	"time"
 
 	"dnsencryption.info/doe/internal/core"
@@ -27,6 +28,8 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	workers := flag.Int("workers", 0, "parallel measurement workers (0 = default; report bytes are identical for any value)")
 	timing := flag.Bool("timing", false, "log per-experiment wall time to stderr")
+	faults := flag.String("faults", "", "fault-injection profile: "+strings.Join(core.FaultProfileNames(), ", "))
+	faultSeed := flag.Int64("fault-seed", 0, "fault-schedule seed (independent of the study seed)")
 	flag.Parse()
 
 	if *list {
@@ -45,6 +48,9 @@ func main() {
 	}
 	if *workers > 0 {
 		cfg.Workers = *workers
+	}
+	if *faults != "" {
+		cfg.Faults = core.FaultsConfig{Profile: *faults, Seed: *faultSeed}
 	}
 	study, err := core.NewStudy(cfg)
 	if err != nil {

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"dnsencryption.info/doe/internal/core"
 )
@@ -19,6 +20,8 @@ func main() {
 	seed := flag.Int64("seed", 0, "override the study seed (0 = default)")
 	scale := flag.Float64("scale", 0, "override the traffic scale (0 = default)")
 	workers := flag.Int("workers", 0, "parallel measurement workers (0 = default; output is identical for any value)")
+	faults := flag.String("faults", "", "fault-injection profile: "+strings.Join(core.FaultProfileNames(), ", "))
+	faultSeed := flag.Int64("fault-seed", 0, "fault-schedule seed (independent of the study seed)")
 	flag.Parse()
 
 	cfg := core.DefaultConfig()
@@ -30,6 +33,9 @@ func main() {
 	}
 	if *workers > 0 {
 		cfg.Workers = *workers
+	}
+	if *faults != "" {
+		cfg.Faults = core.FaultsConfig{Profile: *faults, Seed: *faultSeed}
 	}
 	study, err := core.NewStudy(cfg)
 	if err != nil {

@@ -57,7 +57,25 @@ type Config struct {
 	// CorpusNoise is the number of non-DoH URLs mixed into the URL
 	// corpus (paper: billions of URLs; discovery cost scales linearly).
 	CorpusNoise int
+
+	// Faults selects the network fault-injection profile; the zero value
+	// leaves the simulated network fault-free.
+	Faults FaultsConfig
 }
+
+// FaultsConfig configures the deterministic fault-injection layer
+// (internal/faults) wrapped around the simulated network.
+type FaultsConfig struct {
+	// Profile names a built-in fault mix: "off" (or empty), "mild",
+	// "harsh", "flaky" or "regional". See BuildFaultProfile.
+	Profile string
+	// Seed drives fault schedules independently of the world seed, so
+	// chaos tests sweep fault seeds without rebuilding populations.
+	Seed int64
+}
+
+// Enabled reports whether fault injection is on.
+func (f FaultsConfig) Enabled() bool { return f.Profile != "" && f.Profile != "off" }
 
 // DefaultConfig is the full-study scale.
 func DefaultConfig() Config {

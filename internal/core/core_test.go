@@ -1,6 +1,9 @@
 package core
 
 import (
+	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -356,11 +359,8 @@ func TestDeterministicReports(t *testing.T) {
 	}
 }
 
-// TestReportByteIdenticalAcrossWorkerCounts is the parallel engine's
-// end-to-end guarantee: the complete doereport output — every experiment,
-// including the worker-sharded scans, campaigns, forensics and perf stages
-// — must be byte-for-byte identical at workers=1 and workers=8.
-func TestReportByteIdenticalAcrossWorkerCounts(t *testing.T) {
+// matrixConfig is the miniature world the worker-count matrix runs on.
+func matrixConfig() Config {
 	cfg := TestConfig()
 	cfg.ScanRounds = 2
 	cfg.GlobalNodes = 24
@@ -368,38 +368,102 @@ func TestReportByteIdenticalAcrossWorkerCounts(t *testing.T) {
 	cfg.PerfNodes = 6
 	cfg.PerfQueriesReused = 4
 	cfg.PerfQueriesFresh = 4
-	run := func(workers int) string {
-		c := cfg
+	return cfg
+}
+
+// diffReports fails the test at the first diverging byte of two reports.
+func diffReports(t *testing.T, labelA, a, labelB, b string) {
+	t.Helper()
+	if a == b {
+		return
+	}
+	line := 1
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			lo, hi := max(0, i-120), min(len(a), i+120)
+			hi2 := min(len(b), i+120)
+			t.Fatalf("report diverges at byte %d (line %d):\n%s: ...%q...\n%s: ...%q...",
+				i, line, labelA, a[lo:hi], labelB, b[lo:hi2])
+		}
+		if a[i] == '\n' {
+			line++
+		}
+	}
+	t.Fatalf("reports differ in length: %s %d bytes, %s %d bytes", labelA, len(a), labelB, len(b))
+}
+
+// TestReportByteIdenticalAcrossWorkerCounts is the parallel engine's
+// end-to-end guarantee, with and without fault injection: the complete
+// doereport output — every experiment, including the worker-sharded scans,
+// campaigns, forensics and perf stages, and under faults the injected-fault
+// schedules and retry recovery — must be byte-for-byte identical at any
+// worker count. The matrix covers {workers 1, 4, 8} × {fault seeds 0, 1, 2}
+// plus the faults-off baseline.
+func TestReportByteIdenticalAcrossWorkerCounts(t *testing.T) {
+	run := func(t *testing.T, workers int, fc FaultsConfig) string {
+		c := matrixConfig()
 		c.Workers = workers
+		c.Faults = fc
 		s, err := NewStudy(c)
 		if err != nil {
 			t.Fatal(err)
 		}
 		var b strings.Builder
 		if err := s.RunAll(&b); err != nil {
-			t.Fatalf("workers=%d: %v", workers, err)
+			t.Fatalf("workers=%d faults=%+v: %v", workers, fc, err)
 		}
 		return b.String()
 	}
-	serial := run(1)
-	parallel := run(8)
-	if serial != parallel {
-		// Find the first divergence for a readable failure.
-		line := 1
-		for i := 0; i < len(serial) && i < len(parallel); i++ {
-			if serial[i] != parallel[i] {
-				lo, hi := max(0, i-120), min(len(serial), i+120)
-				hi2 := min(len(parallel), i+120)
-				t.Fatalf("report diverges at byte %d (line %d):\nworkers=1: ...%q...\nworkers=8: ...%q...",
-					i, line, serial[lo:hi], parallel[lo:hi2])
-			}
-			if serial[i] == '\n' {
-				line++
-			}
-		}
-		t.Fatalf("reports differ in length: workers=1 %d bytes, workers=8 %d bytes", len(serial), len(parallel))
+	cases := []struct {
+		name   string
+		faults FaultsConfig
+	}{
+		{"faults-off", FaultsConfig{}},
+		{"harsh-seed0", FaultsConfig{Profile: "harsh", Seed: 0}},
+		{"harsh-seed1", FaultsConfig{Profile: "harsh", Seed: 1}},
+		{"harsh-seed2", FaultsConfig{Profile: "harsh", Seed: 2}},
 	}
-	if !strings.Contains(serial, "== table4") || strings.Contains(serial, "ERROR") {
-		t.Fatalf("report incomplete or errored:\n%s", serial)
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			if testing.Short() && tc.faults.Enabled() {
+				t.Skip("faulted matrix rows skipped in -short")
+			}
+			t.Parallel()
+			serial := run(t, 1, tc.faults)
+			for _, workers := range []int{4, 8} {
+				parallel := run(t, workers, tc.faults)
+				diffReports(t, "workers=1", serial, fmt.Sprintf("workers=%d", workers), parallel)
+			}
+			if !strings.Contains(serial, "== table4") || strings.Contains(serial, "ERROR") {
+				t.Fatalf("report incomplete or errored:\n%s", serial)
+			}
+			if tc.faults.Enabled() && !strings.Contains(serial, "== faults:") {
+				t.Fatal("faulted report missing the faults summary")
+			}
+		})
 	}
+}
+
+// TestFullScaleReportMatchesGolden pins the faults-off, default-scale report
+// to the committed report_full.txt byte for byte: any change to the
+// measurement pipeline that shifts a single value must regenerate the golden
+// deliberately. Fault injection must never leak into the default path.
+func TestFullScaleReportMatchesGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale study takes ~30s")
+	}
+	golden, err := os.ReadFile(filepath.Join("..", "..", "report_full.txt"))
+	if err != nil {
+		t.Fatalf("reading committed golden: %v", err)
+	}
+	s, err := NewStudy(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := s.RunAll(&b); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	diffReports(t, "golden", string(golden), "regenerated", b.String())
 }

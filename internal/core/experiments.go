@@ -39,6 +39,7 @@ func (s *Study) DoHDiscovery() []scanner.DoHResolver {
 			Resolve:     s.DoHResolve,
 			ProbeDomain: "dohprobe." + ProbeZone,
 			KnownList:   s.DoHKnownList,
+			Attempts:    s.retryBudget(),
 		}
 		s.dohFound = d.Verify(candidates)
 	})
@@ -417,9 +418,13 @@ func runTable7(s *Study) (string, error) {
 		sample vantage.NoReuseSample
 		err    error
 	}
+	// Under fault injection the transports carry the retry budget; failed
+	// queries are skipped inside MeasureNoReuse, so a lossy path thins the
+	// sample instead of sinking the vantage.
+	opts := s.transportOptions()
 	rows := runner.Map(s.Workers, len(ControlledVantages), func(i int) table7Row {
 		v := ControlledVantages[i]
-		sample, err := vantage.MeasureNoReuse(s.World, v.Label, v.Addr, s.Targets[0], ProbeZone, s.Roots, s.PerfQueriesFresh)
+		sample, err := vantage.MeasureNoReuse(s.World, v.Label, v.Addr, s.Targets[0], ProbeZone, s.Roots, s.PerfQueriesFresh, opts...)
 		return table7Row{sample: sample, err: err}
 	})
 	for i, row := range rows {

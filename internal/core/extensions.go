@@ -81,14 +81,25 @@ func runDNSCrypt(s *Study) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	if err := client.FetchCertContext(ctx, s.DNSCryptAddr); err != nil {
+	// The DNSCrypt client has no Transport underneath it, so under fault
+	// injection the attempt budget is applied here, around the certificate
+	// bootstrap and each encrypted exchange.
+	budget := s.retryBudget()
+	if err := retrying(budget, func() error {
+		return client.FetchCertContext(ctx, s.DNSCryptAddr)
+	}); err != nil {
 		return "", fmt.Errorf("certificate bootstrap: %w", err)
 	}
 	ex := resolver.DNSCrypt(client, s.DNSCryptAddr)
 	var lat []float64
 	for i := 0; i < 10; i++ {
 		q := dnswire.NewQuery(0, fmt.Sprintf("dc-%d.%s", i, ProbeZone), dnswire.TypeA)
-		m, err := ex.Exchange(ctx, q)
+		var m *dnswire.Message
+		err := retrying(budget, func() error {
+			var exErr error
+			m, exErr = ex.Exchange(ctx, q)
+			return exErr
+		})
 		if err != nil {
 			return "", err
 		}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+	"time"
+
+	"dnsencryption.info/doe/internal/faults"
+	"dnsencryption.info/doe/internal/resolver"
+	"dnsencryption.info/doe/internal/vantage"
+)
+
+// vantageEdgePrefixes are the flow origins the fault layer may perturb:
+// the two proxy-platform node pools, the controlled vantages and the scan
+// sources. The restriction is what keeps reports byte-identical across
+// worker counts under faults — flows from these prefixes are only ever
+// dialed by one worker task at a time, so each tuple's attempt counter
+// advances in a schedule-independent order. Infrastructure legs shared by
+// concurrent tasks (the measurement client's proxy hops, resolver upstream
+// queries between public resolvers and the authoritative server) stay
+// fault-free by design.
+func vantageEdgePrefixes() []netip.Prefix {
+	return []netip.Prefix{
+		netip.MustParsePrefix("10.0.0.0/8"),    // global (ProxyRack-style) exit nodes
+		netip.MustParsePrefix("11.0.0.0/8"),    // censored (Zhima-style) exit nodes
+		netip.MustParsePrefix("172.20.0.0/16"), // controlled vantages (Table 7)
+		netip.MustParsePrefix("172.16.3.0/24"), // US scan sources
+		netip.MustParsePrefix("172.16.4.0/24"), // CN scan source
+	}
+}
+
+// FaultRetryPolicy is the attempt budget measurement clients run with when
+// fault injection is on: three attempts with 50 ms virtual backoff,
+// doubling per retry — the shape real stub resolvers ship with.
+func FaultRetryPolicy() resolver.RetryPolicy {
+	return resolver.RetryPolicy{Attempts: 3, Backoff: 50 * time.Millisecond}
+}
+
+// FaultProfileNames lists the accepted -faults flag values.
+func FaultProfileNames() []string { return []string{"off", "mild", "harsh", "flaky", "regional"} }
+
+// buildFaults assembles and installs the fault injector per s.Config.Faults.
+func (s *Study) buildFaults() error {
+	if !s.Config.Faults.Enabled() {
+		return nil
+	}
+	inj := faults.New(s.Config.Faults.Seed, s.World.Geo)
+	inj.Sources = vantageEdgePrefixes()
+	switch s.Config.Faults.Profile {
+	case "mild":
+		inj.Default = faults.Mild()
+	case "harsh":
+		inj.Default = faults.Harsh()
+	case "flaky":
+		inj.Default = faults.Flaky(1)
+	case "regional":
+		// Lossy Southeast-Asian residential paths over a mild baseline —
+		// the population the paper's failure analysis spends most time on
+		// — plus datagram loss inside CN.
+		inj.Default = faults.Mild()
+		inj.Regions = map[string]faults.Profile{
+			"ID": faults.Harsh(),
+			"IN": faults.Harsh(),
+			"VN": faults.Harsh(),
+			"CN": {
+				SYNDrop:    0.04,
+				DgramDrop:  0.08,
+				Stall:      0.06,
+				StallBase:  60 * time.Millisecond,
+				DgramStall: 0.05,
+			},
+		}
+	default:
+		return fmt.Errorf("core: unknown faults profile %q (have: %s)",
+			s.Config.Faults.Profile, strings.Join(FaultProfileNames(), ", "))
+	}
+	s.Faults = inj
+	s.World.SetFaults(inj)
+	retry := FaultRetryPolicy()
+	s.GlobalPlatform.Retry = retry
+	s.CensoredPlatform.Retry = retry
+	return nil
+}
+
+// retryBudget is the per-exchange attempt budget experiments use for ad-hoc
+// loops (DNSCrypt, certificate bootstrap): 1 when faults are off.
+func (s *Study) retryBudget() int {
+	if s.Faults == nil {
+		return 1
+	}
+	return FaultRetryPolicy().Attempts
+}
+
+// retrying runs fn up to budget times, stopping on the first success.
+// Experiments use it for exchanges that have no resolver.Transport (and so
+// no built-in retry policy) underneath them.
+func retrying(budget int, fn func() error) error {
+	var err error
+	for attempt := 0; attempt < max(1, budget); attempt++ {
+		if err = fn(); err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
+// transportOptions returns the extra resolver options measurement
+// transports run with (retry budget under faults, nothing otherwise).
+func (s *Study) transportOptions() []resolver.Option {
+	if s.Faults == nil {
+		return nil
+	}
+	return []resolver.Option{resolver.WithRetry(FaultRetryPolicy())}
+}
+
+// faultsSummary renders the end-of-report recovery section: what the
+// injector did to the network and what the retry layer got back. Every
+// number is a sum of per-tuple deterministic schedules, so the section is
+// byte-identical for any worker count.
+func (s *Study) faultsSummary() string {
+	st := s.Faults.Stats()
+	reach := s.Reachability()
+	tally := vantage.RetryTally(reach.Global).Plus(vantage.RetryTally(reach.Censored))
+	var b strings.Builder
+	fmt.Fprintf(&b, "profile: %s (fault seed %d)\n", s.Config.Faults.Profile, s.Faults.Seed())
+	fmt.Fprintf(&b, "stream dials: %d consulted, %d syn-drops, %d refusals, %d handshake-cuts, %d resets, %d flaky-failures, %d stalls\n",
+		st.StreamDials, st.SYNDrops, st.Refusals, st.HandshakeCuts, st.Resets, st.FlakyFailures, st.Stalls)
+	fmt.Fprintf(&b, "datagrams: %d consulted, %d drops, %d stalls\n",
+		st.Datagrams, st.DgramDrops, st.DgramStalls)
+	fmt.Fprintf(&b, "reachability lookups: %d attempts, %d retries, %d retry-recovered, %d hard failures\n",
+		tally.Attempts, tally.Retries, tally.Recovered, tally.HardFailures)
+	return b.String()
+}

@@ -34,5 +34,10 @@ func (s *Study) RunAll(w io.Writer) error {
 		}
 		fmt.Fprintf(w, "== %s: %s\n%s\n", exp.ID, exp.Title, out)
 	}
+	// The recovery summary only exists under fault injection, so the
+	// fault-free report stays byte-identical to its committed golden.
+	if s.Faults != nil {
+		fmt.Fprintf(w, "== faults: injected faults and retry recovery\n%s\n", s.faultsSummary())
+	}
 	return firstErr
 }

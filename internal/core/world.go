@@ -15,6 +15,7 @@ import (
 	"dnsencryption.info/doe/internal/dnswire"
 	"dnsencryption.info/doe/internal/doh"
 	"dnsencryption.info/doe/internal/dot"
+	"dnsencryption.info/doe/internal/faults"
 	"dnsencryption.info/doe/internal/geo"
 	"dnsencryption.info/doe/internal/netsim"
 	"dnsencryption.info/doe/internal/proxy"
@@ -132,6 +133,10 @@ type Study struct {
 	LocalResolvers  map[netip.Prefix]netip.Addr
 	LocalDoTCapable map[netip.Addr]bool
 
+	// Faults is the installed fault injector, nil when Config.Faults is
+	// disabled. Its counters feed the end-of-report recovery summary.
+	Faults *faults.Injector
+
 	rngMu sync.Mutex
 	rng   *rand.Rand
 
@@ -195,6 +200,9 @@ func NewStudy(cfg Config) (*Study, error) {
 		return nil, err
 	}
 	if err := s.buildLocalResolvers(); err != nil {
+		return nil, err
+	}
+	if err := s.buildFaults(); err != nil {
 		return nil, err
 	}
 	s.buildScanner()

@@ -1,0 +1,182 @@
+package faults_test
+
+// The chaos suite: every experiment of the study must complete under every
+// fault profile and fault seed, the full report must stay byte-identical
+// across worker counts for a fixed fault seed (the matrix half of that
+// guarantee lives in internal/core's worker-count test), and recovery
+// statistics must match hand-computed expectations on exactly-known fault
+// schedules.
+
+import (
+	"context"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"dnsencryption.info/doe/internal/core"
+	"dnsencryption.info/doe/internal/dnsserver"
+	"dnsencryption.info/doe/internal/dnswire"
+	"dnsencryption.info/doe/internal/faults"
+	"dnsencryption.info/doe/internal/netsim"
+	"dnsencryption.info/doe/internal/resolver"
+)
+
+// chaosConfig is the smallest world that still runs every experiment.
+func chaosConfig() core.Config {
+	cfg := core.TestConfig()
+	cfg.ScanRounds = 2
+	cfg.GlobalNodes = 24
+	cfg.CensoredNodes = 12
+	cfg.PerfNodes = 6
+	cfg.PerfQueriesReused = 4
+	cfg.PerfQueriesFresh = 4
+	return cfg
+}
+
+// TestChaosEveryProfileEverySeedCompletes sweeps the full profile × fault
+// seed matrix: under every mix the retry layer must carry every experiment
+// to completion — no ERROR lines, no hard experiment failures.
+func TestChaosEveryProfileEverySeedCompletes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos sweep builds 12 worlds")
+	}
+	for _, profile := range []string{"mild", "harsh", "flaky", "regional"} {
+		for _, seed := range []int64{0, 1, 2} {
+			profile, seed := profile, seed
+			t.Run(profile+"/seed"+string(rune('0'+seed)), func(t *testing.T) {
+				t.Parallel()
+				cfg := chaosConfig()
+				cfg.Faults = core.FaultsConfig{Profile: profile, Seed: seed}
+				s, err := core.NewStudy(cfg)
+				if err != nil {
+					t.Fatalf("NewStudy: %v", err)
+				}
+				var b strings.Builder
+				if err := s.RunAll(&b); err != nil {
+					t.Fatalf("RunAll under %s/seed=%d: %v", profile, seed, err)
+				}
+				out := b.String()
+				if strings.Contains(out, "ERROR") {
+					idx := strings.Index(out, "ERROR")
+					t.Fatalf("report has errors under %s/seed=%d: ...%s",
+						profile, seed, out[idx:min(len(out), idx+300)])
+				}
+				if !strings.Contains(out, "== faults:") {
+					t.Fatal("faults summary section missing")
+				}
+				// The injector must actually have done something; a chaos
+				// run against a silently disabled injector proves nothing.
+				if s.Faults.Stats().Faulted() == 0 && profile != "mild" {
+					t.Errorf("profile %s injected no faults", profile)
+				}
+			})
+		}
+	}
+}
+
+// chaosWorld is a minimal direct netsim world (no core study) for
+// hand-computed recovery accounting: one clear-text TCP DNS server, one
+// client tuple, an exactly-known fault schedule.
+func chaosWorld(t *testing.T) (*netsim.World, netip.Addr, netip.Addr) {
+	t.Helper()
+	w := netsim.NewWorld(99)
+	client := netip.MustParseAddr("10.2.3.4")
+	server := netip.MustParseAddr("192.0.2.10")
+	z := dnsserver.NewZone("probe.example.org")
+	z.WildcardA = netip.MustParseAddr("203.0.113.9")
+	w.RegisterStream(server, 53, func(conn *netsim.Conn) {
+		defer conn.Close()
+		dnsserver.ServeStream(conn, z)
+	})
+	return w, client, server
+}
+
+// TestChaosRecoveryStatsHandComputed drives a transport through a Flaky(1)
+// schedule, where every number is computable by hand: the first dial on the
+// tuple is refused, everything after is clean. With a 3-attempt budget the
+// first Exchange recovers on its second attempt; the remaining four are
+// single-attempt successes.
+func TestChaosRecoveryStatsHandComputed(t *testing.T) {
+	w, client, server := chaosWorld(t)
+	inj := faults.New(1, nil)
+	inj.Default = faults.Flaky(1)
+	w.SetFaults(inj)
+
+	tr := resolver.New(w, client, nil,
+		resolver.WithReuse(false),
+		resolver.WithRetry(resolver.RetryPolicy{Attempts: 3}),
+	).TCP(server)
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		q := dnswire.NewQuery(0, "q.probe.example.org", dnswire.TypeA)
+		if _, err := tr.Exchange(ctx, q); err != nil {
+			t.Fatalf("exchange %d: %v", i, err)
+		}
+	}
+	got := tr.Stats()
+	want := resolver.RetryStats{Attempts: 6, Retries: 1, Recovered: 1}
+	if got != want {
+		t.Errorf("transport stats = %+v, want %+v", got, want)
+	}
+	st := inj.Stats()
+	if st.StreamDials != 6 || st.FlakyFailures != 1 || st.Faulted() != 1 {
+		t.Errorf("injector stats = %+v, want 6 dials / 1 flaky failure", st)
+	}
+}
+
+// TestChaosNoRetryNoRecovery is the control arm: the same Flaky(1) schedule
+// without a retry budget turns the first Exchange into a hard failure.
+func TestChaosNoRetryNoRecovery(t *testing.T) {
+	w, client, server := chaosWorld(t)
+	inj := faults.New(1, nil)
+	inj.Default = faults.Flaky(1)
+	w.SetFaults(inj)
+
+	tr := resolver.New(w, client, nil, resolver.WithReuse(false)).TCP(server)
+	ctx := context.Background()
+	q := dnswire.NewQuery(0, "q.probe.example.org", dnswire.TypeA)
+	if _, err := tr.Exchange(ctx, q); err == nil {
+		t.Fatal("first exchange unexpectedly survived without retries")
+	}
+	if _, err := tr.Exchange(ctx, q); err != nil {
+		t.Fatalf("second exchange: %v", err)
+	}
+	got := tr.Stats()
+	want := resolver.RetryStats{Attempts: 2, HardFailures: 1}
+	if got != want {
+		t.Errorf("transport stats = %+v, want %+v", got, want)
+	}
+}
+
+// TestChaosBackoffChargedToVirtualClock pins the retry latency contract:
+// recovery penalties land on the virtual clock (LastLatency), never on the
+// wall clock, and grow with the backoff schedule.
+func TestChaosBackoffChargedToVirtualClock(t *testing.T) {
+	w, client, server := chaosWorld(t)
+
+	// Clean baseline latency for the same exchange.
+	base := resolver.New(w, client, nil, resolver.WithReuse(false)).TCP(server)
+	q := dnswire.NewQuery(0, "q.probe.example.org", dnswire.TypeA)
+	if _, err := base.Exchange(context.Background(), q); err != nil {
+		t.Fatal(err)
+	}
+	clean := base.LastLatency()
+
+	inj := faults.New(1, nil)
+	inj.Default = faults.Flaky(2)
+	w.SetFaults(inj)
+	p := resolver.RetryPolicy{Attempts: 3, Backoff: 50 * time.Millisecond}
+	tr := resolver.New(w, client, nil,
+		resolver.WithReuse(false), resolver.WithRetry(p)).TCP(server)
+	if _, err := tr.Exchange(context.Background(), q); err != nil {
+		t.Fatalf("exchange: %v", err)
+	}
+	// Two refused dials cost no connection time, so the recovered latency
+	// is the clean cost plus the two backoff sleeps (50ms + 100ms), all
+	// virtual.
+	want := clean + 150*time.Millisecond
+	if got := tr.LastLatency(); got != want {
+		t.Errorf("recovered latency = %v, want %v (clean %v + 150ms backoff)", got, want, clean)
+	}
+}

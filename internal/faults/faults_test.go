@@ -1,0 +1,236 @@
+package faults_test
+
+import (
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"dnsencryption.info/doe/internal/faults"
+	"dnsencryption.info/doe/internal/geo"
+	"dnsencryption.info/doe/internal/netsim"
+)
+
+var (
+	vantageA = netip.MustParseAddr("10.1.2.3")
+	vantageB = netip.MustParseAddr("10.9.8.7")
+	outside  = netip.MustParseAddr("172.16.1.1")
+	target   = netip.MustParseAddr("192.0.2.53")
+)
+
+func newGeo() *geo.Registry {
+	g := &geo.Registry{}
+	g.Register(netip.MustParsePrefix("10.1.0.0/16"), geo.Location{Country: "ID"})
+	g.Register(netip.MustParsePrefix("10.9.0.0/16"), geo.Location{Country: "DE"})
+	g.Register(netip.MustParsePrefix("192.0.2.0/24"), geo.Location{Country: "NL"})
+	return g
+}
+
+// schedule materializes the first n stream-fault decisions for a tuple.
+func schedule(inj *faults.Injector, from netip.Addr, n int) []netsim.DialFault {
+	out := make([]netsim.DialFault, n)
+	for i := range out {
+		out[i] = inj.StreamFault(from, target, 853)
+	}
+	return out
+}
+
+func TestSameSeedSameSchedule(t *testing.T) {
+	mk := func() *faults.Injector {
+		inj := faults.New(42, newGeo())
+		inj.Default = faults.Harsh()
+		return inj
+	}
+	a := schedule(mk(), vantageA, 200)
+	b := schedule(mk(), vantageA, 200)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("attempt %d: %+v vs %+v", i+1, a[i], b[i])
+		}
+	}
+}
+
+func TestDifferentSeedsDiverge(t *testing.T) {
+	one := faults.New(1, newGeo())
+	one.Default = faults.Harsh()
+	two := faults.New(2, newGeo())
+	two.Default = faults.Harsh()
+	a, b := schedule(one, vantageA, 200), schedule(two, vantageA, 200)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("200 attempts identical under different seeds")
+	}
+}
+
+// TestScheduleIndependentOfOtherTuples is the determinism contract: the
+// faults a tuple sees must not depend on what other tuples did in between,
+// or on how goroutines interleave — exactly what changing the worker count
+// changes.
+func TestScheduleIndependentOfOtherTuples(t *testing.T) {
+	quiet := faults.New(7, newGeo())
+	quiet.Default = faults.Harsh()
+	alone := schedule(quiet, vantageA, 100)
+
+	busy := faults.New(7, newGeo())
+	busy.Default = faults.Harsh()
+	// Hammer an unrelated tuple from many goroutines while tuple A's
+	// schedule is consumed serially.
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					busy.StreamFault(vantageB, target, 853)
+					busy.DatagramFault(vantageB, target, 53)
+				}
+			}
+		}()
+	}
+	interleaved := schedule(busy, vantageA, 100)
+	close(stop)
+	wg.Wait()
+
+	for i := range alone {
+		if alone[i] != interleaved[i] {
+			t.Fatalf("attempt %d diverged under concurrent load: %+v vs %+v",
+				i+1, alone[i], interleaved[i])
+		}
+	}
+}
+
+func TestSourcesGateExcludesInfrastructure(t *testing.T) {
+	inj := faults.New(3, newGeo())
+	inj.Default = faults.Harsh()
+	inj.Sources = []netip.Prefix{netip.MustParsePrefix("10.0.0.0/8")}
+	for i := 0; i < 300; i++ {
+		if f := inj.StreamFault(outside, target, 853); f != (netsim.DialFault{}) {
+			t.Fatalf("ungated source faulted: %+v", f)
+		}
+		if f := inj.DatagramFault(outside, target, 53); f != (netsim.DatagramFault{}) {
+			t.Fatalf("ungated source datagram-faulted: %+v", f)
+		}
+	}
+	st := inj.Stats()
+	if st.StreamDials != 0 || st.Datagrams != 0 {
+		t.Fatalf("gated-out flows were consulted: %+v", st)
+	}
+	// A gated source under Harsh must fault eventually.
+	faulted := false
+	for i := 0; i < 300 && !faulted; i++ {
+		f := inj.StreamFault(vantageA, target, 853)
+		faulted = f.Drop || f.Refuse || f.CutAfterSegments > 0 || f.ExtraLatency > 0
+	}
+	if !faulted {
+		t.Fatal("gated source never faulted under Harsh in 300 attempts")
+	}
+}
+
+func TestRegionsOverrideDefault(t *testing.T) {
+	inj := faults.New(5, newGeo())
+	inj.Default = faults.Profile{} // clean baseline
+	inj.Regions = map[string]faults.Profile{"ID": {Refuse: 1.0}}
+	if f := inj.StreamFault(vantageA, target, 853); !f.Refuse {
+		t.Errorf("ID-region flow not refused: %+v", f)
+	}
+	if f := inj.StreamFault(vantageB, target, 853); f != (netsim.DialFault{}) {
+		t.Errorf("DE-region flow faulted under clean default: %+v", f)
+	}
+}
+
+func TestFlakyFailsExactlyFirstN(t *testing.T) {
+	inj := faults.New(11, nil)
+	inj.Default = faults.Flaky(2)
+	sched := schedule(inj, vantageA, 6)
+	for i, f := range sched {
+		if want := i < 2; f.Refuse != want {
+			t.Errorf("attempt %d: Refuse = %v, want %v", i+1, f.Refuse, want)
+		}
+	}
+	st := inj.Stats()
+	if st.FlakyFailures != 2 || st.StreamDials != 6 {
+		t.Errorf("stats = %+v, want 2 flaky failures over 6 dials", st)
+	}
+	if st.Faulted() != 2 {
+		t.Errorf("Faulted() = %d, want 2", st.Faulted())
+	}
+}
+
+func TestResetWindowBoundsCutSegment(t *testing.T) {
+	inj := faults.New(13, nil)
+	inj.Default = faults.Profile{Reset: 1.0, ResetWindow: 6}
+	for i := 0; i < 200; i++ {
+		f := inj.StreamFault(vantageA, target, 853)
+		if f.CutAfterSegments < 2 || f.CutAfterSegments >= 2+6 {
+			t.Fatalf("attempt %d: cut segment %d outside [2, 8)", i+1, f.CutAfterSegments)
+		}
+	}
+}
+
+func TestHandshakeCutIsFirstSegment(t *testing.T) {
+	inj := faults.New(17, nil)
+	inj.Default = faults.Profile{HandshakeCut: 1.0}
+	if f := inj.StreamFault(vantageA, target, 853); f.CutAfterSegments != 1 {
+		t.Errorf("CutAfterSegments = %d, want 1 (before any server data)", f.CutAfterSegments)
+	}
+}
+
+func TestStallChargesBoundedLatency(t *testing.T) {
+	inj := faults.New(19, nil)
+	base := 40 * time.Millisecond
+	inj.Default = faults.Profile{Stall: 1.0, StallBase: base}
+	for i := 0; i < 100; i++ {
+		f := inj.StreamFault(vantageA, target, 853)
+		if f.ExtraLatency < base || f.ExtraLatency >= 2*base {
+			t.Fatalf("stall latency %v outside [%v, %v)", f.ExtraLatency, base, 2*base)
+		}
+		if f.Drop || f.Refuse || f.CutAfterSegments > 0 {
+			t.Fatalf("pure stall also failed the dial: %+v", f)
+		}
+	}
+}
+
+func TestDatagramFaultRates(t *testing.T) {
+	inj := faults.New(23, nil)
+	inj.Default = faults.Profile{DgramDrop: 0.5, DgramStall: 0.5, StallBase: 10 * time.Millisecond}
+	drops := 0
+	for i := 0; i < 400; i++ {
+		f := inj.DatagramFault(vantageA, target, 53)
+		if f.Drop {
+			drops++
+			if f.ExtraLatency != 0 {
+				t.Fatal("dropped datagram also stalled")
+			}
+		}
+	}
+	if drops < 120 || drops > 280 {
+		t.Errorf("drops = %d/400, want ≈200", drops)
+	}
+	st := inj.Stats()
+	if st.Datagrams != 400 || st.DgramDrops != uint64(drops) {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestZeroProfileInjectsNothing(t *testing.T) {
+	inj := faults.New(29, nil)
+	for i := 0; i < 100; i++ {
+		if f := inj.StreamFault(vantageA, target, 853); f != (netsim.DialFault{}) {
+			t.Fatalf("zero profile faulted: %+v", f)
+		}
+	}
+	if st := inj.Stats(); st != (faults.Stats{}) {
+		t.Errorf("zero profile recorded stats: %+v", st)
+	}
+}

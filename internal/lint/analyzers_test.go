@@ -306,6 +306,92 @@ func (b *box) GoodRead() int {
 	wantFindings(t, findings, "lockbalance", []string{"locks/locks.go:12", "locks/locks.go:17"})
 }
 
+func TestGoleak(t *testing.T) {
+	cfg := lint.DefaultConfig()
+	cfg.SimulationPackages = []string{"relay"}
+	findings := lintFixtures(t, cfg, map[string]string{
+		"relay/relay.go": `package relay
+
+import "net"
+
+func Pump(ch chan int, conn net.Conn) {
+	go func() {
+		for { // line 7: finding (no exit: leaks when readers stop)
+			ch <- 1
+		}
+	}()
+	go func() {
+		for { // line 12: finding (break only leaves the select)
+			select {
+			case ch <- 1:
+			default:
+				break
+			}
+		}
+	}()
+	go func() {
+		buf := make([]byte, 1)
+		for { // fine: exits via return on read error
+			if _, err := conn.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	go func() {
+		for { // fine: unlabeled break bound to this loop
+			if _, ok := <-ch; !ok {
+				break
+			}
+		}
+	}()
+	go func() {
+	drain:
+		for { // fine: labeled break escapes the loop from inside the select
+			select {
+			case _, ok := <-ch:
+				if !ok {
+					break drain
+				}
+			}
+		}
+	}()
+}
+
+func Allowed(ch chan int) {
+	go func() {
+		//doelint:allow goleak -- fixture: process-lifetime ticker by design
+		for {
+			ch <- 1
+		}
+	}()
+}
+
+func Bounded(ch chan int) {
+	for i := 0; i < 3; i++ { // fine: not a goroutine body
+		ch <- i
+	}
+	go func() {
+		for done := false; !done; { // fine: conditioned loop
+			_, done = <-ch
+		}
+	}()
+}
+`,
+		// True negative: same leak outside the simulation set.
+		"daemon/daemon.go": `package daemon
+
+func Run(ch chan int) {
+	go func() {
+		for {
+			ch <- 1
+		}
+	}()
+}
+`,
+	})
+	wantFindings(t, findings, "goleak", []string{"relay/relay.go:7", "relay/relay.go:12"})
+}
+
 func TestDirectiveValidation(t *testing.T) {
 	findings := lintFixtures(t, lint.DefaultConfig(), map[string]string{
 		"dir/dir.go": `package dir

@@ -157,6 +157,7 @@ var registry = []*Analyzer{
 	analyzerConnclose,
 	analyzerErrwrap,
 	analyzerLockbalance,
+	analyzerGoleak,
 }
 
 // Analyzers returns the registered analyzers.

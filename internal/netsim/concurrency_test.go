@@ -97,7 +97,7 @@ func TestJitterIsAPathProperty(t *testing.T) {
 			}
 			defer conn.Close()
 			conn.SetDeadline(time.Now().Add(5 * time.Second))
-			conn.Write([]byte("x")) //nolint:errcheck
+			conn.Write([]byte("x"))            //nolint:errcheck
 			io.ReadFull(conn, make([]byte, 1)) //nolint:errcheck
 			out[i] = conn.Elapsed()
 		}

@@ -28,6 +28,11 @@ import (
 // It reports Timeout() == true like os.ErrDeadlineExceeded.
 var ErrDeadline = &timeoutError{}
 
+// ErrReset is returned on reads after an injected connection reset: the
+// peer (or an in-path fault) sent an RST mid-stream. The connection closes
+// both directions, so the remote handler unblocks with EOF.
+var ErrReset = errors.New("netsim: connection reset by peer")
+
 type timeoutError struct{}
 
 func (*timeoutError) Error() string   { return "netsim: deadline exceeded" }
@@ -107,6 +112,16 @@ type buffer struct {
 	deadline time.Time
 	timer    *time.Timer
 	link     *link
+
+	// Fault injection: when cutAt > 0, the reader sees ErrReset in place
+	// of the cutAt'th segment (1-based). Cuts count segments, not bytes —
+	// segment counts are stable across TLS certificate size variation,
+	// which keeps injected resets deterministic across study instances.
+	cutAt       int
+	delivered   int  // fully consumed segments
+	headPartial bool // head segment partially consumed; finish it first
+	reset       bool
+	onReset     func() // called (unlocked) once, when the reset fires
 }
 
 func newBuffer(l *link) *buffer {
@@ -129,16 +144,35 @@ func (b *buffer) write(p []byte) (int, error) {
 
 func (b *buffer) read(p []byte) (int, error) {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	for len(b.segs) == 0 {
+		if b.reset {
+			b.mu.Unlock()
+			return 0, ErrReset
+		}
 		if b.closed {
+			b.mu.Unlock()
 			return 0, io.EOF
 		}
 		//doelint:allow determinism -- deadlines guard against real hangs and are deliberately wall-clock
 		if !b.deadline.IsZero() && !time.Now().Before(b.deadline) {
+			b.mu.Unlock()
 			return 0, ErrDeadline
 		}
 		b.cond.Wait()
+	}
+	if b.reset {
+		b.mu.Unlock()
+		return 0, ErrReset
+	}
+	if b.cutAt > 0 && !b.headPartial && b.delivered >= b.cutAt-1 {
+		b.reset = true
+		onReset := b.onReset
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		if onReset != nil {
+			onReset()
+		}
+		return 0, ErrReset
 	}
 	seg := &b.segs[0]
 	b.link.advance(seg.readyAt)
@@ -146,7 +180,12 @@ func (b *buffer) read(p []byte) (int, error) {
 	seg.data = seg.data[n:]
 	if len(seg.data) == 0 {
 		b.segs = b.segs[1:]
+		b.delivered++
+		b.headPartial = false
+	} else {
+		b.headPartial = true
 	}
+	b.mu.Unlock()
 	return n, nil
 }
 
@@ -239,6 +278,19 @@ func (c *Conn) SetReadDeadline(t time.Time) error {
 // SetWriteDeadline implements net.Conn. Writes never block, so this is a
 // no-op kept for interface completeness.
 func (c *Conn) SetWriteDeadline(time.Time) error { return nil }
+
+// armReset arranges for this endpoint's reads to fail with ErrReset in
+// place of the n'th received segment (1-based), after which the connection
+// closes both directions so the peer's handler unblocks with EOF. n == 1
+// resets before any peer data is delivered (a truncated handshake); larger
+// values model a mid-stream RST.
+func (c *Conn) armReset(n int) {
+	b := c.recv
+	b.mu.Lock()
+	b.cutAt = n
+	b.onReset = func() { c.Close() }
+	b.mu.Unlock()
+}
 
 // Elapsed returns the virtual time this connection has consumed, including
 // the connection-establishment RTT added by Dial.

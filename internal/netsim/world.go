@@ -84,6 +84,41 @@ type StreamHandler func(conn *Conn)
 // are fast; recursive resolution to faraway nameservers is slow).
 type DatagramHandler func(from netip.Addr, req []byte) (resp []byte, proc time.Duration, err error)
 
+// DialFault describes faults injected into one stream dial attempt.
+// The zero value is a clean dial.
+type DialFault struct {
+	// Drop loses the SYN: the dial fails like a blackhole (timeout).
+	Drop bool
+	// Refuse actively resets the SYN: the dial fails with ErrRefused.
+	Refuse bool
+	// ExtraLatency is a stall charged to the connection's virtual clock on
+	// top of the handshake RTT (a loss/retransmission episode).
+	ExtraLatency time.Duration
+	// CutAfterSegments, when > 0, resets the connection in place of the
+	// Nth segment the client would receive (1 = before any server data:
+	// a truncated TLS handshake; larger = a mid-stream RST).
+	CutAfterSegments int
+}
+
+// DatagramFault describes faults injected into one datagram exchange.
+type DatagramFault struct {
+	// Drop loses the datagram (or its response): the exchange times out.
+	Drop bool
+	// ExtraLatency inflates the exchange's virtual elapsed time.
+	ExtraLatency time.Duration
+}
+
+// FaultInjector decides, per flow, which faults to inject. Implementations
+// MUST be deterministic functions of their own seed, the flow tuple and
+// per-tuple attempt history — never of wall-clock time or of dial order
+// across different tuples — or report byte-identity across worker counts
+// breaks. Policies win over faults: refused/blackholed verdicts are never
+// consulted, while allowed and redirected flows are.
+type FaultInjector interface {
+	StreamFault(from, to netip.Addr, port uint16) DialFault
+	DatagramFault(from, to netip.Addr, port uint16) DatagramFault
+}
+
 // World is the simulated Internet.
 type World struct {
 	Geo *geo.Registry
@@ -93,6 +128,7 @@ type World struct {
 	listeners map[Addr]*Listener
 	dgrams    map[Addr]*dgramService
 	policies  []DialPolicy
+	faults    FaultInjector
 
 	seed int64
 
@@ -127,6 +163,22 @@ func (w *World) AddPolicy(p DialPolicy) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	w.policies = append(w.policies, p)
+}
+
+// SetFaults installs inj as the world's fault-injection layer (nil
+// disables it, the default). Faults compose with policies: a policy
+// verdict of Refuse/Blackhole wins, everything the policies let through —
+// including redirected (intercepted) flows — is subject to faults.
+func (w *World) SetFaults(inj FaultInjector) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.faults = inj
+}
+
+func (w *World) faultInjector() FaultInjector {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.faults
 }
 
 // Listen opens a net.Listener for ip:port, replacing any previous one.
@@ -247,24 +299,51 @@ func (w *World) Dial(from, to netip.Addr, port uint16) (*Conn, error) {
 		return nil, ErrRefused
 	case ActBlackhole:
 		return nil, ErrBlackhole
-	case ActRedirect:
-		return w.connect(from, to, port, func(server *Conn) {
+	}
+	// Deliberate middlebox verdicts above win over the fault layer; flows
+	// the policies let through — allowed or redirected — are as lossy as
+	// the injector says the path is.
+	var fault DialFault
+	if inj := w.faultInjector(); inj != nil {
+		fault = inj.StreamFault(from, to, port)
+	}
+	switch {
+	case fault.Drop:
+		return nil, ErrBlackhole
+	case fault.Refuse:
+		return nil, ErrRefused
+	}
+	var serve func(server *Conn)
+	if v.Action == ActRedirect {
+		serve = func(server *Conn) {
 			// Handlers block on I/O, so they must not run on the
 			// dialer's goroutine.
 			go v.Handler(server, Addr{IP: to, Port: port})
-		})
-	}
-	w.mu.RLock()
-	l, ok := w.listeners[Addr{IP: to, Port: port}]
-	w.mu.RUnlock()
-	if !ok {
-		return nil, ErrRefused
-	}
-	return w.connect(from, to, port, func(server *Conn) {
-		if err := l.deliver(server); err != nil {
-			server.Close()
 		}
-	})
+	} else {
+		w.mu.RLock()
+		l, ok := w.listeners[Addr{IP: to, Port: port}]
+		w.mu.RUnlock()
+		if !ok {
+			return nil, ErrRefused
+		}
+		serve = func(server *Conn) {
+			if err := l.deliver(server); err != nil {
+				server.Close()
+			}
+		}
+	}
+	client, err := w.connect(from, to, port, serve)
+	if err != nil {
+		return nil, err
+	}
+	if fault.ExtraLatency > 0 {
+		client.link.add(fault.ExtraLatency)
+	}
+	if fault.CutAfterSegments > 0 {
+		client.armReset(fault.CutAfterSegments)
+	}
+	return client, nil
 }
 
 func (w *World) connect(from, to netip.Addr, port uint16, serve func(server *Conn)) (*Conn, error) {
@@ -292,6 +371,13 @@ func (w *World) Exchange(from, to netip.Addr, port uint16, req []byte) ([]byte, 
 		// the injector sits in-path.
 		return v.Spoof(req), rtt / 2, nil
 	}
+	var fault DatagramFault
+	if inj := w.faultInjector(); inj != nil {
+		fault = inj.DatagramFault(from, to, port)
+	}
+	if fault.Drop {
+		return nil, 0, ErrBlackhole
+	}
 	w.mu.RLock()
 	svc, ok := w.dgrams[Addr{IP: to, Port: port}]
 	w.mu.RUnlock()
@@ -302,7 +388,7 @@ func (w *World) Exchange(from, to netip.Addr, port uint16, req []byte) ([]byte, 
 	if err != nil {
 		return nil, 0, err
 	}
-	return resp, rtt + proc, nil
+	return resp, rtt + proc + fault.ExtraLatency, nil
 }
 
 // String summarizes the world for diagnostics.

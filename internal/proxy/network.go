@@ -118,6 +118,20 @@ func (n *Network) RemainingUptime(id string) (time.Duration, error) {
 	return node.Lifetime, nil
 }
 
+// Shutdown closes the platform's listening services — the super proxy and
+// every exit node's SOCKS server — which unblocks their accept loops so the
+// goroutines behind them exit. Established tunnels are unaffected; new dials
+// fail with ErrRefused. Tests that build throwaway platforms call it to keep
+// goroutine-leak assertions honest.
+func (n *Network) Shutdown() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.World.CloseService(n.SuperAddr, 1080)
+	for _, id := range n.order {
+		n.World.CloseService(n.nodes[id].Addr, 1080)
+	}
+}
+
 // dialViaExit is the super proxy's outbound leg: pick the exit node named
 // by the SOCKS username (or a random live one), tunnel through its SOCKS
 // service, and complete a nested CONNECT to the real target.

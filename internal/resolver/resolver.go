@@ -17,6 +17,7 @@ import (
 	"context"
 	"crypto/x509"
 	"errors"
+	"fmt"
 	"net/netip"
 	"sync"
 	"time"
@@ -74,6 +75,9 @@ type Options struct {
 	Profile dot.Profile
 	// Padding adds EDNS(0) padding (RFC 8467) to DoT queries.
 	Padding bool
+	// Retry is the Transport attempt budget; the zero value disables
+	// retries (one attempt per Exchange).
+	Retry RetryPolicy
 }
 
 // Option mutates Options; see WithTimeout, WithReuse, WithProfile,
@@ -160,21 +164,21 @@ func (c *Client) DialDoH(ctx context.Context, t doh.Template, addr netip.Addr) (
 
 // TCP returns a reuse-aware Transport for clear-text DNS over TCP.
 func (c *Client) TCP(server netip.Addr) *Transport {
-	return newTransport(c.opts.Reuse, func(ctx context.Context) (Session, error) {
+	return newTransport(c.opts, func(ctx context.Context) (Session, error) {
 		return c.DialTCP(ctx, server)
 	})
 }
 
 // DoT returns a reuse-aware Transport for DNS over TLS.
 func (c *Client) DoT(server netip.Addr) *Transport {
-	return newTransport(c.opts.Reuse, func(ctx context.Context) (Session, error) {
+	return newTransport(c.opts, func(ctx context.Context) (Session, error) {
 		return c.DialDoT(ctx, server)
 	})
 }
 
 // DoH returns a reuse-aware Transport for DNS over HTTPS.
 func (c *Client) DoH(t doh.Template, addr netip.Addr) *Transport {
-	return newTransport(c.opts.Reuse, func(ctx context.Context) (Session, error) {
+	return newTransport(c.opts, func(ctx context.Context) (Session, error) {
 		return c.DialDoH(ctx, t, addr)
 	})
 }
@@ -182,28 +186,76 @@ func (c *Client) DoH(t doh.Template, addr netip.Addr) *Transport {
 // Transport is a connection-managing Exchanger. With reuse, the first
 // Exchange dials and later ones share the session (the amortized arm of
 // §4.3); without, every Exchange pays connection setup (the no-reuse arm).
+// A RetryPolicy (WithRetry) gives each Exchange an attempt budget with
+// exponential backoff charged to the virtual clock; a reused session that
+// dies mid-exchange is dropped (the error wraps ErrSessionClosed) and the
+// next attempt redials.
 type Transport struct {
 	dial  func(ctx context.Context) (Session, error)
 	reuse bool
+	retry RetryPolicy
 
 	mu   sync.Mutex
 	sess Session
 	// last is the virtual time the most recent Exchange consumed on its
-	// connection, including setup when the session was dialed for it.
-	last time.Duration
+	// connection, including setup when the session was dialed for it, and
+	// — under retries — the cost of failed attempts plus backoff.
+	last       time.Duration
+	everDialed bool
+	stats      RetryStats
 }
 
-func newTransport(reuse bool, dial func(ctx context.Context) (Session, error)) *Transport {
-	return &Transport{dial: dial, reuse: reuse}
+func newTransport(o Options, dial func(ctx context.Context) (Session, error)) *Transport {
+	return &Transport{dial: dial, reuse: o.Reuse, retry: o.Retry}
 }
 
-// Exchange performs one transaction, dialing per the reuse policy.
+// Exchange performs one transaction, dialing per the reuse policy and
+// retrying per the retry policy.
 func (t *Transport) Exchange(ctx context.Context, msg *dnswire.Message) (*dnswire.Message, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	budget := t.retry.Attempts
+	if budget < 1 {
+		budget = 1
+	}
+	var (
+		resp *dnswire.Message
+		err  error
+		// penalty is the virtual time lost to failed attempts and backoff,
+		// charged into last so latency accounting reflects the recovery.
+		penalty time.Duration
+	)
+	for attempt := 1; attempt <= budget; attempt++ {
+		t.stats.Attempts++
+		if attempt > 1 {
+			t.stats.Retries++
+			penalty += t.retry.backoffFor(attempt)
+		}
+		resp, err = t.exchangeOnce(ctx, msg)
+		if err == nil {
+			if attempt > 1 {
+				t.stats.Recovered++
+			}
+			t.last += penalty
+			return resp, nil
+		}
+		penalty += t.last
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	t.stats.HardFailures++
+	t.last = penalty
+	return nil, err
+}
+
+// exchangeOnce performs one attempt; callers hold t.mu. It leaves t.last at
+// the attempt's own cost (zero for failed dials).
+func (t *Transport) exchangeOnce(ctx context.Context, msg *dnswire.Message) (*dnswire.Message, error) {
 	if !t.reuse {
 		sess, err := t.dial(ctx)
 		if err != nil {
+			t.last = 0
 			return nil, err
 		}
 		defer sess.Close()
@@ -214,14 +266,34 @@ func (t *Transport) Exchange(ctx context.Context, msg *dnswire.Message) (*dnswir
 	if t.sess == nil {
 		sess, err := t.dial(ctx)
 		if err != nil {
+			t.last = 0
 			return nil, err
 		}
+		if t.everDialed {
+			t.stats.Redials++
+		}
+		t.everDialed = true
 		t.sess = sess
 	}
 	start := t.sess.Elapsed()
 	resp, err := t.sess.Exchange(ctx, msg)
 	t.last = t.sess.Elapsed() - start
+	if err != nil && isConnDeath(err) {
+		// The reused session is unusable: drop it so the next attempt (or
+		// the next Exchange) redials, and mark the error as a session
+		// death rather than a protocol failure.
+		t.sess.Close()
+		t.sess = nil
+		err = fmt.Errorf("%w: %w", ErrSessionClosed, err)
+	}
 	return resp, err
+}
+
+// Stats returns a snapshot of the attempt-level counters.
+func (t *Transport) Stats() RetryStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
 }
 
 // LastLatency is the virtual time the most recent Exchange took: the
@@ -233,10 +305,12 @@ func (t *Transport) LastLatency() time.Duration {
 	return t.last
 }
 
-// Close releases the retained session, if any.
+// Close releases the retained session, if any. A later Exchange dials
+// fresh (not counted as a redial).
 func (t *Transport) Close() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.everDialed = false
 	if t.sess == nil {
 		return nil
 	}

@@ -1,0 +1,135 @@
+package resolver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"dnsencryption.info/doe/internal/dnsclient"
+	"dnsencryption.info/doe/internal/dnswire"
+	"dnsencryption.info/doe/internal/netsim"
+)
+
+// ErrSessionClosed is the sentinel a Transport wraps around transport-level
+// errors when a reused session dies under an Exchange (peer hung up, RST,
+// closed pipe). Callers distinguish it from protocol failures with
+// errors.Is; the Transport drops the dead session so the next Exchange (or
+// the next retry attempt) redials instead of failing forever.
+var ErrSessionClosed = errors.New("resolver: session closed")
+
+// RetryPolicy is a Transport's attempt budget. The zero value means a
+// single attempt (no retries).
+type RetryPolicy struct {
+	// Attempts is the total attempt budget per Exchange, including the
+	// first (values < 1 mean 1).
+	Attempts int
+	// Backoff is the virtual-clock delay charged before the first retry,
+	// doubling per subsequent retry (exponential backoff). It is latency
+	// accounting only — nothing sleeps in wall time.
+	Backoff time.Duration
+}
+
+// backoffFor returns the virtual delay charged before the given attempt
+// (attempt 2 waits Backoff, attempt 3 waits 2*Backoff, ...).
+func (p RetryPolicy) backoffFor(attempt int) time.Duration {
+	if p.Backoff <= 0 || attempt < 2 {
+		return 0
+	}
+	return p.Backoff << (attempt - 2)
+}
+
+// WithRetry sets the Transport attempt budget and virtual backoff base.
+func WithRetry(p RetryPolicy) Option { return func(o *Options) { o.Retry = p } }
+
+// RetryStats counts attempt-level outcomes across every Exchange a
+// Transport (or a merged set of Transports) performed.
+type RetryStats struct {
+	// Attempts is the total number of attempts, including first tries.
+	Attempts int
+	// Retries is the number of attempts beyond the first of an Exchange.
+	Retries int
+	// Redials is the number of times a reuse Transport re-established a
+	// session after the previous one died.
+	Redials int
+	// Recovered counts Exchanges that failed at least once and then
+	// succeeded within the budget.
+	Recovered int
+	// HardFailures counts Exchanges that exhausted the budget.
+	HardFailures int
+}
+
+// Plus returns the element-wise sum; campaigns merge per-node stats with it.
+func (s RetryStats) Plus(o RetryStats) RetryStats {
+	return RetryStats{
+		Attempts:     s.Attempts + o.Attempts,
+		Retries:      s.Retries + o.Retries,
+		Redials:      s.Redials + o.Redials,
+		Recovered:    s.Recovered + o.Recovered,
+		HardFailures: s.HardFailures + o.HardFailures,
+	}
+}
+
+// isConnDeath reports whether err means the underlying connection is gone
+// (as opposed to a protocol-level failure worth surfacing as-is).
+func isConnDeath(err error) bool {
+	return errors.Is(err, io.EOF) ||
+		errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, io.ErrClosedPipe) ||
+		errors.Is(err, net.ErrClosed) ||
+		errors.Is(err, netsim.ErrReset) ||
+		errors.Is(err, dnsclient.ErrClosed)
+}
+
+// Fallback chains Exchangers in preference order: Exchange tries each in
+// turn and returns the first success. A stub configured DoH→DoT→Do53
+// degrades to clear text only when both encrypted transports fail — the
+// resilience shape follow-up work measures on lossy networks.
+type FallbackExchanger struct {
+	chain []Exchanger
+
+	mu       sync.Mutex
+	lastUsed int
+}
+
+// Fallback builds a FallbackExchanger over the given chain.
+func Fallback(chain ...Exchanger) *FallbackExchanger {
+	return &FallbackExchanger{chain: chain, lastUsed: -1}
+}
+
+// Exchange implements Exchanger. On total failure it returns the joined
+// errors of every link in the chain.
+func (f *FallbackExchanger) Exchange(ctx context.Context, msg *dnswire.Message) (*dnswire.Message, error) {
+	if len(f.chain) == 0 {
+		return nil, errors.New("resolver: empty fallback chain")
+	}
+	var errs []error
+	for idx, e := range f.chain {
+		resp, err := e.Exchange(ctx, msg)
+		if err == nil {
+			f.mu.Lock()
+			f.lastUsed = idx
+			f.mu.Unlock()
+			return resp, nil
+		}
+		errs = append(errs, fmt.Errorf("chain[%d]: %w", idx, err))
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	f.mu.Lock()
+	f.lastUsed = -1
+	f.mu.Unlock()
+	return nil, errors.Join(errs...)
+}
+
+// LastUsed returns the chain index that served the most recent Exchange,
+// or -1 if it failed everywhere (or nothing ran yet).
+func (f *FallbackExchanger) LastUsed() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.lastUsed
+}

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"dnsencryption.info/doe/internal/dnsclient"
 	"dnsencryption.info/doe/internal/dnswire"
 	"dnsencryption.info/doe/internal/doh"
 	"dnsencryption.info/doe/internal/netsim"
@@ -103,6 +104,11 @@ type DoHDiscovery struct {
 	// KnownList is the public curated resolver list (e.g. the curl wiki),
 	// as template strings.
 	KnownList []string
+	// Attempts is the per-candidate probe budget. The availability check is
+	// a single pass (unlike the repeated DoT scans, which get another shot
+	// at every host next round), so on lossy paths a transport failure is
+	// retried up to Attempts times. Zero or one means a single attempt.
+	Attempts int
 }
 
 // Verify probes each candidate and returns the working DoH resolvers.
@@ -123,7 +129,14 @@ func (d *DoHDiscovery) Verify(candidates []DoHCandidate) []DoHResolver {
 		client.Timeout = 2 * time.Second
 		client.Override[cand.Host] = addr
 		tmpl := doh.Template{Host: cand.Host, Path: cand.Path}
-		res, err := client.Query(tmpl, d.ProbeDomain, dnswire.TypeA)
+		var res *dnsclient.Result
+		var err error
+		for attempt := 0; attempt < max(1, d.Attempts); attempt++ {
+			res, err = client.Query(tmpl, d.ProbeDomain, dnswire.TypeA)
+			if err == nil {
+				break // retry transport failures, not DNS-level answers
+			}
+		}
 		if err != nil || res.Rcode() != dnswire.RcodeSuccess || len(res.Msg.Answers) == 0 {
 			continue
 		}

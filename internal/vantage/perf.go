@@ -42,24 +42,47 @@ func (s PerfSample) DoHOverheadMS() float64 { return s.DoHMedianMS - s.DNSMedian
 func (p *Platform) MeasurePerformance(node proxy.ExitNode, tgt Target, n int) (PerfSample, error) {
 	sample := PerfSample{NodeID: node.ID, Country: node.Country}
 
-	dnsLat, err := p.timeDNSQueries(node, tgt.DNS, n)
+	dnsLat, err := p.retryLatencies(func() ([]float64, error) {
+		return p.timeDNSQueries(node, tgt.DNS, n)
+	})
 	if err != nil {
 		return sample, err
 	}
 	sample.DNSMedianMS = analysis.Median(dnsLat)
 
-	dotLat, err := p.timeDoTQueries(node, tgt.DoT, n)
+	dotLat, err := p.retryLatencies(func() ([]float64, error) {
+		return p.timeDoTQueries(node, tgt.DoT, n)
+	})
 	if err != nil {
 		return sample, err
 	}
 	sample.DoTMedianMS = analysis.Median(dotLat)
 
-	dohLat, err := p.timeDoHQueries(node, tgt.DoH, tgt.DoHAddr, n)
+	dohLat, err := p.retryLatencies(func() ([]float64, error) {
+		return p.timeDoHQueries(node, tgt.DoH, tgt.DoHAddr, n)
+	})
 	if err != nil {
 		return sample, err
 	}
 	sample.DoHMedianMS = analysis.Median(dohLat)
 	return sample, nil
+}
+
+// retryLatencies re-runs one protocol's whole timing pass (fresh tunnel,
+// fresh session) while it fails and the platform retry budget allows: a
+// connection killed mid-pass would otherwise discard the node. The
+// successful pass's latencies are reported unpolluted by earlier attempts.
+func (p *Platform) retryLatencies(measure func() ([]float64, error)) ([]float64, error) {
+	budget := p.attempts()
+	var lat []float64
+	var err error
+	for attempt := 1; attempt <= budget; attempt++ {
+		lat, err = measure()
+		if err == nil {
+			return lat, nil
+		}
+	}
+	return nil, err
 }
 
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
@@ -194,8 +217,12 @@ func (s NoReuseSample) DoHOverheadMS() float64 { return s.DoHMedianMS - s.DNSMed
 
 // MeasureNoReuse runs Table 7's controlled-vantage test: n queries per
 // protocol, every one on a fresh connection (TCP+TLS each time), directly
-// from a controlled address (no proxy hop).
-func MeasureNoReuse(w *netsim.World, label string, from netip.Addr, tgt Target, probeZone string, roots *x509.CertPool, n int) (NoReuseSample, error) {
+// from a controlled address (no proxy hop). Extra opts (e.g. WithRetry
+// under fault injection) are applied on top of the no-reuse defaults. A
+// query that still fails after its budget is skipped rather than sinking
+// the vantage; the per-protocol median is over the queries that answered,
+// and only a protocol with zero answers is an error.
+func MeasureNoReuse(w *netsim.World, label string, from netip.Addr, tgt Target, probeZone string, roots *x509.CertPool, n int, opts ...resolver.Option) (NoReuseSample, error) {
 	sample := NoReuseSample{Vantage: label}
 	// Probe names carry the vantage label so concurrent vantages never
 	// share a name: a shared name would let one vantage's query warm the
@@ -211,16 +238,21 @@ func MeasureNoReuse(w *netsim.World, label string, from netip.Addr, tgt Target, 
 	// exactly the no-reuse condition Table 7 measures. DoT runs Strict
 	// here: the controlled vantages authenticate the public resolvers.
 	rc := resolver.New(w, from, roots,
-		resolver.WithReuse(false), resolver.WithProfile(dot.Strict))
+		append([]resolver.Option{resolver.WithReuse(false), resolver.WithProfile(dot.Strict)}, opts...)...)
 	ctx := context.Background()
 	timeFresh := func(t *resolver.Transport, tag string) ([]float64, error) {
 		var lat []float64
+		var lastErr error
 		for i := 0; i < n; i++ {
 			q := dnswire.NewQuery(0, name(tag), dnswire.TypeA)
 			if _, err := t.Exchange(ctx, q); err != nil {
-				return nil, err
+				lastErr = err
+				continue
 			}
 			lat = append(lat, ms(t.LastLatency()))
+		}
+		if len(lat) == 0 {
+			return nil, fmt.Errorf("vantage: no-reuse %s/%s: every query failed: %w", label, tag, lastErr)
 		}
 		return lat, nil
 	}

@@ -91,6 +91,13 @@ type Result struct {
 	// node churn); the paper removes such nodes from its dataset, so
 	// dropped results are excluded from every tally.
 	Dropped bool
+	// Attempts is the number of dial+query attempts this result consumed
+	// (1 unless the platform has a retry budget and the first try failed).
+	Attempts int
+	// Recovered marks results that failed at least once and then
+	// succeeded within the retry budget — the fault-injection experiments
+	// report these separately from hard failures.
+	Recovered bool
 }
 
 // Platform drives measurements through a proxy network.
@@ -106,6 +113,13 @@ type Platform struct {
 	ExpectedA netip.Addr
 	// MinUptime discards exit nodes expiring sooner than this.
 	MinUptime time.Duration
+	// Retry gives every lookup an attempt budget: a Failed outcome (no
+	// DNS response) re-runs the whole dial+query sequence up to
+	// Retry.Attempts times. Incorrect answers and platform disruptions
+	// never retry — the former are measurement results, the latter are
+	// terminal node churn. Backoff is not charged here: reachability
+	// results carry outcomes, not latencies.
+	Retry resolver.RetryPolicy
 
 	seq atomic.Uint64
 }
@@ -144,16 +158,44 @@ func (p *Platform) TestReachabilityContext(ctx context.Context, node proxy.ExitN
 	var out []Result
 	for _, tgt := range targets {
 		if tgt.DNS.IsValid() {
-			out = append(out, p.testDNS(ctx, node, tgt))
+			out = append(out, p.withRetry(ctx, func() Result { return p.testDNS(ctx, node, tgt) }))
 		}
 		if tgt.DoT.IsValid() {
-			out = append(out, p.testDoT(ctx, node, tgt))
+			out = append(out, p.withRetry(ctx, func() Result { return p.testDoT(ctx, node, tgt) }))
 		}
 		if tgt.DoHAddr.IsValid() {
-			out = append(out, p.testDoH(ctx, node, tgt))
+			out = append(out, p.withRetry(ctx, func() Result { return p.testDoH(ctx, node, tgt) }))
 		}
 	}
 	return out
+}
+
+// attempts is the normalized per-lookup attempt budget.
+func (p *Platform) attempts() int {
+	if p.Retry.Attempts < 1 {
+		return 1
+	}
+	return p.Retry.Attempts
+}
+
+// withRetry re-runs a lookup while it yields Failed outcomes and budget
+// remains. Dropped results (platform disruption) and Incorrect answers
+// return immediately; see Platform.Retry.
+func (p *Platform) withRetry(ctx context.Context, run func() Result) Result {
+	budget := p.attempts()
+	var r Result
+	for attempt := 1; attempt <= budget; attempt++ {
+		r = run()
+		r.Attempts = attempt
+		if r.Outcome != Failed {
+			r.Recovered = attempt > 1
+			return r
+		}
+		if r.Dropped || ctx.Err() != nil {
+			return r
+		}
+	}
+	return r
 }
 
 func (p *Platform) baseResult(node proxy.ExitNode, resolver string, proto Proto) Result {
@@ -330,6 +372,32 @@ func TallyResults(results []Result) map[string]map[Proto]Tally {
 		byProto[r.Proto] = t
 	}
 	return out
+}
+
+// RetryTally aggregates attempt-level outcomes of a campaign into the
+// resolver's RetryStats shape: retry-recovered lookups vs. hard failures
+// that exhausted the budget. Dropped results are excluded, matching every
+// other tally.
+func RetryTally(results []Result) resolver.RetryStats {
+	var s resolver.RetryStats
+	for _, r := range results {
+		if r.Dropped {
+			continue
+		}
+		a := r.Attempts
+		if a < 1 {
+			a = 1
+		}
+		s.Attempts += a
+		s.Retries += a - 1
+		if r.Recovered {
+			s.Recovered++
+		}
+		if r.Outcome == Failed {
+			s.HardFailures++
+		}
+	}
+	return s
 }
 
 // InterceptedResults filters the sessions flagged as TLS-intercepted.

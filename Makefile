@@ -10,7 +10,7 @@ GO ?= go
 
 RACE_PKGS := ./internal/netsim ./internal/proxy ./internal/dnsserver \
 	./internal/scanner ./internal/vantage ./internal/runner ./internal/resolver \
-	./internal/faults
+	./internal/faults ./internal/obs
 
 # Fuzz targets hardened against panics; fuzz-smoke runs each briefly so a
 # codec regression that panics on malformed wire input fails the gate.
@@ -18,9 +18,9 @@ FUZZ_PKG := ./internal/dnswire
 FUZZ_TARGETS := FuzzParseMessage FuzzParseName FuzzRData
 FUZZTIME ?= 10s
 
-.PHONY: verify build vet lint test race bench-smoke fuzz-smoke
+.PHONY: verify build vet lint test race bench-smoke fuzz-smoke trace-smoke
 
-verify: build vet lint test race bench-smoke fuzz-smoke
+verify: build vet lint test race bench-smoke fuzz-smoke trace-smoke
 
 build:
 	$(GO) build ./...
@@ -48,3 +48,14 @@ fuzz-smoke:
 		echo "fuzz $$target ($(FUZZTIME))"; \
 		$(GO) test $(FUZZ_PKG) -run='^$$' -fuzz="^$$target$$" -fuzztime=$(FUZZTIME) || exit 1; \
 	done
+
+# Telemetry end-to-end gate: run the miniature study with tracing on,
+# validate the JSONL schema with doetrace, and byte-compare the trace
+# against the pinned golden. Catches both schema drift and any change
+# that silently reorders or reshapes the span tree.
+TRACE_SMOKE_OUT ?= /tmp/doe-trace-smoke.jsonl
+
+trace-smoke:
+	$(GO) run ./cmd/doereport -small -trace $(TRACE_SMOKE_OUT) -o /dev/null
+	$(GO) run ./cmd/doetrace $(TRACE_SMOKE_OUT)
+	$(GO) run ./cmd/doetrace -diff internal/core/testdata/trace_small.jsonl $(TRACE_SMOKE_OUT)

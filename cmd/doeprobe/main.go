@@ -12,6 +12,7 @@ import (
 	"os"
 	"strings"
 
+	"dnsencryption.info/doe/internal/cli"
 	"dnsencryption.info/doe/internal/core"
 )
 
@@ -23,6 +24,7 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel measurement workers (0 = default; output is identical for any value)")
 	faults := flag.String("faults", "", "fault-injection profile: "+strings.Join(core.FaultProfileNames(), ", "))
 	faultSeed := flag.Int64("fault-seed", 0, "fault-schedule seed (independent of the study seed)")
+	tele := cli.TelemetryFlags()
 	flag.Parse()
 
 	cfg := core.DefaultConfig()
@@ -38,20 +40,28 @@ func main() {
 	if *faults != "" {
 		cfg.Faults = core.FaultsConfig{Profile: *faults, Seed: *faultSeed}
 	}
+	cfg.Telemetry = tele.Enabled()
 	study, err := core.NewStudy(cfg)
 	if err != nil {
 		log.Fatalf("building study world: %v", err)
 	}
+	tele.Serve(study)
 
 	for _, id := range []string{"table3", "table4", "table5", "table6", "table7", "fig9", "fig10"} {
 		exp, ok := core.ExperimentByID(id)
 		if !ok {
 			log.Fatalf("unknown experiment %q", id)
 		}
-		out, err := exp.Run(study)
+		out, err := study.RunExperiment(exp)
 		if err != nil {
+			if ferr := tele.Finish(study); ferr != nil {
+				log.Printf("%v", ferr)
+			}
 			log.Fatalf("%s: %v", id, err)
 		}
 		fmt.Fprintf(os.Stdout, "== %s: %s\n%s\n", exp.ID, exp.Title, out)
+	}
+	if err := tele.Finish(study); err != nil {
+		log.Fatalf("%v", err)
 	}
 }

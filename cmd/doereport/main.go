@@ -15,6 +15,7 @@ import (
 	"strings"
 	"time"
 
+	"dnsencryption.info/doe/internal/cli"
 	"dnsencryption.info/doe/internal/core"
 )
 
@@ -30,6 +31,7 @@ func main() {
 	timing := flag.Bool("timing", false, "log per-experiment wall time to stderr")
 	faults := flag.String("faults", "", "fault-injection profile: "+strings.Join(core.FaultProfileNames(), ", "))
 	faultSeed := flag.Int64("fault-seed", 0, "fault-schedule seed (independent of the study seed)")
+	tele := cli.TelemetryFlags()
 	flag.Parse()
 
 	if *list {
@@ -52,10 +54,12 @@ func main() {
 	if *faults != "" {
 		cfg.Faults = core.FaultsConfig{Profile: *faults, Seed: *faultSeed}
 	}
+	cfg.Telemetry = tele.Enabled()
 	study, err := core.NewStudy(cfg)
 	if err != nil {
 		log.Fatalf("building study world: %v", err)
 	}
+	tele.Serve(study)
 	if *timing {
 		study.Progress = func(id, title string, elapsed time.Duration) {
 			log.Printf("%s (%.1fs)", id, elapsed.Seconds())
@@ -72,19 +76,28 @@ func main() {
 		w = f
 	}
 
+	finish := func() {
+		if err := tele.Finish(study); err != nil {
+			log.Fatalf("%v", err)
+		}
+	}
+
 	if *only != "" {
 		exp, ok := core.ExperimentByID(*only)
 		if !ok {
 			log.Fatalf("unknown experiment %q (use -list)", *only)
 		}
-		out, err := exp.Run(study)
+		out, err := study.RunExperiment(exp)
+		finish()
 		if err != nil {
 			log.Fatalf("%s: %v", *only, err)
 		}
 		fmt.Fprintf(w, "== %s: %s\n%s\n", exp.ID, exp.Title, out)
 		return
 	}
-	if err := study.RunAll(w); err != nil {
+	err = study.RunAll(w)
+	finish()
+	if err != nil {
 		log.Fatalf("report completed with errors: %v", err)
 	}
 }

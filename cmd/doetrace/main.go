@@ -1,0 +1,93 @@
+// Command doetrace works with the JSONL span traces the other binaries
+// write via -trace: it validates the schema, renders the span tree for
+// humans, and byte-compares a trace against a pinned golden.
+//
+//	doetrace trace.jsonl                   # validate schema and structure
+//	doetrace -render trace.jsonl           # print the indented span tree
+//	doetrace -diff golden.jsonl trace.jsonl # validate both, then byte-compare
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"dnsencryption.info/doe/internal/obs"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("doetrace: ")
+	render := flag.Bool("render", false, "print the trace as an indented span tree")
+	diff := flag.Bool("diff", false, "compare two traces byte-for-byte (args: golden actual)")
+	flag.Parse()
+
+	switch {
+	case *diff:
+		if flag.NArg() != 2 {
+			log.Fatalf("-diff needs exactly two arguments: golden actual")
+		}
+		diffTraces(flag.Arg(0), flag.Arg(1))
+	case flag.NArg() == 1:
+		recs := load(flag.Arg(0))
+		if *render {
+			fmt.Print(obs.RenderTree(recs))
+			return
+		}
+		fmt.Printf("%s: valid trace, %d spans\n", flag.Arg(0), len(recs))
+	default:
+		log.Fatalf("usage: doetrace [-render] trace.jsonl | doetrace -diff golden.jsonl trace.jsonl")
+	}
+}
+
+// load reads and validates one trace file, exiting on any schema or
+// structure violation.
+func load(path string) []obs.Record {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatalf("%v", err)
+	}
+	defer f.Close()
+	recs, err := obs.ReadTrace(f)
+	if err != nil {
+		log.Fatalf("%s: %v", path, err)
+	}
+	return recs
+}
+
+// diffTraces validates both files and then compares raw bytes, reporting
+// the first differing line — the determinism contract is byte-level, not
+// just structural.
+func diffTraces(goldenPath, actualPath string) {
+	load(goldenPath)
+	load(actualPath)
+	golden, err := os.ReadFile(goldenPath)
+	if err != nil {
+		log.Fatalf("%v", err)
+	}
+	actual, err := os.ReadFile(actualPath)
+	if err != nil {
+		log.Fatalf("%v", err)
+	}
+	if bytes.Equal(golden, actual) {
+		fmt.Printf("traces identical (%d bytes)\n", len(golden))
+		return
+	}
+	gl := bytes.Split(golden, []byte("\n"))
+	al := bytes.Split(actual, []byte("\n"))
+	for i := 0; i < len(gl) || i < len(al); i++ {
+		var g, a []byte
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if i < len(al) {
+			a = al[i]
+		}
+		if !bytes.Equal(g, a) {
+			log.Fatalf("traces differ at line %d:\n  golden: %s\n  actual: %s", i+1, g, a)
+		}
+	}
+	log.Fatalf("traces differ in length: golden %d bytes, actual %d bytes", len(golden), len(actual))
+}

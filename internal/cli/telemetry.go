@@ -1,0 +1,75 @@
+// Package cli holds the telemetry plumbing shared by the doe command-line
+// binaries: the -trace/-metrics/-pprof flags, the live /metrics +
+// /debug/pprof endpoint, and the end-of-run artifact flush.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"dnsencryption.info/doe/internal/core"
+	"dnsencryption.info/doe/internal/obs"
+)
+
+// Telemetry carries the parsed telemetry flag values of one binary.
+type Telemetry struct {
+	TracePath string
+	Metrics   bool
+	PprofAddr string
+}
+
+// TelemetryFlags registers -trace, -metrics and -pprof on the default
+// FlagSet; call before flag.Parse.
+func TelemetryFlags() *Telemetry {
+	t := &Telemetry{}
+	flag.StringVar(&t.TracePath, "trace", "", "enable telemetry and write the span trace as JSONL to this file")
+	flag.BoolVar(&t.Metrics, "metrics", false, "enable telemetry and print the full metric snapshot (volatile families included) to stderr")
+	flag.StringVar(&t.PprofAddr, "pprof", "", "enable telemetry and serve /metrics and /debug/pprof on this address (e.g. localhost:6060)")
+	return t
+}
+
+// Enabled reports whether any telemetry flag was given; the binary sets
+// core.Config.Telemetry from it.
+func (t *Telemetry) Enabled() bool { return t.TracePath != "" || t.Metrics || t.PprofAddr != "" }
+
+// Serve starts the live debug endpoint when -pprof was given. The endpoint
+// is a real HTTP listener (runtime profiling of the binary itself), the
+// one deliberate wall-clock surface of the observability stack.
+func (t *Telemetry) Serve(study *core.Study) {
+	if t.PprofAddr == "" {
+		return
+	}
+	go func() {
+		log.Printf("telemetry endpoint on http://%s/metrics (pprof under /debug/pprof/)", t.PprofAddr)
+		if err := http.ListenAndServe(t.PprofAddr, obs.DebugHandler(study.Obs)); err != nil {
+			log.Printf("pprof endpoint: %v", err)
+		}
+	}()
+}
+
+// Finish flushes the telemetry artifacts: the JSONL trace file and the
+// full stderr metric snapshot. Binaries call it after the measurements ran
+// and before exiting on error — the trace of a failed run is exactly what
+// -trace is for, and a deferred flush would be skipped by log.Fatalf.
+func (t *Telemetry) Finish(study *core.Study) error {
+	if t.TracePath != "" {
+		f, err := os.Create(t.TracePath)
+		if err != nil {
+			return fmt.Errorf("creating %s: %w", t.TracePath, err)
+		}
+		if err := study.WriteTrace(f); err != nil {
+			f.Close()
+			return fmt.Errorf("writing trace: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("closing %s: %w", t.TracePath, err)
+		}
+	}
+	if t.Metrics {
+		fmt.Fprint(os.Stderr, study.Obs.Metrics().Snapshot(true))
+	}
+	return nil
+}

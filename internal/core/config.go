@@ -61,6 +61,14 @@ type Config struct {
 	// Faults selects the network fault-injection profile; the zero value
 	// leaves the simulated network fault-free.
 	Faults FaultsConfig
+
+	// Telemetry enables the internal/obs recorder: spans for every
+	// pipeline stage, deterministic metrics, and the end-of-report
+	// "== telemetry:" section. Off by default so fault-free reports stay
+	// byte-identical to goldens produced before telemetry existed; when
+	// on, the report gains the telemetry section but remains
+	// byte-identical across worker counts.
+	Telemetry bool
 }
 
 // FaultsConfig configures the deterministic fault-injection layer

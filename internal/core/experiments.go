@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -8,6 +9,7 @@ import (
 	"dnsencryption.info/doe/internal/analysis"
 	"dnsencryption.info/doe/internal/certs"
 	"dnsencryption.info/doe/internal/netflow"
+	"dnsencryption.info/doe/internal/obs"
 	"dnsencryption.info/doe/internal/proxy"
 	"dnsencryption.info/doe/internal/runner"
 	"dnsencryption.info/doe/internal/scanner"
@@ -51,9 +53,16 @@ func (s *Study) Reachability() *ReachabilityData {
 	s.reachOnce.Do(func() {
 		// The reachability test observes the May 1 resolver population.
 		s.SetScanRound(s.ScanRounds - 1)
+		ctx := s.obsCtx()
+		campaign := func(name string, p *vantage.Platform) []vantage.Result {
+			cctx, sp := obs.Start(ctx, "campaign:"+name)
+			out, _ := p.CampaignContext(cctx, s.Targets, s.Workers)
+			sp.SetInt("lookups", int64(len(out)))
+			return out
+		}
 		s.reach = &ReachabilityData{
-			Global:   s.GlobalPlatform.Campaign(s.Targets, s.Workers),
-			Censored: s.CensoredPlatform.Campaign(s.Targets, s.Workers),
+			Global:   campaign("global", s.GlobalPlatform),
+			Censored: campaign("censored", s.CensoredPlatform),
 		}
 	})
 	return s.reach
@@ -75,13 +84,16 @@ func (s *Study) PerfSamples() []vantage.PerfSample {
 			sample vantage.PerfSample
 			ok     bool
 		}
-		outcomes := runner.Map(s.Workers, len(nodes), func(i int) perfOutcome {
-			sample, err := s.GlobalPlatform.MeasurePerformance(nodes[i], target, s.PerfQueriesReused)
+		pctx, psp := obs.Start(obs.WithPool(s.obsCtx(), "perf"), "perf-sampling")
+		outcomes, _ := runner.MapCtx(pctx, s.Workers, len(nodes), func(ctx context.Context, i int) perfOutcome {
+			ctx, _ = obs.Start(ctx, "node:"+nodes[i].ID, obs.Key(i))
+			sample, err := s.GlobalPlatform.MeasurePerformanceContext(ctx, nodes[i], target, s.PerfQueriesReused)
 			// Afflicted vantages cannot complete all three protocols;
 			// the paper's perf dataset is likewise the subset of clients
 			// that can (8,257 of 29,622).
 			return perfOutcome{sample: sample, ok: err == nil}
 		})
+		psp.SetInt("nodes", int64(len(nodes)))
 		for _, o := range outcomes {
 			if len(s.perfSamples) >= s.PerfNodes {
 				break
@@ -329,17 +341,17 @@ func runTable5(s *Study) (string, error) {
 		node  proxy.ExitNode
 		ok    bool
 	}
-	probes := runner.Map(s.Workers, len(failed), func(i int) table5Probe {
-		node, ok := nodesByID[failed[i]]
-		if !ok {
-			return table5Probe{}
-		}
-		return table5Probe{
-			probe: s.GlobalPlatform.ProbePorts(node, cloudflareDNS, vantage.Table5Ports),
-			node:  node,
-			ok:    true,
-		}
-	})
+	probes, _ := runner.MapCtx(obs.WithPool(s.obsCtx(), "table5-probes"), s.Workers, len(failed),
+		func(ctx context.Context, i int) table5Probe {
+			node, ok := nodesByID[failed[i]]
+			if !ok {
+				return table5Probe{}
+			}
+			_, sp := obs.Start(ctx, "probe:"+failed[i], obs.Key(i))
+			p := s.GlobalPlatform.ProbePorts(node, cloudflareDNS, vantage.Table5Ports)
+			sp.SetInt("open_ports", int64(len(p.Open)))
+			return table5Probe{probe: p, node: node, ok: true}
+		})
 	portCount := analysis.Counter{}
 	deviceCount := analysis.Counter{}
 	none := 0
@@ -422,11 +434,13 @@ func runTable7(s *Study) (string, error) {
 	// queries are skipped inside MeasureNoReuse, so a lossy path thins the
 	// sample instead of sinking the vantage.
 	opts := s.transportOptions()
-	rows := runner.Map(s.Workers, len(ControlledVantages), func(i int) table7Row {
-		v := ControlledVantages[i]
-		sample, err := vantage.MeasureNoReuse(s.World, v.Label, v.Addr, s.Targets[0], ProbeZone, s.Roots, s.PerfQueriesFresh, opts...)
-		return table7Row{sample: sample, err: err}
-	})
+	rows, _ := runner.MapCtx(obs.WithPool(s.obsCtx(), "noreuse"), s.Workers, len(ControlledVantages),
+		func(ctx context.Context, i int) table7Row {
+			v := ControlledVantages[i]
+			ctx, _ = obs.Start(ctx, "vantage:"+v.Label, obs.Key(i))
+			sample, err := vantage.MeasureNoReuseContext(ctx, s.World, v.Label, v.Addr, s.Targets[0], ProbeZone, s.Roots, s.PerfQueriesFresh, opts...)
+			return table7Row{sample: sample, err: err}
+		})
 	for i, row := range rows {
 		if row.err != nil {
 			return "", fmt.Errorf("vantage %s: %w", ControlledVantages[i].Label, row.err)

@@ -47,6 +47,7 @@ func (s *Study) buildFaults() error {
 	}
 	inj := faults.New(s.Config.Faults.Seed, s.World.Geo)
 	inj.Sources = vantageEdgePrefixes()
+	inj.Obs = s.Obs
 	switch s.Config.Faults.Profile {
 	case "mild":
 		inj.Default = faults.Mild()

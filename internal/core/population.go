@@ -277,9 +277,10 @@ func (s *Study) buildScanner() {
 // RunScans executes every scan round, applying churn between rounds.
 func (s *Study) RunScans() ([]*scanner.Result, error) {
 	results := make([]*scanner.Result, 0, s.ScanRounds)
+	ctx := s.obsCtx()
 	for r := 0; r < s.ScanRounds; r++ {
 		s.SetScanRound(r)
-		res, err := s.Scanner.Scan(s.ScanLabels[r])
+		res, err := s.Scanner.ScanContext(ctx, s.ScanLabels[r])
 		if err != nil {
 			return nil, err
 		}

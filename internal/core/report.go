@@ -20,7 +20,7 @@ func (s *Study) RunAll(w io.Writer) error {
 	var firstErr error
 	for _, exp := range Experiments() {
 		start := time.Now() //doelint:allow determinism -- reports real runtime of the experiment, not simulated time
-		out, err := exp.Run(s)
+		out, err := s.RunExperiment(exp)
 		if s.Progress != nil {
 			//doelint:allow determinism -- reports real runtime of the experiment, not simulated time
 			s.Progress(exp.ID, exp.Title, time.Since(start))
@@ -39,5 +39,31 @@ func (s *Study) RunAll(w io.Writer) error {
 	if s.Faults != nil {
 		fmt.Fprintf(w, "== faults: injected faults and retry recovery\n%s\n", s.faultsSummary())
 	}
+	// Likewise the telemetry section only exists when Config.Telemetry is
+	// on; its snapshot excludes volatile families, so the report stays
+	// byte-identical across worker counts even with telemetry enabled.
+	if s.Obs != nil {
+		fmt.Fprintf(w, "== telemetry: deterministic metrics and trace summary\n%s\n", s.telemetrySummary())
+	}
 	return firstErr
+}
+
+// RunExperiment executes one experiment under its own exp:<id> trace span
+// (when telemetry is on), so single-experiment runs — doereport -only and
+// the per-section binaries — produce the same trace shape as RunAll.
+// Experiments run serially, so exp:<id> spans order by creation and the
+// cached stages (scans, campaigns) nest under the experiment that first
+// triggered them.
+func (s *Study) RunExperiment(exp Experiment) (string, error) {
+	if s.Obs != nil {
+		s.setExpSpan(s.Obs.Root().Start("exp:" + exp.ID))
+		defer s.setExpSpan(nil)
+	}
+	out, err := exp.Run(s)
+	if err != nil {
+		if sp := s.expSpan; sp != nil {
+			sp.Fail(err)
+		}
+	}
+	return out, err
 }

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strings"
+
+	"dnsencryption.info/doe/internal/obs"
+)
+
+// obsCtx is the context pipeline stages run under: it carries the study
+// recorder (when telemetry is on) and points at the span of the experiment
+// currently executing in RunAll, so cached stages (scans, campaigns, perf)
+// appear in the trace under the experiment that first demanded them. With
+// telemetry off it is a plain background context and every obs call
+// downstream is a no-op.
+func (s *Study) obsCtx() context.Context {
+	ctx := context.Background()
+	if s.Obs == nil {
+		return ctx
+	}
+	ctx = obs.WithRecorder(ctx, s.Obs)
+	s.expMu.Lock()
+	sp := s.expSpan
+	s.expMu.Unlock()
+	return obs.WithSpan(ctx, sp)
+}
+
+// setExpSpan records the experiment span RunAll is currently inside (nil
+// between experiments). Experiments run serially, so this is a simple
+// handoff; the mutex only guards against stages reading it from worker
+// goroutines they spawned.
+func (s *Study) setExpSpan(sp *obs.Span) {
+	s.expMu.Lock()
+	s.expSpan = sp
+	s.expMu.Unlock()
+}
+
+// telemetrySummary renders the "== telemetry:" report section: the span
+// count plus the deterministic metric snapshot. Volatile families
+// (per-worker shares, in-flight high-water marks, worker counts) are
+// excluded so the section is byte-identical for any worker count; ask the
+// CLI's -metrics flag for the full snapshot.
+func (s *Study) telemetrySummary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace spans: %d\n", s.Obs.SpanCount())
+	b.WriteString(s.Obs.Metrics().Snapshot(false))
+	return b.String()
+}
+
+// WriteTrace dumps the study's span tree as deterministic JSONL (one
+// record per span, parents before children, siblings in key order). It is
+// what the CLIs' -trace flag writes and what the golden-trace tests pin.
+func (s *Study) WriteTrace(w io.Writer) error {
+	if s.Obs == nil {
+		return fmt.Errorf("core: telemetry is off (Config.Telemetry)")
+	}
+	return s.Obs.WriteJSONL(w)
+}

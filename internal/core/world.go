@@ -18,6 +18,7 @@ import (
 	"dnsencryption.info/doe/internal/faults"
 	"dnsencryption.info/doe/internal/geo"
 	"dnsencryption.info/doe/internal/netsim"
+	"dnsencryption.info/doe/internal/obs"
 	"dnsencryption.info/doe/internal/proxy"
 	"dnsencryption.info/doe/internal/scanner"
 	"dnsencryption.info/doe/internal/vantage"
@@ -137,6 +138,14 @@ type Study struct {
 	// disabled. Its counters feed the end-of-report recovery summary.
 	Faults *faults.Injector
 
+	// Obs is the study-wide trace recorder and metric registry, nil when
+	// Config.Telemetry is off. Every pipeline stage hangs its spans off
+	// Obs.Root(); see internal/obs and the telemetry contract in DESIGN.md.
+	Obs *obs.Recorder
+
+	expMu   sync.Mutex
+	expSpan *obs.Span
+
 	rngMu sync.Mutex
 	rng   *rand.Rand
 
@@ -172,6 +181,9 @@ func NewStudy(cfg Config) (*Study, error) {
 		Config: cfg,
 		World:  netsim.NewWorld(cfg.Seed),
 		rng:    rand.New(rand.NewSource(cfg.Seed + 1)),
+	}
+	if cfg.Telemetry {
+		s.Obs = obs.NewRecorder("study")
 	}
 	rootCA, err := certs.NewCA("DoE Study Root CA", true)
 	if err != nil {

@@ -27,6 +27,7 @@ import (
 
 	"dnsencryption.info/doe/internal/geo"
 	"dnsencryption.info/doe/internal/netsim"
+	"dnsencryption.info/doe/internal/obs"
 )
 
 // Profile is the fault mix applied to flows from one region (or, as the
@@ -103,6 +104,12 @@ type Injector struct {
 	// so that infrastructure legs shared between concurrent worker tasks
 	// stay deterministic (see the package comment).
 	Sources []netip.Prefix
+	// Obs, when set, receives per-kind fault counters and annotates the
+	// span watching the faulted flow (obs.Recorder.WatchFlow) with a
+	// fault:<kind> event. The Sources gate doubles as the determinism
+	// argument: a watched tuple is task-private, so the annotation lands
+	// on exactly one span regardless of worker count. Nil disables both.
+	Obs *obs.Recorder
 
 	seed int64
 	geo  *geo.Registry
@@ -204,6 +211,17 @@ func (i *Injector) tupleSeed(k flowKey) int64 {
 	return int64(h.Sum64())
 }
 
+// inject records one injected fault in the telemetry layer, if one is
+// attached: a per-kind counter plus a fault:<kind> event on whichever span
+// is watching the (from, to) flow.
+func (i *Injector) inject(from, to netip.Addr, kind string) {
+	if i.Obs == nil {
+		return
+	}
+	i.Obs.Metrics().Counter("faults_injected_total", "kind", kind).Add(1)
+	i.Obs.FlowEvent(from, to, "fault:"+kind)
+}
+
 // StreamFault implements netsim.FaultInjector. Exactly five RNG draws are
 // consumed per attempt regardless of which faults fire, so the schedule
 // for attempt k is independent of the outcomes of attempts < k.
@@ -221,25 +239,31 @@ func (i *Injector) StreamFault(from, to netip.Addr, port uint16) netsim.DialFaul
 	case attempt <= p.FlakyFirstN:
 		f.Refuse = true
 		i.flakyFailures.Add(1)
+		i.inject(from, to, "flaky-failure")
 	case dDrop < p.SYNDrop:
 		f.Drop = true
 		i.synDrops.Add(1)
+		i.inject(from, to, "syn-drop")
 	case dRefuse < p.Refuse:
 		f.Refuse = true
 		i.refusals.Add(1)
+		i.inject(from, to, "refusal")
 	case dCut < p.HandshakeCut:
 		f.CutAfterSegments = 1
 		i.handshakeCuts.Add(1)
+		i.inject(from, to, "handshake-cut")
 	case dCut < p.HandshakeCut+p.Reset:
 		f.CutAfterSegments = 2
 		if p.ResetWindow > 0 {
 			f.CutAfterSegments += int(dCutSeg * float64(p.ResetWindow))
 		}
 		i.resets.Add(1)
+		i.inject(from, to, "reset")
 	}
 	if !f.Drop && !f.Refuse && dStall < p.Stall && p.StallBase > 0 {
 		f.ExtraLatency = p.StallBase + time.Duration(dStall/p.Stall*float64(p.StallBase))
 		i.stalls.Add(1)
+		i.inject(from, to, "stall")
 	}
 	return f
 }
@@ -258,11 +282,13 @@ func (i *Injector) DatagramFault(from, to netip.Addr, port uint16) netsim.Datagr
 	if dDrop < p.DgramDrop {
 		f.Drop = true
 		i.dgramDrops.Add(1)
+		i.inject(from, to, "dgram-drop")
 		return f
 	}
 	if dStall < p.DgramStall && p.StallBase > 0 {
 		f.ExtraLatency = p.StallBase + time.Duration(dStall/p.DgramStall*float64(p.StallBase))
 		i.dgramStalls.Add(1)
+		i.inject(from, to, "dgram-stall")
 	}
 	return f
 }

@@ -138,6 +138,43 @@ func Wait() { time.Sleep(time.Millisecond) }
 	wantFindings(t, findings, "simsleep", []string{"sim/sim.go:6", "sim/sim.go:9"})
 }
 
+func TestObsclock(t *testing.T) {
+	cfg := lint.DefaultConfig()
+	cfg.ObservabilityPackages = []string{"obs"}
+	findings := lintFixtures(t, cfg, map[string]string{
+		// True positives: wall-clock reads and blocking in an
+		// observability package; one suppressed by directive. Duration
+		// arithmetic stays silent — telemetry is built on virtual deltas.
+		"obs/obs.go": `package obs
+
+import "time"
+
+func Bad() time.Duration {
+	start := time.Now()             // line 6: finding
+	time.Sleep(time.Millisecond)    // line 7: finding
+	return time.Since(start)        // line 8: finding
+}
+
+func Allowed() time.Time {
+	return time.Now() //doelint:allow obsclock -- fixture: deliberate wall-clock read
+}
+
+func Fine(d time.Duration) time.Duration {
+	return d + 3*time.Millisecond
+}
+`,
+		// True negative: the same reads outside the observability set
+		// (CLI harness code may time itself).
+		"cli/cli.go": `package cli
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }
+`,
+	})
+	wantFindings(t, findings, "obsclock", []string{"obs/obs.go:6", "obs/obs.go:7", "obs/obs.go:8"})
+}
+
 func TestErrwrap(t *testing.T) {
 	findings := lintFixtures(t, lint.DefaultConfig(), map[string]string{
 		"wrap/wrap.go": `package wrap

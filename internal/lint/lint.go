@@ -82,6 +82,11 @@ type Config struct {
 	// on the virtual clock and therefore must never block on real time
 	// (time.Sleep / time.After).
 	SimulationPackages []string
+	// ObservabilityPackages lists import-path suffixes of telemetry
+	// packages whose recording paths must never touch the wall clock at
+	// all (time.Now/Since/... as well as sleeps) — traces and metric
+	// snapshots share the byte-identical report contract.
+	ObservabilityPackages []string
 	// Checks restricts which analyzers run; empty means all registered.
 	Checks []string
 }
@@ -110,6 +115,9 @@ func DefaultConfig() *Config {
 			"internal/resolver",
 			"internal/runner",
 		},
+		ObservabilityPackages: []string{
+			"internal/obs",
+		},
 	}
 }
 
@@ -123,6 +131,12 @@ func (c *Config) IsDeterministic(pkgPath string) bool {
 // simsleep check. Entries match the whole path or a "/"-delimited suffix.
 func (c *Config) IsSimulation(pkgPath string) bool {
 	return matchPackage(c.SimulationPackages, pkgPath)
+}
+
+// IsObservability reports whether the package at pkgPath is subject to the
+// obsclock check. Entries match the whole path or a "/"-delimited suffix.
+func (c *Config) IsObservability(pkgPath string) bool {
+	return matchPackage(c.ObservabilityPackages, pkgPath)
 }
 
 func matchPackage(suffixes []string, pkgPath string) bool {
@@ -154,6 +168,7 @@ const DirectiveCheck = "directive"
 var registry = []*Analyzer{
 	analyzerDeterminism,
 	analyzerSimsleep,
+	analyzerObsclock,
 	analyzerConnclose,
 	analyzerErrwrap,
 	analyzerLockbalance,

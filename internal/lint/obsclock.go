@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// analyzerObsclock keeps the telemetry layer off the wall clock. Spans and
+// metrics in internal/obs are charged exclusively from netsim's virtual
+// clock (Conn.Elapsed deltas); a single time.Now — say, to "timestamp" a
+// span — would smuggle scheduling noise into the JSONL trace and break the
+// byte-identical golden-trace contract the same way it would break
+// report_full.txt. The check mirrors simsleep but covers every wall-clock
+// read, schedule, and block in the time package, because an observability
+// package has no legitimate use for any of them.
+var analyzerObsclock = &Analyzer{
+	Name: "obsclock",
+	Doc:  "no wall-clock reads (time.Now etc.) or real blocking in observability packages (virtual time only)",
+	Run:  runObsclock,
+}
+
+// obsClockFuncs are the time package functions that read, schedule
+// against, or block on real time. time.Duration arithmetic and constants
+// remain fine — obs is built on virtual durations.
+var obsClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+	"Sleep":     true,
+}
+
+func runObsclock(pass *Pass) {
+	if !pass.Config.IsObservability(pass.Pkg.Path()) {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.Info.Uses[id].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			if pkgName.Imported().Path() == "time" && obsClockFuncs[sel.Sel.Name] {
+				pass.Reportf(call.Pos(),
+					"wall-clock time.%s in observability package %s; telemetry must be charged to the virtual clock only",
+					sel.Sel.Name, pass.Pkg.Path())
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+	"time"
+)
+
+// PrometheusText renders the full registry in Prometheus text exposition
+// format. Durations are exported in seconds as the convention demands;
+// the underlying accumulation stays integer microseconds.
+func (r *Registry) PrometheusText() string {
+	if r == nil {
+		return ""
+	}
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	var b strings.Builder
+	for _, f := range fams {
+		name := "doe_" + f.name
+		switch f.kind {
+		case kindCounter:
+			fmt.Fprintf(&b, "# TYPE %s counter\n", name)
+		case kindGauge:
+			fmt.Fprintf(&b, "# TYPE %s gauge\n", name)
+		case kindHistogram:
+			fmt.Fprintf(&b, "# TYPE %s histogram\n", name)
+		}
+		f.mu.Lock()
+		keys := make([]string, 0, len(f.insts))
+		for k := range f.insts {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			switch m := f.insts[k].(type) {
+			case *Counter:
+				fmt.Fprintf(&b, "%s%s %d\n", name, promLabels(k, "", ""), m.Value())
+			case *Gauge:
+				fmt.Fprintf(&b, "%s%s %d\n", name, promLabels(k, "", ""), m.Value())
+			case *Histogram:
+				counts, overflow := m.bucketCounts()
+				var cum int64
+				for i, bound := range f.bounds {
+					cum += counts[i]
+					le := fmt.Sprintf("%g", bound.Seconds())
+					fmt.Fprintf(&b, "%s_bucket%s %d\n", name, promLabels(k, "le", le), cum)
+				}
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", name, promLabels(k, "le", "+Inf"), cum+overflow)
+				fmt.Fprintf(&b, "%s_sum%s %g\n", name, promLabels(k, "", ""),
+					(time.Duration(m.SumUS()) * time.Microsecond).Seconds())
+				fmt.Fprintf(&b, "%s_count%s %d\n", name, promLabels(k, "", ""), m.Count())
+			}
+		}
+		f.mu.Unlock()
+	}
+	return b.String()
+}
+
+// promLabels renders {k1="v1",k2="v2"[,extraK="extraV"]} from the internal
+// "k1=v1,k2=v2" label string.
+func promLabels(ls, extraK, extraV string) string {
+	var parts []string
+	if ls != "" {
+		for _, pair := range strings.Split(ls, ",") {
+			k, v, _ := strings.Cut(pair, "=")
+			parts = append(parts, fmt.Sprintf("%s=%q", k, v))
+		}
+	}
+	if extraK != "" {
+		parts = append(parts, fmt.Sprintf("%s=%q", extraK, extraV))
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// DebugHandler serves /metrics (Prometheus exposition of r's registry)
+// plus the standard net/http/pprof endpoints under /debug/pprof/. The CLI
+// binaries mount it on the -pprof address; none of it runs during
+// simulation, so the virtual-clock contract is untouched.
+func DebugHandler(r *Recorder) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		fmt.Fprint(w, r.Metrics().PrometheusText())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,367 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Registry holds a study's metrics. All values are int64 (counts, or
+// virtual microseconds) because integer addition is commutative — float
+// accumulation would make snapshots depend on worker interleaving.
+//
+// Metrics are deterministic by default: their end-of-run values depend
+// only on (seed, config), never on scheduling, and they appear in the
+// `== telemetry:` report section and the golden snapshot. Metrics whose
+// values are inherently schedule-dependent (per-worker shares, inflight
+// high-water marks) must be registered as volatile; they show up only in
+// full snapshots (-metrics output, /metrics endpoint).
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+// family groups every labeled instance of one metric name.
+type family struct {
+	name     string
+	kind     metricKind
+	volatile bool
+	bounds   []time.Duration // histograms only
+	mu       sync.Mutex
+	insts    map[string]any // label string → *Counter | *Gauge | *Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+func (r *Registry) lookup(name string, kind metricKind, volatile bool, bounds []time.Duration) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.fams[name]
+	if !ok {
+		f = &family{name: name, kind: kind, volatile: volatile, bounds: bounds,
+			insts: make(map[string]any)}
+		r.fams[name] = f
+	}
+	return f
+}
+
+// labelString renders "k1=v1,k2=v2" from alternating key/value pairs.
+// Instrumentation sites pass labels in a fixed order, so no sorting is
+// needed for identity; snapshots sort families and instances anyway.
+func labelString(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i := 0; i+1 < len(labels); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(labels[i])
+		b.WriteByte('=')
+		b.WriteString(labels[i+1])
+	}
+	return b.String()
+}
+
+// Counter is a monotonically increasing int64.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter; nil-safe.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable int64 with a Max helper for high-water marks.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores n; nil-safe.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add adjusts the gauge by n (may be negative); nil-safe.
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Max raises the gauge to n if n is greater; nil-safe.
+func (g *Gauge) Max(n int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if n <= cur || g.v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bound distribution of virtual durations. Buckets
+// are cumulative-at-snapshot, stored per-bound; sum is in microseconds.
+type Histogram struct {
+	bounds  []time.Duration
+	buckets []atomic.Int64 // one per bound, +Inf implied by count
+	count   atomic.Int64
+	sumUS   atomic.Int64
+}
+
+// DefaultLatencyBuckets covers the virtual latencies the simulation
+// produces, from LAN RTTs to stalled fault paths.
+func DefaultLatencyBuckets() []time.Duration {
+	return []time.Duration{
+		1 * time.Millisecond, 2 * time.Millisecond, 5 * time.Millisecond,
+		10 * time.Millisecond, 20 * time.Millisecond, 50 * time.Millisecond,
+		100 * time.Millisecond, 200 * time.Millisecond, 500 * time.Millisecond,
+		1 * time.Second, 2 * time.Second, 5 * time.Second,
+	}
+}
+
+// Observe records one virtual duration; nil-safe.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sumUS.Add(int64(d / time.Microsecond))
+	for i, b := range h.bounds {
+		if d <= b {
+			h.buckets[i].Add(1)
+			break
+		}
+	}
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// SumUS returns the sum of observations in microseconds (0 on nil).
+func (h *Histogram) SumUS() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sumUS.Load()
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) by linear interpolation
+// inside the bucket that crosses the target rank; observations above the
+// highest bound clamp to it. Returns 0 for an empty histogram.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum int64
+	lower := time.Duration(0)
+	for i, b := range h.bounds {
+		n := h.buckets[i].Load()
+		if float64(cum+n) >= rank {
+			if n == 0 {
+				return b
+			}
+			frac := (rank - float64(cum)) / float64(n)
+			return lower + time.Duration(frac*float64(b-lower))
+		}
+		cum += n
+		lower = b
+	}
+	// Target rank lives in the implicit +Inf bucket: clamp to the top bound.
+	if len(h.bounds) == 0 {
+		return 0
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// bucketCounts returns per-bound counts plus the overflow count.
+func (h *Histogram) bucketCounts() ([]int64, int64) {
+	counts := make([]int64, len(h.bounds))
+	var within int64
+	for i := range h.bounds {
+		counts[i] = h.buckets[i].Load()
+		within += counts[i]
+	}
+	return counts, h.count.Load() - within
+}
+
+// ── registry accessors ────────────────────────────────────────────────────
+
+func (r *Registry) counter(name string, volatile bool, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	f := r.lookup(name, kindCounter, volatile, nil)
+	ls := labelString(labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.insts[ls].(*Counter); ok {
+		return c
+	}
+	c := &Counter{}
+	f.insts[ls] = c
+	return c
+}
+
+// Counter returns the deterministic counter name{labels}, creating it on
+// first use. labels alternate key, value.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	return r.counter(name, false, labels...)
+}
+
+// VolatileCounter is Counter for schedule-dependent values (per-worker
+// shares); excluded from deterministic snapshots.
+func (r *Registry) VolatileCounter(name string, labels ...string) *Counter {
+	return r.counter(name, true, labels...)
+}
+
+func (r *Registry) gauge(name string, volatile bool, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	f := r.lookup(name, kindGauge, volatile, nil)
+	ls := labelString(labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if g, ok := f.insts[ls].(*Gauge); ok {
+		return g
+	}
+	g := &Gauge{}
+	f.insts[ls] = g
+	return g
+}
+
+// Gauge returns the deterministic gauge name{labels}.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	return r.gauge(name, false, labels...)
+}
+
+// VolatileGauge is Gauge for schedule-dependent values (queue depth
+// high-water marks, worker counts).
+func (r *Registry) VolatileGauge(name string, labels ...string) *Gauge {
+	return r.gauge(name, true, labels...)
+}
+
+// Histogram returns the deterministic histogram name{labels} with the
+// given bucket bounds (DefaultLatencyBuckets if nil). Bounds are fixed by
+// the first caller.
+func (r *Registry) Histogram(name string, bounds []time.Duration, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if bounds == nil {
+		bounds = DefaultLatencyBuckets()
+	}
+	f := r.lookup(name, kindHistogram, false, bounds)
+	ls := labelString(labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if h, ok := f.insts[ls].(*Histogram); ok {
+		return h
+	}
+	h := &Histogram{bounds: f.bounds, buckets: make([]atomic.Int64, len(f.bounds))}
+	f.insts[ls] = h
+	return h
+}
+
+// ── snapshots ─────────────────────────────────────────────────────────────
+
+// Snapshot renders a deterministic text snapshot: families sorted by name,
+// instances by label string. With includeVolatile false (the report
+// section and golden tests) only schedule-independent metrics appear.
+func (r *Registry) Snapshot(includeVolatile bool) string {
+	if r == nil {
+		return ""
+	}
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	var b strings.Builder
+	for _, f := range fams {
+		if f.volatile && !includeVolatile {
+			continue
+		}
+		f.mu.Lock()
+		keys := make([]string, 0, len(f.insts))
+		for k := range f.insts {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			label := ""
+			if k != "" {
+				label = "{" + k + "}"
+			}
+			switch m := f.insts[k].(type) {
+			case *Counter:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, label, m.Value())
+			case *Gauge:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, label, m.Value())
+			case *Histogram:
+				fmt.Fprintf(&b, "%s%s count=%d sum_us=%d p50=%s p90=%s p99=%s\n",
+					f.name, label, m.Count(), m.SumUS(),
+					fmtQuantile(m, 0.50), fmtQuantile(m, 0.90), fmtQuantile(m, 0.99))
+			}
+		}
+		f.mu.Unlock()
+	}
+	return b.String()
+}
+
+// fmtQuantile renders a quantile with fixed microsecond precision so the
+// snapshot never depends on float formatting of derived values.
+func fmtQuantile(h *Histogram, q float64) string {
+	return fmt.Sprintf("%dus", int64(h.Quantile(q)/time.Microsecond))
+}

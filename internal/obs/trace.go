@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Record is one JSONL trace line. Field order is fixed by the struct and
+// attrs is a map (encoding/json sorts map keys), so a span tree always
+// marshals to the same bytes.
+type Record struct {
+	Path   string            `json:"path"`
+	VirtUS int64             `json:"virt_us"`
+	Attrs  map[string]string `json:"attrs,omitempty"`
+	Events []string          `json:"events,omitempty"`
+	Err    string            `json:"err,omitempty"`
+}
+
+// Records flattens the span tree into deterministic depth-first order:
+// parent before children, siblings by (key, creation order). Returns nil
+// on a nil Recorder.
+func (r *Recorder) Records() []Record {
+	if r == nil {
+		return nil
+	}
+	var out []Record
+	var walk func(s *Span, path string)
+	walk = func(s *Span, path string) {
+		s.mu.Lock()
+		rec := Record{Path: path, VirtUS: int64(s.Virtual()) / 1000, Err: s.errMsg}
+		if len(s.attrs) > 0 {
+			rec.Attrs = make(map[string]string, len(s.attrs))
+			for _, a := range s.attrs {
+				rec.Attrs[a.k] = a.v
+			}
+		}
+		if len(s.events) > 0 {
+			rec.Events = append([]string(nil), s.events...)
+		}
+		s.mu.Unlock()
+		out = append(out, rec)
+		kids := s.sortedChildren()
+		// Sibling names may repeat (several exchanges under one lookup);
+		// suffix later duplicates with #2, #3, … in deterministic order so
+		// paths stay unique.
+		counts := make(map[string]int, len(kids))
+		for _, c := range kids {
+			counts[c.name]++
+			name := c.name
+			if n := counts[name]; n > 1 {
+				name = fmt.Sprintf("%s#%d", name, n)
+			}
+			walk(c, path+"/"+name)
+		}
+	}
+	walk(r.root, r.root.name)
+	return out
+}
+
+// WriteJSONL writes the trace as one JSON object per line, in the
+// deterministic order of Records. Byte-identical for a fixed seed at any
+// worker count — the property the golden-trace test pins.
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, rec := range r.Records() {
+		b, err := json.Marshal(rec)
+		if err != nil {
+			return fmt.Errorf("obs: marshal trace record %q: %w", rec.Path, err)
+		}
+		if _, err := bw.Write(append(b, '\n')); err != nil {
+			return fmt.Errorf("obs: write trace: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("obs: flush trace: %w", err)
+	}
+	return nil
+}
+
+// ReadTrace parses a JSONL trace produced by WriteJSONL, validating the
+// schema as it goes (see ValidateRecords).
+func ReadTrace(rd io.Reader) ([]Record, error) {
+	var recs []Record
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.DisallowUnknownFields()
+		var rec Record
+		if err := dec.Decode(&rec); err != nil {
+			return nil, fmt.Errorf("obs: trace line %d: %w", line, err)
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: read trace: %w", err)
+	}
+	if err := ValidateRecords(recs); err != nil {
+		return nil, err
+	}
+	return recs, nil
+}
+
+// ValidateRecords checks the structural invariants WriteJSONL guarantees:
+// a single root first, non-empty slash-free span names, non-negative
+// virtual costs, and every record's parent path emitted before it
+// (depth-first order).
+func ValidateRecords(recs []Record) error {
+	if len(recs) == 0 {
+		return fmt.Errorf("obs: empty trace")
+	}
+	seen := make(map[string]bool, len(recs))
+	for i, rec := range recs {
+		if rec.Path == "" {
+			return fmt.Errorf("obs: record %d: empty path", i)
+		}
+		if rec.VirtUS < 0 {
+			return fmt.Errorf("obs: record %d (%s): negative virt_us %d", i, rec.Path, rec.VirtUS)
+		}
+		if seen[rec.Path] {
+			return fmt.Errorf("obs: record %d: duplicate path %q", i, rec.Path)
+		}
+		parent, _, hasParent := cutLast(rec.Path, '/')
+		if i == 0 {
+			if hasParent {
+				return fmt.Errorf("obs: first record %q is not a root span", rec.Path)
+			}
+		} else {
+			if !hasParent {
+				return fmt.Errorf("obs: record %d: second root span %q", i, rec.Path)
+			}
+			if !seen[parent] {
+				return fmt.Errorf("obs: record %d (%s): parent %q not yet emitted", i, rec.Path, parent)
+			}
+		}
+		seen[rec.Path] = true
+	}
+	return nil
+}
+
+// cutLast splits s at the last occurrence of sep.
+func cutLast(s string, sep byte) (before, after string, found bool) {
+	if i := strings.LastIndexByte(s, sep); i >= 0 {
+		return s[:i], s[i+1:], true
+	}
+	return s, "", false
+}

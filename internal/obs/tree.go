@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// RenderTree renders a JSONL trace (as parsed by ReadTrace) as an
+// indented span tree with virtual costs, attributes and events — the
+// human view cmd/doetrace and the observability example print.
+func RenderTree(recs []Record) string {
+	var b strings.Builder
+	depthOf := func(path string) int { return strings.Count(path, "/") }
+	for _, rec := range recs {
+		depth := depthOf(rec.Path)
+		name := rec.Path
+		if i := strings.LastIndexByte(rec.Path, '/'); i >= 0 {
+			name = rec.Path[i+1:]
+		}
+		b.WriteString(strings.Repeat("  ", depth))
+		b.WriteString(name)
+		if rec.VirtUS > 0 {
+			fmt.Fprintf(&b, " [%s]", fmtVirt(rec.VirtUS))
+		}
+		if len(rec.Attrs) > 0 {
+			keys := make([]string, 0, len(rec.Attrs))
+			for k := range rec.Attrs {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			pairs := make([]string, len(keys))
+			for i, k := range keys {
+				pairs[i] = k + "=" + rec.Attrs[k]
+			}
+			fmt.Fprintf(&b, " {%s}", strings.Join(pairs, " "))
+		}
+		if rec.Err != "" {
+			fmt.Fprintf(&b, " !err=%q", rec.Err)
+		}
+		b.WriteByte('\n')
+		for _, ev := range rec.Events {
+			b.WriteString(strings.Repeat("  ", depth+1))
+			fmt.Fprintf(&b, "* %s\n", ev)
+		}
+	}
+	return b.String()
+}
+
+// fmtVirt renders a microsecond count as a compact virtual duration.
+func fmtVirt(us int64) string {
+	switch {
+	case us >= 1_000_000:
+		return fmt.Sprintf("%d.%03ds", us/1_000_000, (us%1_000_000)/1000)
+	case us >= 1000:
+		return fmt.Sprintf("%d.%03dms", us/1000, us%1000)
+	default:
+		return fmt.Sprintf("%dus", us)
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"dnsencryption.info/doe/internal/doh"
 	"dnsencryption.info/doe/internal/dot"
 	"dnsencryption.info/doe/internal/netsim"
+	"dnsencryption.info/doe/internal/obs"
 )
 
 // Exchanger is the unified client API: one DNS transaction, any transport.
@@ -164,21 +165,21 @@ func (c *Client) DialDoH(ctx context.Context, t doh.Template, addr netip.Addr) (
 
 // TCP returns a reuse-aware Transport for clear-text DNS over TCP.
 func (c *Client) TCP(server netip.Addr) *Transport {
-	return newTransport(c.opts, func(ctx context.Context) (Session, error) {
+	return newTransport(c.opts, "tcp", func(ctx context.Context) (Session, error) {
 		return c.DialTCP(ctx, server)
 	})
 }
 
 // DoT returns a reuse-aware Transport for DNS over TLS.
 func (c *Client) DoT(server netip.Addr) *Transport {
-	return newTransport(c.opts, func(ctx context.Context) (Session, error) {
+	return newTransport(c.opts, "dot", func(ctx context.Context) (Session, error) {
 		return c.DialDoT(ctx, server)
 	})
 }
 
 // DoH returns a reuse-aware Transport for DNS over HTTPS.
 func (c *Client) DoH(t doh.Template, addr netip.Addr) *Transport {
-	return newTransport(c.opts, func(ctx context.Context) (Session, error) {
+	return newTransport(c.opts, "doh", func(ctx context.Context) (Session, error) {
 		return c.DialDoH(ctx, t, addr)
 	})
 }
@@ -194,6 +195,8 @@ type Transport struct {
 	dial  func(ctx context.Context) (Session, error)
 	reuse bool
 	retry RetryPolicy
+	// label names the protocol in telemetry ("tcp", "dot", "doh").
+	label string
 
 	mu   sync.Mutex
 	sess Session
@@ -205,8 +208,8 @@ type Transport struct {
 	stats      RetryStats
 }
 
-func newTransport(o Options, dial func(ctx context.Context) (Session, error)) *Transport {
-	return &Transport{dial: dial, reuse: o.Reuse, retry: o.Retry}
+func newTransport(o Options, label string, dial func(ctx context.Context) (Session, error)) *Transport {
+	return &Transport{dial: dial, reuse: o.Reuse, retry: o.Retry, label: label}
 }
 
 // Exchange performs one transaction, dialing per the reuse policy and
@@ -214,6 +217,8 @@ func newTransport(o Options, dial func(ctx context.Context) (Session, error)) *T
 func (t *Transport) Exchange(ctx context.Context, msg *dnswire.Message) (*dnswire.Message, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	ctx, sp := obs.Start(ctx, "xchg:"+t.label)
+	m := obs.Metrics(ctx)
 	budget := t.retry.Attempts
 	if budget < 1 {
 		budget = 1
@@ -223,20 +228,30 @@ func (t *Transport) Exchange(ctx context.Context, msg *dnswire.Message) (*dnswir
 		err  error
 		// penalty is the virtual time lost to failed attempts and backoff,
 		// charged into last so latency accounting reflects the recovery.
-		penalty time.Duration
+		penalty  time.Duration
+		attempts int
 	)
 	for attempt := 1; attempt <= budget; attempt++ {
+		attempts = attempt
 		t.stats.Attempts++
+		m.Counter("resolver_attempts_total", "proto", t.label).Add(1)
 		if attempt > 1 {
 			t.stats.Retries++
+			m.Counter("resolver_retries_total", "proto", t.label).Add(1)
+			sp.Event(fmt.Sprintf("retry:%d", attempt))
 			penalty += t.retry.backoffFor(attempt)
 		}
 		resp, err = t.exchangeOnce(ctx, msg)
 		if err == nil {
 			if attempt > 1 {
 				t.stats.Recovered++
+				m.Counter("resolver_recovered_total", "proto", t.label).Add(1)
 			}
 			t.last += penalty
+			m.Counter("resolver_exchanges_total", "proto", t.label, "outcome", "ok").Add(1)
+			m.Histogram("resolver_exchange_latency", nil, "proto", t.label).Observe(t.last)
+			obs.Charge(ctx, t.last)
+			sp.SetInt("attempts", int64(attempt))
 			return resp, nil
 		}
 		penalty += t.last
@@ -246,6 +261,11 @@ func (t *Transport) Exchange(ctx context.Context, msg *dnswire.Message) (*dnswir
 	}
 	t.stats.HardFailures++
 	t.last = penalty
+	m.Counter("resolver_hard_failures_total", "proto", t.label).Add(1)
+	m.Counter("resolver_exchanges_total", "proto", t.label, "outcome", "error").Add(1)
+	obs.Charge(ctx, t.last)
+	sp.SetInt("attempts", int64(attempts))
+	sp.Fail(err)
 	return nil, err
 }
 
@@ -253,7 +273,7 @@ func (t *Transport) Exchange(ctx context.Context, msg *dnswire.Message) (*dnswir
 // the attempt's own cost (zero for failed dials).
 func (t *Transport) exchangeOnce(ctx context.Context, msg *dnswire.Message) (*dnswire.Message, error) {
 	if !t.reuse {
-		sess, err := t.dial(ctx)
+		sess, err := t.dialSpanned(ctx)
 		if err != nil {
 			t.last = 0
 			return nil, err
@@ -264,13 +284,14 @@ func (t *Transport) exchangeOnce(ctx context.Context, msg *dnswire.Message) (*dn
 		return resp, err
 	}
 	if t.sess == nil {
-		sess, err := t.dial(ctx)
+		sess, err := t.dialSpanned(ctx)
 		if err != nil {
 			t.last = 0
 			return nil, err
 		}
 		if t.everDialed {
 			t.stats.Redials++
+			obs.Metrics(ctx).Counter("resolver_redials_total", "proto", t.label).Add(1)
 		}
 		t.everDialed = true
 		t.sess = sess
@@ -287,6 +308,21 @@ func (t *Transport) exchangeOnce(ctx context.Context, msg *dnswire.Message) (*dn
 		err = fmt.Errorf("%w: %w", ErrSessionClosed, err)
 	}
 	return resp, err
+}
+
+// dialSpanned dials a session under a "dial" child span charged with the
+// connection's setup latency (TCP handshake + TLS where present), feeding
+// the per-protocol setup-latency histogram; callers hold t.mu.
+func (t *Transport) dialSpanned(ctx context.Context) (Session, error) {
+	dsp := obs.CurrentSpan(ctx).Start("dial")
+	sess, err := t.dial(ctx)
+	if err != nil {
+		dsp.Fail(err)
+		return nil, err
+	}
+	dsp.Charge(sess.SetupLatency())
+	obs.Metrics(ctx).Histogram("resolver_setup_latency", nil, "proto", t.label).Observe(sess.SetupLatency())
+	return sess, nil
 }
 
 // Stats returns a snapshot of the attempt-level counters.

@@ -12,6 +12,7 @@ import (
 	"dnsencryption.info/doe/internal/dnsclient"
 	"dnsencryption.info/doe/internal/dnswire"
 	"dnsencryption.info/doe/internal/netsim"
+	"dnsencryption.info/doe/internal/obs"
 )
 
 // ErrSessionClosed is the sentinel a Transport wraps around transport-level
@@ -73,6 +74,12 @@ func (s RetryStats) Plus(o RetryStats) RetryStats {
 	}
 }
 
+// StatsProvider is implemented by Exchangers that track attempt-level
+// retry counters (Transport, FallbackExchanger).
+type StatsProvider interface {
+	Stats() RetryStats
+}
+
 // isConnDeath reports whether err means the underlying connection is gone
 // (as opposed to a protocol-level failure worth surfacing as-is).
 func isConnDeath(err error) bool {
@@ -110,6 +117,9 @@ func (f *FallbackExchanger) Exchange(ctx context.Context, msg *dnswire.Message) 
 	for idx, e := range f.chain {
 		resp, err := e.Exchange(ctx, msg)
 		if err == nil {
+			if idx > 0 {
+				obs.CurrentSpan(ctx).Event(fmt.Sprintf("fallback:chain[%d]", idx))
+			}
 			f.mu.Lock()
 			f.lastUsed = idx
 			f.mu.Unlock()
@@ -132,4 +142,19 @@ func (f *FallbackExchanger) LastUsed() int {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.lastUsed
+}
+
+// Stats rolls the attempt-level counters up across the whole chain: the
+// element-wise sum over every link that tracks RetryStats (links without
+// stats contribute zero). Before this existed each Transport accumulated
+// privately and a chain's totals were silently dropped, so fault
+// summaries disagreed with per-transport metrics.
+func (f *FallbackExchanger) Stats() RetryStats {
+	var total RetryStats
+	for _, e := range f.chain {
+		if sp, ok := e.(StatsProvider); ok {
+			total = total.Plus(sp.Stats())
+		}
+	}
+	return total
 }

@@ -12,6 +12,7 @@ import (
 
 	"dnsencryption.info/doe/internal/dnswire"
 	"dnsencryption.info/doe/internal/netsim"
+	"dnsencryption.info/doe/internal/obs"
 )
 
 func TestBackoffSchedule(t *testing.T) {
@@ -57,7 +58,7 @@ func (s *dyingSession) Elapsed() time.Duration      { return s.elapsed }
 // dieWith after fuse exchanges; every redial gets a fresh, immortal session.
 func dyingTransport(retry RetryPolicy, fuse int, dieWith error) (*Transport, *[]*dyingSession) {
 	var sessions []*dyingSession
-	tr := newTransport(Options{Reuse: true, Retry: retry}, func(ctx context.Context) (Session, error) {
+	tr := newTransport(Options{Reuse: true, Retry: retry}, "tcp", func(ctx context.Context) (Session, error) {
 		s := &dyingSession{fuse: fuse, dieWith: dieWith}
 		if len(sessions) > 0 {
 			s.fuse = 1 << 20
@@ -208,5 +209,109 @@ func TestFallbackDegradesAcrossExchangers(t *testing.T) {
 
 	if _, err := Fallback().Exchange(ctx, query("e.measure.example.org")); err == nil {
 		t.Error("empty chain succeeded")
+	}
+}
+
+// statlessExchanger always fails and tracks no RetryStats: chain links
+// like it must contribute zero to a Fallback rollup.
+type statlessExchanger struct{}
+
+func (statlessExchanger) Exchange(ctx context.Context, msg *dnswire.Message) (*dnswire.Message, error) {
+	return nil, errors.New("statless: unreachable")
+}
+
+// TestFallbackStatsRollUpAcrossChain is the regression test for the chain
+// rollup: RetryStats used to be accumulated per-Transport and silently
+// dropped at the Fallback layer, so a chain's recovery totals never
+// reached the faults summary or the metrics.
+func TestFallbackStatsRollUpAcrossChain(t *testing.T) {
+	retry := RetryPolicy{Attempts: 2, Backoff: 10 * time.Millisecond}
+	// head: every session dies on first use, so every Exchange burns the
+	// full budget and hard-fails down the chain.
+	head := newTransport(Options{Reuse: true, Retry: retry}, "doh", func(ctx context.Context) (Session, error) {
+		return &dyingSession{fuse: 0, dieWith: io.EOF}, nil
+	})
+	// tail: first session dies after one exchange, redials are immortal.
+	tail, _ := dyingTransport(retry, 1, io.EOF)
+	fb := Fallback(head, statlessExchanger{}, tail)
+	var _ StatsProvider = fb
+
+	q := query("fallback-stats.measure.example.org")
+	for i := 0; i < 3; i++ {
+		if _, err := fb.Exchange(context.Background(), q); err != nil {
+			t.Fatalf("exchange %d: %v", i, err)
+		}
+	}
+	got := fb.Stats()
+	if want := head.Stats().Plus(tail.Stats()); got != want {
+		t.Fatalf("chain rollup = %+v, want element-wise sum %+v", got, want)
+	}
+	// Hand-computed: head burns 2 attempts per Exchange (1 retry, 1 hard
+	// failure, redialing each attempt after the first dial); tail does
+	// 1+2+1 attempts with one death recovered on its second Exchange.
+	want := RetryStats{Attempts: 10, Retries: 4, Redials: 6, Recovered: 1, HardFailures: 3}
+	if got != want {
+		t.Fatalf("chain rollup = %+v, want %+v", got, want)
+	}
+}
+
+// TestTransportTelemetry checks that an instrumented Exchange records
+// spans (xchg + dial children, retry events) and per-protocol metrics
+// when — and only when — the context carries a recorder.
+func TestTransportTelemetry(t *testing.T) {
+	rec := obs.NewRecorder("study")
+	ctx := obs.WithRecorder(context.Background(), rec)
+	tr, _ := dyingTransport(RetryPolicy{Attempts: 2, Backoff: 10 * time.Millisecond}, 1, io.EOF)
+	q := query("telemetry.measure.example.org")
+	if _, err := tr.Exchange(ctx, q); err != nil {
+		t.Fatalf("first exchange: %v", err)
+	}
+	if _, err := tr.Exchange(ctx, q); err != nil {
+		t.Fatalf("second exchange (recovered): %v", err)
+	}
+
+	m := rec.Metrics()
+	checks := map[string]int64{
+		"resolver_attempts_total":  3,
+		"resolver_retries_total":   1,
+		"resolver_recovered_total": 1,
+		"resolver_redials_total":   1,
+	}
+	for name, want := range checks {
+		if got := m.Counter(name, "proto", "tcp").Value(); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if got := m.Counter("resolver_exchanges_total", "proto", "tcp", "outcome", "ok").Value(); got != 2 {
+		t.Errorf("ok exchanges = %d, want 2", got)
+	}
+	if got := m.Histogram("resolver_setup_latency", nil, "proto", "tcp").Count(); got != 2 {
+		t.Errorf("setup latency observations = %d, want 2 (initial dial + redial)", got)
+	}
+
+	var paths []string
+	var retryEvents int
+	for _, r := range rec.Records() {
+		paths = append(paths, r.Path)
+		for _, ev := range r.Events {
+			if ev == "retry:2" {
+				retryEvents++
+			}
+		}
+	}
+	joined := strings.Join(paths, "\n")
+	for _, want := range []string{"study/xchg:tcp", "study/xchg:tcp/dial", "study/xchg:tcp#2", "study/xchg:tcp#2/dial"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("trace missing span %q in:\n%s", want, joined)
+		}
+	}
+	if retryEvents != 1 {
+		t.Errorf("retry events = %d, want 1", retryEvents)
+	}
+
+	// Without a recorder nothing is recorded and nothing panics.
+	tr2, _ := dyingTransport(RetryPolicy{}, 1<<20, io.EOF)
+	if _, err := tr2.Exchange(context.Background(), q); err != nil {
+		t.Fatalf("uninstrumented exchange: %v", err)
 	}
 }

@@ -13,12 +13,22 @@
 // backpressure — a worker takes a new index only when it finishes the
 // previous one) and the pool always joins every worker before returning, so
 // no goroutines outlive the call.
+//
+// Telemetry: when the context carries an obs.Recorder, MapCtx instruments
+// the pool — task counts and pool-wide virtual busy time (deterministic),
+// plus worker counts, in-flight high-water marks and per-worker task/busy
+// shares (volatile; their split across workers depends on scheduling).
+// Name the pool with obs.WithPool before calling. Map stays uninstrumented:
+// it has no context to carry a recorder.
 package runner
 
 import (
 	"context"
+	"strconv"
 	"sync"
 	"sync/atomic"
+
+	"dnsencryption.info/doe/internal/obs"
 )
 
 // Map runs fn(i) for every i in [0, n) on at most `workers` goroutines and
@@ -59,6 +69,65 @@ func Map[T any](workers, n int, fn func(i int) T) []T {
 	return out
 }
 
+// poolMeters carries the per-pool instruments one MapCtx call records
+// into; the zero value (telemetry off) is inert.
+type poolMeters struct {
+	enabled     bool
+	pool        string
+	reg         *obs.Registry
+	tasks       *obs.Counter // deterministic
+	busyTotal   *obs.Counter // deterministic
+	inflightMax *obs.Gauge   // volatile
+	inflight    atomic.Int64
+}
+
+func newPoolMeters(ctx context.Context, workers int) *poolMeters {
+	reg := obs.Metrics(ctx)
+	if reg == nil {
+		return &poolMeters{}
+	}
+	pool := obs.PoolName(ctx, "pool")
+	m := &poolMeters{
+		enabled:     true,
+		pool:        pool,
+		reg:         reg,
+		tasks:       reg.Counter("runner_tasks_total", "pool", pool),
+		busyTotal:   reg.Counter("runner_virtual_busy_us_total", "pool", pool),
+		inflightMax: reg.VolatileGauge("runner_inflight_max", "pool", pool),
+	}
+	// Max, not Set: one pool name may serve several MapCtx calls (both
+	// campaign platforms share "campaign"), so keep the high-water mark.
+	reg.VolatileGauge("runner_workers", "pool", pool).Max(int64(workers))
+	return m
+}
+
+// workerCtx attaches the per-worker busy-time sink and task counter.
+func (m *poolMeters) workerCtx(ctx context.Context, worker int) (context.Context, *obs.Counter) {
+	if !m.enabled {
+		return ctx, nil
+	}
+	w := strconv.Itoa(worker)
+	busy := m.reg.VolatileCounter("runner_worker_virtual_busy_us", "pool", m.pool, "worker", w)
+	tasks := m.reg.VolatileCounter("runner_worker_tasks", "pool", m.pool, "worker", w)
+	return obs.WithWorkerSink(ctx, m.busyTotal, busy), tasks
+}
+
+func (m *poolMeters) taskStart(workerTasks *obs.Counter) {
+	if !m.enabled {
+		return
+	}
+	m.tasks.Add(1)
+	workerTasks.Add(1)
+	m.inflightMax.Max(m.inflight.Add(1))
+}
+
+func (m *poolMeters) taskEnd() {
+	if !m.enabled {
+		return
+	}
+	m.inflight.Add(-1)
+}
+
 // MapCtx is Map with cooperative cancellation: once ctx is done, workers
 // stop taking new indices and MapCtx returns ctx.Err() alongside the
 // partial results (indices that never ran hold T's zero value). In-flight
@@ -74,20 +143,26 @@ func MapCtx[T any](ctx context.Context, workers, n int, fn func(ctx context.Cont
 	}
 	out := make([]T, n)
 	if workers <= 1 {
+		meters := newPoolMeters(ctx, 1)
+		sctx, workerTasks := meters.workerCtx(ctx, 0)
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
 				return out, err
 			}
-			out[i] = fn(ctx, i)
+			meters.taskStart(workerTasks)
+			out[i] = fn(sctx, i)
+			meters.taskEnd()
 		}
 		return out, ctx.Err()
 	}
+	meters := newPoolMeters(ctx, workers)
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			wctx, workerTasks := meters.workerCtx(ctx, w)
 			for {
 				if ctx.Err() != nil {
 					return
@@ -96,9 +171,11 @@ func MapCtx[T any](ctx context.Context, workers, n int, fn func(ctx context.Cont
 				if i >= n {
 					return
 				}
-				out[i] = fn(ctx, i)
+				meters.taskStart(workerTasks)
+				out[i] = fn(wctx, i)
+				meters.taskEnd()
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	return out, ctx.Err()

@@ -1,6 +1,7 @@
 package scanner
 
 import (
+	"context"
 	"crypto/x509"
 	"fmt"
 	"net/netip"
@@ -11,6 +12,7 @@ import (
 	"dnsencryption.info/doe/internal/dnswire"
 	"dnsencryption.info/doe/internal/dot"
 	"dnsencryption.info/doe/internal/netsim"
+	"dnsencryption.info/doe/internal/obs"
 	"dnsencryption.info/doe/internal/runner"
 )
 
@@ -133,6 +135,15 @@ type Scanner struct {
 
 // Scan runs one full sweep and probe round.
 func (s *Scanner) Scan(label string) (*Result, error) {
+	return s.ScanContext(context.Background(), label)
+}
+
+// ScanContext is Scan with cancellation and telemetry: when ctx carries an
+// obs.Recorder the round gets a "scan:<label>" span (charged with the
+// sweep's virtual duration) and sweep/probe outcome counters. Per-address
+// spans are deliberately not recorded — an 8k-address sweep would drown
+// the trace; the round span plus counters carry the same information.
+func (s *Scanner) ScanContext(ctx context.Context, label string) (*Result, error) {
 	if len(s.Sources) == 0 {
 		return nil, fmt.Errorf("scanner: no scan sources")
 	}
@@ -140,6 +151,8 @@ func (s *Scanner) Scan(label string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	ctx, span := obs.Start(ctx, "scan:"+label)
+	m := obs.Metrics(ctx)
 	res := &Result{Label: label, ProbedAddrs: s.Space.Size}
 	workers := s.Workers
 	if workers <= 0 {
@@ -169,14 +182,22 @@ func (s *Scanner) Scan(label string) (*Result, error) {
 		}
 		tasks = append(tasks, sweepTask{addr: addr, src: s.Sources[len(tasks)%len(s.Sources)]})
 	}
-	openFlags := runner.Map(workers, len(tasks), func(i int) bool {
-		conn, err := s.World.Dial(tasks[i].src, tasks[i].addr, dot.Port)
-		if err != nil {
-			return false
-		}
-		conn.Close()
-		return true
-	})
+	dialsOpen := m.Counter("scanner_sweep_dials_total", "outcome", "open")
+	dialsClosed := m.Counter("scanner_sweep_dials_total", "outcome", "closed")
+	openFlags, err := runner.MapCtx(obs.WithPool(ctx, "scan-sweep"), workers, len(tasks),
+		func(ctx context.Context, i int) bool {
+			conn, err := s.World.Dial(tasks[i].src, tasks[i].addr, dot.Port)
+			if err != nil {
+				dialsClosed.Add(1)
+				return false
+			}
+			conn.Close()
+			dialsOpen.Add(1)
+			return true
+		})
+	if err != nil {
+		return nil, fmt.Errorf("scanner: sweep %s: %w", label, err)
+	}
 	var open []netip.Addr
 	for i, ok := range openFlags {
 		if ok {
@@ -188,10 +209,21 @@ func (s *Scanner) Scan(label string) (*Result, error) {
 	// Stage 2, DoT verification. Each responsive host's probe source is a
 	// function of its position in the open list, so probe outcomes don't
 	// depend on which worker picked the address up.
-	probed := runner.Map(workers, len(open), func(i int) probeOutcome {
-		r, ok := s.probeDoT(s.Sources[i%len(s.Sources)], open[i])
-		return probeOutcome{r: r, ok: ok}
-	})
+	probeHits := m.Counter("scanner_probes_total", "outcome", "resolver")
+	probeMisses := m.Counter("scanner_probes_total", "outcome", "no-dot")
+	probed, err := runner.MapCtx(obs.WithPool(ctx, "scan-probe"), workers, len(open),
+		func(ctx context.Context, i int) probeOutcome {
+			r, ok := s.probeDoT(s.Sources[i%len(s.Sources)], open[i])
+			if ok {
+				probeHits.Add(1)
+			} else {
+				probeMisses.Add(1)
+			}
+			return probeOutcome{r: r, ok: ok}
+		})
+	if err != nil {
+		return nil, fmt.Errorf("scanner: probe %s: %w", label, err)
+	}
 	for _, p := range probed {
 		if p.ok {
 			res.Resolvers = append(res.Resolvers, p.r)
@@ -204,6 +236,10 @@ func (s *Scanner) Scan(label string) (*Result, error) {
 	if s.RatePPS > 0 {
 		res.VirtualDuration = time.Duration(float64(res.ProbedAddrs)/float64(s.RatePPS)) * time.Second
 	}
+	span.SetInt("probed", int64(res.ProbedAddrs))
+	span.SetInt("port_open", int64(res.PortOpen))
+	span.SetInt("resolvers", int64(len(res.Resolvers)))
+	span.Charge(res.VirtualDuration)
 	return res, nil
 }
 

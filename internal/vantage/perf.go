@@ -14,6 +14,7 @@ import (
 	"dnsencryption.info/doe/internal/doh"
 	"dnsencryption.info/doe/internal/dot"
 	"dnsencryption.info/doe/internal/netsim"
+	"dnsencryption.info/doe/internal/obs"
 	"dnsencryption.info/doe/internal/proxy"
 	"dnsencryption.info/doe/internal/resolver"
 )
@@ -40,26 +41,34 @@ func (s PerfSample) DoHOverheadMS() float64 { return s.DoHMedianMS - s.DNSMedian
 // per-protocol medians. The comparison of T_R differences is valid because
 // the client→proxy leg adds the same latency to every protocol (§4.1).
 func (p *Platform) MeasurePerformance(node proxy.ExitNode, tgt Target, n int) (PerfSample, error) {
+	return p.MeasurePerformanceContext(context.Background(), node, tgt, n)
+}
+
+// MeasurePerformanceContext is MeasurePerformance with telemetry: each
+// protocol's timing pass gets a perf:<proto> span (retry attempts nested
+// under it) and its successful pass's latencies feed the
+// vantage_query_latency{mode=reused} histogram.
+func (p *Platform) MeasurePerformanceContext(ctx context.Context, node proxy.ExitNode, tgt Target, n int) (PerfSample, error) {
 	sample := PerfSample{NodeID: node.ID, Country: node.Country}
 
-	dnsLat, err := p.retryLatencies(func() ([]float64, error) {
-		return p.timeDNSQueries(node, tgt.DNS, n)
+	dnsLat, err := p.retryLatencies(ctx, ProtoDNS, func(ctx context.Context) ([]float64, error) {
+		return p.timeDNSQueries(ctx, node, tgt.DNS, n)
 	})
 	if err != nil {
 		return sample, err
 	}
 	sample.DNSMedianMS = analysis.Median(dnsLat)
 
-	dotLat, err := p.retryLatencies(func() ([]float64, error) {
-		return p.timeDoTQueries(node, tgt.DoT, n)
+	dotLat, err := p.retryLatencies(ctx, ProtoDoT, func(ctx context.Context) ([]float64, error) {
+		return p.timeDoTQueries(ctx, node, tgt.DoT, n)
 	})
 	if err != nil {
 		return sample, err
 	}
 	sample.DoTMedianMS = analysis.Median(dotLat)
 
-	dohLat, err := p.retryLatencies(func() ([]float64, error) {
-		return p.timeDoHQueries(node, tgt.DoH, tgt.DoHAddr, n)
+	dohLat, err := p.retryLatencies(ctx, ProtoDoH, func(ctx context.Context) ([]float64, error) {
+		return p.timeDoHQueries(ctx, node, tgt.DoH, tgt.DoHAddr, n)
 	})
 	if err != nil {
 		return sample, err
@@ -71,17 +80,31 @@ func (p *Platform) MeasurePerformance(node proxy.ExitNode, tgt Target, n int) (P
 // retryLatencies re-runs one protocol's whole timing pass (fresh tunnel,
 // fresh session) while it fails and the platform retry budget allows: a
 // connection killed mid-pass would otherwise discard the node. The
-// successful pass's latencies are reported unpolluted by earlier attempts.
-func (p *Platform) retryLatencies(measure func() ([]float64, error)) ([]float64, error) {
+// successful pass's latencies are reported unpolluted by earlier attempts
+// and observed into the reused-connection latency histogram.
+func (p *Platform) retryLatencies(ctx context.Context, proto Proto, measure func(ctx context.Context) ([]float64, error)) ([]float64, error) {
+	ctx, sp := obs.Start(ctx, "perf:"+string(proto))
 	budget := p.attempts()
 	var lat []float64
 	var err error
 	for attempt := 1; attempt <= budget; attempt++ {
-		lat, err = measure()
+		actx := ctx
+		if attempt > 1 {
+			actx, _ = obs.Start(ctx, fmt.Sprintf("retry:%d", attempt))
+		}
+		lat, err = measure(actx)
 		if err == nil {
+			sp.SetInt("attempts", int64(attempt))
+			sp.SetInt("queries", int64(len(lat)))
+			h := obs.Metrics(ctx).Histogram("vantage_query_latency", nil,
+				"mode", "reused", "proto", string(proto))
+			for _, l := range lat {
+				h.Observe(time.Duration(l * float64(time.Millisecond)))
+			}
 			return lat, nil
 		}
 	}
+	sp.Fail(err)
 	return nil, err
 }
 
@@ -100,49 +123,54 @@ func (p *Platform) timeQueries(ctx context.Context, sess resolver.Session, tag s
 		if _, err := sess.Exchange(ctx, q); err != nil {
 			return nil, err
 		}
-		lat = append(lat, ms(sess.Elapsed()-start))
+		d := sess.Elapsed() - start
+		obs.Charge(ctx, d)
+		lat = append(lat, ms(d))
 	}
 	return lat, nil
 }
 
-func (p *Platform) timeDNSQueries(node proxy.ExitNode, target netip.Addr, n int) ([]float64, error) {
+func (p *Platform) timeDNSQueries(ctx context.Context, node proxy.ExitNode, target netip.Addr, n int) ([]float64, error) {
 	tunnel, err := p.Network.Dial(p.From, node.ID, target, 53)
 	if err != nil {
 		return nil, err
 	}
 	sess := resolver.TCPSession(dnsclient.TCPFromConn(tunnel))
 	defer sess.Close()
-	return p.timeQueries(context.Background(), sess, node.ID+"-perf-dns", n)
+	p.observeSetup(ctx, ProtoDNS, sess)
+	return p.timeQueries(ctx, sess, node.ID+"-perf-dns", n)
 }
 
-func (p *Platform) timeDoTQueries(node proxy.ExitNode, target netip.Addr, n int) ([]float64, error) {
+func (p *Platform) timeDoTQueries(ctx context.Context, node proxy.ExitNode, target netip.Addr, n int) ([]float64, error) {
 	tunnel, err := p.Network.Dial(p.From, node.ID, target, dot.Port)
 	if err != nil {
 		return nil, err
 	}
 	client := dot.NewClient(nil, p.From, p.Roots, dot.Opportunistic)
-	conn, err := client.DialConn(tunnel)
+	conn, err := client.DialConnContext(ctx, tunnel)
 	if err != nil {
 		return nil, err
 	}
 	sess := resolver.DoTSession(conn)
 	defer sess.Close()
-	return p.timeQueries(context.Background(), sess, node.ID+"-perf-dot", n)
+	p.observeSetup(ctx, ProtoDoT, sess)
+	return p.timeQueries(ctx, sess, node.ID+"-perf-dot", n)
 }
 
-func (p *Platform) timeDoHQueries(node proxy.ExitNode, tmpl doh.Template, addr netip.Addr, n int) ([]float64, error) {
+func (p *Platform) timeDoHQueries(ctx context.Context, node proxy.ExitNode, tmpl doh.Template, addr netip.Addr, n int) ([]float64, error) {
 	tunnel, err := p.Network.Dial(p.From, node.ID, addr, doh.Port)
 	if err != nil {
 		return nil, err
 	}
 	client := doh.NewClient(nil, p.From, p.Roots)
-	conn, err := client.DialConn(tmpl, tunnel)
+	conn, err := client.DialConnContext(ctx, tmpl, tunnel)
 	if err != nil {
 		return nil, err
 	}
 	sess := resolver.DoHSession(conn)
 	defer sess.Close()
-	return p.timeQueries(context.Background(), sess, node.ID+"-perf-doh", n)
+	p.observeSetup(ctx, ProtoDoH, sess)
+	return p.timeQueries(ctx, sess, node.ID+"-perf-doh", n)
 }
 
 // CountryPerf aggregates per-client overheads per country (Fig. 9).
@@ -223,6 +251,14 @@ func (s NoReuseSample) DoHOverheadMS() float64 { return s.DoHMedianMS - s.DNSMed
 // the vantage; the per-protocol median is over the queries that answered,
 // and only a protocol with zero answers is an error.
 func MeasureNoReuse(w *netsim.World, label string, from netip.Addr, tgt Target, probeZone string, roots *x509.CertPool, n int, opts ...resolver.Option) (NoReuseSample, error) {
+	return MeasureNoReuseContext(context.Background(), w, label, from, tgt, probeZone, roots, n, opts...)
+}
+
+// MeasureNoReuseContext is MeasureNoReuse with telemetry: each protocol
+// pass gets a noreuse:<proto> span and the answered queries feed the
+// vantage_query_latency{mode=fresh} histogram. The resolver transports
+// underneath contribute their own xchg/dial spans per query.
+func MeasureNoReuseContext(ctx context.Context, w *netsim.World, label string, from netip.Addr, tgt Target, probeZone string, roots *x509.CertPool, n int, opts ...resolver.Option) (NoReuseSample, error) {
 	sample := NoReuseSample{Vantage: label}
 	// Probe names carry the vantage label so concurrent vantages never
 	// share a name: a shared name would let one vantage's query warm the
@@ -239,20 +275,25 @@ func MeasureNoReuse(w *netsim.World, label string, from netip.Addr, tgt Target, 
 	// here: the controlled vantages authenticate the public resolvers.
 	rc := resolver.New(w, from, roots,
 		append([]resolver.Option{resolver.WithReuse(false), resolver.WithProfile(dot.Strict)}, opts...)...)
-	ctx := context.Background()
 	timeFresh := func(t *resolver.Transport, tag string) ([]float64, error) {
+		sctx, sp := obs.Start(ctx, "noreuse:"+tag)
+		h := obs.Metrics(sctx).Histogram("vantage_query_latency", nil, "mode", "fresh", "proto", tag)
 		var lat []float64
 		var lastErr error
 		for i := 0; i < n; i++ {
 			q := dnswire.NewQuery(0, name(tag), dnswire.TypeA)
-			if _, err := t.Exchange(ctx, q); err != nil {
+			if _, err := t.Exchange(sctx, q); err != nil {
 				lastErr = err
 				continue
 			}
+			h.Observe(t.LastLatency())
 			lat = append(lat, ms(t.LastLatency()))
 		}
+		sp.SetInt("answered", int64(len(lat)))
 		if len(lat) == 0 {
-			return nil, fmt.Errorf("vantage: no-reuse %s/%s: every query failed: %w", label, tag, lastErr)
+			err := fmt.Errorf("vantage: no-reuse %s/%s: every query failed: %w", label, tag, lastErr)
+			sp.Fail(err)
+			return nil, err
 		}
 		return lat, nil
 	}

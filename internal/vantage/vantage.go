@@ -20,6 +20,7 @@ import (
 	"dnsencryption.info/doe/internal/dnswire"
 	"dnsencryption.info/doe/internal/doh"
 	"dnsencryption.info/doe/internal/dot"
+	"dnsencryption.info/doe/internal/obs"
 	"dnsencryption.info/doe/internal/proxy"
 	"dnsencryption.info/doe/internal/resolver"
 	"dnsencryption.info/doe/internal/runner"
@@ -158,16 +159,51 @@ func (p *Platform) TestReachabilityContext(ctx context.Context, node proxy.ExitN
 	var out []Result
 	for _, tgt := range targets {
 		if tgt.DNS.IsValid() {
-			out = append(out, p.withRetry(ctx, func() Result { return p.testDNS(ctx, node, tgt) }))
+			out = append(out, p.lookup(ctx, node, tgt, ProtoDNS, tgt.DNS, p.testDNS))
 		}
 		if tgt.DoT.IsValid() {
-			out = append(out, p.withRetry(ctx, func() Result { return p.testDoT(ctx, node, tgt) }))
+			out = append(out, p.lookup(ctx, node, tgt, ProtoDoT, tgt.DoT, p.testDoT))
 		}
 		if tgt.DoHAddr.IsValid() {
-			out = append(out, p.withRetry(ctx, func() Result { return p.testDoH(ctx, node, tgt) }))
+			out = append(out, p.lookup(ctx, node, tgt, ProtoDoH, tgt.DoHAddr, p.testDoH))
 		}
 	}
 	return out
+}
+
+// lookup wraps one (target, proto) reachability test in its telemetry:
+// a lookup:<resolver>:<proto> span annotated with the classification,
+// bound to the node→target flow so injected faults stamp their events on
+// it, plus the per-(resolver, proto, outcome) counters the telemetry
+// section reports. Lookups on one node run serially, so the spans need no
+// explicit keys.
+func (p *Platform) lookup(ctx context.Context, node proxy.ExitNode, tgt Target, proto Proto, remote netip.Addr,
+	run func(ctx context.Context, node proxy.ExitNode, tgt Target) Result) Result {
+	ctx, sp := obs.Start(ctx, fmt.Sprintf("lookup:%s:%s", tgt.Name, proto))
+	release := obs.FromContext(ctx).WatchFlow(node.Addr, remote, sp)
+	defer release()
+	r := p.withRetry(ctx, node, tgt, run)
+	sp.SetAttr("outcome", r.Outcome.String())
+	sp.SetInt("attempts", int64(r.Attempts))
+	if r.Recovered {
+		sp.SetAttr("recovered", "true")
+	}
+	if r.Dropped {
+		sp.SetAttr("dropped", "true")
+	}
+	if r.Intercepted {
+		sp.SetAttr("intercepted", "true")
+	}
+	if r.Err != "" {
+		sp.SetAttr("err", r.Err)
+	}
+	m := obs.Metrics(ctx)
+	m.Counter("vantage_lookups_total",
+		"resolver", tgt.Name, "proto", string(proto), "outcome", r.Outcome.String()).Add(1)
+	if r.Intercepted {
+		m.Counter("vantage_intercepted_total", "resolver", tgt.Name).Add(1)
+	}
+	return r
 }
 
 // attempts is the normalized per-lookup attempt budget.
@@ -180,12 +216,18 @@ func (p *Platform) attempts() int {
 
 // withRetry re-runs a lookup while it yields Failed outcomes and budget
 // remains. Dropped results (platform disruption) and Incorrect answers
-// return immediately; see Platform.Retry.
-func (p *Platform) withRetry(ctx context.Context, run func() Result) Result {
+// return immediately; see Platform.Retry. Attempts after the first run
+// under a retry:<n> child span, so chaos traces show the recovery ladder.
+func (p *Platform) withRetry(ctx context.Context, node proxy.ExitNode, tgt Target,
+	run func(ctx context.Context, node proxy.ExitNode, tgt Target) Result) Result {
 	budget := p.attempts()
 	var r Result
 	for attempt := 1; attempt <= budget; attempt++ {
-		r = run()
+		actx := ctx
+		if attempt > 1 {
+			actx, _ = obs.Start(ctx, fmt.Sprintf("retry:%d", attempt))
+		}
+		r = run(actx, node, tgt)
 		r.Attempts = attempt
 		if r.Outcome != Failed {
 			r.Recovered = attempt > 1
@@ -221,15 +263,29 @@ func (p *Platform) classify(m *dnswire.Message) Outcome {
 }
 
 // exchange runs one uniquely-named A lookup through the unified client API
-// and classifies the answer into r.
-func (p *Platform) exchange(ctx context.Context, sess resolver.Exchanger, tag string, r *Result) {
+// and classifies the answer into r. The query gets an xchg:<proto> span
+// charged with the session's virtual elapsed-time delta.
+func (p *Platform) exchange(ctx context.Context, sess resolver.Session, tag string, r *Result) {
 	q := dnswire.NewQuery(0, p.UniqueName(tag), dnswire.TypeA)
+	ctx, sp := obs.Start(ctx, "xchg:"+string(r.Proto))
+	start := sess.Elapsed()
 	m, err := sess.Exchange(ctx, q)
+	obs.Charge(ctx, sess.Elapsed()-start)
 	if err != nil {
+		sp.Fail(err)
 		r.Outcome, r.Err = Failed, err.Error()
 		return
 	}
 	r.Outcome = p.classify(m)
+}
+
+// observeSetup records a fresh session's connection-establishment cost: a
+// dial child span charged with the setup latency, plus the per-protocol
+// setup histogram.
+func (p *Platform) observeSetup(ctx context.Context, proto Proto, sess resolver.Session) {
+	dctx, _ := obs.Start(ctx, "dial")
+	obs.Charge(dctx, sess.SetupLatency())
+	obs.Metrics(ctx).Histogram("vantage_setup_latency", nil, "proto", string(proto)).Observe(sess.SetupLatency())
 }
 
 func (p *Platform) testDNS(ctx context.Context, node proxy.ExitNode, tgt Target) Result {
@@ -242,6 +298,7 @@ func (p *Platform) testDNS(ctx context.Context, node proxy.ExitNode, tgt Target)
 	}
 	sess := resolver.TCPSession(dnsclient.TCPFromConn(tunnel))
 	defer sess.Close()
+	p.observeSetup(ctx, ProtoDNS, sess)
 	p.exchange(ctx, sess, node.ID+"-"+tgt.Name+"-dns", &r)
 	return r
 }
@@ -264,6 +321,7 @@ func (p *Platform) testDoT(ctx context.Context, node proxy.ExitNode, tgt Target)
 	}
 	sess := resolver.DoTSession(conn)
 	defer sess.Close()
+	p.observeSetup(ctx, ProtoDoT, sess)
 	if chain := conn.PeerCertificates(); len(chain) > 0 {
 		r.IssuerCN = chain[0].Issuer.CommonName
 	}
@@ -294,6 +352,7 @@ func (p *Platform) testDoH(ctx context.Context, node proxy.ExitNode, tgt Target)
 	}
 	sess := resolver.DoHSession(conn)
 	defer sess.Close()
+	p.observeSetup(ctx, ProtoDoH, sess)
 	p.exchange(ctx, sess, node.ID+"-"+tgt.Name+"-doh", &r)
 	return r
 }
@@ -320,9 +379,14 @@ func (p *Platform) CampaignContext(ctx context.Context, targets []Target, worker
 			usable = append(usable, node)
 		}
 	}
-	perNode, err := runner.MapCtx(ctx, workers, len(usable), func(ctx context.Context, i int) []Result {
-		return p.TestReachabilityContext(ctx, usable[i], targets)
-	})
+	perNode, err := runner.MapCtx(obs.WithPool(ctx, "campaign"), workers, len(usable),
+		func(ctx context.Context, i int) []Result {
+			// Key(i) pins sibling order to the node's dispatch index, so the
+			// trace is identical no matter which worker ran the node.
+			ctx, sp := obs.Start(ctx, "node:"+usable[i].ID, obs.Key(i))
+			sp.SetAttr("country", usable[i].Country)
+			return p.TestReachabilityContext(ctx, usable[i], targets)
+		})
 	var out []Result
 	for _, res := range perNode {
 		out = append(out, res...)

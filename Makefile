@@ -10,17 +10,17 @@ GO ?= go
 
 RACE_PKGS := ./internal/netsim ./internal/proxy ./internal/dnsserver \
 	./internal/scanner ./internal/vantage ./internal/runner ./internal/resolver \
-	./internal/faults ./internal/obs
+	./internal/faults ./internal/obs ./internal/bufpool
 
 # Fuzz targets hardened against panics; fuzz-smoke runs each briefly so a
 # codec regression that panics on malformed wire input fails the gate.
 FUZZ_PKG := ./internal/dnswire
-FUZZ_TARGETS := FuzzParseMessage FuzzParseName FuzzRData
+FUZZ_TARGETS := FuzzParseMessage FuzzParseName FuzzRData FuzzAppendTCP
 FUZZTIME ?= 10s
 
-.PHONY: verify build vet lint test race bench-smoke fuzz-smoke trace-smoke
+.PHONY: verify build vet lint test race bench bench-smoke fuzz-smoke trace-smoke
 
-verify: build vet lint test race bench-smoke fuzz-smoke trace-smoke
+verify: build vet lint test race bench bench-smoke fuzz-smoke trace-smoke
 
 build:
 	$(GO) build ./...
@@ -42,6 +42,13 @@ race:
 # GOMAXPROCS) and is read off full -benchtime runs, not this smoke pass.
 bench-smoke:
 	$(GO) test -run=NONE -bench='BenchmarkParallelScan' -benchtime=1x .
+
+# One iteration of the curated perf set through cmd/doebench: proves the
+# harness parses every benchmark it tracks. Real measurements and the
+# allocs/op trajectory diff (-prev BENCH_<n>.json) run full -benchtime in
+# the CI bench job; one-iteration counts are too noisy to diff.
+bench:
+	$(GO) run ./cmd/doebench -smoke
 
 fuzz-smoke:
 	@for target in $(FUZZ_TARGETS); do \

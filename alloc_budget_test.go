@@ -1,0 +1,71 @@
+package doe_test
+
+import (
+	"context"
+	"net/netip"
+	"testing"
+
+	"dnsencryption.info/doe/internal/core"
+	"dnsencryption.info/doe/internal/dnswire"
+	"dnsencryption.info/doe/internal/resolver"
+)
+
+// Steady-state allocation budgets (DESIGN.md §9): hard ceilings on the
+// allocations one reused-session Exchange may perform, measured with
+// testing.AllocsPerRun across client and server goroutines. The ceilings
+// carry slack over the measured values (sync.Pool may shed buffers under GC
+// pressure) but sit at or below half the pre-pooling counts — DoT was 59
+// allocs/op and DoH 130 before the buffer-reuse work — so a regression past
+// 50% of the old cost fails here before it reaches a trajectory diff.
+const (
+	allocBudgetDoT = 25
+	allocBudgetDoH = 65
+	allocBudgetTCP = 22
+)
+
+// exchangeAllocs measures the average allocations of one Exchange on an
+// already established session.
+func exchangeAllocs(t *testing.T, tr *resolver.Transport) float64 {
+	t.Helper()
+	msg := dnswire.NewQuery(0, "bench."+core.ProbeZone, dnswire.TypeA)
+	// Prime: the first Exchange dials; steady state starts after it.
+	if _, err := tr.Exchange(context.Background(), msg); err != nil {
+		t.Fatal(err)
+	}
+	return testing.AllocsPerRun(200, func() {
+		if _, err := tr.Exchange(context.Background(), msg); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestAllocBudgetDoTExchange(t *testing.T) {
+	s := study(t)
+	c := resolver.New(s.World, netip.MustParseAddr("172.20.1.1"), s.Roots)
+	tr := c.DoT(s.Targets[0].DoT)
+	defer tr.Close()
+	if got := exchangeAllocs(t, tr); got > allocBudgetDoT {
+		t.Errorf("DoT steady-state exchange: %.1f allocs/op, budget %d", got, allocBudgetDoT)
+	}
+}
+
+func TestAllocBudgetDoHExchange(t *testing.T) {
+	s := study(t)
+	c := resolver.New(s.World, netip.MustParseAddr("172.20.1.1"), s.Roots)
+	tgt := s.Targets[0]
+	tr := c.DoH(tgt.DoH, tgt.DoHAddr)
+	defer tr.Close()
+	if got := exchangeAllocs(t, tr); got > allocBudgetDoH {
+		t.Errorf("DoH steady-state exchange: %.1f allocs/op, budget %d", got, allocBudgetDoH)
+	}
+}
+
+func TestAllocBudgetTCPExchange(t *testing.T) {
+	s := study(t)
+	c := resolver.New(s.World, netip.MustParseAddr("172.20.1.1"), s.Roots)
+	tr := c.TCP(s.Targets[0].DNS)
+	defer tr.Close()
+	if got := exchangeAllocs(t, tr); got > allocBudgetTCP {
+		t.Errorf("TCP steady-state exchange: %.1f allocs/op, budget %d", got, allocBudgetTCP)
+	}
+}

@@ -1,6 +1,7 @@
 package doe_test
 
 import (
+	"context"
 	"crypto/tls"
 	"fmt"
 	"net/netip"
@@ -18,6 +19,7 @@ import (
 	"dnsencryption.info/doe/internal/netflow"
 	"dnsencryption.info/doe/internal/netsim"
 	"dnsencryption.info/doe/internal/proxy"
+	"dnsencryption.info/doe/internal/resolver"
 	"dnsencryption.info/doe/internal/scandetect"
 	"dnsencryption.info/doe/internal/scanner"
 	"dnsencryption.info/doe/internal/vantage"
@@ -32,7 +34,7 @@ var (
 	benchStudy *core.Study
 )
 
-func study(b *testing.B) *core.Study {
+func study(b testing.TB) *core.Study {
 	b.Helper()
 	benchOnce.Do(func() {
 		s, err := core.NewStudy(core.TestConfig())
@@ -47,7 +49,7 @@ func study(b *testing.B) *core.Study {
 // cleanNode returns a dedicated benchmark vantage point: no in-path
 // middleboxes and a session budget large enough for any iteration count
 // (study nodes deliberately churn, which would starve long bench runs).
-func cleanNode(b *testing.B, s *core.Study) proxy.ExitNode {
+func cleanNode(b testing.TB, s *core.Study) proxy.ExitNode {
 	b.Helper()
 	const id = "bench-node"
 	for _, n := range s.Global.Nodes() {
@@ -446,6 +448,70 @@ func benchDoHMethod(b *testing.B, method doh.Method) {
 
 func BenchmarkAblationDoHMethodGET(b *testing.B)  { benchDoHMethod(b, doh.GET) }
 func BenchmarkAblationDoHMethodPOST(b *testing.B) { benchDoHMethod(b, doh.POST) }
+
+// --- Steady-state exchange benchmarks ----------------------------------
+//
+// These are the allocation-budget anchors of the performance contract
+// (DESIGN.md §9): one DNS transaction on an already established, reused
+// session, the amortized arm of the paper's §4.3 comparison. The harness
+// (cmd/doebench) tracks their allocs/op across PRs; alloc_budget_test.go
+// pins hard ceilings.
+
+func BenchmarkSteadyStateDoTExchange(b *testing.B) {
+	s := study(b)
+	c := resolver.New(s.World, netip.MustParseAddr("172.20.1.1"), s.Roots)
+	tr := c.DoT(s.Targets[0].DoT)
+	defer tr.Close()
+	msg := dnswire.NewQuery(0, "bench."+core.ProbeZone, dnswire.TypeA)
+	// Prime: the first Exchange dials; steady state starts after it.
+	if _, err := tr.Exchange(context.Background(), msg); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Exchange(context.Background(), msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSteadyStateDoHExchange(b *testing.B) {
+	s := study(b)
+	c := resolver.New(s.World, netip.MustParseAddr("172.20.1.1"), s.Roots)
+	tgt := s.Targets[0]
+	tr := c.DoH(tgt.DoH, tgt.DoHAddr)
+	defer tr.Close()
+	msg := dnswire.NewQuery(0, "bench."+core.ProbeZone, dnswire.TypeA)
+	if _, err := tr.Exchange(context.Background(), msg); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Exchange(context.Background(), msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSteadyStateTCPExchange(b *testing.B) {
+	s := study(b)
+	c := resolver.New(s.World, netip.MustParseAddr("172.20.1.1"), s.Roots)
+	tr := c.TCP(s.Targets[0].DNS)
+	defer tr.Close()
+	msg := dnswire.NewQuery(0, "bench."+core.ProbeZone, dnswire.TypeA)
+	if _, err := tr.Exchange(context.Background(), msg); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Exchange(context.Background(), msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // --- Substrate micro-benchmarks ----------------------------------------
 

@@ -1,0 +1,178 @@
+// Command doebench runs the repository's curated performance benchmark set
+// with -benchmem and emits a machine-readable snapshot (BENCH_<pr>.json) of
+// ns/op, B/op and allocs/op per benchmark. Given a previous trajectory file
+// it diffs the two: allocs/op regressions beyond the threshold fail the run
+// (exit 1), ns/op changes are advisory only — wall-clock time depends on the
+// host, allocation counts do not.
+//
+// Usage:
+//
+//	go run ./cmd/doebench -o BENCH_5.json              # full measurement
+//	go run ./cmd/doebench -smoke                       # 1-iteration CI gate
+//	go run ./cmd/doebench -o BENCH_5.json -prev BENCH_4.json -threshold 0.10
+//
+// Exit status: 0 on success, 1 on allocs/op regression, 2 on driver errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// suite lists the curated benchmarks: the steady-state exchange paths whose
+// allocation budgets DESIGN.md §9 pins, and the wire-codec micro-benchmarks
+// underneath them. One entry per package keeps `go test` invocations cheap.
+var suite = []struct {
+	pkg   string
+	bench string
+}{
+	{".", "^(BenchmarkSteadyStateDoTExchange|BenchmarkSteadyStateDoHExchange|BenchmarkSteadyStateTCPExchange|BenchmarkWirePack|BenchmarkWireUnpack|BenchmarkSimTunnelRoundTrip)$"},
+	{"./internal/dnswire", "^(BenchmarkNewIDParallel|BenchmarkIDGenParallel|BenchmarkAppendPackTCP|BenchmarkReadTCPAppend|BenchmarkUnpackInto)$"},
+}
+
+// Result is one benchmark's measurement.
+type Result struct {
+	Pkg      string  `json:"pkg"`
+	Iters    int64   `json:"iters"`
+	NsPerOp  float64 `json:"ns_per_op"`
+	BPerOp   int64   `json:"bytes_per_op"`
+	AllocsOp int64   `json:"allocs_per_op"`
+}
+
+// Snapshot is the BENCH_<pr>.json schema: benchmark name (module-relative,
+// GOMAXPROCS suffix stripped) to measurement.
+type Snapshot struct {
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+// benchLine matches `BenchmarkName-8  1234  56.7 ns/op  89 B/op  10 allocs/op`.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
+
+func main() {
+	var (
+		out       = flag.String("o", "", "write the JSON snapshot to this file")
+		prev      = flag.String("prev", "", "previous trajectory file to diff against")
+		threshold = flag.Float64("threshold", 0.10, "allowed fractional allocs/op growth before a regression fails the run")
+		smoke     = flag.Bool("smoke", false, "one benchmark iteration per target: proves the harness and every curated benchmark still run")
+		benchtime = flag.String("benchtime", "", "override -benchtime for the full run")
+	)
+	flag.Parse()
+
+	snap := Snapshot{Benchmarks: make(map[string]Result)}
+	for _, s := range suite {
+		args := []string{"test", "-run", "^$", "-bench", s.bench, "-benchmem", s.pkg}
+		switch {
+		case *smoke:
+			args = append(args, "-benchtime", "1x")
+		case *benchtime != "":
+			args = append(args, "-benchtime", *benchtime)
+		}
+		cmd := exec.Command("go", args...)
+		cmd.Stderr = os.Stderr
+		raw, err := cmd.Output()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doebench: go %s: %v\n%s", strings.Join(args, " "), err, raw)
+			os.Exit(2)
+		}
+		if err := parseInto(snap.Benchmarks, s.pkg, string(raw)); err != nil {
+			fmt.Fprintf(os.Stderr, "doebench: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if len(snap.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "doebench: no benchmark results parsed")
+		os.Exit(2)
+	}
+	for name, r := range snap.Benchmarks {
+		fmt.Printf("%-40s %12.1f ns/op %8d B/op %6d allocs/op\n", name, r.NsPerOp, r.BPerOp, r.AllocsOp)
+	}
+
+	if *out != "" {
+		enc, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doebench: encoding snapshot: %v\n", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*out, append(enc, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "doebench: writing %s: %v\n", *out, err)
+			os.Exit(2)
+		}
+	}
+
+	if *prev != "" {
+		if !diff(*prev, snap, *threshold) {
+			os.Exit(1)
+		}
+	}
+}
+
+// parseInto extracts benchmark lines from go test output. Smoke runs report
+// no B/op columns when -benchmem is off; with -benchmem they are always
+// present, so missing columns are a parse error.
+func parseInto(dst map[string]Result, pkg, output string) error {
+	found := false
+	for _, line := range strings.Split(output, "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		if m[4] == "" {
+			return fmt.Errorf("benchmark %s missing -benchmem columns: %q", m[1], line)
+		}
+		bop, _ := strconv.ParseInt(m[4], 10, 64)
+		aop, _ := strconv.ParseInt(m[5], 10, 64)
+		dst[m[1]] = Result{Pkg: pkg, Iters: iters, NsPerOp: ns, BPerOp: bop, AllocsOp: aop}
+		found = true
+	}
+	if !found {
+		return fmt.Errorf("no benchmark lines in output for %s", pkg)
+	}
+	return nil
+}
+
+// diff compares the run against a previous trajectory file. allocs/op may
+// grow by the threshold fraction (plus one allocation of absolute slack, so
+// single-digit counts don't flap); beyond that the run fails. ns/op movement
+// is reported but never fails the run.
+func diff(prevPath string, cur Snapshot, threshold float64) bool {
+	raw, err := os.ReadFile(prevPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doebench: reading %s: %v\n", prevPath, err)
+		os.Exit(2)
+	}
+	var prev Snapshot
+	if err := json.Unmarshal(raw, &prev); err != nil {
+		fmt.Fprintf(os.Stderr, "doebench: parsing %s: %v\n", prevPath, err)
+		os.Exit(2)
+	}
+	ok := true
+	for name, p := range prev.Benchmarks {
+		c, exists := cur.Benchmarks[name]
+		if !exists {
+			fmt.Printf("doebench: %s present in %s but not in this run (renamed or dropped)\n", name, prevPath)
+			continue
+		}
+		limit := int64(float64(p.AllocsOp)*(1+threshold)) + 1
+		if c.AllocsOp > limit {
+			fmt.Printf("doebench: REGRESSION %s allocs/op %d -> %d (limit %d)\n", name, p.AllocsOp, c.AllocsOp, limit)
+			ok = false
+		} else if c.AllocsOp != p.AllocsOp {
+			fmt.Printf("doebench: %s allocs/op %d -> %d\n", name, p.AllocsOp, c.AllocsOp)
+		}
+		if p.NsPerOp > 0 {
+			change := (c.NsPerOp - p.NsPerOp) / p.NsPerOp * 100
+			if change > 20 || change < -20 {
+				fmt.Printf("doebench: advisory: %s ns/op %.1f -> %.1f (%+.0f%%)\n", name, p.NsPerOp, c.NsPerOp, change)
+			}
+		}
+	}
+	return ok
+}

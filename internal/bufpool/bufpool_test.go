@@ -1,0 +1,120 @@
+package bufpool_test
+
+import (
+	"sync"
+	"testing"
+
+	"dnsencryption.info/doe/internal/bufpool"
+)
+
+func TestGetCapacityClasses(t *testing.T) {
+	cases := []struct{ n, wantCap int }{
+		{0, 512},
+		{1, 512},
+		{512, 512},
+		{513, 2048},
+		{2049, 16384},
+		{16385, bufpool.MaxPooled},
+		{bufpool.MaxPooled, bufpool.MaxPooled},
+		{bufpool.MaxPooled + 1, bufpool.MaxPooled + 1},
+	}
+	for _, c := range cases {
+		b := bufpool.Get(c.n)
+		if len(*b) != 0 {
+			t.Errorf("Get(%d): len = %d, want 0", c.n, len(*b))
+		}
+		if cap(*b) != c.wantCap {
+			t.Errorf("Get(%d): cap = %d, want %d", c.n, cap(*b), c.wantCap)
+		}
+		bufpool.Put(b)
+	}
+}
+
+func TestPutResetsLength(t *testing.T) {
+	b := bufpool.Get(512)
+	*b = append(*b, "sensitive"...)
+	bufpool.Put(b)
+	// Whatever buffer the next Get hands out, it must arrive empty: a
+	// previous user's bytes are only reachable by deliberate reslicing.
+	nb := bufpool.Get(512)
+	if len(*nb) != 0 {
+		t.Fatalf("recycled buffer has len %d, want 0", len(*nb))
+	}
+	bufpool.Put(nb)
+}
+
+func TestPutDropsOversize(t *testing.T) {
+	before := bufpool.Snapshot()
+	huge := make([]byte, 0, bufpool.MaxPooled+1)
+	bufpool.Put(&huge)
+	var tiny []byte
+	bufpool.Put(&tiny)
+	bufpool.Put(nil)
+	after := bufpool.Snapshot()
+	if after.Puts != before.Puts {
+		t.Fatalf("out-of-class Put was accepted: puts %d -> %d", before.Puts, after.Puts)
+	}
+}
+
+func TestStatsBalance(t *testing.T) {
+	for i := 0; i < 32; i++ {
+		bufpool.Put(bufpool.Get(512))
+	}
+	s := bufpool.Snapshot()
+	if s.Gets != s.Hits+s.Misses {
+		t.Fatalf("gets %d != hits %d + misses %d", s.Gets, s.Hits, s.Misses)
+	}
+	if s.Hits == 0 {
+		t.Fatal("no pool hits after 32 get/put cycles")
+	}
+}
+
+func TestGrow(t *testing.T) {
+	b := make([]byte, 0, 4)
+	b = append(b, 1, 2)
+	g := bufpool.Grow(b, 2)
+	if len(g) != 4 || cap(g) != 4 {
+		t.Fatalf("in-place grow: len %d cap %d, want 4/4", len(g), cap(g))
+	}
+	g = bufpool.Grow(g, 100)
+	if len(g) != 104 || g[0] != 1 || g[1] != 2 {
+		t.Fatalf("reallocating grow lost data: len %d, prefix %v", len(g), g[:2])
+	}
+}
+
+// TestConcurrentOwnership is the race/leak gate: under -race it proves a
+// pooled buffer is never owned by two users at once and that one user's
+// writes are never observable through another's buffer.
+func TestConcurrentOwnership(t *testing.T) {
+	var active sync.Map
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		pattern := byte(g + 1)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				b := bufpool.Get(512)
+				if _, loaded := active.LoadOrStore(b, pattern); loaded {
+					t.Error("pool handed the same buffer to two users at once")
+					return
+				}
+				*b = (*b)[:64]
+				for j := range *b {
+					(*b)[j] = pattern
+				}
+				for j := range *b {
+					if (*b)[j] != pattern {
+						t.Errorf("buffer byte %d = %d, want %d: contents leaked across users", j, (*b)[j], pattern)
+						return
+					}
+				}
+				// Release ownership before Put: after Put the pool may hand
+				// this pointer to another goroutine immediately.
+				active.Delete(b)
+				bufpool.Put(b)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"os"
 
+	"dnsencryption.info/doe/internal/bufpool"
 	"dnsencryption.info/doe/internal/core"
 	"dnsencryption.info/doe/internal/obs"
 )
@@ -69,7 +70,21 @@ func (t *Telemetry) Finish(study *core.Study) error {
 		}
 	}
 	if t.Metrics {
+		publishBufpoolStats(study.Obs.Metrics())
 		fmt.Fprint(os.Stderr, study.Obs.Metrics().Snapshot(true))
 	}
 	return nil
+}
+
+// publishBufpoolStats copies the process-wide buffer-pool counters into
+// volatile gauges just before the snapshot renders. Pool hit rates depend on
+// GC timing and goroutine interleaving, so they must never reach the
+// deterministic "== telemetry:" section — volatile families only appear in
+// the full -metrics/-pprof output.
+func publishBufpoolStats(reg *obs.Registry) {
+	st := bufpool.Snapshot()
+	reg.VolatileGauge("bufpool_gets").Set(int64(st.Gets))
+	reg.VolatileGauge("bufpool_puts").Set(int64(st.Puts))
+	reg.VolatileGauge("bufpool_hits").Set(int64(st.Hits))
+	reg.VolatileGauge("bufpool_misses").Set(int64(st.Misses))
 }

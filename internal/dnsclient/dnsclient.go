@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"dnsencryption.info/doe/internal/bufpool"
 	"dnsencryption.info/doe/internal/dnswire"
 	"dnsencryption.info/doe/internal/netsim"
 )
@@ -125,6 +126,12 @@ func (c *Client) QueryTCPContext(ctx context.Context, server netip.Addr, name st
 type TCPConn struct {
 	mu   sync.Mutex
 	conn *netsim.Conn
+	// ids generates this connection's transaction IDs without touching
+	// the process-wide idSource lock.
+	ids dnswire.IDGen
+	// wbuf/rbuf are the connection's pooled scratch buffers, guarded by
+	// mu like the connection itself and returned on Close.
+	wbuf, rbuf *[]byte
 	// established is the virtual time consumed before the first query
 	// (TCP handshake).
 	established time.Duration
@@ -168,7 +175,13 @@ func (c *Client) DialTCPPortContext(ctx context.Context, server netip.Addr, port
 // TCPFromConn wraps an already established stream (e.g. a SOCKS tunnel) as
 // a DNS-over-TCP connection.
 func TCPFromConn(conn *netsim.Conn) *TCPConn {
-	return &TCPConn{conn: conn, established: conn.Elapsed()}
+	return &TCPConn{
+		conn:        conn,
+		ids:         dnswire.NewIDGen(),
+		wbuf:        bufpool.Get(512),
+		rbuf:        bufpool.Get(512),
+		established: conn.Elapsed(),
+	}
 }
 
 // SetupLatency is the virtual time spent establishing the connection.
@@ -184,7 +197,11 @@ func (t *TCPConn) Query(name string, qtype dnswire.Type) (*Result, error) {
 }
 
 // QueryContext sends one query on the (possibly reused) connection,
-// checking ctx before the transaction starts.
+// checking ctx before the transaction starts. Steady-state transactions
+// reuse the connection's scratch buffers: pack and frame into wbuf, one
+// write, read into rbuf, parse.
+//
+//doelint:hotpath
 func (t *TCPConn) QueryContext(ctx context.Context, name string, qtype dnswire.Type) (*Result, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -194,19 +211,18 @@ func (t *TCPConn) QueryContext(ctx context.Context, name string, qtype dnswire.T
 	if t.closed {
 		return nil, ErrClosed
 	}
-	q := dnswire.NewQuery(dnswire.NewID(), name, qtype)
-	framed, err := dnswire.PackTCP(q)
-	if err != nil {
-		return nil, err
-	}
+	q := dnswire.NewQuery(t.ids.Next(), name, qtype)
 	start := t.conn.Elapsed()
-	if _, err := t.conn.Write(framed); err != nil {
-		return nil, err
-	}
-	raw, err := dnswire.ReadTCP(t.conn)
+	out, err := dnswire.WriteMessageTCP(t.conn, q, *t.wbuf)
+	*t.wbuf = out
 	if err != nil {
 		return nil, err
 	}
+	raw, err := dnswire.ReadTCPAppend(t.conn, (*t.rbuf)[:0])
+	if err != nil {
+		return nil, err
+	}
+	*t.rbuf = raw
 	m, err := dnswire.Unpack(raw)
 	if err != nil {
 		return nil, err
@@ -221,6 +237,12 @@ func (t *TCPConn) QueryContext(ctx context.Context, name string, qtype dnswire.T
 func (t *TCPConn) Close() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.closed {
+		return nil
+	}
 	t.closed = true
+	bufpool.Put(t.wbuf)
+	bufpool.Put(t.rbuf)
+	t.wbuf, t.rbuf = nil, nil
 	return t.conn.Close()
 }

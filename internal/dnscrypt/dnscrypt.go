@@ -11,6 +11,7 @@ import (
 	"net/netip"
 	"time"
 
+	"dnsencryption.info/doe/internal/bufpool"
 	"dnsencryption.info/doe/internal/certs"
 	"dnsencryption.info/doe/internal/dnsclient"
 	"dnsencryption.info/doe/internal/dnsserver"
@@ -98,14 +99,15 @@ func ParseCert(raw []byte, providerPK ed25519.PublicKey, now time.Time) (*Cert, 
 	return &c, nil
 }
 
-// pad applies ISO/IEC 7816-4 padding to a multiple of 64 bytes (DNSCrypt's
-// traffic-analysis mitigation: queries share a small set of sizes).
-func pad(msg []byte) []byte {
-	padded := append(append([]byte{}, msg...), 0x80)
-	for len(padded)%64 != 0 {
-		padded = append(padded, 0)
+// appendPad applies ISO/IEC 7816-4 padding to a multiple of 64 bytes
+// (DNSCrypt's traffic-analysis mitigation: queries share a small set of
+// sizes). Padding happens in place: the returned slice extends msg.
+func appendPad(msg []byte) []byte {
+	msg = append(msg, 0x80)
+	for len(msg)%64 != 0 {
+		msg = append(msg, 0)
 	}
-	return padded
+	return msg
 }
 
 // unpad reverses pad.
@@ -245,7 +247,7 @@ func (s *Server) serveEncrypted(from netip.Addr, req []byte) ([]byte, time.Durat
 	if _, err := rand.Read(respNonce[12:]); err != nil {
 		return nil, 0, err
 	}
-	sealed := SecretboxSeal(pad(packedResp), &respNonce, shared)
+	sealed := SecretboxSeal(appendPad(packedResp), &respNonce, shared)
 	out := make([]byte, 0, 8+24+len(sealed))
 	out = append(out, resolverMagic[:]...)
 	out = append(out, respNonce[:]...)
@@ -266,6 +268,12 @@ type Client struct {
 
 	kp   *KeyPair
 	cert *Cert
+	// shared caches the NaCl box precomputation with the certificate's
+	// resolver key; the X25519 exchange runs once per certificate, not
+	// once per query.
+	shared *[32]byte
+	// ids generates transaction IDs without the process-wide lock.
+	ids dnswire.IDGen
 }
 
 // NewClient creates a client with a fresh X25519 key pair.
@@ -281,6 +289,7 @@ func NewClient(w *netsim.World, from netip.Addr, providerName string, providerPK
 		ProviderPK:   providerPK,
 		Now:          certs.RefTime,
 		kp:           kp,
+		ids:          dnswire.NewIDGen(),
 	}, nil
 }
 
@@ -324,7 +333,12 @@ func (c *Client) FetchCertContext(ctx context.Context, resolver netip.Addr) erro
 		if err != nil {
 			return err
 		}
+		shared, err := c.kp.SharedKey(&cert.ResolverPK)
+		if err != nil {
+			return err
+		}
 		c.cert = cert
+		c.shared = shared
 		return nil
 	}
 	return ErrNoCert
@@ -339,6 +353,8 @@ func (c *Client) Query(resolver netip.Addr, name string, qtype dnswire.Type) (*d
 
 // QueryContext performs one encrypted lookup, checking ctx before the
 // exchange. FetchCert must have succeeded.
+//
+//doelint:hotpath
 func (c *Client) QueryContext(ctx context.Context, resolver netip.Addr, name string, qtype dnswire.Type) (*dnsclient.Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("dnscrypt: query: %w", err)
@@ -346,12 +362,19 @@ func (c *Client) QueryContext(ctx context.Context, resolver netip.Addr, name str
 	if c.cert == nil {
 		return nil, ErrNoCert
 	}
-	q := dnswire.NewQuery(dnswire.NewID(), name, qtype)
-	packed, err := q.Pack()
-	if err != nil {
-		return nil, err
+	shared := c.shared
+	if shared == nil {
+		// Certificate installed without FetchCert (tests); derive lazily.
+		var err error
+		if shared, err = c.kp.SharedKey(&c.cert.ResolverPK); err != nil {
+			return nil, err
+		}
+		c.shared = shared
 	}
-	shared, err := c.kp.SharedKey(&c.cert.ResolverPK)
+	q := dnswire.NewQuery(c.ids.Next(), name, qtype)
+	pb := bufpool.Get(512)
+	defer bufpool.Put(pb)
+	packed, err := q.AppendPack((*pb)[:0])
 	if err != nil {
 		return nil, err
 	}
@@ -359,9 +382,12 @@ func (c *Client) QueryContext(ctx context.Context, resolver netip.Addr, name str
 	if _, err := rand.Read(nonce[:12]); err != nil {
 		return nil, err
 	}
-	sealed := SecretboxSeal(pad(packed), &nonce, shared)
+	*pb = appendPad(packed)
+	sealed := SecretboxSeal(*pb, &nonce, shared)
 
-	msg := make([]byte, 0, 8+32+12+len(sealed))
+	// The datagram escapes into the simulated network (interceptors may
+	// retain it), so it is deliberately not pooled.
+	msg := make([]byte, 0, 8+32+12+len(sealed)) //doelint:allow hotalloc -- datagram escapes to World.Exchange and cannot be recycled
 	msg = append(msg, c.cert.ClientMagic[:]...)
 	msg = append(msg, c.kp.Public[:]...)
 	msg = append(msg, nonce[:12]...)

@@ -139,7 +139,7 @@ func TestBoxSharedKeyAgreement(t *testing.T) {
 
 func TestPadUnpad(t *testing.T) {
 	f := func(msg []byte) bool {
-		padded := pad(msg)
+		padded := appendPad(append([]byte(nil), msg...))
 		if len(padded)%64 != 0 {
 			return false
 		}

@@ -13,13 +13,17 @@ import (
 	"sync"
 	"time"
 
+	"dnsencryption.info/doe/internal/bufpool"
 	"dnsencryption.info/doe/internal/dnswire"
 	"dnsencryption.info/doe/internal/netsim"
 )
 
 // Handler answers one DNS query. proc is the virtual processing time the
 // query cost the server (charged to the client's connection by the
-// transport front-ends).
+// transport front-ends). req is only valid for the duration of the call:
+// the stream front-ends parse every request into one reused Message, so a
+// handler that needs to keep question data must copy it (Reply already
+// copies the question section by value).
 type Handler interface {
 	ServeDNS(remote netip.Addr, req *dnswire.Message) (resp *dnswire.Message, proc time.Duration)
 }
@@ -47,27 +51,37 @@ type rw interface {
 	Write([]byte) (int, error)
 }
 
+// serveStreamRW is the per-connection answer loop. It owns one pooled read
+// buffer, one pooled write buffer and one reused request Message for the
+// connection's lifetime, so answering a query in steady state allocates
+// only what the handler itself builds.
+//
+//doelint:hotpath
 func serveStreamRW(conn rw, raw *netsim.Conn, h Handler) {
+	remote := raw.RemoteAddr().(netsim.Addr).IP
+	rbuf := bufpool.Get(512)
+	wbuf := bufpool.Get(512)
+	defer bufpool.Put(rbuf)
+	defer bufpool.Put(wbuf)
+	req := new(dnswire.Message)
 	for {
-		msg, err := dnswire.ReadTCP(conn)
+		msg, err := dnswire.ReadTCPAppend(conn, (*rbuf)[:0])
 		if err != nil {
 			return
 		}
-		req, err := dnswire.Unpack(msg)
-		if err != nil {
+		*rbuf = msg
+		if err := dnswire.UnpackInto(req, msg); err != nil {
 			// RFC 7766: a server receiving garbage should close.
 			return
 		}
-		resp, proc := h.ServeDNS(raw.RemoteAddr().(netsim.Addr).IP, req)
+		resp, proc := h.ServeDNS(remote, req)
 		if resp == nil {
 			return
 		}
 		raw.AddLatency(proc)
-		packed, err := resp.Pack()
+		out, err := dnswire.WriteMessageTCP(conn, resp, *wbuf)
+		*wbuf = out
 		if err != nil {
-			return
-		}
-		if err := dnswire.WriteTCP(conn, packed); err != nil {
 			return
 		}
 	}

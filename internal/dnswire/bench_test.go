@@ -1,0 +1,98 @@
+package dnswire
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+)
+
+// benchMessage is a response with every common section populated — the
+// shape the steady-state exchange paths pack and parse per query.
+func benchMessage(b *testing.B) *Message {
+	b.Helper()
+	q := NewQuery(0x1234, "q1.measure.example.org", TypeA)
+	r := q.Reply()
+	r.AddAnswer("q1.measure.example.org", 300, A{Addr: netip.MustParseAddr("192.0.2.1")})
+	r.AddAnswer("q1.measure.example.org", 300, CNAME{Target: "alias.example.org"})
+	r.AddAuthority("example.org", 900, SOA{MName: "ns1.example.org", RName: "hostmaster.example.org", Serial: 7})
+	return r
+}
+
+// BenchmarkNewIDParallel exercises the legacy process-wide ID source under
+// contention: every NewID serializes on one mutex.
+func BenchmarkNewIDParallel(b *testing.B) {
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			_ = NewID()
+		}
+	})
+}
+
+// BenchmarkIDGenParallel is the per-session replacement: each worker owns a
+// generator, so ID draws share no state at all.
+func BenchmarkIDGenParallel(b *testing.B) {
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		g := NewIDGen()
+		for pb.Next() {
+			_ = g.Next()
+		}
+	})
+}
+
+// BenchmarkAppendPackTCP measures the zero-copy framing path with a reused
+// buffer, the per-query cost on every stream transport.
+func BenchmarkAppendPackTCP(b *testing.B) {
+	m := benchMessage(b)
+	buf, err := m.AppendPackTCP(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, err = m.AppendPackTCP(buf[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReadTCPAppend measures frame reads into a reused buffer.
+func BenchmarkReadTCPAppend(b *testing.B) {
+	m := benchMessage(b)
+	framed, err := m.AppendPackTCP(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := bytes.NewReader(framed)
+	var scratch []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Reset(framed)
+		scratch, err = ReadTCPAppend(r, scratch[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUnpackInto measures parsing with reused message storage, the
+// server-loop fast path.
+func BenchmarkUnpackInto(b *testing.B) {
+	m := benchMessage(b)
+	packed, err := m.Pack()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var dst Message
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := UnpackInto(&dst, packed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

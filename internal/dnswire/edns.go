@@ -31,7 +31,7 @@ type OPT struct {
 // RType implements RData.
 func (OPT) RType() Type { return TypeOPT }
 
-func (o OPT) appendTo(buf []byte, _ map[string]int) ([]byte, error) {
+func (o OPT) appendTo(buf []byte, _ *packState) ([]byte, error) {
 	for _, opt := range o.Options {
 		if len(opt.Data) > 0xFFFF {
 			return nil, fmt.Errorf("dnswire: EDNS option %d data too long", opt.Code)

@@ -152,3 +152,57 @@ func FuzzRData(f *testing.F) {
 		}
 	})
 }
+
+// FuzzAppendTCP pins the append-style framing path to the original
+// pack-then-copy path: for every message the parser accepts, AppendPackTCP
+// must produce exactly the 2-byte length prefix plus Pack()'s bytes —
+// whether it starts from an empty buffer or appends after existing content
+// — and the framed form must survive a ReadTCPAppend→Unpack round trip.
+func FuzzAppendTCP(f *testing.F) {
+	for _, seed := range seedMessages(f) {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Unpack(data)
+		if err != nil {
+			return
+		}
+		packed, err := m.Pack()
+		if err != nil {
+			return
+		}
+		framed, err := m.AppendPackTCP(nil)
+		if err != nil {
+			t.Fatalf("AppendPackTCP failed where Pack succeeded: %v", err)
+		}
+		want, err := AppendTCP(nil, packed)
+		if err != nil {
+			t.Fatalf("AppendTCP rejected Pack output: %v", err)
+		}
+		if !bytes.Equal(framed, want) {
+			t.Fatalf("AppendPackTCP diverges from frame(Pack):\n got %x\nwant %x", framed, want)
+		}
+		// Appending after a non-empty prefix must leave the prefix intact
+		// and produce the same frame after it (compression offsets are
+		// message-relative, not buffer-relative).
+		prefix := []byte{0xde, 0xad, 0xbe, 0xef}
+		out, err := m.AppendPackTCP(append([]byte(nil), prefix...))
+		if err != nil {
+			t.Fatalf("AppendPackTCP with prefix: %v", err)
+		}
+		if !bytes.Equal(out[:len(prefix)], prefix) || !bytes.Equal(out[len(prefix):], framed) {
+			t.Fatalf("prefixed AppendPackTCP not self-contained:\n got %x\nwant %x%x", out, prefix, framed)
+		}
+		// Read the frame back and confirm the message bytes round-trip.
+		body, err := ReadTCPAppend(bytes.NewReader(framed), nil)
+		if err != nil {
+			t.Fatalf("ReadTCPAppend on own frame: %v", err)
+		}
+		if !bytes.Equal(body, packed) {
+			t.Fatalf("framed body mismatch:\n got %x\nwant %x", body, packed)
+		}
+		if _, err := Unpack(body); err != nil {
+			t.Fatalf("framed body fails to parse: %v", err)
+		}
+	})
+}

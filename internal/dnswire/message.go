@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // Errors returned by the message codec.
@@ -109,18 +110,46 @@ func (m *Message) AddAuthority(name string, ttl uint32, data RData) *Message {
 	return m
 }
 
+// packState carries message-scoped pack state: the RFC 1035 §4.1.4
+// compression offsets and the buffer index of the message's first byte, so
+// a message can be packed after framing headroom while its pointers stay
+// message-relative. States are pooled — steady-state packing reuses one map
+// instead of allocating a fresh one per message.
+type packState struct {
+	base int
+	off  map[string]int
+}
+
+var packStatePool = sync.Pool{
+	New: func() any { return &packState{off: make(map[string]int, 8)} },
+}
+
+func newPackState(base int) *packState {
+	ps := packStatePool.Get().(*packState)
+	ps.base = base
+	return ps
+}
+
+func (ps *packState) release() {
+	for k := range ps.off {
+		delete(ps.off, k)
+	}
+	packStatePool.Put(ps)
+}
+
 // Pack serializes the message to wire format with name compression.
 func (m *Message) Pack() ([]byte, error) {
 	return m.AppendPack(make([]byte, 0, 512))
 }
 
-// AppendPack appends the wire form of m to buf. buf must represent the start
-// of the message (compression offsets are relative to buf's current length
-// being zero); callers appending after framing bytes should pack separately.
+// AppendPack appends the wire form of m to buf and returns the extended
+// slice. The message may start at any offset: compression pointers are
+// encoded relative to len(buf) at the time of the call, so callers can
+// reserve framing headroom first (see AppendPackTCP) without the historical
+// pack-then-copy.
 func (m *Message) AppendPack(buf []byte) ([]byte, error) {
-	if len(buf) != 0 {
-		return nil, fmt.Errorf("dnswire: AppendPack requires an empty buffer (len %d)", len(buf))
-	}
+	ps := newPackState(len(buf))
+	defer ps.release()
 	ext := uint16(m.Rcode) >> 4
 	if ext != 0 {
 		if _, ok := m.OPT(); !ok {
@@ -134,10 +163,9 @@ func (m *Message) AppendPack(buf []byte) ([]byte, error) {
 	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Authorities)))
 	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Additionals)))
 
-	cmp := map[string]int{}
 	var err error
 	for _, q := range m.Questions {
-		if buf, err = appendName(buf, q.Name, cmp); err != nil {
+		if buf, err = appendName(buf, q.Name, ps); err != nil {
 			return nil, err
 		}
 		buf = binary.BigEndian.AppendUint16(buf, uint16(q.Type))
@@ -145,7 +173,7 @@ func (m *Message) AppendPack(buf []byte) ([]byte, error) {
 	}
 	for _, sec := range [][]Record{m.Answers, m.Authorities, m.Additionals} {
 		for _, rr := range sec {
-			if buf, err = appendRecord(buf, rr, cmp, ext); err != nil {
+			if buf, err = appendRecord(buf, rr, ps, ext); err != nil {
 				return nil, err
 			}
 		}
@@ -153,7 +181,7 @@ func (m *Message) AppendPack(buf []byte) ([]byte, error) {
 	return buf, nil
 }
 
-func appendRecord(buf []byte, rr Record, cmp map[string]int, extRcode uint16) ([]byte, error) {
+func appendRecord(buf []byte, rr Record, ps *packState, extRcode uint16) ([]byte, error) {
 	if rr.Data == nil {
 		return nil, fmt.Errorf("dnswire: record %q has nil data", rr.Name)
 	}
@@ -171,7 +199,7 @@ func appendRecord(buf []byte, rr Record, cmp map[string]int, extRcode uint16) ([
 			ttl |= 1 << 15
 		}
 	}
-	if buf, err = appendName(buf, name, cmp); err != nil {
+	if buf, err = appendName(buf, name, ps); err != nil {
 		return nil, err
 	}
 	buf = binary.BigEndian.AppendUint16(buf, uint16(rr.Data.RType()))
@@ -180,7 +208,7 @@ func appendRecord(buf []byte, rr Record, cmp map[string]int, extRcode uint16) ([
 	// Reserve the RDLENGTH slot, append RDATA, then back-patch.
 	lenOff := len(buf)
 	buf = append(buf, 0, 0)
-	if buf, err = rr.Data.appendTo(buf, cmp); err != nil {
+	if buf, err = rr.Data.appendTo(buf, ps); err != nil {
 		return nil, err
 	}
 	rdlen := len(buf) - lenOff - 2
@@ -193,21 +221,33 @@ func appendRecord(buf []byte, rr Record, cmp map[string]int, extRcode uint16) ([
 
 // Unpack parses a wire-format message. Trailing bytes are an error.
 func Unpack(msg []byte) (*Message, error) {
-	m, off, err := unpack(msg)
-	if err != nil {
+	m := &Message{}
+	if err := UnpackInto(m, msg); err != nil {
 		return nil, err
-	}
-	if off != len(msg) {
-		return nil, ErrTrailingBytes
 	}
 	return m, nil
 }
 
-func unpack(msg []byte) (*Message, int, error) {
+// Reset clears m for reuse, keeping the capacity of its section slices.
+func (m *Message) Reset() {
+	m.Header = Header{}
+	m.Questions = m.Questions[:0]
+	m.Answers = m.Answers[:0]
+	m.Authorities = m.Authorities[:0]
+	m.Additionals = m.Additionals[:0]
+}
+
+// UnpackInto parses msg into m, resetting m first and reusing its section
+// slices — steady-state server loops parse every request into one
+// long-lived Message without reallocating the sections. Every field of the
+// result is copied out of msg, so callers may overwrite msg (e.g. a pooled
+// read buffer) as soon as UnpackInto returns. On error m is left in an
+// unspecified partially-parsed state.
+func UnpackInto(m *Message, msg []byte) error {
+	m.Reset()
 	if len(msg) < 12 {
-		return nil, 0, ErrHeaderTooShort
+		return ErrHeaderTooShort
 	}
-	m := &Message{}
 	m.ID = binary.BigEndian.Uint16(msg)
 	m.setFlags(binary.BigEndian.Uint16(msg[2:]))
 	qd := int(binary.BigEndian.Uint16(msg[4:]))
@@ -219,10 +259,10 @@ func unpack(msg []byte) (*Message, int, error) {
 	for i := 0; i < qd; i++ {
 		var q Question
 		if q.Name, off, err = readName(msg, off); err != nil {
-			return nil, 0, fmt.Errorf("question %d: %w", i, err)
+			return fmt.Errorf("question %d: %w", i, err)
 		}
 		if off+4 > len(msg) {
-			return nil, 0, ErrBufferTooSmall
+			return ErrBufferTooSmall
 		}
 		q.Type = Type(binary.BigEndian.Uint16(msg[off:]))
 		q.Class = Class(binary.BigEndian.Uint16(msg[off+2:]))
@@ -242,7 +282,7 @@ func unpack(msg []byte) (*Message, int, error) {
 		for i := 0; i < sec.count; i++ {
 			var rr Record
 			if rr, off, err = unpackRecord(msg, off); err != nil {
-				return nil, 0, fmt.Errorf("%s %d: %w", sec.name, i, err)
+				return fmt.Errorf("%s %d: %w", sec.name, i, err)
 			}
 			if opt, ok := rr.Data.(OPT); ok {
 				// Merge the extended rcode bits into the header rcode.
@@ -251,7 +291,10 @@ func unpack(msg []byte) (*Message, int, error) {
 			*sec.dst = append(*sec.dst, rr)
 		}
 	}
-	return m, off, nil
+	if off != len(msg) {
+		return ErrTrailingBytes
+	}
+	return nil
 }
 
 func unpackRecord(msg []byte, off int) (Record, int, error) {

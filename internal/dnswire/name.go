@@ -61,51 +61,61 @@ func SLD(name string) string {
 	return strings.Join(labels[len(labels)-2:], ".") + "."
 }
 
-// splitLabels breaks a presentation-format name into labels, validating
-// length restrictions. The root name yields no labels.
-func splitLabels(name string) ([]string, error) {
-	name = CanonicalName(name)
-	if name == "." {
-		return nil, nil
-	}
-	labels := strings.Split(strings.TrimSuffix(name, "."), ".")
-	total := 0
-	for _, l := range labels {
-		if l == "" {
-			return nil, ErrEmptyLabel
+// validateName checks the per-label and total length restrictions of a
+// canonical name without splitting it into a label slice. Per-label errors
+// take precedence over the total-length error, matching the historical
+// splitLabels behavior.
+func validateName(name string) error {
+	for pos := 0; pos < len(name); {
+		dot := strings.IndexByte(name[pos:], '.')
+		if dot == 0 {
+			return ErrEmptyLabel
 		}
-		if len(l) > maxLabelLen {
-			return nil, ErrLabelTooLong
+		if dot > maxLabelLen {
+			return ErrLabelTooLong
 		}
-		total += len(l) + 1
+		pos += dot + 1
 	}
-	if total+1 > maxNameLen {
-		return nil, ErrNameTooLong
+	// A canonical name's wire form costs len(name)+1 octets: each label's
+	// length byte stands in for its trailing dot, plus the root byte.
+	if len(name)+1 > maxNameLen {
+		return ErrNameTooLong
 	}
-	return labels, nil
+	return nil
 }
 
-// appendName appends the wire encoding of name to buf. If cmp is non-nil it
+// appendName appends the wire encoding of name to buf. If ps is non-nil it
 // performs RFC 1035 §4.1.4 compression: suffixes already emitted earlier in
-// the message are replaced by a 2-byte pointer, and newly emitted suffixes at
-// offsets representable in 14 bits are recorded for later reuse.
-func appendName(buf []byte, name string, cmp map[string]int) ([]byte, error) {
-	labels, err := splitLabels(name)
-	if err != nil {
+// the message are replaced by a 2-byte pointer, and newly emitted suffixes
+// at message-relative offsets representable in 14 bits are recorded for
+// later reuse.
+//
+// The steady-state path allocates nothing: labels are walked in place with
+// IndexByte and the compression keys are suffix substrings of the canonical
+// name, which produce exactly the keys the label-joining implementation
+// used, so compression decisions — and the packed bytes — are unchanged.
+func appendName(buf []byte, name string, ps *packState) ([]byte, error) {
+	name = CanonicalName(name)
+	if name == "." {
+		return append(buf, 0), nil
+	}
+	if err := validateName(name); err != nil {
 		return nil, err
 	}
-	for i := range labels {
-		suffix := strings.Join(labels[i:], ".") + "."
-		if cmp != nil {
-			if off, ok := cmp[suffix]; ok {
+	for pos := 0; pos < len(name); {
+		suffix := name[pos:]
+		if ps != nil {
+			if off, ok := ps.off[suffix]; ok {
 				return append(buf, byte(0xC0|off>>8), byte(off)), nil
 			}
-			if len(buf) < 0x3FFF {
-				cmp[suffix] = len(buf)
+			if off := len(buf) - ps.base; off < 0x3FFF {
+				ps.off[suffix] = off
 			}
 		}
-		buf = append(buf, byte(len(labels[i])))
-		buf = append(buf, labels[i]...)
+		n := strings.IndexByte(suffix, '.')
+		buf = append(buf, byte(n))
+		buf = append(buf, suffix[:n]...)
+		pos += n + 1
 	}
 	return append(buf, 0), nil
 }
@@ -115,7 +125,11 @@ func appendName(buf []byte, name string, cmp map[string]int) ([]byte, error) {
 // byte after the name's in-place encoding (pointers are followed but do not
 // advance the cursor).
 func readName(msg []byte, off int) (string, int, error) {
-	var b strings.Builder
+	// Names are capped at 255 presentation octets, so the label bytes
+	// accumulate in a fixed stack buffer and the only allocation is the
+	// final string copy. Lower-casing happens as bytes are copied in.
+	var name [maxNameLen]byte
+	n := 0
 	ptrCount := 0
 	cursor := off
 	// end tracks where parsing resumes; set the first time a pointer is taken.
@@ -131,10 +145,10 @@ func readName(msg []byte, off int) (string, int, error) {
 			if end < 0 {
 				end = cursor
 			}
-			if b.Len() == 0 {
+			if n == 0 {
 				return ".", end, nil
 			}
-			return b.String(), end, nil
+			return string(name[:n]), end, nil
 		case c&0xC0 == 0xC0:
 			if cursor+1 >= len(msg) {
 				return "", 0, ErrBufferTooSmall
@@ -157,29 +171,19 @@ func readName(msg []byte, off int) (string, int, error) {
 			if cursor+1+int(c) > len(msg) {
 				return "", 0, ErrBufferTooSmall
 			}
-			if b.Len()+int(c)+1 > maxNameLen {
+			if n+int(c)+1 > maxNameLen {
 				return "", 0, ErrNameTooLong
 			}
-			b.Write(toLowerASCII(msg[cursor+1 : cursor+1+int(c)]))
-			b.WriteByte('.')
+			for _, ch := range msg[cursor+1 : cursor+1+int(c)] {
+				if 'A' <= ch && ch <= 'Z' {
+					ch += 'a' - 'A'
+				}
+				name[n] = ch
+				n++
+			}
+			name[n] = '.'
+			n++
 			cursor += 1 + int(c)
 		}
 	}
-}
-
-// toLowerASCII lower-cases ASCII letters without allocating for the common
-// already-lowercase case.
-func toLowerASCII(b []byte) []byte {
-	lower := b
-	copied := false
-	for i, c := range b {
-		if 'A' <= c && c <= 'Z' {
-			if !copied {
-				lower = append([]byte(nil), b...)
-				copied = true
-			}
-			lower[i] = c + 'a' - 'A'
-		}
-	}
-	return lower
 }

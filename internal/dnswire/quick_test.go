@@ -64,7 +64,7 @@ func TestQuickNameCompressionRoundTrip(t *testing.T) {
 	f := func(a, b wireName) bool {
 		shared := "shared." + string(a)
 		names := []string{string(a), shared, string(b), shared, "x." + shared}
-		cmp := map[string]int{}
+		cmp := &packState{off: map[string]int{}}
 		var buf []byte
 		var offs []int
 		var err error

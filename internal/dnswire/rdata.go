@@ -13,12 +13,12 @@ var ErrRDataTooShort = errors.New("dnswire: rdata too short")
 
 // RData is the type-specific payload of a resource record.
 //
-// appendTo appends the wire form of the data to buf. cmp is the message-wide
-// compression map; only record types whose RDATA names are compressible per
-// RFC 3597 §4 (those defined in RFC 1035) use it.
+// appendTo appends the wire form of the data to buf. ps carries the
+// message-wide compression state; only record types whose RDATA names are
+// compressible per RFC 3597 §4 (those defined in RFC 1035) use it.
 type RData interface {
 	RType() Type
-	appendTo(buf []byte, cmp map[string]int) ([]byte, error)
+	appendTo(buf []byte, ps *packState) ([]byte, error)
 	String() string
 }
 
@@ -38,7 +38,7 @@ func (m *Message) FirstA() (netip.Addr, bool) {
 	return netip.Addr{}, false
 }
 
-func (a A) appendTo(buf []byte, _ map[string]int) ([]byte, error) {
+func (a A) appendTo(buf []byte, _ *packState) ([]byte, error) {
 	if !a.Addr.Is4() {
 		return nil, fmt.Errorf("dnswire: A record requires IPv4 address, got %v", a.Addr)
 	}
@@ -54,7 +54,7 @@ type AAAA struct{ Addr netip.Addr }
 // RType implements RData.
 func (AAAA) RType() Type { return TypeAAAA }
 
-func (a AAAA) appendTo(buf []byte, _ map[string]int) ([]byte, error) {
+func (a AAAA) appendTo(buf []byte, _ *packState) ([]byte, error) {
 	if !a.Addr.Is6() || a.Addr.Is4In6() {
 		return nil, fmt.Errorf("dnswire: AAAA record requires IPv6 address, got %v", a.Addr)
 	}
@@ -70,8 +70,8 @@ type NS struct{ Host string }
 // RType implements RData.
 func (NS) RType() Type { return TypeNS }
 
-func (n NS) appendTo(buf []byte, cmp map[string]int) ([]byte, error) {
-	return appendName(buf, n.Host, cmp)
+func (n NS) appendTo(buf []byte, ps *packState) ([]byte, error) {
+	return appendName(buf, n.Host, ps)
 }
 
 func (n NS) String() string { return CanonicalName(n.Host) }
@@ -82,8 +82,8 @@ type CNAME struct{ Target string }
 // RType implements RData.
 func (CNAME) RType() Type { return TypeCNAME }
 
-func (c CNAME) appendTo(buf []byte, cmp map[string]int) ([]byte, error) {
-	return appendName(buf, c.Target, cmp)
+func (c CNAME) appendTo(buf []byte, ps *packState) ([]byte, error) {
+	return appendName(buf, c.Target, ps)
 }
 
 func (c CNAME) String() string { return CanonicalName(c.Target) }
@@ -95,8 +95,8 @@ type PTR struct{ Target string }
 // RType implements RData.
 func (PTR) RType() Type { return TypePTR }
 
-func (p PTR) appendTo(buf []byte, cmp map[string]int) ([]byte, error) {
-	return appendName(buf, p.Target, cmp)
+func (p PTR) appendTo(buf []byte, ps *packState) ([]byte, error) {
+	return appendName(buf, p.Target, ps)
 }
 
 func (p PTR) String() string { return CanonicalName(p.Target) }
@@ -110,9 +110,9 @@ type MX struct {
 // RType implements RData.
 func (MX) RType() Type { return TypeMX }
 
-func (m MX) appendTo(buf []byte, cmp map[string]int) ([]byte, error) {
+func (m MX) appendTo(buf []byte, ps *packState) ([]byte, error) {
 	buf = binary.BigEndian.AppendUint16(buf, m.Preference)
-	return appendName(buf, m.Host, cmp)
+	return appendName(buf, m.Host, ps)
 }
 
 func (m MX) String() string { return fmt.Sprintf("%d %s", m.Preference, CanonicalName(m.Host)) }
@@ -131,12 +131,12 @@ type SOA struct {
 // RType implements RData.
 func (SOA) RType() Type { return TypeSOA }
 
-func (s SOA) appendTo(buf []byte, cmp map[string]int) ([]byte, error) {
+func (s SOA) appendTo(buf []byte, ps *packState) ([]byte, error) {
 	var err error
-	if buf, err = appendName(buf, s.MName, cmp); err != nil {
+	if buf, err = appendName(buf, s.MName, ps); err != nil {
 		return nil, err
 	}
-	if buf, err = appendName(buf, s.RName, cmp); err != nil {
+	if buf, err = appendName(buf, s.RName, ps); err != nil {
 		return nil, err
 	}
 	buf = binary.BigEndian.AppendUint32(buf, s.Serial)
@@ -158,7 +158,7 @@ type TXT struct{ Texts []string }
 // RType implements RData.
 func (TXT) RType() Type { return TypeTXT }
 
-func (t TXT) appendTo(buf []byte, _ map[string]int) ([]byte, error) {
+func (t TXT) appendTo(buf []byte, _ *packState) ([]byte, error) {
 	if len(t.Texts) == 0 {
 		// A TXT record must carry at least one (possibly empty) string.
 		return append(buf, 0), nil
@@ -192,7 +192,7 @@ type SRV struct {
 // RType implements RData.
 func (SRV) RType() Type { return TypeSRV }
 
-func (s SRV) appendTo(buf []byte, _ map[string]int) ([]byte, error) {
+func (s SRV) appendTo(buf []byte, _ *packState) ([]byte, error) {
 	buf = binary.BigEndian.AppendUint16(buf, s.Priority)
 	buf = binary.BigEndian.AppendUint16(buf, s.Weight)
 	buf = binary.BigEndian.AppendUint16(buf, s.Port)
@@ -212,7 +212,7 @@ type Raw struct {
 // RType implements RData.
 func (r Raw) RType() Type { return r.Type }
 
-func (r Raw) appendTo(buf []byte, _ map[string]int) ([]byte, error) {
+func (r Raw) appendTo(buf []byte, _ *packState) ([]byte, error) {
 	return append(buf, r.Data...), nil
 }
 

@@ -14,10 +14,12 @@ import (
 	"net/http"
 	"net/netip"
 	"net/url"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
+	"dnsencryption.info/doe/internal/bufpool"
 	"dnsencryption.info/doe/internal/certs"
 	"dnsencryption.info/doe/internal/dnsclient"
 	"dnsencryption.info/doe/internal/dnswire"
@@ -45,6 +47,8 @@ func (m Method) String() string {
 var (
 	ErrAuthFailed = errors.New("doh: server authentication failed")
 	ErrHTTPStatus = errors.New("doh: non-200 HTTP status")
+
+	errMalformedResponse = errors.New("doh: malformed HTTP response")
 )
 
 // Template is a parsed DoH URI template, e.g.
@@ -152,6 +156,10 @@ type Conn struct {
 	template Template
 	setup    time.Duration
 	closed   bool
+	// pbuf/wbuf/rbuf are the session's pooled scratch buffers — packed DNS
+	// message, rendered HTTP request, and response body — guarded by mu
+	// like the connection itself and returned on Close.
+	pbuf, wbuf, rbuf *[]byte
 }
 
 // Dial establishes a DoH session for the template, connecting to addr
@@ -203,6 +211,9 @@ func (c *Client) DialConnContext(ctx context.Context, t Template, raw *netsim.Co
 		client:   c,
 		template: t,
 		setup:    raw.Elapsed(),
+		pbuf:     bufpool.Get(512),
+		wbuf:     bufpool.Get(2048),
+		rbuf:     bufpool.Get(512),
 	}, nil
 }
 
@@ -219,6 +230,15 @@ func (conn *Conn) Query(name string, qtype dnswire.Type) (*dnsclient.Result, err
 
 // QueryContext performs one wire-format DoH transaction on the session,
 // checking ctx before the transaction starts.
+//
+// The HTTP/1.1 exchange is hand-rolled: the request is rendered into a
+// reused scratch buffer and sent in one Write (the same single TLS record
+// net/http's buffered request writer produced, so virtual-clock accounting
+// is unchanged), and the response head is parsed in place from the session's
+// bufio.Reader. net/http's per-request Request/Response/textproto machinery
+// is what dominated this path's allocation profile.
+//
+//doelint:hotpath
 func (conn *Conn) QueryContext(ctx context.Context, name string, qtype dnswire.Type) (*dnsclient.Result, error) {
 	conn.mu.Lock()
 	defer conn.mu.Unlock()
@@ -230,30 +250,24 @@ func (conn *Conn) QueryContext(ctx context.Context, name string, qtype dnswire.T
 	}
 	// RFC 8484 recommends ID 0 for cache friendliness.
 	q := dnswire.NewQuery(0, name, qtype)
-	packed, err := q.Pack()
+	packed, err := q.AppendPack((*conn.pbuf)[:0])
 	if err != nil {
 		return nil, err
 	}
-	req, err := conn.buildRequest(packed)
-	if err != nil {
-		return nil, err
-	}
+	*conn.pbuf = packed
+	wb := conn.appendRequest((*conn.wbuf)[:0], packed)
+	*conn.wbuf = wb
 	start := conn.raw.Elapsed()
 	conn.raw.AddLatency(conn.client.CryptoCost)
-	if err := req.Write(conn.tls); err != nil {
+	if _, err := conn.tls.Write(wb); err != nil {
 		return nil, err
 	}
-	resp, err := http.ReadResponse(conn.br, req)
+	status, body, err := conn.readResponse()
 	if err != nil {
 		return nil, err
 	}
-	body, err := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	if err != nil {
-		return nil, err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("%w: %d", ErrHTTPStatus, resp.StatusCode)
+	if status != http.StatusOK {
+		return nil, fmt.Errorf("%w: %d", ErrHTTPStatus, status)
 	}
 	m, err := dnswire.Unpack(body)
 	if err != nil {
@@ -262,26 +276,190 @@ func (conn *Conn) QueryContext(ctx context.Context, name string, qtype dnswire.T
 	return &dnsclient.Result{Msg: m, Latency: conn.raw.Elapsed() - start}, nil
 }
 
-func (conn *Conn) buildRequest(packed []byte) (*http.Request, error) {
-	u := &url.URL{Scheme: "https", Host: conn.template.Host, Path: conn.template.Path}
-	var req *http.Request
-	var err error
-	switch conn.client.Method {
-	case POST:
-		req, err = http.NewRequest(http.MethodPost, u.String(), bytes.NewReader(packed))
+// appendRequest renders the RFC 8484 request for packed into buf and
+// returns the extended slice. The emitted request line and headers carry
+// exactly what the server binding needs (Host, Accept, and the POST body
+// headers); incidental net/http headers like User-Agent are omitted.
+func (conn *Conn) appendRequest(buf, packed []byte) []byte {
+	if conn.client.Method == POST {
+		buf = append(buf, "POST "...)
+		buf = append(buf, conn.template.Path...)
+		buf = append(buf, " HTTP/1.1\r\nHost: "...)
+		buf = append(buf, conn.template.Host...)
+		buf = append(buf, "\r\nContent-Type: "...)
+		buf = append(buf, ContentType...)
+		buf = append(buf, "\r\nAccept: "...)
+		buf = append(buf, ContentType...)
+		buf = append(buf, "\r\nContent-Length: "...)
+		buf = strconv.AppendInt(buf, int64(len(packed)), 10)
+		buf = append(buf, "\r\n\r\n"...)
+		return append(buf, packed...)
+	}
+	buf = append(buf, "GET "...)
+	buf = append(buf, conn.template.Path...)
+	buf = append(buf, "?dns="...)
+	n := base64.RawURLEncoding.EncodedLen(len(packed))
+	off := len(buf)
+	buf = bufpool.Grow(buf, n)
+	base64.RawURLEncoding.Encode(buf[off:], packed)
+	buf = append(buf, " HTTP/1.1\r\nHost: "...)
+	buf = append(buf, conn.template.Host...)
+	buf = append(buf, "\r\nAccept: "...)
+	buf = append(buf, ContentType...)
+	return append(buf, "\r\n\r\n"...)
+}
+
+// readLine reads one CRLF-terminated line from the response, returning it
+// without the terminator. The slice aliases the bufio buffer and is only
+// valid until the next read.
+func (conn *Conn) readLine() ([]byte, error) {
+	line, err := conn.br.ReadSlice('\n')
+	if err != nil {
+		return nil, err
+	}
+	line = line[:len(line)-1]
+	if len(line) > 0 && line[len(line)-1] == '\r' {
+		line = line[:len(line)-1]
+	}
+	return line, nil
+}
+
+// readResponse parses one HTTP/1.1 response from the session, handling the
+// body framings net/http servers emit: Content-Length, chunked, and
+// close-delimited. Like the http.ReadResponse path it replaces, the body is
+// always drained — even for non-200 statuses — so the keep-alive stream
+// stays in sync. The returned body aliases the session's read scratch.
+func (conn *Conn) readResponse() (int, []byte, error) {
+	line, err := conn.readLine()
+	if err != nil {
+		return 0, nil, err
+	}
+	status, err := parseStatusLine(line)
+	if err != nil {
+		return 0, nil, err
+	}
+	contentLen := -1
+	chunked := false
+	for {
+		line, err := conn.readLine()
 		if err != nil {
-			return nil, err
+			return 0, nil, err
 		}
-		req.Header.Set("Content-Type", ContentType)
-	default:
-		u.RawQuery = "dns=" + base64.RawURLEncoding.EncodeToString(packed)
-		req, err = http.NewRequest(http.MethodGet, u.String(), nil)
-		if err != nil {
-			return nil, err
+		if len(line) == 0 {
+			break
+		}
+		colon := bytes.IndexByte(line, ':')
+		if colon < 0 {
+			return 0, nil, errMalformedResponse
+		}
+		key, val := line[:colon], trimSpace(line[colon+1:])
+		switch {
+		case headerIs(key, "content-length"):
+			n, err := strconv.Atoi(string(val))
+			if err != nil || n < 0 {
+				return 0, nil, errMalformedResponse
+			}
+			contentLen = n
+		case headerIs(key, "transfer-encoding"):
+			chunked = headerIs(val, "chunked")
 		}
 	}
-	req.Header.Set("Accept", ContentType)
-	return req, nil
+	body := (*conn.rbuf)[:0]
+	switch {
+	case chunked:
+		for {
+			line, err := conn.readLine()
+			if err != nil {
+				return 0, nil, err
+			}
+			n, err := strconv.ParseUint(string(line), 16, 31)
+			if err != nil {
+				return 0, nil, errMalformedResponse
+			}
+			if n == 0 {
+				// Zero chunk then the terminating empty line (trailers
+				// are not emitted by the servers this client speaks to).
+				if _, err := conn.readLine(); err != nil {
+					return 0, nil, err
+				}
+				break
+			}
+			off := len(body)
+			body = bufpool.Grow(body, int(n))
+			if _, err := io.ReadFull(conn.br, body[off:]); err != nil {
+				return 0, nil, err
+			}
+			// Chunk-terminating CRLF.
+			if _, err := conn.readLine(); err != nil {
+				return 0, nil, err
+			}
+		}
+	case contentLen >= 0:
+		body = bufpool.Grow(body, contentLen)
+		if _, err := io.ReadFull(conn.br, body); err != nil {
+			return 0, nil, err
+		}
+	default:
+		// Close-delimited: the server ends the body by closing.
+		for {
+			off := len(body)
+			body = bufpool.Grow(body, 512)
+			n, err := conn.br.Read(body[off:])
+			body = body[:off+n]
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return 0, nil, err
+			}
+		}
+	}
+	*conn.rbuf = body
+	return status, body, nil
+}
+
+// parseStatusLine extracts the status code from "HTTP/1.1 200 OK".
+func parseStatusLine(line []byte) (int, error) {
+	sp := bytes.IndexByte(line, ' ')
+	if sp < 0 || len(line) < sp+4 {
+		return 0, errMalformedResponse
+	}
+	status := 0
+	for _, c := range line[sp+1 : sp+4] {
+		if c < '0' || c > '9' {
+			return 0, errMalformedResponse
+		}
+		status = status*10 + int(c-'0')
+	}
+	return status, nil
+}
+
+// headerIs compares a header token to an all-lowercase name, ASCII
+// case-insensitively, without allocating.
+func headerIs(tok []byte, name string) bool {
+	if len(tok) != len(name) {
+		return false
+	}
+	for i := 0; i < len(tok); i++ {
+		c := tok[i]
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		if c != name[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func trimSpace(b []byte) []byte {
+	for len(b) > 0 && (b[0] == ' ' || b[0] == '\t') {
+		b = b[1:]
+	}
+	for len(b) > 0 && (b[len(b)-1] == ' ' || b[len(b)-1] == '\t') {
+		b = b[:len(b)-1]
+	}
+	return b
 }
 
 // QueryJSON performs one Google-style JSON API lookup on the session.
@@ -327,6 +505,10 @@ func (conn *Conn) Close() error {
 		return nil
 	}
 	conn.closed = true
+	bufpool.Put(conn.pbuf)
+	bufpool.Put(conn.wbuf)
+	bufpool.Put(conn.rbuf)
+	conn.pbuf, conn.wbuf, conn.rbuf = nil, nil, nil
 	conn.tls.Close()
 	return conn.raw.Close()
 }

@@ -272,11 +272,13 @@ func TestMethodString(t *testing.T) {
 func TestGETURLEncodesBase64URL(t *testing.T) {
 	f := newFixture(t)
 	conn := &Conn{client: &Client{Method: GET}, template: f.tmpl}
-	req, err := conn.buildRequest([]byte{0xfb, 0xff, 0xfe})
-	if err != nil {
-		t.Fatal(err)
+	raw := string(conn.appendRequest(nil, []byte{0xfb, 0xff, 0xfe}))
+	i := strings.Index(raw, "?dns=")
+	j := strings.Index(raw, " HTTP/1.1")
+	if i < 0 || j < i {
+		t.Fatalf("rendered request %q missing dns query", raw)
 	}
-	q := req.URL.Query().Get("dns")
+	q := raw[i+len("?dns=") : j]
 	if strings.ContainsAny(q, "+/=") {
 		t.Errorf("dns param %q not base64url-unpadded", q)
 	}

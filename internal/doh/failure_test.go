@@ -154,12 +154,10 @@ func TestKeepAliveSurvivesErrorResponses(t *testing.T) {
 	q := dnswire.NewQuery(0, "after-error.measure.example.org", dnswire.TypeA)
 	packed, _ := q.Pack()
 	conn := &Conn{client: &Client{Method: GET}, template: f.tmpl}
-	good, err := conn.buildRequest(packed)
-	if err != nil {
+	if _, err := tc.Write(conn.appendRequest(nil, packed)); err != nil {
 		t.Fatal(err)
 	}
-	good.Write(tc) //nolint:errcheck
-	resp2, err := http.ReadResponse(br, good)
+	resp2, err := http.ReadResponse(br, nil)
 	if err != nil {
 		t.Fatalf("second request on same conn: %v", err)
 	}

@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"dnsencryption.info/doe/internal/bufpool"
 	"dnsencryption.info/doe/internal/certs"
 	"dnsencryption.info/doe/internal/dnsclient"
 	"dnsencryption.info/doe/internal/dnsserver"
@@ -156,6 +157,12 @@ type Conn struct {
 	tls    *tls.Conn
 	client *Client
 	closed bool
+	// ids generates this session's transaction IDs without touching the
+	// process-wide idSource lock.
+	ids dnswire.IDGen
+	// wbuf/rbuf are the session's pooled write and read scratch buffers,
+	// guarded by mu like the connection itself and returned on Close.
+	wbuf, rbuf *[]byte
 	// setup is the virtual time consumed by TCP + TLS establishment.
 	setup time.Duration
 	// verifyErr records why path verification failed (nil when verified).
@@ -196,7 +203,13 @@ func (c *Client) DialConnContext(ctx context.Context, raw *netsim.Conn) (*Conn, 
 	}
 	raw.SetDeadline(dnsclient.Deadline(ctx, c.Timeout))
 
-	conn := &Conn{raw: raw, client: c}
+	conn := &Conn{
+		raw:    raw,
+		client: c,
+		ids:    dnswire.NewIDGen(),
+		wbuf:   bufpool.Get(512),
+		rbuf:   bufpool.Get(512),
+	}
 	cfg := &tls.Config{
 		InsecureSkipVerify: true, //nolint:gosec // verification done below per profile
 		Time:               func() time.Time { return certs.RefTime },
@@ -277,7 +290,11 @@ func (conn *Conn) Query(name string, qtype dnswire.Type) (*dnsclient.Result, err
 }
 
 // QueryContext performs one DNS transaction on the session, checking ctx
-// before the transaction starts.
+// before the transaction starts. In steady state the transaction reuses the
+// session's scratch buffers end to end: pack and frame into wbuf, one TLS
+// write, read into rbuf, parse.
+//
+//doelint:hotpath
 func (conn *Conn) QueryContext(ctx context.Context, name string, qtype dnswire.Type) (*dnsclient.Result, error) {
 	conn.mu.Lock()
 	defer conn.mu.Unlock()
@@ -287,26 +304,25 @@ func (conn *Conn) QueryContext(ctx context.Context, name string, qtype dnswire.T
 	if conn.closed {
 		return nil, dnsclient.ErrClosed
 	}
-	q := dnswire.NewQuery(dnswire.NewID(), name, qtype)
+	q := dnswire.NewQuery(conn.ids.Next(), name, qtype)
 	if conn.client.Pad {
 		q.SetEDNS0(4096, false)
 		if err := q.PadToBlock(128); err != nil {
 			return nil, err
 		}
 	}
-	packed, err := q.Pack()
-	if err != nil {
-		return nil, err
-	}
 	start := conn.raw.Elapsed()
 	conn.raw.AddLatency(conn.client.CryptoCost)
-	if err := dnswire.WriteTCP(conn.tls, packed); err != nil {
-		return nil, err
-	}
-	raw, err := dnswire.ReadTCP(conn.tls)
+	out, err := dnswire.WriteMessageTCP(conn.tls, q, *conn.wbuf)
+	*conn.wbuf = out
 	if err != nil {
 		return nil, err
 	}
+	raw, err := dnswire.ReadTCPAppend(conn.tls, (*conn.rbuf)[:0])
+	if err != nil {
+		return nil, err
+	}
+	*conn.rbuf = raw
 	m, err := dnswire.Unpack(raw)
 	if err != nil {
 		return nil, err
@@ -325,6 +341,9 @@ func (conn *Conn) Close() error {
 		return nil
 	}
 	conn.closed = true
+	bufpool.Put(conn.wbuf)
+	bufpool.Put(conn.rbuf)
+	conn.wbuf, conn.rbuf = nil, nil
 	conn.tls.Close()
 	return conn.raw.Close()
 }

@@ -471,3 +471,50 @@ func Bad(err error) error {
 	wantFindings(t, findings, "lockbalance", []string{"sel/sel.go:11"})
 	wantFindings(t, findings, "errwrap", nil)
 }
+
+func TestHotalloc(t *testing.T) {
+	findings := lintFixtures(t, lint.DefaultConfig(), map[string]string{
+		"hot/hot.go": `package hot
+
+import "fmt"
+
+// Exchange is the steady-state query path.
+//
+//doelint:hotpath
+func Exchange(n int) []byte {
+	buf := make([]byte, n)
+	_ = fmt.Sprintf("q:%d", n)
+	fill := func() []byte { return make([]byte, 4) }
+	_ = fill
+	_ = make([]int, n)
+	//doelint:allow hotalloc -- sizing happens once per session, not per query
+	hdr := make([]byte, 2)
+	return append(buf, hdr...)
+}
+
+// Cold uses the same patterns unannotated: no findings.
+func Cold(n int) []byte {
+	_ = fmt.Sprintf("q:%d", n)
+	return make([]byte, n)
+}
+
+type raw []byte
+
+// Frame returns a named byte slice; named []byte types count.
+//
+//doelint:hotpath
+func Frame(n int) raw {
+	return make(raw, n)
+}
+`,
+		"hot/bad.go": `package hot
+
+//doelint:hotpath with-arguments
+func Bad() {}
+`,
+	})
+	wantFindings(t, findings, "hotalloc", []string{
+		"hot/hot.go:9", "hot/hot.go:10", "hot/hot.go:11", "hot/hot.go:31",
+	})
+	wantFindings(t, findings, "directive", []string{"hot/bad.go:3"})
+}

@@ -50,8 +50,17 @@ func parseDirectives(fset *token.FileSet, f *ast.File, allow allowSet) []Finding
 			}
 			rest := strings.TrimPrefix(c.Text, directivePrefix)
 			verb, arg, _ := strings.Cut(rest, " ")
+			if verb == "hotpath" {
+				// Consumed by the hotalloc analyzer: marks the function
+				// whose doc comment carries it as an allocation-free hot
+				// path. The directive takes no arguments.
+				if strings.TrimSpace(arg) != "" {
+					report(c.Pos(), "doelint:hotpath takes no arguments")
+				}
+				continue
+			}
 			if verb != "allow" {
-				report(c.Pos(), "unknown doelint directive %q (only \"allow\" is defined)", verb)
+				report(c.Pos(), "unknown doelint directive %q (defined: \"allow\", \"hotpath\")", verb)
 				continue
 			}
 			checksPart, justification, found := strings.Cut(arg, "--")

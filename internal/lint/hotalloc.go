@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// hotpathDirective marks a function whose steady-state body must not churn
+// the allocator. It goes on the last line of the function's doc comment,
+// like a //go:noinline pragma.
+const hotpathDirective = "//doelint:hotpath"
+
+// analyzerHotalloc flags the obvious per-call allocation patterns inside
+// functions annotated //doelint:hotpath: make([]byte, ...) builds a fresh
+// buffer per call where a reused scratch or bufpool buffer belongs, and
+// fmt.Sprintf allocates a string (plus boxed arguments) per call. The
+// annotation is the static half of the performance contract (DESIGN.md §9);
+// the testing.AllocsPerRun budgets enforce the same contract at runtime.
+var analyzerHotalloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "no make([]byte, ...) or fmt.Sprintf in //doelint:hotpath functions",
+	Run:  runHotalloc,
+}
+
+func runHotalloc(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !isHotpath(fn) {
+				continue
+			}
+			checkHotBody(p, fn)
+		}
+	}
+}
+
+func isHotpath(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if c.Text == hotpathDirective || strings.HasPrefix(c.Text, hotpathDirective+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// checkHotBody walks the whole body, including closures: a per-call FuncLit
+// invoked on the hot path allocates just the same.
+func checkHotBody(p *Pass, fn *ast.FuncDecl) {
+	name := fn.Name.Name
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			if fun.Name != "make" {
+				return true
+			}
+			if _, ok := p.objectOf(fun).(*types.Builtin); !ok {
+				return true
+			}
+			if isByteSlice(p.Info.TypeOf(call)) {
+				p.Reportf(call.Pos(),
+					"hot path %s allocates with make([]byte, ...); reuse a scratch buffer or bufpool", name)
+			}
+		case *ast.SelectorExpr:
+			if fun.Sel.Name != "Sprintf" {
+				return true
+			}
+			id, ok := fun.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if pkg, ok := p.objectOf(id).(*types.PkgName); ok && pkg.Imported().Path() == "fmt" {
+				p.Reportf(call.Pos(),
+					"hot path %s formats with fmt.Sprintf; precompute the string or append into a reused buffer", name)
+			}
+		}
+		return true
+	})
+}
+
+func isByteSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint8
+}

@@ -173,6 +173,7 @@ var registry = []*Analyzer{
 	analyzerErrwrap,
 	analyzerLockbalance,
 	analyzerGoleak,
+	analyzerHotalloc,
 }
 
 // Analyzers returns the registered analyzers.

@@ -22,6 +22,8 @@ import (
 	"net/netip"
 	"sync"
 	"time"
+
+	"dnsencryption.info/doe/internal/bufpool"
 )
 
 // ErrDeadline is returned on reads past the configured deadline.
@@ -96,10 +98,13 @@ func (l *link) total() time.Duration {
 	return l.now
 }
 
-// segment is one write's worth of in-flight data.
+// segment is one write's worth of in-flight data. buf is the pooled buffer
+// backing data, returned to bufpool once the segment is fully consumed;
+// segments abandoned by a close simply fall to the garbage collector.
 type segment struct {
 	data    []byte
 	readyAt time.Duration
+	buf     *[]byte
 }
 
 // buffer is one direction of a connection: a queue of stamped segments with
@@ -132,12 +137,18 @@ func newBuffer(l *link) *buffer {
 
 func (b *buffer) write(p []byte) (int, error) {
 	stamp := b.link.stampArrival()
+	// Copy the caller's bytes into a pooled segment buffer: the copy is
+	// mandatory (writers reuse p immediately), the pooling only recycles
+	// where the copy lands, so wire bytes and segment counts are unchanged.
+	buf := bufpool.Get(len(p))
+	*buf = append(*buf, p...)
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.closed {
+		bufpool.Put(buf)
 		return 0, io.ErrClosedPipe
 	}
-	b.segs = append(b.segs, segment{data: append([]byte(nil), p...), readyAt: stamp})
+	b.segs = append(b.segs, segment{data: *buf, readyAt: stamp, buf: buf})
 	b.cond.Broadcast()
 	return len(p), nil
 }
@@ -179,9 +190,13 @@ func (b *buffer) read(p []byte) (int, error) {
 	n := copy(p, seg.data)
 	seg.data = seg.data[n:]
 	if len(seg.data) == 0 {
+		buf := seg.buf
 		b.segs = b.segs[1:]
 		b.delivered++
 		b.headPartial = false
+		// The reader copied everything out, so the backing buffer can be
+		// recycled for a future write.
+		bufpool.Put(buf)
 	} else {
 		b.headPartial = true
 	}

@@ -195,11 +195,16 @@ type Transport struct {
 	dial  func(ctx context.Context) (Session, error)
 	reuse bool
 	retry RetryPolicy
-	// label names the protocol in telemetry ("tcp", "dot", "doh").
-	label string
+	// label names the protocol in telemetry ("tcp", "dot", "doh");
+	// spanName is the precomputed "xchg:<label>" span title.
+	label    string
+	spanName string
 
 	mu   sync.Mutex
 	sess Session
+	// mc caches per-protocol metric handles for the registry the transport
+	// last saw, so steady-state exchanges don't re-render label strings.
+	mc metricSet
 	// last is the virtual time the most recent Exchange consumed on its
 	// connection, including setup when the session was dialed for it, and
 	// — under retries — the cost of failed attempts plus backoff.
@@ -209,7 +214,43 @@ type Transport struct {
 }
 
 func newTransport(o Options, label string, dial func(ctx context.Context) (Session, error)) *Transport {
-	return &Transport{dial: dial, reuse: o.Reuse, retry: o.Retry, label: label}
+	return &Transport{dial: dial, reuse: o.Reuse, retry: o.Retry, label: label, spanName: "xchg:" + label}
+}
+
+// metricSet holds the per-protocol instrument handles for one registry.
+// All handles are nil-safe, so a nil registry yields a usable zero set.
+type metricSet struct {
+	reg       *obs.Registry
+	attempts  *obs.Counter
+	retries   *obs.Counter
+	recovered *obs.Counter
+	okTotal   *obs.Counter
+	errTotal  *obs.Counter
+	hard      *obs.Counter
+	redials   *obs.Counter
+	latency   *obs.Histogram
+	setup     *obs.Histogram
+}
+
+// metricsFor returns the cached handle set for ctx's registry, rebuilding it
+// only when the registry changes; callers hold t.mu.
+func (t *Transport) metricsFor(ctx context.Context) *metricSet {
+	m := obs.Metrics(ctx)
+	if t.mc.reg != m {
+		t.mc = metricSet{
+			reg:       m,
+			attempts:  m.Counter("resolver_attempts_total", "proto", t.label),
+			retries:   m.Counter("resolver_retries_total", "proto", t.label),
+			recovered: m.Counter("resolver_recovered_total", "proto", t.label),
+			okTotal:   m.Counter("resolver_exchanges_total", "proto", t.label, "outcome", "ok"),
+			errTotal:  m.Counter("resolver_exchanges_total", "proto", t.label, "outcome", "error"),
+			hard:      m.Counter("resolver_hard_failures_total", "proto", t.label),
+			redials:   m.Counter("resolver_redials_total", "proto", t.label),
+			latency:   m.Histogram("resolver_exchange_latency", nil, "proto", t.label),
+			setup:     m.Histogram("resolver_setup_latency", nil, "proto", t.label),
+		}
+	}
+	return &t.mc
 }
 
 // Exchange performs one transaction, dialing per the reuse policy and
@@ -217,8 +258,8 @@ func newTransport(o Options, label string, dial func(ctx context.Context) (Sessi
 func (t *Transport) Exchange(ctx context.Context, msg *dnswire.Message) (*dnswire.Message, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	ctx, sp := obs.Start(ctx, "xchg:"+t.label)
-	m := obs.Metrics(ctx)
+	ctx, sp := obs.Start(ctx, t.spanName)
+	mc := t.metricsFor(ctx)
 	budget := t.retry.Attempts
 	if budget < 1 {
 		budget = 1
@@ -234,10 +275,10 @@ func (t *Transport) Exchange(ctx context.Context, msg *dnswire.Message) (*dnswir
 	for attempt := 1; attempt <= budget; attempt++ {
 		attempts = attempt
 		t.stats.Attempts++
-		m.Counter("resolver_attempts_total", "proto", t.label).Add(1)
+		mc.attempts.Add(1)
 		if attempt > 1 {
 			t.stats.Retries++
-			m.Counter("resolver_retries_total", "proto", t.label).Add(1)
+			mc.retries.Add(1)
 			sp.Event(fmt.Sprintf("retry:%d", attempt))
 			penalty += t.retry.backoffFor(attempt)
 		}
@@ -245,11 +286,11 @@ func (t *Transport) Exchange(ctx context.Context, msg *dnswire.Message) (*dnswir
 		if err == nil {
 			if attempt > 1 {
 				t.stats.Recovered++
-				m.Counter("resolver_recovered_total", "proto", t.label).Add(1)
+				mc.recovered.Add(1)
 			}
 			t.last += penalty
-			m.Counter("resolver_exchanges_total", "proto", t.label, "outcome", "ok").Add(1)
-			m.Histogram("resolver_exchange_latency", nil, "proto", t.label).Observe(t.last)
+			mc.okTotal.Add(1)
+			mc.latency.Observe(t.last)
 			obs.Charge(ctx, t.last)
 			sp.SetInt("attempts", int64(attempt))
 			return resp, nil
@@ -261,8 +302,8 @@ func (t *Transport) Exchange(ctx context.Context, msg *dnswire.Message) (*dnswir
 	}
 	t.stats.HardFailures++
 	t.last = penalty
-	m.Counter("resolver_hard_failures_total", "proto", t.label).Add(1)
-	m.Counter("resolver_exchanges_total", "proto", t.label, "outcome", "error").Add(1)
+	mc.hard.Add(1)
+	mc.errTotal.Add(1)
 	obs.Charge(ctx, t.last)
 	sp.SetInt("attempts", int64(attempts))
 	sp.Fail(err)
@@ -291,7 +332,7 @@ func (t *Transport) exchangeOnce(ctx context.Context, msg *dnswire.Message) (*dn
 		}
 		if t.everDialed {
 			t.stats.Redials++
-			obs.Metrics(ctx).Counter("resolver_redials_total", "proto", t.label).Add(1)
+			t.metricsFor(ctx).redials.Add(1)
 		}
 		t.everDialed = true
 		t.sess = sess
@@ -321,7 +362,7 @@ func (t *Transport) dialSpanned(ctx context.Context) (Session, error) {
 		return nil, err
 	}
 	dsp.Charge(sess.SetupLatency())
-	obs.Metrics(ctx).Histogram("resolver_setup_latency", nil, "proto", t.label).Observe(sess.SetupLatency())
+	t.metricsFor(ctx).setup.Observe(sess.SetupLatency())
 	return sess, nil
 }
 

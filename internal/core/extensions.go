@@ -1,7 +1,6 @@
 package core
 
 import (
-	"context"
 	"fmt"
 	"net/netip"
 	"time"
@@ -76,7 +75,7 @@ func (s *Study) buildLocalResolvers() error {
 // bootstrap over clear-text TXT, Ed25519 verification, then encrypted
 // queries under X25519-XSalsa20Poly1305.
 func runDNSCrypt(s *Study) (string, error) {
-	ctx := context.Background()
+	ctx := s.obsCtx()
 	client, err := dnscrypt.NewClient(s.World, ControlledVantages[0].Addr, s.DNSCryptProvider, s.DNSCryptPK)
 	if err != nil {
 		return "", err
@@ -146,7 +145,7 @@ func runLocalDoT(s *Study) (string, error) {
 		}
 		sess := resolver.DoTSession(conn)
 		q := dnswire.NewQuery(0, s.GlobalPlatform.UniqueName(node.ID+"-local"), dnswire.TypeA)
-		m, err := sess.Exchange(context.Background(), q)
+		m, err := sess.Exchange(s.obsCtx(), q)
 		sess.Close()
 		if err != nil || m.Rcode != dnswire.RcodeSuccess {
 			return localProbe{}

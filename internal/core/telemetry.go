@@ -15,6 +15,8 @@ import (
 // appear in the trace under the experiment that first demanded them. With
 // telemetry off it is a plain background context and every obs call
 // downstream is a no-op.
+//
+//doelint:ctxroot -- the study owns no inbound context; this is the one root the pipeline stages run under
 func (s *Study) obsCtx() context.Context {
 	ctx := context.Background()
 	if s.Obs == nil {

@@ -56,6 +56,8 @@ func New(w *netsim.World, from netip.Addr) *Client {
 // Deadline resolves a transaction's real-time guard: the earlier of the
 // context deadline and now+timeout. Contexts carry cancellation across the
 // client packages; the timeout field remains the per-transaction default.
+//
+//doelint:clockboundary -- real-time watchdog only; it aborts a hung transaction and never enters simulated results
 func Deadline(ctx context.Context, timeout time.Duration) time.Time {
 	d := time.Now().Add(timeout)
 	if cd, ok := ctx.Deadline(); ok && cd.Before(d) {
@@ -178,8 +180,8 @@ func TCPFromConn(conn *netsim.Conn) *TCPConn {
 	return &TCPConn{
 		conn:        conn,
 		ids:         dnswire.NewIDGen(),
-		wbuf:        bufpool.Get(512),
-		rbuf:        bufpool.Get(512),
+		wbuf:        bufpool.Get(512), //doelint:transfer -- owned by TCPConn; released in Close
+		rbuf:        bufpool.Get(512), //doelint:transfer -- owned by TCPConn; released in Close
 		established: conn.Elapsed(),
 	}
 }

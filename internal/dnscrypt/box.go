@@ -5,6 +5,8 @@ import (
 	"crypto/rand"
 	"errors"
 	"fmt"
+
+	"dnsencryption.info/doe/internal/bufpool"
 )
 
 // ErrDecrypt is returned when a box fails authentication.
@@ -14,11 +16,22 @@ var ErrDecrypt = errors.New("dnscrypt: message authentication failed")
 // (NaCl crypto_secretbox: XSalsa20 + Poly1305). The result is
 // tag(16) || ciphertext.
 func SecretboxSeal(msg []byte, nonce *[24]byte, key *[32]byte) []byte {
+	return SecretboxSealAppend(nil, msg, nonce, key)
+}
+
+// SecretboxSealAppend appends tag(16) || ciphertext to dst and returns the
+// extended slice. msg must not alias dst. Passing a reused buffer keeps the
+// steady-state encrypted query path allocation-free.
+//
+//doelint:hotpath
+func SecretboxSealAppend(dst, msg []byte, nonce *[24]byte, key *[32]byte) []byte {
 	block0 := firstBlock(key, nonce)
 	var polyKey [32]byte
 	copy(polyKey[:], block0[:32])
 
-	out := make([]byte, 16+len(msg))
+	start := len(dst)
+	dst = bufpool.Grow(dst, 16+len(msg))
+	out := dst[start:]
 	ct := out[16:]
 	copy(ct, msg)
 	// The first 32 bytes of the keystream are reserved for the Poly1305
@@ -34,13 +47,22 @@ func SecretboxSeal(msg []byte, nonce *[24]byte, key *[32]byte) []byte {
 	if len(ct) > 32 {
 		xsalsa20XOR(key, nonce, 64, ct[32:])
 	}
-	tag := poly1305(ct, &polyKey)
+	tag := poly1305(ct, &polyKey) //doelint:allow hotalloc -- reference poly1305 computes in big.Int; allocation is intrinsic to it
 	copy(out[:16], tag[:])
-	return out
+	return dst
 }
 
 // SecretboxOpen authenticates and decrypts a sealed box.
 func SecretboxOpen(sealed []byte, nonce *[24]byte, key *[32]byte) ([]byte, error) {
+	return SecretboxOpenAppend(nil, sealed, nonce, key)
+}
+
+// SecretboxOpenAppend authenticates sealed and appends the plaintext to
+// dst, returning the extended slice. sealed must not alias dst. Passing a
+// reused buffer keeps the steady-state decrypt path allocation-free.
+//
+//doelint:hotpath
+func SecretboxOpenAppend(dst, sealed []byte, nonce *[24]byte, key *[32]byte) ([]byte, error) {
 	if len(sealed) < 16 {
 		return nil, ErrDecrypt
 	}
@@ -51,11 +73,13 @@ func SecretboxOpen(sealed []byte, nonce *[24]byte, key *[32]byte) ([]byte, error
 	var tag [16]byte
 	copy(tag[:], sealed[:16])
 	ct := sealed[16:]
-	want := poly1305(ct, &polyKey)
+	want := poly1305(ct, &polyKey) //doelint:allow hotalloc -- reference poly1305 computes in big.Int; allocation is intrinsic to it
 	if !constantTimeEqual16(&tag, &want) {
 		return nil, ErrDecrypt
 	}
-	msg := make([]byte, len(ct))
+	start := len(dst)
+	dst = bufpool.Grow(dst, len(ct))
+	msg := dst[start:]
 	copy(msg, ct)
 	n := len(msg)
 	if n > 32 {
@@ -67,7 +91,7 @@ func SecretboxOpen(sealed []byte, nonce *[24]byte, key *[32]byte) ([]byte, error
 	if len(msg) > 32 {
 		xsalsa20XOR(key, nonce, 64, msg[32:])
 	}
-	return msg, nil
+	return dst, nil
 }
 
 // KeyPair is an X25519 key pair.

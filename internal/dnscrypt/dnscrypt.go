@@ -383,15 +383,15 @@ func (c *Client) QueryContext(ctx context.Context, resolver netip.Addr, name str
 		return nil, err
 	}
 	*pb = appendPad(packed)
-	sealed := SecretboxSeal(*pb, &nonce, shared)
 
 	// The datagram escapes into the simulated network (interceptors may
-	// retain it), so it is deliberately not pooled.
-	msg := make([]byte, 0, 8+32+12+len(sealed)) //doelint:allow hotalloc -- datagram escapes to World.Exchange and cannot be recycled
+	// retain it), so it is deliberately not pooled; the box is sealed
+	// directly into it.
+	msg := make([]byte, 0, 8+32+12+16+len(*pb)) //doelint:allow hotalloc -- datagram escapes to World.Exchange and cannot be recycled
 	msg = append(msg, c.cert.ClientMagic[:]...)
 	msg = append(msg, c.kp.Public[:]...)
 	msg = append(msg, nonce[:12]...)
-	msg = append(msg, sealed...)
+	msg = SecretboxSealAppend(msg, *pb, &nonce, shared)
 
 	raw, elapsed, err := c.World.Exchange(c.From, resolver, Port, msg)
 	if err != nil {
@@ -405,10 +405,14 @@ func (c *Client) QueryContext(ctx context.Context, resolver netip.Addr, name str
 	if !bytes.Equal(respNonce[:12], nonce[:12]) {
 		return nil, errors.New("dnscrypt: response nonce mismatch")
 	}
-	padded, err := SecretboxOpen(raw[32:], &respNonce, shared)
+	// The query bytes in pb are dead once sealed into the datagram; decrypt
+	// the response into the same pooled buffer. Unpack copies every field
+	// out, so the buffer is free to return to the pool on exit.
+	padded, err := SecretboxOpenAppend((*pb)[:0], raw[32:], &respNonce, shared)
 	if err != nil {
 		return nil, err
 	}
+	*pb = padded
 	plain, err := unpad(padded)
 	if err != nil {
 		return nil, err

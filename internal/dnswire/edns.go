@@ -143,7 +143,7 @@ func (m *Message) PadToBlock(block int) error {
 	pad := (block - unpadded%block) % block
 	opt.Options = append(opt.Options, EDNSOption{
 		Code: OptionCodePadding,
-		Data: make([]byte, pad),
+		Data: make([]byte, pad), //doelint:allow hotalloc -- pad option escapes into the message; at most one block per query
 	})
 	m.replaceOPT(opt)
 	return nil

@@ -49,7 +49,7 @@ func growLen(buf []byte, n int) []byte {
 	if want <= cap(buf) {
 		return buf[:want]
 	}
-	nb := make([]byte, want, max(want, 2*cap(buf)))
+	nb := make([]byte, want, max(want, 2*cap(buf))) //doelint:allow hotalloc -- amortized doubling; steady state reuses capacity
 	copy(nb, buf)
 	return nb
 }

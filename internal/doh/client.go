@@ -211,9 +211,9 @@ func (c *Client) DialConnContext(ctx context.Context, t Template, raw *netsim.Co
 		client:   c,
 		template: t,
 		setup:    raw.Elapsed(),
-		pbuf:     bufpool.Get(512),
-		wbuf:     bufpool.Get(2048),
-		rbuf:     bufpool.Get(512),
+		pbuf:     bufpool.Get(512),  //doelint:transfer -- owned by Conn; released in Close
+		wbuf:     bufpool.Get(2048), //doelint:transfer -- owned by Conn; released in Close
+		rbuf:     bufpool.Get(512),  //doelint:transfer -- owned by Conn; released in Close
 	}, nil
 }
 

@@ -207,8 +207,6 @@ func (c *Client) DialConnContext(ctx context.Context, raw *netsim.Conn) (*Conn, 
 		raw:    raw,
 		client: c,
 		ids:    dnswire.NewIDGen(),
-		wbuf:   bufpool.Get(512),
-		rbuf:   bufpool.Get(512),
 	}
 	cfg := &tls.Config{
 		InsecureSkipVerify: true, //nolint:gosec // verification done below per profile
@@ -232,6 +230,10 @@ func (c *Client) DialConnContext(ctx context.Context, raw *netsim.Conn) (*Conn, 
 	}
 	conn.tls = tc
 	conn.setup = raw.Elapsed()
+	// Acquired only after the handshake succeeds: every earlier return
+	// leaves nothing to hand back to the pool.
+	conn.wbuf = bufpool.Get(512) //doelint:transfer -- owned by Conn; released in Close
+	conn.rbuf = bufpool.Get(512) //doelint:transfer -- owned by Conn; released in Close
 	return conn, nil
 }
 
@@ -307,7 +309,7 @@ func (conn *Conn) QueryContext(ctx context.Context, name string, qtype dnswire.T
 	q := dnswire.NewQuery(conn.ids.Next(), name, qtype)
 	if conn.client.Pad {
 		q.SetEDNS0(4096, false)
-		if err := q.PadToBlock(128); err != nil {
+		if err := q.PadToBlock(128); err != nil { //doelint:allow hotalloc -- padding repacks the query for sizing; one pass per query by design
 			return nil, err
 		}
 	}

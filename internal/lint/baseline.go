@@ -1,0 +1,125 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// baselineSchema versions the on-disk baseline format.
+const baselineSchema = 1
+
+// Baseline is a findings ratchet: known findings recorded so a suite
+// upgrade can land while the debt is burned down separately. A finding
+// matching a baseline entry is suppressed; each entry absorbs as many
+// findings as its count, so fixing one of several identical findings
+// still surfaces nothing until the count is exceeded.
+//
+// Entries match on file, check, and message — not line — so unrelated
+// edits that shift code do not invalidate the baseline. The repository
+// policy is an empty committed baseline: the ratchet exists for
+// downstream forks and for staging suite upgrades, not as a parking lot.
+type Baseline struct {
+	Schema  int             `json:"schema"`
+	Entries []BaselineEntry `json:"entries"`
+}
+
+// BaselineEntry identifies a tolerated finding.
+type BaselineEntry struct {
+	File    string `json:"file"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+	// Count is how many identical findings this entry absorbs; zero or
+	// absent means one.
+	Count int `json:"count,omitempty"`
+}
+
+// LoadBaseline reads a baseline file.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("lint: baseline: %w", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("lint: baseline %s: %w", path, err)
+	}
+	if b.Schema != baselineSchema {
+		return nil, fmt.Errorf("lint: baseline %s: schema %d, want %d", path, b.Schema, baselineSchema)
+	}
+	return &b, nil
+}
+
+type baselineKey struct {
+	file, check, message string
+}
+
+// Filter splits findings into those not covered by the baseline (kept)
+// and those it absorbs (suppressed).
+func (b *Baseline) Filter(findings []Finding) (kept, suppressed []Finding) {
+	budget := make(map[baselineKey]int, len(b.Entries))
+	for _, e := range b.Entries {
+		n := e.Count
+		if n <= 0 {
+			n = 1
+		}
+		budget[baselineKey{e.File, e.Check, e.Message}] += n
+	}
+	for _, f := range findings {
+		k := baselineKey{f.File, f.Check, f.Message}
+		if budget[k] > 0 {
+			budget[k]--
+			suppressed = append(suppressed, f)
+			continue
+		}
+		kept = append(kept, f)
+	}
+	return kept, suppressed
+}
+
+// NewBaseline builds a baseline absorbing exactly the given findings,
+// with identical findings collapsed into counted entries.
+func NewBaseline(findings []Finding) *Baseline {
+	counts := make(map[baselineKey]int)
+	for _, f := range findings {
+		counts[baselineKey{f.File, f.Check, f.Message}]++
+	}
+	keys := make([]baselineKey, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.file != b.file {
+			return a.file < b.file
+		}
+		if a.check != b.check {
+			return a.check < b.check
+		}
+		return a.message < b.message
+	})
+	b := &Baseline{Schema: baselineSchema, Entries: []BaselineEntry{}}
+	for _, k := range keys {
+		e := BaselineEntry{File: k.file, Check: k.check, Message: k.message}
+		if counts[k] > 1 {
+			e.Count = counts[k]
+		}
+		b.Entries = append(b.Entries, e)
+	}
+	return b
+}
+
+// WriteBaseline writes b to path in the canonical (indented, sorted,
+// trailing-newline) encoding.
+func WriteBaseline(path string, b *Baseline) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("lint: baseline: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,156 @@
+package lint_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dnsencryption.info/doe/internal/lint"
+)
+
+func finding(file, check, msg string, line int) lint.Finding {
+	return lint.Finding{File: file, Line: line, Col: 1, Check: check, Message: msg}
+}
+
+func TestBaselineFilter(t *testing.T) {
+	b := &lint.Baseline{
+		Schema: 1,
+		Entries: []lint.BaselineEntry{
+			{File: "a.go", Check: "hotalloc", Message: "allocates"},
+			{File: "b.go", Check: "walltaint", Message: "taints", Count: 2},
+		},
+	}
+	findings := []lint.Finding{
+		finding("a.go", "hotalloc", "allocates", 10),
+		finding("a.go", "hotalloc", "allocates", 20), // over budget: entry absorbs one
+		finding("a.go", "hotalloc", "other message", 30),
+		finding("b.go", "walltaint", "taints", 5),
+		finding("b.go", "walltaint", "taints", 6),
+		finding("b.go", "walltaint", "taints", 7), // third exceeds Count: 2
+	}
+	kept, suppressed := b.Filter(findings)
+	if len(suppressed) != 3 {
+		t.Errorf("suppressed %d findings, want 3", len(suppressed))
+	}
+	if len(kept) != 3 {
+		t.Fatalf("kept %d findings, want 3: %v", len(kept), kept)
+	}
+	// Matching is on file+check+message, not line, so which duplicates
+	// survive is positional; the distinct-message finding must be kept.
+	if kept[0].Line != 20 || kept[1].Message != "other message" || kept[2].Line != 7 {
+		t.Errorf("kept the wrong findings: %v", kept)
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	findings := []lint.Finding{
+		finding("b.go", "walltaint", "taints", 5),
+		finding("a.go", "hotalloc", "allocates", 10),
+		finding("b.go", "walltaint", "taints", 9),
+	}
+	b := lint.NewBaseline(findings)
+	if len(b.Entries) != 2 {
+		t.Fatalf("NewBaseline produced %d entries, want 2 (identical collapsed): %v", len(b.Entries), b.Entries)
+	}
+	if b.Entries[0].File != "a.go" || b.Entries[1].Count != 2 {
+		t.Errorf("entries not sorted/counted: %+v", b.Entries)
+	}
+
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := lint.WriteBaseline(path, b); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := lint.LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept, suppressed := loaded.Filter(findings)
+	if len(kept) != 0 || len(suppressed) != len(findings) {
+		t.Errorf("round-tripped baseline kept %d / suppressed %d, want 0 / %d", len(kept), len(suppressed), len(findings))
+	}
+}
+
+func TestBaselineSchemaValidation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, []byte(`{"schema": 99, "entries": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lint.LoadBaseline(path); err == nil {
+		t.Error("LoadBaseline accepted an unknown schema version")
+	}
+	if _, err := lint.LoadBaseline(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("LoadBaseline accepted a missing file")
+	}
+}
+
+func TestSARIF(t *testing.T) {
+	findings := []lint.Finding{
+		finding("internal/dot/dot.go", "bufown", "bufpool.Get result leaks", 42),
+	}
+	data, err := lint.SARIF(findings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Level     string `json:"level"`
+				Message   struct{ Text string }
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &log); err != nil {
+		t.Fatalf("SARIF output is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("version %q, %d runs", log.Version, len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "doelint" {
+		t.Errorf("driver name %q", run.Tool.Driver.Name)
+	}
+	ruleIDs := make(map[string]bool)
+	for _, r := range run.Tool.Driver.Rules {
+		ruleIDs[r.ID] = true
+	}
+	for _, a := range lint.Analyzers() {
+		if !ruleIDs[a.Name] {
+			t.Errorf("rule %s missing from SARIF driver metadata", a.Name)
+		}
+	}
+	if !ruleIDs[lint.DirectiveCheck] {
+		t.Error("directive pseudo-check missing from SARIF rules")
+	}
+	if len(run.Results) != 1 {
+		t.Fatalf("%d results, want 1", len(run.Results))
+	}
+	res := run.Results[0]
+	if res.RuleID != "bufown" || res.Level != "error" {
+		t.Errorf("result = %+v", res)
+	}
+	loc := res.Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "internal/dot/dot.go" || loc.Region.StartLine != 42 {
+		t.Errorf("location = %+v", loc)
+	}
+}

@@ -20,17 +20,51 @@ type allowKey struct {
 // allowSet records which findings //doelint:allow directives suppress.
 type allowSet map[allowKey]bool
 
+// lineKey identifies one (file, line) cell for line-scoped directives.
+type lineKey struct {
+	file string
+	line int
+}
+
+// directiveIndex aggregates every parsed directive of a run: allow cells,
+// and the ownership-transfer cells the bufown analyzer consults.
+type directiveIndex struct {
+	allow    allowSet
+	transfer map[lineKey]bool
+}
+
+func newDirectiveIndex() *directiveIndex {
+	return &directiveIndex{
+		allow:    allowSet{},
+		transfer: map[lineKey]bool{},
+	}
+}
+
+// transferAt reports whether an ownership-transfer directive covers the
+// given position (its own line, or the line above for a standalone
+// directive comment).
+func (d *directiveIndex) transferAt(fset *token.FileSet, pos token.Pos) bool {
+	p := fset.Position(pos)
+	return d.transfer[lineKey{p.Filename, p.Line}]
+}
+
 // parseDirectives scans a file's comments for doelint directives, records
-// the allowed (line, check) cells into allow, and returns findings for
-// malformed directives. The accepted form is
+// them into idx, and returns findings for malformed directives. The
+// accepted forms are
 //
 //	//doelint:allow <check>[,<check>...] -- <justification>
+//	//doelint:transfer -- <justification>
+//	//doelint:hotpath
+//	//doelint:clockboundary -- <justification>
+//	//doelint:ctxroot -- <justification>
 //
-// A directive suppresses matching findings on its own line and on the line
-// immediately below, so it can either trail the offending statement or sit
-// on its own line above it. The justification is mandatory: suppressions
-// must explain themselves to survive review.
-func parseDirectives(fset *token.FileSet, f *ast.File, allow allowSet) []Finding {
+// allow and transfer are line-scoped: they cover their own line and the
+// line immediately below, so they can either trail the offending statement
+// or sit on their own line above it. hotpath, clockboundary, and ctxroot
+// go in a function's doc comment and mark the whole declaration.
+// Justifications are mandatory where shown: suppressions and ownership
+// claims must explain themselves to survive review.
+func parseDirectives(fset *token.FileSet, f *ast.File, idx *directiveIndex) []Finding {
 	var bad []Finding
 	report := func(pos token.Pos, format string, args ...any) {
 		p := fset.Position(pos)
@@ -50,38 +84,57 @@ func parseDirectives(fset *token.FileSet, f *ast.File, allow allowSet) []Finding
 			}
 			rest := strings.TrimPrefix(c.Text, directivePrefix)
 			verb, arg, _ := strings.Cut(rest, " ")
-			if verb == "hotpath" {
-				// Consumed by the hotalloc analyzer: marks the function
-				// whose doc comment carries it as an allocation-free hot
-				// path. The directive takes no arguments.
+			pos := fset.Position(c.Pos())
+			switch verb {
+			case "hotpath":
+				// Consumed by the hotalloc analyzer and the facts engine:
+				// marks the function whose doc comment carries it as an
+				// allocation-free hot path. The directive takes no
+				// arguments.
 				if strings.TrimSpace(arg) != "" {
 					report(c.Pos(), "doelint:hotpath takes no arguments")
 				}
-				continue
-			}
-			if verb != "allow" {
-				report(c.Pos(), "unknown doelint directive %q (defined: \"allow\", \"hotpath\")", verb)
-				continue
-			}
-			checksPart, justification, found := strings.Cut(arg, "--")
-			if !found || strings.TrimSpace(justification) == "" {
-				report(c.Pos(), "doelint:allow needs a justification: //doelint:allow <check> -- <why>")
-				continue
-			}
-			names := strings.Split(strings.TrimSpace(checksPart), ",")
-			pos := fset.Position(c.Pos())
-			for _, name := range names {
-				name = strings.TrimSpace(name)
-				if name == "" || !knownCheck(name) {
-					report(c.Pos(), "doelint:allow names unknown check %q", name)
+			case "clockboundary", "ctxroot":
+				// Function-doc directives consumed by walltaint and
+				// ctxplumb. Like suppressions, they must carry a
+				// justification: a clock boundary asserts it converts wall
+				// readings into virtual time, a context root asserts it is
+				// a legitimate place for a context tree to start.
+				if _, why, found := strings.Cut(arg, "--"); !found || strings.TrimSpace(why) == "" {
+					report(c.Pos(), "doelint:%s needs a justification: //doelint:%s -- <why>", verb, verb)
+				}
+			case "transfer":
+				// Line-scoped ownership transfer consumed by bufown: the
+				// pooled buffer acquired or escaping on this line is
+				// deliberately handed to another owner.
+				if _, why, found := strings.Cut(arg, "--"); !found || strings.TrimSpace(why) == "" {
+					report(c.Pos(), "doelint:transfer needs a justification: //doelint:transfer -- <who owns it now>")
 					continue
 				}
-				if name == DirectiveCheck {
-					report(c.Pos(), "the %q check cannot be suppressed", DirectiveCheck)
+				idx.transfer[lineKey{pos.Filename, pos.Line}] = true
+				idx.transfer[lineKey{pos.Filename, pos.Line + 1}] = true
+			case "allow":
+				checksPart, justification, found := strings.Cut(arg, "--")
+				if !found || strings.TrimSpace(justification) == "" {
+					report(c.Pos(), "doelint:allow needs a justification: //doelint:allow <check> -- <why>")
 					continue
 				}
-				allow[allowKey{pos.Filename, pos.Line, name}] = true
-				allow[allowKey{pos.Filename, pos.Line + 1, name}] = true
+				names := strings.Split(strings.TrimSpace(checksPart), ",")
+				for _, name := range names {
+					name = strings.TrimSpace(name)
+					if name == "" || !knownCheck(name) {
+						report(c.Pos(), "doelint:allow names unknown check %q", name)
+						continue
+					}
+					if name == DirectiveCheck {
+						report(c.Pos(), "the %q check cannot be suppressed", DirectiveCheck)
+						continue
+					}
+					idx.allow[allowKey{pos.Filename, pos.Line, name}] = true
+					idx.allow[allowKey{pos.Filename, pos.Line + 1, name}] = true
+				}
+			default:
+				report(c.Pos(), "unknown doelint directive %q (defined: \"allow\", \"hotpath\", \"transfer\", \"clockboundary\", \"ctxroot\")", verb)
 			}
 		}
 	}

@@ -38,21 +38,37 @@ type listError struct {
 	Err string
 }
 
+// unit is one main-module package moving through the driver: its metadata,
+// and — once parsed — its syntax and type information. Root units (matched
+// by a pattern) are analyzed and may report findings; dep-only units are
+// walked solely to feed the call graph, and with a fact cache they reduce
+// to a stored summary without being parsed at all.
+type unit struct {
+	lp    *listPackage
+	root  bool
+	files []*ast.File
+	tpkg  *types.Package
+	info  *types.Info
+}
+
 // Run loads the packages matched by patterns (resolved by the go tool from
-// dir), type-checks every package of the main module from source, runs the
-// enabled analyzers, applies //doelint:allow directives, and returns the
-// surviving findings sorted by position. Dependencies — standard library and
-// module-internal alike — are imported from compiler export data produced by
-// `go list -export`, so the whole module loads in well under a second and no
-// dependency outside the standard library is needed.
+// dir), type-checks every package of the main module from source, builds
+// the module-wide call graph with propagated facts, runs the enabled
+// analyzers over the root packages, applies //doelint: directives, and
+// returns the surviving findings sorted by position.
+//
+// Dependencies — standard library and module-internal alike — are imported
+// from compiler export data produced by `go list -export`, so the whole
+// module loads in well under a second and no dependency outside the
+// standard library is needed. Main-module packages pulled in only as
+// dependencies still contribute facts to the graph (that is the point of
+// the interprocedural checks), but never report findings of their own.
 func Run(dir string, patterns []string, cfg *Config) ([]Finding, error) {
 	if cfg == nil {
 		cfg = DefaultConfig()
 	}
-	for _, c := range cfg.Checks {
-		if !knownCheck(c) {
-			return nil, fmt.Errorf("lint: unknown check %q (run doelint -list for the registered checks)", c)
-		}
+	if err := cfg.validateChecks(); err != nil {
+		return nil, err
 	}
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -82,64 +98,131 @@ func Run(dir string, patterns []string, cfg *Config) ([]Finding, error) {
 		}
 	}
 
-	var findings []Finding
-	linted := 0
-	allow := allowSet{}
+	// Deduplicate: the same package can surface more than once when it is
+	// matched by overlapping patterns or appears both as a root and as a
+	// dependency of another root. One unit per import path, and it is a
+	// root if any appearance was.
+	units := make([]*unit, 0, len(pkgs))
+	index := make(map[string]*unit, len(pkgs))
 	for _, lp := range pkgs {
-		if lp.Standard || lp.DepOnly || lp.Module == nil || !lp.Module.Main {
+		if lp.Standard || lp.Module == nil || !lp.Module.Main {
 			continue
 		}
-		linted++
+		if u, ok := index[lp.ImportPath]; ok {
+			u.root = u.root || !lp.DepOnly
+			continue
+		}
+		u := &unit{lp: lp, root: !lp.DepOnly}
+		units = append(units, u)
+		index[lp.ImportPath] = u
+	}
+
+	var cache *factCache
+	if cfg.FactCacheDir != "" {
+		cache = &factCache{dir: cfg.FactCacheDir}
+	}
+
+	dirs := newDirectiveIndex()
+	builder := newGraphBuilder(fset, dirs.allow)
+	var findings []Finding
+	roots := 0
+	for _, u := range units {
+		lp := u.lp
+		if u.root {
+			roots++
+		}
 		if lp.Error != nil {
 			return nil, fmt.Errorf("lint: %s: %s", lp.ImportPath, lp.Error.Err)
 		}
-		files, err := parseFiles(fset, lp)
-		if err != nil {
+		hash := ""
+		if cache != nil && !u.root {
+			if hash, err = hashFiles(lp.Dir, lp.GoFiles); err == nil {
+				if ps := cache.load(lp.ImportPath, hash); ps != nil {
+					builder.absorb(ps)
+					continue
+				}
+			}
+		}
+		if err := loadUnit(fset, imp, u); err != nil {
 			return nil, err
 		}
-		info := &types.Info{
-			Types:      make(map[ast.Expr]types.TypeAndValue),
-			Defs:       make(map[*ast.Ident]types.Object),
-			Uses:       make(map[*ast.Ident]types.Object),
-			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		// Directives first: the graph builder consults allow cells while
+		// computing facts, so a justified suppression at a source never
+		// taints callers.
+		for _, f := range u.files {
+			bad := parseDirectives(fset, f, dirs)
+			if u.root {
+				findings = append(findings, bad...)
+			}
 		}
-		var typeErr error
-		conf := types.Config{
-			Importer: imp,
-			Error: func(err error) {
-				if typeErr == nil {
-					typeErr = err
-				}
-			},
+		builder.addPackage(lp.ImportPath, u.files, u.info)
+		if cache != nil && !u.root && hash != "" {
+			cache.store(builder.g.summarize(lp.ImportPath, hash))
 		}
-		tpkg, _ := conf.Check(lp.ImportPath, fset, files, info)
-		if typeErr != nil {
-			return nil, fmt.Errorf("lint: type-checking %s: %w", lp.ImportPath, typeErr)
-		}
-		for _, f := range files {
-			bad := parseDirectives(fset, f, allow)
-			findings = append(findings, bad...)
+	}
+
+	if roots == 0 {
+		return nil, fmt.Errorf("lint: patterns %v matched no main-module packages in %s", patterns, dir)
+	}
+
+	graph := builder.finish()
+	for _, u := range units {
+		if !u.root || u.files == nil {
+			continue
 		}
 		for _, a := range analyzers {
 			pass := &Pass{
 				Analyzer: a,
 				Fset:     fset,
-				Files:    files,
-				Pkg:      tpkg,
-				Info:     info,
+				Files:    u.files,
+				Pkg:      u.tpkg,
+				Info:     u.info,
 				Config:   cfg,
+				Graph:    graph,
+				Dirs:     dirs,
 				findings: &findings,
 			}
 			a.Run(pass)
 		}
 	}
 
-	if linted == 0 {
-		return nil, fmt.Errorf("lint: patterns %v matched no main-module packages in %s", patterns, dir)
-	}
-
-	findings = allow.filter(findings)
+	findings = dirs.allow.filter(findings)
 	relativize(findings, dir)
+	sortFindings(findings)
+	findings = dedupeFindings(findings)
+	return findings, nil
+}
+
+// loadUnit parses and type-checks one package from source.
+func loadUnit(fset *token.FileSet, imp types.Importer, u *unit) error {
+	files, err := parseFiles(fset, u.lp)
+	if err != nil {
+		return err
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	var typeErr error
+	conf := types.Config{
+		Importer: imp,
+		Error: func(err error) {
+			if typeErr == nil {
+				typeErr = err
+			}
+		},
+	}
+	tpkg, _ := conf.Check(u.lp.ImportPath, fset, files, info)
+	if typeErr != nil {
+		return fmt.Errorf("lint: type-checking %s: %w", u.lp.ImportPath, typeErr)
+	}
+	u.files, u.tpkg, u.info = files, tpkg, info
+	return nil
+}
+
+func sortFindings(findings []Finding) {
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.File != b.File {
@@ -151,9 +234,30 @@ func Run(dir string, patterns []string, cfg *Config) ([]Finding, error) {
 		if a.Col != b.Col {
 			return a.Col < b.Col
 		}
-		return a.Check < b.Check
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
 	})
-	return findings, nil
+}
+
+// dedupeFindings drops exact duplicates (same position, check, and
+// message) from the sorted slice — the belt to the unit map's suspenders,
+// and what keeps output stable if a future loader change reintroduces
+// double-loaded packages.
+func dedupeFindings(findings []Finding) []Finding {
+	out := findings[:0]
+	for i, f := range findings {
+		if i > 0 {
+			p := findings[i-1]
+			if p.File == f.File && p.Line == f.Line && p.Col == f.Col &&
+				p.Check == f.Check && p.Message == f.Message {
+				continue
+			}
+		}
+		out = append(out, f)
+	}
+	return out
 }
 
 // goList shells out to the go tool for package metadata and export data.

@@ -11,15 +11,25 @@ import (
 // like a //go:noinline pragma.
 const hotpathDirective = "//doelint:hotpath"
 
-// analyzerHotalloc flags the obvious per-call allocation patterns inside
-// functions annotated //doelint:hotpath: make([]byte, ...) builds a fresh
-// buffer per call where a reused scratch or bufpool buffer belongs, and
-// fmt.Sprintf allocates a string (plus boxed arguments) per call. The
-// annotation is the static half of the performance contract (DESIGN.md §9);
-// the testing.AllocsPerRun budgets enforce the same contract at runtime.
+// analyzerHotalloc flags the per-call allocation patterns the performance
+// contract bans from //doelint:hotpath functions: make([]byte, ...) builds
+// a fresh buffer per call where a reused scratch or bufpool buffer
+// belongs, and fmt.Sprintf allocates a string (plus boxed arguments) per
+// call. The annotation is the static half of the performance contract
+// (DESIGN.md §9); the testing.AllocsPerRun budgets enforce the same
+// contract at runtime.
+//
+// v2 closes the helper-function loophole interprocedurally: a hotpath
+// function calling a non-hotpath helper whose *transitive* alloc fact is
+// nonzero is also a finding, with the allocation chain in the message. A
+// callee that is itself annotated //doelint:hotpath is exempt from the
+// caller's perspective — its own discipline is enforced at its own
+// declaration — and an allocation under a justified //doelint:allow
+// hotalloc (amortized growth, once-per-session sizing) never taints
+// callers.
 var analyzerHotalloc = &Analyzer{
 	Name: "hotalloc",
-	Doc:  "no make([]byte, ...) or fmt.Sprintf in //doelint:hotpath functions",
+	Doc:  "no make([]byte, ...) or fmt.Sprintf in //doelint:hotpath functions, directly or via helpers (call-graph check)",
 	Run:  runHotalloc,
 }
 
@@ -31,7 +41,36 @@ func runHotalloc(p *Pass) {
 				continue
 			}
 			checkHotBody(p, fn)
+			checkHotCallees(p, fn)
 		}
+	}
+}
+
+// checkHotCallees is the interprocedural half: every direct callee of a
+// hotpath function whose propagated facts include an allocation is
+// reported at the call site, with the chain down to the allocating
+// primitive.
+func checkHotCallees(p *Pass, fn *ast.FuncDecl) {
+	if p.Graph == nil {
+		return
+	}
+	obj, ok := p.Info.Defs[fn.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	node := p.Graph.node(funcID(obj))
+	if node == nil {
+		return
+	}
+	for _, e := range node.edges {
+		callee := p.Graph.node(e.callee)
+		if callee == nil || callee.contribution()&FactAlloc == 0 {
+			continue
+		}
+		steps, _, source := p.Graph.taintPath(e.callee, FactAlloc)
+		p.Reportf(e.pos,
+			"hot path %s calls %s, which allocates per call: %s; annotate the helper //doelint:hotpath and fix it, or justify with //doelint:allow hotalloc",
+			fn.Name.Name, displayName(e.callee), renderTaint(steps, source))
 	}
 }
 

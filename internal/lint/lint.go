@@ -39,7 +39,9 @@ type Analyzer struct {
 	Run func(*Pass)
 }
 
-// Pass carries one type-checked package through one analyzer.
+// Pass carries one type-checked package through one analyzer. Graph and
+// Dirs are shared across the whole run: the module-wide call graph with
+// propagated facts, and the parsed directive index (transfer annotations).
 type Pass struct {
 	Analyzer *Analyzer
 	Fset     *token.FileSet
@@ -47,6 +49,8 @@ type Pass struct {
 	Pkg      *types.Package
 	Info     *types.Info
 	Config   *Config
+	Graph    *Graph
+	Dirs     *directiveIndex
 
 	findings *[]Finding
 }
@@ -88,7 +92,12 @@ type Config struct {
 	// snapshots share the byte-identical report contract.
 	ObservabilityPackages []string
 	// Checks restricts which analyzers run; empty means all registered.
+	// Either a list of names to run, or a list of "-name" exclusions.
 	Checks []string
+	// FactCacheDir, when set, persists per-package fact summaries for
+	// dep-only packages keyed by a content hash of their sources, so
+	// repeated runs skip re-parsing packages no analyzer reports on.
+	FactCacheDir string
 }
 
 // DefaultConfig returns the configuration used for this repository: the
@@ -148,8 +157,20 @@ func matchPackage(suffixes []string, pkgPath string) bool {
 	return false
 }
 
+// checkEnabled evaluates the Checks selection. An empty list runs
+// everything. A list of names runs exactly those; a list of "-name"
+// exclusions runs everything but those. Mixing both forms is rejected by
+// validateChecks before any analyzer runs.
 func (c *Config) checkEnabled(name string) bool {
 	if len(c.Checks) == 0 {
+		return true
+	}
+	if strings.HasPrefix(c.Checks[0], "-") {
+		for _, want := range c.Checks {
+			if strings.TrimPrefix(want, "-") == name {
+				return false
+			}
+		}
 		return true
 	}
 	for _, want := range c.Checks {
@@ -160,20 +181,47 @@ func (c *Config) checkEnabled(name string) bool {
 	return false
 }
 
+// validateChecks rejects unknown check names and mixed include/exclude
+// selections.
+func (c *Config) validateChecks() error {
+	excludes, includes := 0, 0
+	for _, entry := range c.Checks {
+		name := entry
+		if strings.HasPrefix(entry, "-") {
+			name = entry[1:]
+			excludes++
+		} else {
+			includes++
+		}
+		if !knownCheck(name) {
+			return fmt.Errorf("lint: unknown check %q (run doelint -list for the registered checks)", name)
+		}
+	}
+	if excludes > 0 && includes > 0 {
+		return fmt.Errorf("lint: -checks cannot mix inclusions and -name exclusions: %v", c.Checks)
+	}
+	return nil
+}
+
 // DirectiveCheck is the pseudo-check name under which malformed
 // //doelint: comments are reported. It cannot be suppressed.
 const DirectiveCheck = "directive"
 
-// registry holds every analyzer the driver runs, in execution order.
+// registry holds every analyzer the driver runs, in execution order. The
+// intraprocedural checks come first; walltaint, bufown, ctxplumb, and the
+// interprocedural half of hotalloc consult the shared call graph.
 var registry = []*Analyzer{
 	analyzerDeterminism,
 	analyzerSimsleep,
 	analyzerObsclock,
+	analyzerWalltaint,
 	analyzerConnclose,
 	analyzerErrwrap,
 	analyzerLockbalance,
 	analyzerGoleak,
 	analyzerHotalloc,
+	analyzerBufown,
+	analyzerCtxplumb,
 }
 
 // Analyzers returns the registered analyzers.

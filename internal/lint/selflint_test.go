@@ -2,6 +2,7 @@ package lint_test
 
 import (
 	"testing"
+	"time"
 
 	"dnsencryption.info/doe/internal/lint"
 )
@@ -11,7 +12,9 @@ import (
 // lint gate part of the tier-1 verify path: a new violation anywhere in
 // the module fails this test with the finding's position and message.
 func TestRepositoryIsClean(t *testing.T) {
+	start := time.Now()
 	findings, err := lint.Run("../..", nil, lint.DefaultConfig())
+	elapsed := time.Since(start)
 	if err != nil {
 		t.Fatalf("lint.Run on repository: %v", err)
 	}
@@ -20,5 +23,28 @@ func TestRepositoryIsClean(t *testing.T) {
 	}
 	if len(findings) > 0 {
 		t.Logf("fix the finding or add a justified //doelint:allow directive (see internal/lint/doc.go)")
+	}
+
+	// Runtime budget: the interprocedural suite must stay cheap enough to
+	// sit on the tier-1 path. Summaries and the fact cache exist precisely
+	// so this does not creep; 5s leaves ~10x headroom on a cold CI worker.
+	const budget = 5 * time.Second
+	if elapsed > budget {
+		t.Errorf("full-module lint took %v, over the %v budget", elapsed, budget)
+	} else {
+		t.Logf("full-module lint: %v (budget %v)", elapsed, budget)
+	}
+}
+
+// TestBaselinePolicy pins the repository policy: the committed baseline
+// stays empty. Findings are fixed or carry a justified directive; the
+// baseline file exists only as a ratchet for extraordinary transitions.
+func TestBaselinePolicy(t *testing.T) {
+	b, err := lint.LoadBaseline("../../.doelint-baseline.json")
+	if err != nil {
+		t.Fatalf("committed baseline: %v", err)
+	}
+	if len(b.Entries) != 0 {
+		t.Errorf("committed baseline carries %d entries; repository policy is an empty baseline", len(b.Entries))
 	}
 }

@@ -1,0 +1,201 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Per-package fact summaries. A summary is everything the propagation
+// machinery needs from a package — facts, annotations, call edges, source
+// strings — without its AST or type information. Dependency packages that
+// no root pattern asked to lint are reduced to summaries as soon as they
+// are walked, and with a fact cache (doelint -factcache) the summary is
+// reused across runs as long as the package's files are unchanged, so
+// whole-module runs stay inside the doelint runtime budget as the module
+// grows.
+
+// summarySchema versions the on-disk format; bump it whenever facts,
+// masking rules, or edge encoding change so stale caches miss cleanly.
+const summarySchema = 1
+
+// FuncSummary is the serializable form of one graph node.
+type FuncSummary struct {
+	ID            string        `json:"id"`
+	Facts         FactSet       `json:"facts,omitempty"`
+	Hotpath       bool          `json:"hotpath,omitempty"`
+	ClockBoundary bool          `json:"clockboundary,omitempty"`
+	Calls         []string      `json:"calls,omitempty"`
+	CallPos       []string      `json:"callpos,omitempty"` // parallel to Calls
+	Sources       []FactSourceS `json:"sources,omitempty"`
+}
+
+// FactSourceS is one serialized fact source.
+type FactSourceS struct {
+	Fact Fact   `json:"fact"`
+	What string `json:"what"`
+	Pos  string `json:"pos"`
+}
+
+// PackageSummary carries every function summary of one package.
+type PackageSummary struct {
+	Schema  int           `json:"schema"`
+	Package string        `json:"package"`
+	Hash    string        `json:"hash"`
+	Funcs   []FuncSummary `json:"funcs"`
+}
+
+// summarize extracts the summaries of every node belonging to pkgPath, in
+// deterministic (insertion, i.e. source) order.
+func (g *Graph) summarize(pkgPath, hash string) *PackageSummary {
+	ps := &PackageSummary{Schema: summarySchema, Package: pkgPath, Hash: hash}
+	for _, id := range g.order {
+		n := g.nodes[id]
+		if n.pkg != pkgPath {
+			continue
+		}
+		fs := FuncSummary{
+			ID:            n.id,
+			Facts:         n.direct,
+			Hotpath:       n.hotpath,
+			ClockBoundary: n.clockBoundary,
+		}
+		for _, e := range n.edges {
+			fs.Calls = append(fs.Calls, e.callee)
+			fs.CallPos = append(fs.CallPos, e.posStr)
+		}
+		var facts []Fact
+		for f := range n.sources {
+			facts = append(facts, f)
+		}
+		sort.Slice(facts, func(i, j int) bool { return facts[i] < facts[j] })
+		for _, f := range facts {
+			src := n.sources[f]
+			fs.Sources = append(fs.Sources, FactSourceS{Fact: f, What: src.what, Pos: src.posStr})
+		}
+		ps.Funcs = append(ps.Funcs, fs)
+	}
+	return ps
+}
+
+// absorb loads a package summary into the graph under construction, as if
+// the package had been walked from source.
+func (b *graphBuilder) absorb(ps *PackageSummary) {
+	for _, fs := range ps.Funcs {
+		n := b.ensure(fs.ID, ps.Package)
+		n.direct |= fs.Facts
+		n.hotpath = n.hotpath || fs.Hotpath
+		n.clockBoundary = n.clockBoundary || fs.ClockBoundary
+		for i, callee := range fs.Calls {
+			pos := ""
+			if i < len(fs.CallPos) {
+				pos = fs.CallPos[i]
+			}
+			dup := false
+			for _, e := range n.edges {
+				if e.callee == callee {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				n.edges = append(n.edges, edge{callee: callee, posStr: pos})
+			}
+		}
+		for _, s := range fs.Sources {
+			if _, ok := n.sources[s.Fact]; !ok {
+				n.sources[s.Fact] = factSource{what: s.What, posStr: s.Pos}
+			}
+		}
+	}
+}
+
+// EncodeSummaries writes the summaries for the named packages as one JSON
+// document, for tests and external tooling.
+func (g *Graph) EncodeSummaries(w io.Writer, pkgs []string, hashes map[string]string) error {
+	var out []*PackageSummary
+	for _, p := range pkgs {
+		out = append(out, g.summarize(p, hashes[p]))
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// DecodeSummaries parses a document written by EncodeSummaries.
+func DecodeSummaries(r io.Reader) ([]*PackageSummary, error) {
+	var out []*PackageSummary
+	if err := json.NewDecoder(r).Decode(&out); err != nil {
+		return nil, fmt.Errorf("lint: decoding summaries: %w", err)
+	}
+	return out, nil
+}
+
+// hashFiles fingerprints a package's source files (paths and contents)
+// together with the summary schema version.
+func hashFiles(dir string, names []string) (string, error) {
+	h := sha256.New()
+	fmt.Fprintf(h, "schema:%d\n", summarySchema)
+	for _, name := range names {
+		path := filepath.Join(dir, name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(h, "%s %d\n", name, len(data))
+		h.Write(data)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// factCache reads and writes package summaries under a directory, keyed by
+// import path (flattened) and validated by content hash.
+type factCache struct{ dir string }
+
+func (c *factCache) path(pkgPath string) string {
+	h := sha256.Sum256([]byte(pkgPath))
+	return filepath.Join(c.dir, hex.EncodeToString(h[:8])+".json")
+}
+
+// load returns the cached summary for pkgPath when its hash matches.
+func (c *factCache) load(pkgPath, hash string) *PackageSummary {
+	if c == nil || c.dir == "" {
+		return nil
+	}
+	data, err := os.ReadFile(c.path(pkgPath))
+	if err != nil {
+		return nil
+	}
+	var ps PackageSummary
+	if json.Unmarshal(data, &ps) != nil {
+		return nil
+	}
+	if ps.Schema != summarySchema || ps.Package != pkgPath || ps.Hash != hash {
+		return nil
+	}
+	return &ps
+}
+
+// store writes the summary; cache write failures are silent (the cache is
+// an optimization, never a correctness input).
+func (c *factCache) store(ps *PackageSummary) {
+	if c == nil || c.dir == "" {
+		return
+	}
+	if os.MkdirAll(c.dir, 0o755) != nil {
+		return
+	}
+	data, err := json.Marshal(ps)
+	if err != nil {
+		return
+	}
+	tmp := c.path(ps.Package) + ".tmp"
+	if os.WriteFile(tmp, data, 0o644) == nil {
+		os.Rename(tmp, c.path(ps.Package))
+	}
+}

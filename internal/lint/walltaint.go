@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// analyzerWalltaint is the interprocedural extension of determinism and
+// obsclock: a function in a deterministic or observability package that
+// transitively reaches a wall-clock read (or, for deterministic packages,
+// the global math/rand state) through any chain of statically resolved
+// calls is flagged — even when every frame of the chain lives in a package
+// the direct-call checks never look at. The finding carries the full call
+// path from the tainted entry point down to the primitive read, so the fix
+// site is visible without hand-tracing the chain.
+//
+// Direct reads stay the business of determinism/obsclock (one finding per
+// violation, not two): walltaint only fires when the read happens in a
+// callee. Propagation respects the same escape hatches as the direct
+// checks — a read under a justified //doelint:allow never taints its
+// callers, and a function annotated //doelint:clockboundary absorbs the
+// clock facts of everything below it (it asserts it converts wall readings
+// into virtual time).
+var analyzerWalltaint = &Analyzer{
+	Name: "walltaint",
+	Doc:  "no transitive wall-clock or global-rand reach from deterministic/observability packages (call-graph check)",
+	Run:  runWalltaint,
+}
+
+func runWalltaint(pass *Pass) {
+	if pass.Graph == nil {
+		return
+	}
+	pkgPath := pass.Pkg.Path()
+	deterministic := pass.Config.IsDeterministic(pkgPath)
+	observability := pass.Config.IsObservability(pkgPath)
+	if !deterministic && !observability {
+		return
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			obj, ok := pass.Info.Defs[fn.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			id := funcID(obj)
+			node := pass.Graph.node(id)
+			if node == nil || node.clockBoundary {
+				continue
+			}
+			reportTaint(pass, node, FactWallClock, "wall clock")
+			if deterministic {
+				reportTaint(pass, node, FactGlobalRand, "global math/rand state")
+			}
+		}
+	}
+}
+
+// reportTaint emits one finding when node reaches fact through a callee
+// (not through its own body — the direct checks own that case). The
+// finding sits on the first call site of the taint chain, so a justified
+// //doelint:allow walltaint on that line suppresses exactly this path.
+func reportTaint(pass *Pass, node *funcNode, fact Fact, what string) {
+	if node.trans&fact == 0 || node.direct&fact != 0 {
+		return
+	}
+	steps, callPos, source := pass.Graph.taintPath(node.id, fact)
+	if len(steps) < 2 || !callPos.IsValid() {
+		return
+	}
+	pass.Reportf(callPos,
+		"call chain from %s reaches the %s: %s; route it through the virtual clock or annotate the boundary with //doelint:clockboundary",
+		displayName(node.id), what, renderTaint(steps, source))
+}

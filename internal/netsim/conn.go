@@ -148,7 +148,7 @@ func (b *buffer) write(p []byte) (int, error) {
 		bufpool.Put(buf)
 		return 0, io.ErrClosedPipe
 	}
-	b.segs = append(b.segs, segment{data: *buf, readyAt: stamp, buf: buf})
+	b.segs = append(b.segs, segment{data: *buf, readyAt: stamp, buf: buf}) //doelint:transfer -- owned by the segment queue; released as reads drain it
 	b.cond.Broadcast()
 	return len(p), nil
 }

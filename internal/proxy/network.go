@@ -189,7 +189,7 @@ func (n *Network) Dial(from netip.Addr, nodeID string, target netip.Addr, port u
 	if err != nil {
 		return nil, err
 	}
-	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	conn.SetDeadline(time.Now().Add(10 * time.Second)) //doelint:allow walltaint -- real-time watchdog on the simulated conn; expiry aborts a hang, never results
 	var creds *Credentials
 	if n.RequireAuth {
 		creds = &Credentials{Username: nodeID, Password: "measurement"}

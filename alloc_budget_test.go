@@ -23,6 +23,16 @@ const (
 	allocBudgetTCP = 22
 )
 
+// Multiplexed-session ceilings: an Exchange routed through the pipelining
+// engine (TCP/DoT) or the HTTP/2 stream layer (DoH) at MaxInFlight=8 may
+// cost at most 1.5× the serial budget — the demux slot, rendezvous channel
+// and per-stream frames must stay pooled.
+const (
+	allocBudgetDoTMux = allocBudgetDoT * 3 / 2
+	allocBudgetDoHMux = allocBudgetDoH * 3 / 2
+	allocBudgetTCPMux = allocBudgetTCP * 3 / 2
+)
+
 // exchangeAllocs measures the average allocations of one Exchange on an
 // already established session.
 func exchangeAllocs(t *testing.T, tr *resolver.Transport) float64 {
@@ -67,5 +77,36 @@ func TestAllocBudgetTCPExchange(t *testing.T) {
 	defer tr.Close()
 	if got := exchangeAllocs(t, tr); got > allocBudgetTCP {
 		t.Errorf("TCP steady-state exchange: %.1f allocs/op, budget %d", got, allocBudgetTCP)
+	}
+}
+
+func TestAllocBudgetDoTExchangeInflight8(t *testing.T) {
+	s := study(t)
+	c := resolver.New(s.World, netip.MustParseAddr("172.20.1.1"), s.Roots, resolver.WithMaxInFlight(8))
+	tr := c.DoT(s.Targets[0].DoT)
+	defer tr.Close()
+	if got := exchangeAllocs(t, tr); got > allocBudgetDoTMux {
+		t.Errorf("DoT pipelined exchange: %.1f allocs/op, budget %d", got, allocBudgetDoTMux)
+	}
+}
+
+func TestAllocBudgetDoHExchangeInflight8(t *testing.T) {
+	s := study(t)
+	c := resolver.New(s.World, netip.MustParseAddr("172.20.1.1"), s.Roots, resolver.WithMaxInFlight(8))
+	tgt := s.Targets[0]
+	tr := c.DoH(tgt.DoH, tgt.DoHAddr)
+	defer tr.Close()
+	if got := exchangeAllocs(t, tr); got > allocBudgetDoHMux {
+		t.Errorf("DoH multiplexed exchange: %.1f allocs/op, budget %d", got, allocBudgetDoHMux)
+	}
+}
+
+func TestAllocBudgetTCPExchangeInflight8(t *testing.T) {
+	s := study(t)
+	c := resolver.New(s.World, netip.MustParseAddr("172.20.1.1"), s.Roots, resolver.WithMaxInFlight(8))
+	tr := c.TCP(s.Targets[0].DNS)
+	defer tr.Close()
+	if got := exchangeAllocs(t, tr); got > allocBudgetTCPMux {
+		t.Errorf("TCP pipelined exchange: %.1f allocs/op, budget %d", got, allocBudgetTCPMux)
 	}
 }

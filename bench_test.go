@@ -513,6 +513,71 @@ func BenchmarkSteadyStateTCPExchange(b *testing.B) {
 	}
 }
 
+// benchConcurrentExchange drives waves of inflight concurrent Exchanges on
+// one multiplexed session; allocs/op is per query, including the goroutine
+// fan-out, and the budget contract keeps it within 1.5× the serial paths.
+func benchConcurrentExchange(b *testing.B, tr *resolver.Transport, inflight int) {
+	b.Helper()
+	msg := dnswire.NewQuery(0, "bench."+core.ProbeZone, dnswire.TypeA)
+	// Prime: the first Exchange dials; steady state starts after it.
+	if _, err := tr.Exchange(context.Background(), msg); err != nil {
+		b.Fatal(err)
+	}
+	var firstErr error
+	var errMu sync.Mutex
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += inflight {
+		n := inflight
+		if b.N-i < n {
+			n = b.N - i
+		}
+		var wg sync.WaitGroup
+		wg.Add(n)
+		for j := 0; j < n; j++ {
+			go func() {
+				defer wg.Done()
+				if _, err := tr.Exchange(context.Background(), msg); err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+				}
+			}()
+		}
+		wg.Wait()
+		if firstErr != nil {
+			b.Fatal(firstErr)
+		}
+	}
+}
+
+func BenchmarkSteadyStateDoTExchangeInflight8(b *testing.B) {
+	s := study(b)
+	c := resolver.New(s.World, netip.MustParseAddr("172.20.1.1"), s.Roots, resolver.WithMaxInFlight(8))
+	tr := c.DoT(s.Targets[0].DoT)
+	defer tr.Close()
+	benchConcurrentExchange(b, tr, 8)
+}
+
+func BenchmarkSteadyStateDoHExchangeInflight8(b *testing.B) {
+	s := study(b)
+	c := resolver.New(s.World, netip.MustParseAddr("172.20.1.1"), s.Roots, resolver.WithMaxInFlight(8))
+	tgt := s.Targets[0]
+	tr := c.DoH(tgt.DoH, tgt.DoHAddr)
+	defer tr.Close()
+	benchConcurrentExchange(b, tr, 8)
+}
+
+func BenchmarkSteadyStateTCPExchangeInflight8(b *testing.B) {
+	s := study(b)
+	c := resolver.New(s.World, netip.MustParseAddr("172.20.1.1"), s.Roots, resolver.WithMaxInFlight(8))
+	tr := c.TCP(s.Targets[0].DNS)
+	defer tr.Close()
+	benchConcurrentExchange(b, tr, 8)
+}
+
 // --- Substrate micro-benchmarks ----------------------------------------
 
 func BenchmarkWirePack(b *testing.B) {

@@ -24,6 +24,7 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel measurement workers (0 = default; output is identical for any value)")
 	faults := flag.String("faults", "", "fault-injection profile: "+strings.Join(core.FaultProfileNames(), ", "))
 	faultSeed := flag.Int64("fault-seed", 0, "fault-schedule seed (independent of the study seed)")
+	inflight := flag.Int("inflight", -1, "per-session in-flight queries of the multiplexed perf pass (-1 = default, <2 disables)")
 	tele := cli.TelemetryFlags()
 	flag.Parse()
 
@@ -36,6 +37,9 @@ func main() {
 	}
 	if *workers > 0 {
 		cfg.Workers = *workers
+	}
+	if *inflight >= 0 {
+		cfg.MuxInFlight = *inflight
 	}
 	if *faults != "" {
 		cfg.Faults = core.FaultsConfig{Profile: *faults, Seed: *faultSeed}

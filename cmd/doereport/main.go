@@ -31,6 +31,7 @@ func main() {
 	timing := flag.Bool("timing", false, "log per-experiment wall time to stderr")
 	faults := flag.String("faults", "", "fault-injection profile: "+strings.Join(core.FaultProfileNames(), ", "))
 	faultSeed := flag.Int64("fault-seed", 0, "fault-schedule seed (independent of the study seed)")
+	inflight := flag.Int("inflight", -1, "per-session in-flight queries of the multiplexed perf pass (-1 = default, <2 disables)")
 	tele := cli.TelemetryFlags()
 	flag.Parse()
 
@@ -50,6 +51,9 @@ func main() {
 	}
 	if *workers > 0 {
 		cfg.Workers = *workers
+	}
+	if *inflight >= 0 {
+		cfg.MuxInFlight = *inflight
 	}
 	if *faults != "" {
 		cfg.Faults = core.FaultsConfig{Profile: *faults, Seed: *faultSeed}

@@ -255,20 +255,22 @@ func (s *Study) buildClientNetworks() error {
 	})
 
 	s.GlobalPlatform = &vantage.Platform{
-		Network:   s.Global,
-		From:      measureClient,
-		Roots:     s.Roots,
-		ProbeZone: ProbeZone,
-		ExpectedA: s.ExpectedA,
-		MinUptime: 3 * time.Minute,
+		Network:     s.Global,
+		From:        measureClient,
+		Roots:       s.Roots,
+		ProbeZone:   ProbeZone,
+		ExpectedA:   s.ExpectedA,
+		MinUptime:   3 * time.Minute,
+		MuxInFlight: s.MuxInFlight,
 	}
 	s.CensoredPlatform = &vantage.Platform{
-		Network:   s.Censored,
-		From:      measureClient,
-		Roots:     s.Roots,
-		ProbeZone: ProbeZone,
-		ExpectedA: s.ExpectedA,
-		MinUptime: 3 * time.Minute,
+		Network:     s.Censored,
+		From:        measureClient,
+		Roots:       s.Roots,
+		ProbeZone:   ProbeZone,
+		ExpectedA:   s.ExpectedA,
+		MinUptime:   3 * time.Minute,
+		MuxInFlight: s.MuxInFlight,
 	}
 	return nil
 }

@@ -42,6 +42,12 @@ type Config struct {
 	// PerfQueriesFresh is the per-protocol query count of the
 	// no-reuse test on controlled vantages (paper: 200).
 	PerfQueriesFresh int
+	// MuxInFlight is the per-session concurrency of the performance test's
+	// multiplexed pass: DoT sessions pipeline (RFC 7766) and DoH sessions
+	// multiplex HTTP/2 streams with this many queries in flight, reported
+	// as Fig. 9's amortized "multiplexed" columns. Values below 2 disable
+	// the pass.
+	MuxInFlight int
 
 	// TrafficScale scales the 18-month NetFlow volumes (1.0 generates
 	// flow counts matching the paper's *sampled* magnitudes).
@@ -98,6 +104,7 @@ func DefaultConfig() Config {
 		PerfNodes:         120,
 		PerfQueriesReused: 20,
 		PerfQueriesFresh:  50,
+		MuxInFlight:       8,
 		TrafficScale:      1.0,
 		NetFlowSampleRate: 3,
 		NetFlowIdleExpiry: 15 * time.Second,
@@ -116,6 +123,7 @@ func TestConfig() Config {
 	cfg.PerfNodes = 12
 	cfg.PerfQueriesReused = 8
 	cfg.PerfQueriesFresh = 8
+	cfg.MuxInFlight = 4
 	cfg.TrafficScale = 0.25
 	cfg.CorpusNoise = 500
 	return cfg

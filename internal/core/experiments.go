@@ -458,17 +458,21 @@ func runFig9(s *Study) (string, error) {
 	agg := vantage.AggregateByCountry(samples)
 	t := &analysis.Table{
 		Title:   "Figure 9: Query performance per country (overheads vs clear-text DNS, ms)",
-		Columns: []string{"CC", "Clients", "DoT avg", "DoT median", "DoH avg", "DoH median"},
+		Columns: []string{"CC", "Clients", "DoT avg", "DoT median", "DoH avg", "DoH median", "DoT mux", "DoH mux"},
 	}
 	for _, c := range agg {
 		t.AddRow(c.Country, c.Clients,
 			fmt.Sprintf("%+.1f", c.DoTAvgMS), fmt.Sprintf("%+.1f", c.DoTMedianMS),
-			fmt.Sprintf("%+.1f", c.DoHAvgMS), fmt.Sprintf("%+.1f", c.DoHMedianMS))
+			fmt.Sprintf("%+.1f", c.DoHAvgMS), fmt.Sprintf("%+.1f", c.DoHMedianMS),
+			fmt.Sprintf("%+.1f", c.DoTMuxMedianMS), fmt.Sprintf("%+.1f", c.DoHMuxMedianMS))
 	}
 	dotAvg, dotMed, dohAvg, dohMed := vantage.GlobalOverheads(samples)
 	out := t.Render()
 	out += fmt.Sprintf("global overhead — DoT: %+.1f/%+.1f ms (avg/med), DoH: %+.1f/%+.1f ms (avg/med), clients: %d\n",
 		dotAvg, dotMed, dohAvg, dohMed, len(samples))
+	mDotAvg, mDotMed, mDohAvg, mDohMed := vantage.GlobalMuxOverheads(samples)
+	out += fmt.Sprintf("multiplexed (inflight=%d) — DoT: %+.1f/%+.1f ms (avg/med), DoH: %+.1f/%+.1f ms (avg/med)\n",
+		s.MuxInFlight, mDotAvg, mDotMed, mDohAvg, mDohMed)
 	return out, nil
 }
 

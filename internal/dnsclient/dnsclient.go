@@ -55,10 +55,19 @@ func New(w *netsim.World, from netip.Addr) *Client {
 
 // Deadline resolves a transaction's real-time guard: the earlier of the
 // context deadline and now+timeout. Contexts carry cancellation across the
-// client packages; the timeout field remains the per-transaction default.
+// client packages; the timeout field remains the per-transaction default. A
+// timeout <= 0 disables the per-transaction guard entirely — only the
+// context deadline (if any) applies, and the zero time.Time returned when
+// the context has none means "no deadline" to the connection layer.
 //
 //doelint:clockboundary -- real-time watchdog only; it aborts a hung transaction and never enters simulated results
 func Deadline(ctx context.Context, timeout time.Duration) time.Time {
+	if timeout <= 0 {
+		if cd, ok := ctx.Deadline(); ok {
+			return cd
+		}
+		return time.Time{}
+	}
 	d := time.Now().Add(timeout)
 	if cd, ok := ctx.Deadline(); ok && cd.Before(d) {
 		return cd
@@ -123,10 +132,13 @@ func (c *Client) QueryTCPContext(ctx context.Context, server netip.Addr, name st
 	return conn.QueryContext(ctx, name, qtype)
 }
 
-// TCPConn is a reusable DNS-over-TCP connection. It is safe for sequential
-// use; one query is in flight at a time.
+// TCPConn is a reusable DNS-over-TCP connection. By default it is serial —
+// safe for sequential use, one query in flight at a time. Pipeline upgrades
+// it to an RFC 7766 pipelined session whose QueryContext is safe for
+// concurrent use up to the chosen in-flight limit.
 type TCPConn struct {
 	mu   sync.Mutex
+	mux  *Mux
 	conn *netsim.Conn
 	// ids generates this connection's transaction IDs without touching
 	// the process-wide idSource lock.
@@ -186,6 +198,21 @@ func TCPFromConn(conn *netsim.Conn) *TCPConn {
 	}
 }
 
+// Pipeline upgrades the connection to a pipelined session with the given
+// in-flight limit (limit <= 0 selects DefaultMaxInFlight) and returns its
+// Mux. After Pipeline, QueryContext routes through the mux and is safe for
+// concurrent use; callers wanting coalesced deterministic bursts use the
+// Mux's Batch directly. Pipeline is idempotent — later calls return the
+// existing mux regardless of limit.
+func (t *TCPConn) Pipeline(limit int) *Mux {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.mux == nil && !t.closed {
+		t.mux = NewMux(t.conn, t.conn, limit)
+	}
+	return t.mux
+}
+
 // SetupLatency is the virtual time spent establishing the connection.
 func (t *TCPConn) SetupLatency() time.Duration { return t.established }
 
@@ -206,6 +233,10 @@ func (t *TCPConn) Query(name string, qtype dnswire.Type) (*Result, error) {
 //doelint:hotpath
 func (t *TCPConn) QueryContext(ctx context.Context, name string, qtype dnswire.Type) (*Result, error) {
 	t.mu.Lock()
+	if m := t.mux; m != nil {
+		t.mu.Unlock()
+		return m.Exchange(ctx, name, qtype)
+	}
 	defer t.mu.Unlock()
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("dnsclient: query: %w", err)
@@ -243,6 +274,9 @@ func (t *TCPConn) Close() error {
 		return nil
 	}
 	t.closed = true
+	if t.mux != nil {
+		t.mux.Close()
+	}
 	bufpool.Put(t.wbuf)
 	bufpool.Put(t.rbuf)
 	t.wbuf, t.rbuf = nil, nil

@@ -1,0 +1,265 @@
+package dnsclient
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"dnsencryption.info/doe/internal/dnswire"
+	"dnsencryption.info/doe/internal/netsim"
+)
+
+// muxEchoAddr derives a per-name answer so tests can prove each pipelined
+// query got its own response: q<i>.example.com -> 10.9.<i/256>.<i%256>.
+func muxEchoAddr(name string) netip.Addr {
+	var i int
+	fmt.Sscanf(name, "q%d.", &i)
+	return netip.AddrFrom4([4]byte{10, 9, byte(i >> 8), byte(i)})
+}
+
+// serveMuxReversed registers a stream server that reads batch-many queries,
+// then answers them all in REVERSED order as one coalesced write — the
+// worst-case legal reordering under RFC 7766 §7.
+func serveMuxReversed(w *netsim.World, batch int) {
+	w.RegisterStream(resolverIP, 53, func(conn *netsim.Conn) {
+		defer conn.Close()
+		for {
+			resps := make([][]byte, 0, batch)
+			for i := 0; i < batch; i++ {
+				msg, err := dnswire.ReadTCP(conn)
+				if err != nil {
+					return
+				}
+				m, err := dnswire.Unpack(msg)
+				if err != nil {
+					return
+				}
+				resp := m.Reply()
+				resp.AddAnswer(m.Question1().Name, 60, dnswire.A{Addr: muxEchoAddr(m.Question1().Name)})
+				packed, err := resp.Pack()
+				if err != nil {
+					return
+				}
+				resps = append(resps, packed)
+			}
+			var out []byte
+			for i := len(resps) - 1; i >= 0; i-- {
+				var err error
+				if out, err = dnswire.AppendTCP(out, resps[i]); err != nil {
+					return
+				}
+			}
+			if _, err := conn.Write(out); err != nil {
+				return
+			}
+		}
+	})
+}
+
+func TestMuxBatchReversedResponses(t *testing.T) {
+	const batch = 8
+	w := newWorld()
+	w.JitterFrac = 0
+	serveMuxReversed(w, batch)
+	c := New(w, clientIP)
+	conn, err := c.DialTCP(resolverIP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	m := conn.Pipeline(batch)
+	if m.MaxInFlight() != batch {
+		t.Fatalf("MaxInFlight = %d, want %d", m.MaxInFlight(), batch)
+	}
+
+	names := make([]string, batch)
+	for i := range names {
+		names[i] = fmt.Sprintf("q%d.example.com", i)
+	}
+	before := conn.Elapsed()
+	results, err := m.Batch(context.Background(), names, dnswire.TypeA, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := conn.Elapsed() - before
+	if len(results) != batch {
+		t.Fatalf("got %d results, want %d", len(results), batch)
+	}
+	for i, r := range results {
+		a, ok := r.FirstA()
+		if !ok || a != muxEchoAddr(names[i]) {
+			t.Errorf("query %d: answer %v, want %v", i, a, muxEchoAddr(names[i]))
+		}
+		// All queries leave in one segment and all responses arrive in one
+		// coalesced segment, so every per-query virtual latency equals the
+		// whole batch round trip.
+		if r.Latency != total {
+			t.Errorf("query %d: latency %v, want batch total %v", i, r.Latency, total)
+		}
+	}
+	if total <= 0 {
+		t.Error("batch consumed no virtual time")
+	}
+}
+
+func TestMuxConcurrentExchange(t *testing.T) {
+	const n = 16
+	w := newWorld()
+	// Server batches responses 4 at a time, reversed, so completions really
+	// are out of order relative to issue order.
+	serveMuxReversed(w, 4)
+	c := New(w, clientIP)
+	conn, err := c.DialTCP(resolverIP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.Pipeline(n)
+
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := fmt.Sprintf("q%d.example.com", i)
+			res, err := conn.QueryContext(context.Background(), name, dnswire.TypeA)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if a, ok := res.FirstA(); !ok || a != muxEchoAddr(name) {
+				errs[i] = fmt.Errorf("answer %v, want %v", a, muxEchoAddr(name))
+			}
+			if res.Latency <= 0 {
+				errs[i] = fmt.Errorf("latency %v, want > 0", res.Latency)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("query %d: %v", i, err)
+		}
+	}
+}
+
+func TestMuxFailsAllInFlightOnStreamDeath(t *testing.T) {
+	const n = 4
+	w := newWorld()
+	// The server swallows n queries and closes without answering: every
+	// in-flight query must fail with the same stream error.
+	w.RegisterStream(resolverIP, 53, func(conn *netsim.Conn) {
+		for i := 0; i < n; i++ {
+			if _, err := dnswire.ReadTCP(conn); err != nil {
+				break
+			}
+		}
+		conn.Close()
+	})
+	c := New(w, clientIP)
+	conn, err := c.DialTCP(resolverIP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.Pipeline(n)
+
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = conn.QueryContext(context.Background(), fmt.Sprintf("q%d.example.com", i), dnswire.TypeA)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err == nil {
+			t.Errorf("query %d succeeded against a dead stream", i)
+		}
+	}
+	// The session is dead: later queries fail immediately too.
+	if _, err := conn.QueryContext(context.Background(), "late.example.com", dnswire.TypeA); err == nil {
+		t.Error("query on dead session succeeded")
+	}
+}
+
+func TestMuxExchangeCancellation(t *testing.T) {
+	w := newWorld()
+	// A server that never answers.
+	w.RegisterStream(resolverIP, 53, func(conn *netsim.Conn) {
+		for {
+			if _, err := dnswire.ReadTCP(conn); err != nil {
+				conn.Close()
+				return
+			}
+		}
+	})
+	c := New(w, clientIP)
+	conn, err := c.DialTCP(resolverIP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	m := conn.Pipeline(2)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := m.Exchange(ctx, "q0.example.com", dnswire.TypeA)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled exchange did not return")
+	}
+	// The abandoned slot must not wedge the session: the in-flight
+	// semaphore slot was released on cancellation.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), time.Second)
+	defer cancel2()
+	if _, err := m.Exchange(ctx2, "q1.example.com", dnswire.TypeA); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("second exchange err = %v, want deadline exceeded (server never answers)", err)
+	}
+}
+
+func TestMuxClosedSessionError(t *testing.T) {
+	w := newWorld()
+	serveTCPFixed(w)
+	c := New(w, clientIP)
+	conn, err := c.DialTCP(resolverIP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Pipeline(4)
+	conn.Close()
+	if _, err := conn.QueryContext(context.Background(), "x.example.com", dnswire.TypeA); !errors.Is(err, ErrClosed) {
+		t.Errorf("err = %v, want ErrClosed", err)
+	}
+}
+
+func TestDeadlineZeroTimeoutMeansNoDeadline(t *testing.T) {
+	if d := Deadline(context.Background(), 0); !d.IsZero() {
+		t.Errorf("Deadline(bg, 0) = %v, want zero time", d)
+	}
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(time.Hour))
+	defer cancel()
+	cd, _ := ctx.Deadline()
+	if d := Deadline(ctx, 0); !d.Equal(cd) {
+		t.Errorf("Deadline(ctx, 0) = %v, want ctx deadline %v", d, cd)
+	}
+	if d := Deadline(context.Background(), time.Second); d.IsZero() {
+		t.Error("Deadline(bg, 1s) returned zero time")
+	}
+}

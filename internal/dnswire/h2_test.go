@@ -1,0 +1,98 @@
+package dnswire
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestH2FrameRoundTrip(t *testing.T) {
+	payload := []byte("hello, stream")
+	buf, err := AppendH2Frame(nil, H2FrameData, H2FlagEndStream, 5, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != H2FrameHeaderLen+len(payload) {
+		t.Fatalf("frame length = %d, want %d", len(buf), H2FrameHeaderLen+len(payload))
+	}
+	f, got, err := ReadH2FrameAppend(bytes.NewReader(buf), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != H2FrameData || !f.EndStream() || f.StreamID != 5 {
+		t.Fatalf("parsed header %+v", f)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload = %q, want %q", got, payload)
+	}
+}
+
+func TestH2FrameScratchReuse(t *testing.T) {
+	var wire []byte
+	var err error
+	for i := 0; i < 3; i++ {
+		wire, err = AppendH2Frame(wire, H2FrameHeaders, H2FlagEndHeaders, uint32(2*i+1), []byte{byte(i), byte(i + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := bytes.NewReader(wire)
+	scratch := make([]byte, 0, 64)
+	for i := 0; i < 3; i++ {
+		f, payload, err := ReadH2FrameAppend(r, scratch[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.StreamID != uint32(2*i+1) || len(payload) != 2 || payload[0] != byte(i) {
+			t.Fatalf("frame %d: header %+v payload %v", i, f, payload)
+		}
+	}
+}
+
+func TestH2FrameTooLarge(t *testing.T) {
+	if _, err := AppendH2FrameHeader(nil, H2FrameData, 0, 1, MaxH2FrameLen+1); err == nil {
+		t.Fatal("oversized frame header accepted")
+	}
+	// A wire header announcing an oversized payload must be rejected too.
+	hdr := []byte{0xff, 0xff, 0xff, 0, 0, 0, 0, 0, 1}
+	if _, _, err := ReadH2FrameAppend(bytes.NewReader(hdr), nil); err == nil {
+		t.Fatal("oversized wire frame accepted")
+	}
+}
+
+func TestHpackLiteralRoundTrip(t *testing.T) {
+	long := strings.Repeat("x", 300) // forces multi-byte prefix integers
+	fields := [][2]string{
+		{":method", "GET"},
+		{":path", "/dns-query?dns=" + long},
+		{"content-type", "application/dns-message"},
+	}
+	var buf []byte
+	for _, f := range fields {
+		buf = AppendHpackLiteral(buf, f[0], f[1])
+	}
+	rest := buf
+	for i, f := range fields {
+		name, value, r, err := ReadHpackLiteral(rest)
+		if err != nil {
+			t.Fatalf("field %d: %v", i, err)
+		}
+		if string(name) != f[0] || string(value) != f[1] {
+			t.Fatalf("field %d: %q=%q, want %q=%q", i, name, value, f[0], f[1])
+		}
+		rest = r
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d trailing bytes after all fields", len(rest))
+	}
+}
+
+func TestHpackRejectsHuffmanAndIndexed(t *testing.T) {
+	if _, _, _, err := ReadHpackLiteral([]byte{0x82}); err == nil {
+		t.Fatal("indexed field accepted")
+	}
+	// Literal w/o indexing, new name, Huffman-coded name length.
+	if _, _, _, err := ReadHpackLiteral([]byte{0x00, 0x81, 0xff}); err == nil {
+		t.Fatal("Huffman string accepted")
+	}
+}

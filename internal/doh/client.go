@@ -100,6 +100,14 @@ type Client struct {
 	// Override maps hostnames directly to addresses (measurement configs
 	// pin resolver IPs).
 	Override map[string]netip.Addr
+	// Mux selects the multiplexed HTTP/2 path: sessions dialed with it set
+	// offer ALPN "h2" and their QueryContext is safe for concurrent use up
+	// to MaxInFlight streams. Unset, sessions speak serial HTTP/1.1
+	// keep-alive exactly as before.
+	Mux bool
+	// MaxInFlight bounds concurrent streams per multiplexed session;
+	// 0 selects dnsclient.DefaultMaxInFlight. Ignored unless Mux is set.
+	MaxInFlight int
 }
 
 // NewClient returns a Client with study defaults.
@@ -146,9 +154,13 @@ func (c *Client) ResolveContext(ctx context.Context, host string) (netip.Addr, e
 	return addr, nil
 }
 
-// Conn is a reusable DoH session (one TLS connection, HTTP/1.1 keep-alive).
+// Conn is a reusable DoH session: one TLS connection speaking either serial
+// HTTP/1.1 keep-alive (the default) or, when dialed by a Client with Mux
+// set, multiplexed HTTP/2 — many concurrent streams whose QueryContext is
+// safe for concurrent use.
 type Conn struct {
 	mu       sync.Mutex
+	h2       *h2session // non-nil when the session negotiated HTTP/2
 	raw      *netsim.Conn
 	tls      *tls.Conn
 	br       *bufio.Reader
@@ -195,16 +207,20 @@ func (c *Client) DialConnContext(ctx context.Context, t Template, raw *netsim.Co
 		return nil, fmt.Errorf("doh: dial: %w", err)
 	}
 	raw.SetDeadline(dnsclient.Deadline(ctx, c.Timeout))
-	tc := tls.Client(raw, &tls.Config{
+	cfg := &tls.Config{
 		RootCAs:    c.Roots,
 		ServerName: t.Host,
 		Time:       func() time.Time { return certs.RefTime },
-	})
+	}
+	if c.Mux {
+		cfg.NextProtos = []string{"h2"}
+	}
+	tc := tls.Client(raw, cfg)
 	if err := tc.Handshake(); err != nil {
 		raw.Close()
 		return nil, fmt.Errorf("%w: %w", ErrAuthFailed, err)
 	}
-	return &Conn{
+	conn := &Conn{
 		raw:      raw,
 		tls:      tc,
 		br:       bufio.NewReader(tc),
@@ -214,7 +230,16 @@ func (c *Client) DialConnContext(ctx context.Context, t Template, raw *netsim.Co
 		pbuf:     bufpool.Get(512),  //doelint:transfer -- owned by Conn; released in Close
 		wbuf:     bufpool.Get(2048), //doelint:transfer -- owned by Conn; released in Close
 		rbuf:     bufpool.Get(512),  //doelint:transfer -- owned by Conn; released in Close
-	}, nil
+	}
+	if c.Mux {
+		if err := conn.startH2(); err != nil {
+			conn.Close()
+			return nil, err
+		}
+		// The preface/SETTINGS round trip is connection establishment.
+		conn.setup = raw.Elapsed()
+	}
+	return conn, nil
 }
 
 // SetupLatency is the virtual time spent on TCP + TLS establishment.
@@ -241,6 +266,10 @@ func (conn *Conn) Query(name string, qtype dnswire.Type) (*dnsclient.Result, err
 //doelint:hotpath
 func (conn *Conn) QueryContext(ctx context.Context, name string, qtype dnswire.Type) (*dnsclient.Result, error) {
 	conn.mu.Lock()
+	if h := conn.h2; h != nil {
+		conn.mu.Unlock()
+		return h.exchange(ctx, name, qtype)
+	}
 	defer conn.mu.Unlock()
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("doh: query: %w", err)
@@ -462,12 +491,28 @@ func trimSpace(b []byte) []byte {
 	return b
 }
 
+// BatchContext issues len(names) queries as one coalesced HTTP/2 burst on a
+// multiplexed session and returns the results in query order; see
+// dnsclient.Mux.Batch for the burst semantics. It fails on serial sessions.
+func (conn *Conn) BatchContext(ctx context.Context, names []string, qtype dnswire.Type, out []dnsclient.Result) ([]dnsclient.Result, error) {
+	conn.mu.Lock()
+	h := conn.h2
+	conn.mu.Unlock()
+	if h == nil {
+		return nil, fmt.Errorf("doh: batch requires a multiplexed (HTTP/2) session")
+	}
+	return h.batch(ctx, names, qtype, out)
+}
+
 // QueryJSON performs one Google-style JSON API lookup on the session.
 func (conn *Conn) QueryJSON(name string, qtype dnswire.Type) (*JSONResponse, error) {
 	conn.mu.Lock()
 	defer conn.mu.Unlock()
 	if conn.closed {
 		return nil, dnsclient.ErrClosed
+	}
+	if conn.h2 != nil {
+		return nil, fmt.Errorf("doh: JSON API not supported on a multiplexed session")
 	}
 	u := &url.URL{
 		Scheme:   "https",
@@ -505,6 +550,9 @@ func (conn *Conn) Close() error {
 		return nil
 	}
 	conn.closed = true
+	if conn.h2 != nil {
+		conn.h2.close()
+	}
 	bufpool.Put(conn.pbuf)
 	bufpool.Put(conn.wbuf)
 	bufpool.Put(conn.rbuf)

@@ -1,0 +1,746 @@
+package doh
+
+// HTTP/2 multiplexing for DoH (RFC 8484 over RFC 7540): many concurrent
+// streams per TLS session, selected by ALPN when Client.Mux is set. Both
+// endpoints live in this repository, so the implementation is the small
+// deterministic subset the study needs rather than a general h2 stack:
+//
+//   - connection setup is client preface + one SETTINGS exchange with no
+//     SETTINGS ACKs in either direction — an ACK would be the only h2 write
+//     not paired with a read, and any unpaired write races the peer's
+//     virtual-clock advances;
+//   - HPACK uses literal-without-indexing fields only (no dynamic table, no
+//     Huffman coding), so header blocks parse statelessly;
+//   - flow control is not enforced: DNS messages are far below the initial
+//     window and both ends ignore WINDOW_UPDATE.
+//
+// The client mirrors dnsclient.Mux: a write lock serializes stream-ID
+// allocation, frame building, the per-query clock charge, and the Write; a
+// demux reader goroutine reassembles each stream (HEADERS then DATA) and
+// parks the response in the query's rendezvous slot.
+
+import (
+	"bufio"
+	"context"
+	"encoding/base64"
+	"fmt"
+	"io"
+	"net/http"
+	"net/netip"
+	"strings"
+	"sync"
+	"time"
+
+	"dnsencryption.info/doe/internal/bufpool"
+	"dnsencryption.info/doe/internal/dnsclient"
+	"dnsencryption.info/doe/internal/dnswire"
+	"dnsencryption.info/doe/internal/netsim"
+)
+
+// h2session is the client half of the multiplexed DoH path.
+type h2session struct {
+	limit    int
+	sem      chan struct{}
+	clock    *netsim.Conn
+	cost     time.Duration
+	method   Method
+	template Template
+
+	// Write side, serialized by wmu: stream-ID allocation, HPACK/frame
+	// building, the per-query clock charge, and the TLS write.
+	wmu  sync.Mutex
+	tls  io.Writer
+	next uint32 // next client stream ID; odd (RFC 7540 §5.1.1)
+	wbuf *[]byte
+	pbuf *[]byte // packed DNS query scratch
+	qbuf *[]byte // GET :path scratch (path?dns=base64url)
+
+	// Demux state, guarded by mu; slots recycle through a free list.
+	mu       sync.Mutex
+	br       *bufio.Reader
+	inflight map[uint32]*h2Pending
+	free     *h2Pending
+	dead     error
+	closed   bool
+	started  bool
+}
+
+// h2Pending is one stream's rendezvous slot; status and body accumulate
+// across the stream's HEADERS and DATA frames until END_STREAM delivers.
+type h2Pending struct {
+	ch     chan h2Delivery // buffered, capacity 1: the reader never blocks
+	start  time.Duration
+	status int
+	body   []byte
+	next   *h2Pending
+}
+
+type h2Delivery struct {
+	msg *dnswire.Message
+	lat time.Duration
+	err error
+}
+
+// startH2 upgrades a freshly handshaken session to HTTP/2: verify the ALPN
+// result, send the client preface and an empty SETTINGS in one write, and
+// read the server's SETTINGS. The extra round trip lands in SetupLatency.
+func (conn *Conn) startH2() error {
+	if conn.tls.ConnectionState().NegotiatedProtocol != "h2" {
+		return fmt.Errorf("doh: server did not negotiate HTTP/2")
+	}
+	hello := append([]byte(nil), dnswire.H2ClientPreface...)
+	hello, err := dnswire.AppendH2Frame(hello, dnswire.H2FrameSettings, 0, 0, nil)
+	if err != nil {
+		return err
+	}
+	if _, err := conn.tls.Write(hello); err != nil {
+		return err
+	}
+	f, _, err := dnswire.ReadH2FrameAppend(conn.br, nil)
+	if err != nil {
+		return fmt.Errorf("doh: h2 setup: %w", err)
+	}
+	if f.Type != dnswire.H2FrameSettings || f.StreamID != 0 {
+		return fmt.Errorf("doh: h2 setup: expected SETTINGS, got %v", f.Type)
+	}
+	limit := conn.client.MaxInFlight
+	if limit <= 0 {
+		limit = dnsclient.DefaultMaxInFlight
+	}
+	conn.h2 = &h2session{
+		limit:    limit,
+		sem:      make(chan struct{}, limit),
+		clock:    conn.raw,
+		cost:     conn.client.CryptoCost,
+		method:   conn.client.Method,
+		template: conn.template,
+		tls:      conn.tls,
+		next:     1,
+		wbuf:     bufpool.Get(2048), //doelint:transfer -- owned by h2session; released in close
+		pbuf:     bufpool.Get(512),  //doelint:transfer -- owned by h2session; released in close
+		qbuf:     bufpool.Get(512),  //doelint:transfer -- owned by h2session; released in close
+		br:       conn.br,
+		inflight: make(map[uint32]*h2Pending, limit),
+	}
+	return nil
+}
+
+// MaxInFlight reports the session's in-flight stream limit, or 0 for a
+// serial (HTTP/1.1) session.
+func (conn *Conn) MaxInFlight() int {
+	if conn.h2 == nil {
+		return 0
+	}
+	return conn.h2.limit
+}
+
+// Multiplexed reports whether the session negotiated HTTP/2.
+func (conn *Conn) Multiplexed() bool { return conn.h2 != nil }
+
+func (h *h2session) acquire(ctx context.Context) error {
+	select {
+	case h.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("doh: h2 query: %w", ctx.Err())
+	}
+}
+
+func (h *h2session) release() { <-h.sem }
+
+func (h *h2session) getSlotLocked() *h2Pending {
+	if p := h.free; p != nil {
+		h.free = p.next
+		p.next = nil
+		return p
+	}
+	return &h2Pending{ch: make(chan h2Delivery, 1)} //doelint:allow hotalloc -- slots are recycled through the free list; steady state allocates none
+}
+
+func (h *h2session) putSlot(p *h2Pending) {
+	h.mu.Lock()
+	p.next = h.free
+	h.free = p
+	h.mu.Unlock()
+}
+
+// register allocates the next stream ID and an in-flight slot stamped with
+// start; callers hold h.wmu. Stream IDs increase monotonically (RFC 7540
+// §5.1.1) so, unlike DNS transaction IDs, they cannot collide.
+func (h *h2session) register(start time.Duration) (*h2Pending, uint32, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return nil, 0, dnsclient.ErrClosed
+	}
+	if h.dead != nil {
+		return nil, 0, h.dead
+	}
+	sid := h.next
+	h.next += 2
+	p := h.getSlotLocked()
+	p.start = start
+	p.status = 0
+	p.body = p.body[:0]
+	h.inflight[sid] = p
+	if !h.started {
+		h.started = true
+		go h.readLoop()
+	}
+	return p, sid, nil
+}
+
+// deregister removes sid from the in-flight table; false means the reader
+// already delivered (the delivery is buffered in the slot's channel).
+func (h *h2session) deregister(sid uint32) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, mine := h.inflight[sid]; !mine {
+		return false
+	}
+	delete(h.inflight, sid)
+	return true
+}
+
+// appendStreamLocked builds one query's frames — HEADERS carrying the RFC
+// 8484 binding, plus a DATA frame for POST — onto wb and registers the
+// stream. Callers hold h.wmu.
+//
+//doelint:hotpath
+func (h *h2session) appendStreamLocked(wb []byte, start time.Duration, name string, qtype dnswire.Type) ([]byte, *h2Pending, uint32, error) {
+	p, sid, err := h.register(start)
+	if err != nil {
+		return wb, nil, 0, err
+	}
+	// RFC 8484 recommends ID 0 for cache friendliness.
+	q := dnswire.NewQuery(0, name, qtype)
+	packed, err := q.AppendPack((*h.pbuf)[:0])
+	*h.pbuf = packed
+	if err != nil {
+		h.deregister(sid)
+		h.putSlot(p)
+		return wb, nil, 0, err
+	}
+	hstart := len(wb)
+	wb = dnswire.ReserveH2FrameHeader(wb)
+	if h.method == POST {
+		wb = dnswire.AppendHpackLiteral(wb, ":method", "POST")
+		wb = dnswire.AppendHpackLiteral(wb, ":scheme", "https")
+		wb = dnswire.AppendHpackLiteral(wb, ":authority", h.template.Host)
+		wb = dnswire.AppendHpackLiteral(wb, ":path", h.template.Path)
+		wb = dnswire.AppendHpackLiteral(wb, "content-type", ContentType)
+		wb = dnswire.AppendHpackLiteral(wb, "accept", ContentType)
+		wb, err = dnswire.FinishH2Frame(wb, hstart, dnswire.H2FrameHeaders, dnswire.H2FlagEndHeaders, sid)
+		if err == nil {
+			wb, err = dnswire.AppendH2Frame(wb, dnswire.H2FrameData, dnswire.H2FlagEndStream, sid, packed)
+		}
+	} else {
+		wb = dnswire.AppendHpackLiteral(wb, ":method", "GET")
+		wb = dnswire.AppendHpackLiteral(wb, ":scheme", "https")
+		wb = dnswire.AppendHpackLiteral(wb, ":authority", h.template.Host)
+		pb := (*h.qbuf)[:0]
+		pb = append(pb, h.template.Path...)
+		pb = append(pb, "?dns="...)
+		n := base64.RawURLEncoding.EncodedLen(len(packed))
+		off := len(pb)
+		pb = bufpool.Grow(pb, n)
+		base64.RawURLEncoding.Encode(pb[off:], packed)
+		*h.qbuf = pb
+		wb = dnswire.AppendHpackLiteralBytes(wb, ":path", pb)
+		wb = dnswire.AppendHpackLiteral(wb, "accept", ContentType)
+		wb, err = dnswire.FinishH2Frame(wb, hstart, dnswire.H2FrameHeaders, dnswire.H2FlagEndStream|dnswire.H2FlagEndHeaders, sid)
+	}
+	if err != nil {
+		h.deregister(sid)
+		h.putSlot(p)
+		return wb, nil, 0, err
+	}
+	return wb, p, sid, nil
+}
+
+// send writes one query's frames under the write lock.
+//
+//doelint:hotpath
+func (h *h2session) send(name string, qtype dnswire.Type) (*h2Pending, uint32, error) {
+	h.wmu.Lock()
+	defer h.wmu.Unlock()
+	wb, p, sid, err := h.appendStreamLocked((*h.wbuf)[:0], h.clock.Elapsed(), name, qtype)
+	*h.wbuf = wb
+	if err != nil {
+		return nil, 0, err
+	}
+	h.clock.AddLatency(h.cost)
+	if _, err := h.tls.Write(wb); err != nil {
+		h.deregister(sid)
+		h.fail(err)
+		return nil, 0, err
+	}
+	return p, sid, nil
+}
+
+// wait blocks for the stream's delivery, honouring ctx; it releases the
+// caller's semaphore slot and recycles the rendezvous slot.
+//
+//doelint:hotpath
+func (h *h2session) wait(ctx context.Context, p *h2Pending, sid uint32) (*dnsclient.Result, error) {
+	var d h2Delivery
+	select {
+	case d = <-p.ch:
+	case <-ctx.Done():
+		if h.deregister(sid) {
+			h.putSlot(p)
+			h.release()
+			return nil, fmt.Errorf("doh: h2 query: %w", ctx.Err())
+		}
+		d = <-p.ch
+	}
+	h.putSlot(p)
+	h.release()
+	if d.err != nil {
+		return nil, d.err
+	}
+	return &dnsclient.Result{Msg: d.msg, Latency: d.lat}, nil
+}
+
+// exchange is one concurrent-safe DoH transaction on the h2 session.
+//
+//doelint:hotpath
+func (h *h2session) exchange(ctx context.Context, name string, qtype dnswire.Type) (*dnsclient.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("doh: h2 query: %w", err)
+	}
+	if err := h.acquire(ctx); err != nil {
+		return nil, err
+	}
+	p, sid, err := h.send(name, qtype)
+	if err != nil {
+		h.release()
+		return nil, err
+	}
+	return h.wait(ctx, p, sid)
+}
+
+// batch issues len(names) streams as one coalesced burst — all frames leave
+// in a single TLS write — and collects the responses in query order. See
+// dnsclient.Mux.Batch for why single-write bursts are the deterministic face
+// of multiplexing.
+func (h *h2session) batch(ctx context.Context, names []string, qtype dnswire.Type, out []dnsclient.Result) ([]dnsclient.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("doh: h2 batch: %w", err)
+	}
+	if len(names) > h.limit {
+		return nil, fmt.Errorf("doh: batch of %d exceeds in-flight limit %d", len(names), h.limit)
+	}
+	for i := range names {
+		if err := h.acquire(ctx); err != nil {
+			for ; i > 0; i-- {
+				h.release()
+			}
+			return nil, err
+		}
+	}
+	slots := make([]*h2Pending, len(names))
+	sids := make([]uint32, len(names))
+	h.wmu.Lock()
+	wb := (*h.wbuf)[:0]
+	// All slots are stamped at batch start — see dnsclient.Mux.Batch: the
+	// burst shares one request segment and one coalesced response segment,
+	// so each stream's latency is the whole batch round trip.
+	start := h.clock.Elapsed()
+	var err error
+	for i, name := range names {
+		var p *h2Pending
+		var sid uint32
+		wb, p, sid, err = h.appendStreamLocked(wb, start, name, qtype)
+		if err != nil {
+			break
+		}
+		slots[i], sids[i] = p, sid
+		h.clock.AddLatency(h.cost)
+	}
+	if err == nil {
+		if _, werr := h.tls.Write(wb); werr != nil {
+			h.fail(werr)
+			err = werr
+		}
+	}
+	*h.wbuf = wb
+	h.wmu.Unlock()
+	if err != nil {
+		for i := range names {
+			if slots[i] != nil && h.deregister(sids[i]) {
+				h.putSlot(slots[i])
+			}
+			h.release()
+		}
+		return nil, err
+	}
+	out = out[:0]
+	var firstErr error
+	for i := range names {
+		res, err := h.wait(ctx, slots[i], sids[i])
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			out = append(out, dnsclient.Result{})
+			continue
+		}
+		out = append(out, *res)
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// readLoop is the session's demux reader: it owns the TLS read side,
+// reassembles streams frame by frame, and delivers each response — with its
+// per-stream virtual latency — to the matching rendezvous slot.
+//
+//doelint:hotpath
+func (h *h2session) readLoop() {
+	scratch := bufpool.Get(512)
+	defer bufpool.Put(scratch)
+	for {
+		f, payload, err := dnswire.ReadH2FrameAppend(h.br, (*scratch)[:0])
+		if err != nil {
+			h.fail(err)
+			return
+		}
+		*scratch = payload[:0]
+		switch f.Type {
+		case dnswire.H2FrameHeaders:
+			h.mu.Lock()
+			if p := h.inflight[f.StreamID]; p != nil {
+				p.status = parseH2Status(payload)
+				p.body = p.body[:0]
+				if f.EndStream() {
+					h.deliverLocked(f.StreamID, p)
+				}
+			}
+			h.mu.Unlock()
+		case dnswire.H2FrameData:
+			h.mu.Lock()
+			if p := h.inflight[f.StreamID]; p != nil {
+				p.body = append(p.body, payload...)
+				if f.EndStream() {
+					h.deliverLocked(f.StreamID, p)
+				}
+			}
+			h.mu.Unlock()
+		case dnswire.H2FrameRSTStream:
+			h.mu.Lock()
+			if p := h.inflight[f.StreamID]; p != nil {
+				delete(h.inflight, f.StreamID)
+				p.ch <- h2Delivery{err: fmt.Errorf("doh: stream %d reset by server", f.StreamID)}
+			}
+			h.mu.Unlock()
+		case dnswire.H2FrameGoAway:
+			h.fail(fmt.Errorf("doh: server sent GOAWAY"))
+			return
+		default:
+			// SETTINGS, PING and WINDOW_UPDATE carry no response data and —
+			// per the package's no-ACK, no-flow-control subset — need no
+			// reply.
+		}
+	}
+}
+
+// deliverLocked completes a stream; callers hold h.mu.
+func (h *h2session) deliverLocked(sid uint32, p *h2Pending) {
+	delete(h.inflight, sid)
+	if p.status != http.StatusOK {
+		p.ch <- h2Delivery{err: fmt.Errorf("%w: %d", ErrHTTPStatus, p.status)}
+		return
+	}
+	m, err := dnswire.Unpack(p.body)
+	if err != nil {
+		p.ch <- h2Delivery{err: err}
+		return
+	}
+	p.ch <- h2Delivery{msg: m, lat: h.clock.Elapsed() - p.start}
+}
+
+// fail marks the session dead and delivers err to every in-flight stream.
+func (h *h2session) fail(err error) {
+	h.mu.Lock()
+	if h.dead == nil {
+		h.dead = err
+	} else {
+		err = h.dead
+	}
+	for sid, p := range h.inflight {
+		delete(h.inflight, sid)
+		p.ch <- h2Delivery{err: err}
+	}
+	h.mu.Unlock()
+}
+
+// close fails all in-flight streams with ErrClosed and releases the write
+// buffers; the owning Conn closes the TLS connection, unblocking the reader.
+func (h *h2session) close() {
+	h.wmu.Lock()
+	defer h.wmu.Unlock()
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	h.closed = true
+	h.mu.Unlock()
+	h.fail(dnsclient.ErrClosed)
+	bufpool.Put(h.wbuf)
+	bufpool.Put(h.pbuf)
+	bufpool.Put(h.qbuf)
+	h.wbuf, h.pbuf, h.qbuf = nil, nil, nil
+}
+
+// parseH2Status extracts :status from a response header block; 0 on parse
+// failure (which deliverLocked then rejects as a non-200).
+func parseH2Status(block []byte) int {
+	for len(block) > 0 {
+		name, value, rest, err := dnswire.ReadHpackLiteral(block)
+		if err != nil {
+			return 0
+		}
+		if string(name) == ":status" {
+			status := 0
+			for _, c := range value {
+				if c < '0' || c > '9' {
+					return 0
+				}
+				status = status*10 + int(c-'0')
+			}
+			return status
+		}
+		block = rest
+	}
+	return 0
+}
+
+// ---- server side ----
+
+// h2Post accumulates a POST request whose body arrives in DATA frames after
+// its HEADERS.
+type h2Post struct {
+	method string
+	path   string
+	body   []byte
+}
+
+// serveH2 is the server's per-connection HTTP/2 loop: preface and SETTINGS
+// exchange (no ACKs), then a frame loop that answers each completed stream.
+// Responses to concurrently arriving streams coalesce in the write buffer
+// until no further frame is already buffered — the h2 analogue of the RFC
+// 7766 §6.2.1.1 response coalescing in dnsserver — so a client burst that
+// arrived in one segment is answered in one segment.
+//
+//doelint:hotpath
+func (s *Server) serveH2(conn *netsim.Conn, tc io.ReadWriter, paths map[string]bool) {
+	remote := conn.RemoteAddr().(netsim.Addr).IP
+	br := bufio.NewReaderSize(tc, 4096) //doelint:allow hotalloc -- one reader per connection, amortized over its streams
+	preface := make([]byte, len(dnswire.H2ClientPreface))
+	if _, err := io.ReadFull(br, preface); err != nil || string(preface) != dnswire.H2ClientPreface {
+		return
+	}
+	f, _, err := dnswire.ReadH2FrameAppend(br, nil)
+	if err != nil || f.Type != dnswire.H2FrameSettings || f.StreamID != 0 {
+		return
+	}
+	hello, err := dnswire.AppendH2Frame(nil, dnswire.H2FrameSettings, 0, 0, nil)
+	if err != nil {
+		return
+	}
+	if _, err := tc.Write(hello); err != nil {
+		return
+	}
+
+	rbuf := bufpool.Get(512)
+	wbuf := bufpool.Get(512)
+	defer bufpool.Put(rbuf)
+	defer bufpool.Put(wbuf)
+	out := (*wbuf)[:0]
+	var posts map[uint32]*h2Post // lazily allocated; GET-only clients never need it
+	for {
+		f, payload, err := dnswire.ReadH2FrameAppend(br, (*rbuf)[:0])
+		if err != nil {
+			return
+		}
+		*rbuf = payload[:0]
+		switch f.Type {
+		case dnswire.H2FrameHeaders:
+			method, path, ok := parseH2Request(payload)
+			if !ok {
+				return
+			}
+			if f.EndStream() {
+				out, ok = s.appendH2Response(out, conn, remote, f.StreamID, method, path, nil, paths)
+				if !ok {
+					return
+				}
+			} else {
+				if posts == nil {
+					posts = make(map[uint32]*h2Post)
+				}
+				posts[f.StreamID] = &h2Post{method: method, path: path}
+			}
+		case dnswire.H2FrameData:
+			st := posts[f.StreamID]
+			if st == nil {
+				return
+			}
+			st.body = append(st.body, payload...)
+			if f.EndStream() {
+				delete(posts, f.StreamID)
+				var ok bool
+				out, ok = s.appendH2Response(out, conn, remote, f.StreamID, st.method, st.path, st.body, paths)
+				if !ok {
+					return
+				}
+			}
+		case dnswire.H2FrameRSTStream:
+			delete(posts, f.StreamID)
+		case dnswire.H2FrameGoAway:
+			return
+		default:
+			// SETTINGS, PING, WINDOW_UPDATE: ignored per the no-ACK,
+			// no-flow-control subset.
+		}
+		if len(out) > 0 && br.Buffered() == 0 {
+			if _, err := tc.Write(out); err != nil {
+				return
+			}
+			*wbuf = out
+			out = out[:0]
+		}
+	}
+}
+
+// parseH2Request extracts :method and :path from a request header block.
+func parseH2Request(block []byte) (method, path string, ok bool) {
+	for len(block) > 0 {
+		name, value, rest, err := dnswire.ReadHpackLiteral(block)
+		if err != nil {
+			return "", "", false
+		}
+		switch string(name) {
+		case ":method":
+			method = string(value)
+		case ":path":
+			path = string(value)
+		}
+		block = rest
+	}
+	return method, path, method != "" && path != ""
+}
+
+// appendH2Response answers one completed stream, appending its HEADERS and
+// DATA frames to out and charging the handler's processing time to the
+// connection. ok is false when the response cannot be framed (fatal).
+func (s *Server) appendH2Response(out []byte, conn *netsim.Conn, remote netip.Addr, sid uint32, method, path string, body []byte, paths map[string]bool) ([]byte, bool) {
+	status := http.StatusOK
+	ctype := ContentType
+	var respBody []byte
+
+	p, query := path, ""
+	if i := strings.IndexByte(path, '?'); i >= 0 {
+		p, query = path[:i], path[i+1:]
+	}
+	var wire []byte
+	switch {
+	case !paths[p]:
+		status, ctype, respBody = http.StatusNotFound, "text/plain", []byte("not found")
+	case method == http.MethodGet:
+		dns := queryParam(query, "dns")
+		if dns == "" {
+			status, ctype, respBody = http.StatusBadRequest, "text/plain", []byte("missing dns parameter")
+		} else if decoded, err := base64.RawURLEncoding.DecodeString(dns); err != nil {
+			status, ctype, respBody = http.StatusBadRequest, "text/plain", []byte("bad dns parameter")
+		} else {
+			wire = decoded
+		}
+	case method == http.MethodPost:
+		wire = body
+	default:
+		status, ctype, respBody = http.StatusMethodNotAllowed, "text/plain", []byte("GET or POST")
+	}
+	var resp *dnswire.Message
+	if wire != nil {
+		m, err := dnswire.Unpack(wire)
+		if err != nil {
+			status, ctype, respBody = http.StatusBadRequest, "text/plain", []byte("malformed DNS message")
+		} else {
+			r, proc := s.Handler.ServeDNS(remote, m)
+			conn.AddLatency(proc + s.ExtraProc)
+			resp = r
+		}
+	}
+
+	for {
+		hstart := len(out)
+		out = dnswire.ReserveH2FrameHeader(out)
+		out = dnswire.AppendHpackLiteral(out, ":status", h2StatusText(status))
+		out = dnswire.AppendHpackLiteral(out, "content-type", ctype)
+		var err error
+		out, err = dnswire.FinishH2Frame(out, hstart, dnswire.H2FrameHeaders, dnswire.H2FlagEndHeaders, sid)
+		if err != nil {
+			return nil, false
+		}
+		dstart := len(out)
+		out = dnswire.ReserveH2FrameHeader(out)
+		if resp != nil {
+			// Pack straight into the DATA frame — no intermediate buffer;
+			// compression offsets are message-relative so any prefix works.
+			if out, err = resp.AppendPack(out); err != nil {
+				out = out[:hstart]
+				resp = nil
+				status, ctype, respBody = http.StatusInternalServerError, "text/plain", []byte("pack error")
+				continue
+			}
+		} else {
+			out = append(out, respBody...)
+		}
+		out, err = dnswire.FinishH2Frame(out, dstart, dnswire.H2FrameData, dnswire.H2FlagEndStream, sid)
+		if err != nil {
+			return nil, false
+		}
+		return out, true
+	}
+}
+
+// h2StatusText renders the status codes this server emits.
+func h2StatusText(status int) string {
+	switch status {
+	case http.StatusOK:
+		return "200"
+	case http.StatusBadRequest:
+		return "400"
+	case http.StatusNotFound:
+		return "404"
+	case http.StatusMethodNotAllowed:
+		return "405"
+	case http.StatusUnsupportedMediaType:
+		return "415"
+	default:
+		return "500"
+	}
+}
+
+// queryParam extracts one key's value from a raw query string without
+// url.ParseQuery's allocations; values are returned undecoded (base64url
+// never needs percent-escaping).
+func queryParam(query, key string) string {
+	for len(query) > 0 {
+		kv := query
+		if i := strings.IndexByte(query, '&'); i >= 0 {
+			kv, query = query[:i], query[i+1:]
+		} else {
+			query = ""
+		}
+		if len(kv) > len(key) && kv[len(key)] == '=' && kv[:len(key)] == key {
+			return kv[len(key)+1:]
+		}
+	}
+	return ""
+}

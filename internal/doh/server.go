@@ -79,6 +79,13 @@ func Serve(w *netsim.World, addr netip.Addr, leaf *certs.Leaf, srv *Server) {
 			return
 		}
 		defer tc.Close()
+		// Clients opting into multiplexing negotiate h2 via ALPN; everyone
+		// else (including clients offering no ALPN at all) gets the serial
+		// HTTP/1.1 loop below, byte-for-byte as before.
+		if tc.ConnectionState().NegotiatedProtocol == "h2" {
+			srv.serveH2(conn, tc, paths)
+			return
+		}
 		br := bufio.NewReader(tc)
 		for {
 			req, err := http.ReadRequest(br)
@@ -264,7 +271,10 @@ func (f *UDPBackendForwarder) ServeDNS(remote netip.Addr, req *dnswire.Message) 
 }
 
 func tlsServer(conn *netsim.Conn, cert tls.Certificate) *tls.Conn {
-	tc := tls.Server(conn, &tls.Config{Certificates: []tls.Certificate{cert}})
+	tc := tls.Server(conn, &tls.Config{
+		Certificates: []tls.Certificate{cert},
+		NextProtos:   []string{"h2", "http/1.1"},
+	})
 	if err := tc.Handshake(); err != nil {
 		return nil
 	}

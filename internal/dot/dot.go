@@ -153,6 +153,7 @@ func NewClient(w *netsim.World, from netip.Addr, roots *x509.CertPool, profile P
 // Conn is a reusable DoT session.
 type Conn struct {
 	mu     sync.Mutex
+	mux    *dnsclient.Mux
 	raw    *netsim.Conn
 	tls    *tls.Conn
 	client *Client
@@ -286,6 +287,26 @@ func (conn *Conn) SetupLatency() time.Duration { return conn.setup }
 // Elapsed is the total virtual time consumed by the session so far.
 func (conn *Conn) Elapsed() time.Duration { return conn.raw.Elapsed() }
 
+// Pipeline upgrades the session to an RFC 7766 pipelined session with the
+// given in-flight limit (limit <= 0 selects dnsclient.DefaultMaxInFlight)
+// and returns its Mux. After Pipeline, QueryContext routes through the mux
+// and is safe for concurrent use; the mux carries the session's per-query
+// CryptoCost and RFC 8467 padding policy. Pipeline is idempotent — later
+// calls return the existing mux regardless of limit.
+func (conn *Conn) Pipeline(limit int) *dnsclient.Mux {
+	conn.mu.Lock()
+	defer conn.mu.Unlock()
+	if conn.mux == nil && !conn.closed {
+		m := dnsclient.NewMux(conn.tls, conn.raw, limit)
+		m.PerQueryCost = conn.client.CryptoCost
+		if conn.client.Pad {
+			m.PadBlock = 128
+		}
+		conn.mux = m
+	}
+	return conn.mux
+}
+
 // Query performs one DNS transaction on the session.
 func (conn *Conn) Query(name string, qtype dnswire.Type) (*dnsclient.Result, error) {
 	return conn.QueryContext(context.Background(), name, qtype)
@@ -299,6 +320,10 @@ func (conn *Conn) Query(name string, qtype dnswire.Type) (*dnsclient.Result, err
 //doelint:hotpath
 func (conn *Conn) QueryContext(ctx context.Context, name string, qtype dnswire.Type) (*dnsclient.Result, error) {
 	conn.mu.Lock()
+	if m := conn.mux; m != nil {
+		conn.mu.Unlock()
+		return m.Exchange(ctx, name, qtype)
+	}
 	defer conn.mu.Unlock()
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("dot: query: %w", err)
@@ -343,6 +368,9 @@ func (conn *Conn) Close() error {
 		return nil
 	}
 	conn.closed = true
+	if conn.mux != nil {
+		conn.mux.Close()
+	}
 	bufpool.Put(conn.wbuf)
 	bufpool.Put(conn.rbuf)
 	conn.wbuf, conn.rbuf = nil, nil

@@ -11,6 +11,11 @@
 // IDs per exchange, DoH always sends ID 0 (RFC 8484 §4.1 cache
 // friendliness). The ID on the message passed to Exchange is therefore
 // advisory, and the returned message carries whatever ID the transport used.
+//
+// Stream sessions are dialed through one entry point, Dial, keyed by a Proto
+// value; with WithMaxInFlight the session pipelines (TCP/DoT, RFC 7766 §6.2.1)
+// or multiplexes HTTP/2 streams (DoH), and Exchange may then be called from
+// many goroutines at once.
 package resolver
 
 import (
@@ -20,6 +25,7 @@ import (
 	"fmt"
 	"net/netip"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dnsencryption.info/doe/internal/dnsclient"
@@ -39,6 +45,12 @@ type Exchanger interface {
 // accounting the performance experiments (§4.3) need: setup cost and total
 // elapsed time, so per-query latency is the Elapsed delta around an
 // Exchange.
+//
+// Exchange is safe for concurrent use. On a serial session concurrent calls
+// queue on the connection; on a session dialed with WithMaxInFlight(n) up to
+// n exchanges proceed in flight at once (further callers block until a slot
+// frees). When the connection dies mid-exchange, every in-flight call fails
+// with an error wrapping ErrSessionClosed.
 type Session interface {
 	Exchanger
 	Close() error
@@ -62,11 +74,46 @@ func Question(msg *dnswire.Message) (string, dnswire.Type, error) {
 	return msg.Questions[0].Name, msg.Questions[0].Type, nil
 }
 
+// Proto selects a stream transport for Dial.
+type Proto int
+
+const (
+	// ProtoTCP is clear-text DNS over TCP (server port 53).
+	ProtoTCP Proto = iota
+	// ProtoDoT is DNS over TLS, RFC 7858 (server port 853).
+	ProtoDoT
+	// ProtoDoH is DNS over HTTPS, RFC 8484 (server port 443).
+	ProtoDoH
+)
+
+// String names the protocol the way telemetry labels do.
+func (p Proto) String() string {
+	switch p {
+	case ProtoTCP:
+		return "tcp"
+	case ProtoDoT:
+		return "dot"
+	case ProtoDoH:
+		return "doh"
+	default:
+		return fmt.Sprintf("proto(%d)", int(p))
+	}
+}
+
+// Endpoint addresses a Dial target. Addr is required for every protocol;
+// Template is consulted only by ProtoDoH (the URI template whose host is
+// pinned to Addr).
+type Endpoint struct {
+	Addr     netip.Addr
+	Template doh.Template
+}
+
 // Options collects the cross-transport knobs. The zero value is not useful;
 // construct via New, which applies defaults before the functional options.
 type Options struct {
 	// Timeout is the per-transaction real-time guard (virtual latency is
-	// unaffected; this protects the test harness).
+	// unaffected; this protects the test harness). Zero or negative means
+	// no per-transaction guard: only the context's own deadline applies.
 	Timeout time.Duration
 	// Reuse keeps one session open across Exchanges on a Transport. With
 	// it off, every Exchange dials, queries once and closes — the no-reuse
@@ -79,24 +126,40 @@ type Options struct {
 	// Retry is the Transport attempt budget; the zero value disables
 	// retries (one attempt per Exchange).
 	Retry RetryPolicy
+	// MaxInFlight, when positive, makes dialed sessions concurrent: TCP and
+	// DoT sessions pipeline up to this many queries (RFC 7766 §6.2.1, with
+	// out-of-order responses), DoH sessions negotiate HTTP/2 and multiplex
+	// up to this many streams. Zero keeps the serial one-at-a-time sessions.
+	MaxInFlight int
 }
 
 // Option mutates Options; see WithTimeout, WithReuse, WithProfile,
-// WithPadding.
+// WithPadding, WithRetry, WithMaxInFlight.
 type Option func(*Options)
 
-// WithTimeout sets the per-transaction real-time guard.
+// WithTimeout sets the per-transaction real-time guard. Zero (or negative)
+// disables the guard entirely — transactions then run until the context
+// expires — which is the right setting for deterministic replays that must
+// not depend on host scheduling.
 func WithTimeout(d time.Duration) Option { return func(o *Options) { o.Timeout = d } }
 
-// WithReuse controls connection reuse on Transports (default true).
+// WithReuse controls connection reuse on Transports (default true). False
+// selects the no-reuse arm: every Exchange dials, queries once and closes.
 func WithReuse(on bool) Option { return func(o *Options) { o.Reuse = on } }
 
 // WithProfile selects the DoT usage profile (default Opportunistic, the
-// paper's client-side choice).
+// paper's client-side choice). The zero Profile value is dot.Strict; pass it
+// explicitly when strict authentication is wanted.
 func WithProfile(p dot.Profile) Option { return func(o *Options) { o.Profile = p } }
 
-// WithPadding enables EDNS(0) padding on DoT queries (default off).
+// WithPadding enables EDNS(0) padding on DoT queries (default off). False
+// restores the default unpadded queries.
 func WithPadding(on bool) Option { return func(o *Options) { o.Padding = on } }
+
+// WithMaxInFlight allows up to n concurrent in-flight queries per dialed
+// session (default 0 = serial sessions). n ≤ 0 restores serial behavior.
+// See Options.MaxInFlight for what "in flight" means per protocol.
+func WithMaxInFlight(n int) Option { return func(o *Options) { o.MaxInFlight = n } }
 
 func applyOptions(opts []Option) Options {
 	o := Options{Timeout: 5 * time.Second, Reuse: true, Profile: dot.Opportunistic}
@@ -130,57 +193,90 @@ func (c *Client) UDP(server netip.Addr) Exchanger {
 	return udpExchanger{client: c.stub(), server: server}
 }
 
-// DialTCP opens a clear-text DNS-over-TCP session to server:53.
-func (c *Client) DialTCP(ctx context.Context, server netip.Addr) (Session, error) {
-	conn, err := c.stub().DialTCPContext(ctx, server)
-	if err != nil {
-		return nil, err
+// Dial opens a stream session to ep over protocol p, applying the Client's
+// options: timeout guard, DoT profile and padding, and — when MaxInFlight is
+// set — query pipelining (TCP, DoT) or HTTP/2 stream multiplexing (DoH).
+// The returned Session is safe for concurrent Exchange calls.
+func (c *Client) Dial(ctx context.Context, p Proto, ep Endpoint) (Session, error) {
+	switch p {
+	case ProtoTCP:
+		conn, err := c.stub().DialTCPContext(ctx, ep.Addr)
+		if err != nil {
+			return nil, err
+		}
+		if n := c.opts.MaxInFlight; n > 0 {
+			conn.Pipeline(n)
+		}
+		return TCPSession(conn), nil
+	case ProtoDoT:
+		dc := dot.NewClient(c.World, c.From, c.Roots, c.opts.Profile)
+		dc.Timeout = c.opts.Timeout
+		dc.Pad = c.opts.Padding
+		conn, err := dc.DialContext(ctx, ep.Addr)
+		if err != nil {
+			return nil, err
+		}
+		if n := c.opts.MaxInFlight; n > 0 {
+			conn.Pipeline(n)
+		}
+		return DoTSession(conn), nil
+	case ProtoDoH:
+		dc := doh.NewClient(c.World, c.From, c.Roots)
+		dc.Timeout = c.opts.Timeout
+		if n := c.opts.MaxInFlight; n > 0 {
+			dc.Mux = true
+			dc.MaxInFlight = n
+		}
+		conn, err := dc.DialContext(ctx, ep.Template, ep.Addr)
+		if err != nil {
+			return nil, err
+		}
+		return DoHSession(conn), nil
+	default:
+		return nil, fmt.Errorf("resolver: unknown protocol %v", p)
 	}
-	return TCPSession(conn), nil
+}
+
+// DialTCP opens a clear-text DNS-over-TCP session to server:53.
+//
+// Deprecated: use Dial(ctx, ProtoTCP, Endpoint{Addr: server}).
+func (c *Client) DialTCP(ctx context.Context, server netip.Addr) (Session, error) {
+	return c.Dial(ctx, ProtoTCP, Endpoint{Addr: server})
 }
 
 // DialDoT opens a DoT session to server:853 under the configured profile
 // and padding policy.
+//
+// Deprecated: use Dial(ctx, ProtoDoT, Endpoint{Addr: server}).
 func (c *Client) DialDoT(ctx context.Context, server netip.Addr) (Session, error) {
-	dc := dot.NewClient(c.World, c.From, c.Roots, c.opts.Profile)
-	dc.Timeout = c.opts.Timeout
-	dc.Pad = c.opts.Padding
-	conn, err := dc.DialContext(ctx, server)
-	if err != nil {
-		return nil, err
-	}
-	return DoTSession(conn), nil
+	return c.Dial(ctx, ProtoDoT, Endpoint{Addr: server})
 }
 
 // DialDoH opens a DoH session for template t at the pinned address.
+//
+// Deprecated: use Dial(ctx, ProtoDoH, Endpoint{Addr: addr, Template: t}).
 func (c *Client) DialDoH(ctx context.Context, t doh.Template, addr netip.Addr) (Session, error) {
-	dc := doh.NewClient(c.World, c.From, c.Roots)
-	dc.Timeout = c.opts.Timeout
-	conn, err := dc.DialContext(ctx, t, addr)
-	if err != nil {
-		return nil, err
-	}
-	return DoHSession(conn), nil
+	return c.Dial(ctx, ProtoDoH, Endpoint{Addr: addr, Template: t})
 }
 
 // TCP returns a reuse-aware Transport for clear-text DNS over TCP.
 func (c *Client) TCP(server netip.Addr) *Transport {
-	return newTransport(c.opts, "tcp", func(ctx context.Context) (Session, error) {
-		return c.DialTCP(ctx, server)
-	})
+	return c.transport(ProtoTCP, Endpoint{Addr: server})
 }
 
 // DoT returns a reuse-aware Transport for DNS over TLS.
 func (c *Client) DoT(server netip.Addr) *Transport {
-	return newTransport(c.opts, "dot", func(ctx context.Context) (Session, error) {
-		return c.DialDoT(ctx, server)
-	})
+	return c.transport(ProtoDoT, Endpoint{Addr: server})
 }
 
 // DoH returns a reuse-aware Transport for DNS over HTTPS.
 func (c *Client) DoH(t doh.Template, addr netip.Addr) *Transport {
-	return newTransport(c.opts, "doh", func(ctx context.Context) (Session, error) {
-		return c.DialDoH(ctx, t, addr)
+	return c.transport(ProtoDoH, Endpoint{Addr: addr, Template: t})
+}
+
+func (c *Client) transport(p Proto, ep Endpoint) *Transport {
+	return newTransport(c.opts, p.String(), func(ctx context.Context) (Session, error) {
+		return c.Dial(ctx, p, ep)
 	})
 }
 
@@ -191,34 +287,72 @@ func (c *Client) DoH(t doh.Template, addr netip.Addr) *Transport {
 // exponential backoff charged to the virtual clock; a reused session that
 // dies mid-exchange is dropped (the error wraps ErrSessionClosed) and the
 // next attempt redials.
+//
+// Exchange, LastLatency and Stats are safe for concurrent use. When the
+// Transport was built with WithMaxInFlight, concurrent Exchanges share the
+// retained session's in-flight slots; otherwise they serialize on the
+// underlying connection.
 type Transport struct {
 	dial  func(ctx context.Context) (Session, error)
 	reuse bool
 	retry RetryPolicy
+	// MaxInFlight echoes the dial option for callers sizing their
+	// concurrency (0 = serial session).
+	MaxInFlight int
 	// label names the protocol in telemetry ("tcp", "dot", "doh");
 	// spanName is the precomputed "xchg:<label>" span title.
 	label    string
 	spanName string
 
-	mu   sync.Mutex
-	sess Session
+	// mu guards the retained session and the cached metric handles — never
+	// held across an exchange, so concurrent Exchanges overlap freely.
+	mu         sync.Mutex
+	sess       Session
+	everDialed bool
 	// mc caches per-protocol metric handles for the registry the transport
 	// last saw, so steady-state exchanges don't re-render label strings.
 	mc metricSet
+
 	// last is the virtual time the most recent Exchange consumed on its
-	// connection, including setup when the session was dialed for it, and
-	// — under retries — the cost of failed attempts plus backoff.
-	last       time.Duration
-	everDialed bool
-	stats      RetryStats
+	// connection (nanoseconds), including setup when the session was dialed
+	// for it, and — under retries — the cost of failed attempts plus
+	// backoff. Under concurrent Exchanges, "most recent" means whichever
+	// call finished last.
+	last  atomic.Int64
+	stats transportStats
+}
+
+// transportStats is RetryStats with atomic fields, so concurrent Exchanges
+// update counters without sharing the session mutex.
+type transportStats struct {
+	attempts     atomic.Int64
+	retries      atomic.Int64
+	redials      atomic.Int64
+	recovered    atomic.Int64
+	hardFailures atomic.Int64
+}
+
+func (s *transportStats) snapshot() RetryStats {
+	return RetryStats{
+		Attempts:     int(s.attempts.Load()),
+		Retries:      int(s.retries.Load()),
+		Redials:      int(s.redials.Load()),
+		Recovered:    int(s.recovered.Load()),
+		HardFailures: int(s.hardFailures.Load()),
+	}
 }
 
 func newTransport(o Options, label string, dial func(ctx context.Context) (Session, error)) *Transport {
-	return &Transport{dial: dial, reuse: o.Reuse, retry: o.Retry, label: label, spanName: "xchg:" + label}
+	return &Transport{
+		dial: dial, reuse: o.Reuse, retry: o.Retry, MaxInFlight: o.MaxInFlight,
+		label: label, spanName: "xchg:" + label,
+	}
 }
 
 // metricSet holds the per-protocol instrument handles for one registry.
 // All handles are nil-safe, so a nil registry yields a usable zero set.
+// Handles are atomic instruments; the set is copied by value out of the
+// cache so exchanges use it without holding t.mu.
 type metricSet struct {
 	reg       *obs.Registry
 	attempts  *obs.Counter
@@ -228,14 +362,17 @@ type metricSet struct {
 	errTotal  *obs.Counter
 	hard      *obs.Counter
 	redials   *obs.Counter
+	inflight  *obs.Gauge
 	latency   *obs.Histogram
 	setup     *obs.Histogram
 }
 
-// metricsFor returns the cached handle set for ctx's registry, rebuilding it
-// only when the registry changes; callers hold t.mu.
-func (t *Transport) metricsFor(ctx context.Context) *metricSet {
+// metricsFor returns the handle set for ctx's registry, rebuilding the cache
+// only when the registry changes.
+func (t *Transport) metricsFor(ctx context.Context) metricSet {
 	m := obs.Metrics(ctx)
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if t.mc.reg != m {
 		t.mc = metricSet{
 			reg:       m,
@@ -246,20 +383,23 @@ func (t *Transport) metricsFor(ctx context.Context) *metricSet {
 			errTotal:  m.Counter("resolver_exchanges_total", "proto", t.label, "outcome", "error"),
 			hard:      m.Counter("resolver_hard_failures_total", "proto", t.label),
 			redials:   m.Counter("resolver_redials_total", "proto", t.label),
+			inflight:  m.VolatileGauge("resolver_inflight", "proto", t.label),
 			latency:   m.Histogram("resolver_exchange_latency", nil, "proto", t.label),
 			setup:     m.Histogram("resolver_setup_latency", nil, "proto", t.label),
 		}
 	}
-	return &t.mc
+	return t.mc
 }
 
 // Exchange performs one transaction, dialing per the reuse policy and
-// retrying per the retry policy.
+// retrying per the retry policy. It may be called concurrently; calls share
+// the retained session (and its in-flight limit) rather than serializing
+// here.
 func (t *Transport) Exchange(ctx context.Context, msg *dnswire.Message) (*dnswire.Message, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	ctx, sp := obs.Start(ctx, t.spanName)
 	mc := t.metricsFor(ctx)
+	mc.inflight.Add(1)
+	defer mc.inflight.Add(-1)
 	budget := t.retry.Attempts
 	if budget < 1 {
 		budget = 1
@@ -274,87 +414,109 @@ func (t *Transport) Exchange(ctx context.Context, msg *dnswire.Message) (*dnswir
 	)
 	for attempt := 1; attempt <= budget; attempt++ {
 		attempts = attempt
-		t.stats.Attempts++
+		t.stats.attempts.Add(1)
 		mc.attempts.Add(1)
 		if attempt > 1 {
-			t.stats.Retries++
+			t.stats.retries.Add(1)
 			mc.retries.Add(1)
 			sp.Event(fmt.Sprintf("retry:%d", attempt))
 			penalty += t.retry.backoffFor(attempt)
 		}
-		resp, err = t.exchangeOnce(ctx, msg)
+		var cost time.Duration
+		resp, cost, err = t.exchangeOnce(ctx, msg, mc)
 		if err == nil {
 			if attempt > 1 {
-				t.stats.Recovered++
+				t.stats.recovered.Add(1)
 				mc.recovered.Add(1)
 			}
-			t.last += penalty
+			total := cost + penalty
+			t.last.Store(int64(total))
 			mc.okTotal.Add(1)
-			mc.latency.Observe(t.last)
-			obs.Charge(ctx, t.last)
+			mc.latency.Observe(total)
+			obs.Charge(ctx, total)
 			sp.SetInt("attempts", int64(attempt))
 			return resp, nil
 		}
-		penalty += t.last
+		penalty += cost
 		if ctx.Err() != nil {
 			break
 		}
 	}
-	t.stats.HardFailures++
-	t.last = penalty
+	t.stats.hardFailures.Add(1)
+	t.last.Store(int64(penalty))
 	mc.hard.Add(1)
 	mc.errTotal.Add(1)
-	obs.Charge(ctx, t.last)
+	obs.Charge(ctx, penalty)
 	sp.SetInt("attempts", int64(attempts))
 	sp.Fail(err)
 	return nil, err
 }
 
-// exchangeOnce performs one attempt; callers hold t.mu. It leaves t.last at
-// the attempt's own cost (zero for failed dials).
-func (t *Transport) exchangeOnce(ctx context.Context, msg *dnswire.Message) (*dnswire.Message, error) {
+// exchangeOnce performs one attempt and reports its own virtual cost (zero
+// for failed dials).
+func (t *Transport) exchangeOnce(ctx context.Context, msg *dnswire.Message, mc metricSet) (*dnswire.Message, time.Duration, error) {
 	if !t.reuse {
-		sess, err := t.dialSpanned(ctx)
+		sess, err := t.dialSpanned(ctx, mc)
 		if err != nil {
-			t.last = 0
-			return nil, err
+			return nil, 0, err
 		}
 		defer sess.Close()
 		resp, err := sess.Exchange(ctx, msg)
-		t.last = sess.Elapsed()
-		return resp, err
+		return resp, sess.Elapsed(), err
 	}
-	if t.sess == nil {
-		sess, err := t.dialSpanned(ctx)
-		if err != nil {
-			t.last = 0
-			return nil, err
-		}
-		if t.everDialed {
-			t.stats.Redials++
-			t.metricsFor(ctx).redials.Add(1)
-		}
-		t.everDialed = true
-		t.sess = sess
+	sess, err := t.session(ctx, mc)
+	if err != nil {
+		return nil, 0, err
 	}
-	start := t.sess.Elapsed()
-	resp, err := t.sess.Exchange(ctx, msg)
-	t.last = t.sess.Elapsed() - start
+	start := sess.Elapsed()
+	resp, err := sess.Exchange(ctx, msg)
+	cost := sess.Elapsed() - start
 	if err != nil && isConnDeath(err) {
 		// The reused session is unusable: drop it so the next attempt (or
 		// the next Exchange) redials, and mark the error as a session
 		// death rather than a protocol failure.
-		t.sess.Close()
-		t.sess = nil
+		t.dropSession(sess)
 		err = fmt.Errorf("%w: %w", ErrSessionClosed, err)
 	}
-	return resp, err
+	return resp, cost, err
+}
+
+// session returns the retained session, dialing one under t.mu if absent.
+func (t *Transport) session(ctx context.Context, mc metricSet) (Session, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.sess != nil {
+		return t.sess, nil
+	}
+	sess, err := t.dialSpanned(ctx, mc)
+	if err != nil {
+		return nil, err
+	}
+	if t.everDialed {
+		t.stats.redials.Add(1)
+		mc.redials.Add(1)
+	}
+	t.everDialed = true
+	t.sess = sess
+	return sess, nil
+}
+
+// dropSession closes and forgets sess if it is still the retained session.
+// The identity guard keeps concurrent Exchanges that all saw the same dead
+// session from closing its replacement.
+func (t *Transport) dropSession(sess Session) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.sess == sess {
+		sess.Close()
+		t.sess = nil
+	}
 }
 
 // dialSpanned dials a session under a "dial" child span charged with the
 // connection's setup latency (TCP handshake + TLS where present), feeding
-// the per-protocol setup-latency histogram; callers hold t.mu.
-func (t *Transport) dialSpanned(ctx context.Context) (Session, error) {
+// the per-protocol setup-latency histogram.
+func (t *Transport) dialSpanned(ctx context.Context, mc metricSet) (Session, error) {
 	dsp := obs.CurrentSpan(ctx).Start("dial")
 	sess, err := t.dial(ctx)
 	if err != nil {
@@ -362,24 +524,22 @@ func (t *Transport) dialSpanned(ctx context.Context) (Session, error) {
 		return nil, err
 	}
 	dsp.Charge(sess.SetupLatency())
-	t.metricsFor(ctx).setup.Observe(sess.SetupLatency())
+	mc.setup.Observe(sess.SetupLatency())
 	return sess, nil
 }
 
-// Stats returns a snapshot of the attempt-level counters.
+// Stats returns a snapshot of the attempt-level counters. Safe to call while
+// Exchanges are in flight.
 func (t *Transport) Stats() RetryStats {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.stats
+	return t.stats.snapshot()
 }
 
 // LastLatency is the virtual time the most recent Exchange took: the
 // on-connection delta when reusing, the whole dial-query-close cost when
-// not.
+// not. Safe to call while Exchanges are in flight; with several in flight,
+// it reports whichever finished most recently.
 func (t *Transport) LastLatency() time.Duration {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.last
+	return time.Duration(t.last.Load())
 }
 
 // Close releases the retained session, if any. A later Exchange dials

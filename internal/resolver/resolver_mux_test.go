@@ -1,0 +1,311 @@
+package resolver
+
+import (
+	"context"
+	"crypto/tls"
+	"errors"
+	"fmt"
+	"net/netip"
+	"sync"
+	"testing"
+
+	"dnsencryption.info/doe/internal/certs"
+	"dnsencryption.info/doe/internal/dnswire"
+	"dnsencryption.info/doe/internal/doh"
+	"dnsencryption.info/doe/internal/dot"
+	"dnsencryption.info/doe/internal/netsim"
+)
+
+// pipeAddr derives a per-name answer so the pipelining tests can prove each
+// concurrent query got its own response: p<i>. -> 10.9.<i/256>.<i%256>.
+func pipeAddr(name string) netip.Addr {
+	var i int
+	fmt.Sscanf(name, "p%d.", &i)
+	return netip.AddrFrom4([4]byte{10, 9, byte(i >> 8), byte(i)})
+}
+
+// serveDoTReversed registers a DoT server that collects batch queries and
+// answers them all in REVERSED order as one coalesced write — the worst-case
+// legal reordering under RFC 7766 §7 — so the pipelined session's ID demux
+// is what routes each response to its caller.
+func serveDoTReversed(t *testing.T, w *netsim.World, ca *certs.CA, batch int) {
+	t.Helper()
+	leaf, err := ca.Issue(certs.LeafOptions{
+		CommonName: "dns.provider.example",
+		DNSNames:   []string{"dns.provider.example"},
+		IPs:        []netip.Addr{serverIP},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert := leaf.TLSCertificate()
+	w.RegisterStream(serverIP, dot.Port, func(conn *netsim.Conn) {
+		defer conn.Close()
+		tc := tls.Server(conn, &tls.Config{Certificates: []tls.Certificate{cert}})
+		if tc.Handshake() != nil {
+			return
+		}
+		for {
+			resps := make([][]byte, 0, batch)
+			for i := 0; i < batch; i++ {
+				msg, err := dnswire.ReadTCP(tc)
+				if err != nil {
+					return
+				}
+				m, err := dnswire.Unpack(msg)
+				if err != nil {
+					return
+				}
+				resp := m.Reply()
+				resp.AddAnswer(m.Question1().Name, 60, dnswire.A{Addr: pipeAddr(m.Question1().Name)})
+				packed, err := resp.Pack()
+				if err != nil {
+					return
+				}
+				resps = append(resps, packed)
+			}
+			var out []byte
+			for i := len(resps) - 1; i >= 0; i-- {
+				if out, err = dnswire.AppendTCP(out, resps[i]); err != nil {
+					return
+				}
+			}
+			if _, err := tc.Write(out); err != nil {
+				return
+			}
+		}
+	})
+}
+
+// TestPipelinedDoTTransportConcurrentExchange drives 16 concurrent Exchanges
+// through one reuse Transport whose DoT session pipelines, against a server
+// that answers in reversed order — per-query answers prove the demux, and
+// concurrent LastLatency/Stats readers make this the race regression test
+// for the atomic accounting.
+func TestPipelinedDoTTransportConcurrentExchange(t *testing.T) {
+	const n = 16
+	w := netsim.NewWorld(17)
+	ca, err := certs.NewCA("DoE Root", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDoTReversed(t, w, ca, n)
+
+	c := New(w, clientIP, certs.Pool(ca), WithProfile(dot.Strict), WithMaxInFlight(n))
+	tr := c.DoT(serverIP)
+	defer tr.Close()
+	if tr.MaxInFlight != n {
+		t.Fatalf("Transport.MaxInFlight = %d, want %d", tr.MaxInFlight, n)
+	}
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = tr.LastLatency()
+				_ = tr.Stats()
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := fmt.Sprintf("p%d.measure.example.org", i)
+			m, err := tr.Exchange(context.Background(), query(name))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if a, ok := m.FirstA(); !ok || a != pipeAddr(name) {
+				errs[i] = fmt.Errorf("answer %v, want %v", m.Answers, pipeAddr(name))
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("query %d: %v", i, err)
+		}
+	}
+	if tr.LastLatency() <= 0 {
+		t.Error("no virtual latency recorded for concurrent exchanges")
+	}
+	st := tr.Stats()
+	if st.Attempts != n || st.HardFailures != 0 {
+		t.Errorf("stats = %+v, want %d attempts and no hard failures", st, n)
+	}
+}
+
+// TestMultiplexedDoHSessionConcurrentExchange proves Dial wires MaxInFlight
+// into HTTP/2 stream multiplexing for DoH sessions.
+func TestMultiplexedDoHSessionConcurrentExchange(t *testing.T) {
+	const n = 16
+	f := newFixture(t)
+	ctx := context.Background()
+	c := f.client(t, WithMaxInFlight(n))
+	tmpl := doh.Template{Host: "dns.provider.example", Path: "/dns-query"}
+	sess, err := c.Dial(ctx, ProtoDoH, Endpoint{Addr: serverIP, Template: tmpl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	before := sess.Elapsed()
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m, err := sess.Exchange(ctx, query(fmt.Sprintf("h%d.measure.example.org", i)))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if a, ok := m.FirstA(); !ok || a != answerIP {
+				errs[i] = fmt.Errorf("answer %v", m.Answers)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("query %d: %v", i, err)
+		}
+	}
+	if sess.Elapsed() <= before {
+		t.Error("concurrent exchanges consumed no virtual time")
+	}
+}
+
+// cutInjector resets DoT connections in place of the Nth segment the client
+// would receive; other flows are clean.
+type cutInjector struct{ segments int }
+
+func (c cutInjector) StreamFault(from, to netip.Addr, port uint16) netsim.DialFault {
+	if port == dot.Port {
+		return netsim.DialFault{CutAfterSegments: c.segments}
+	}
+	return netsim.DialFault{}
+}
+
+func (c cutInjector) DatagramFault(from, to netip.Addr, port uint16) netsim.DatagramFault {
+	return netsim.DatagramFault{}
+}
+
+// TestMidStreamResetFailsAllInFlight injects a connection reset in place of
+// the first post-handshake segment of a pipelined DoT session: every
+// concurrent Exchange must fail, each wrapping ErrSessionClosed.
+func TestMidStreamResetFailsAllInFlight(t *testing.T) {
+	const n = 16
+	ctx := context.Background()
+
+	// The TLS handshake consumes a server-dependent number of inbound
+	// segments; probe for the smallest cut point that lets the dial finish,
+	// so the reset lands exactly on the first segment carrying DNS data.
+	// Worlds are rebuilt per probe, so the fault history starts fresh.
+	cutAt := -1
+	for k := 2; k < 64; k++ {
+		f := newFixture(t)
+		f.world.SetFaults(cutInjector{segments: k})
+		sess, err := f.client(t, WithMaxInFlight(n)).Dial(ctx, ProtoDoT, Endpoint{Addr: serverIP})
+		if err == nil {
+			sess.Close()
+			cutAt = k
+			break
+		}
+	}
+	if cutAt < 0 {
+		t.Fatal("no cut point lets the DoT handshake complete")
+	}
+
+	f := newFixture(t)
+	f.world.SetFaults(cutInjector{segments: cutAt})
+	tr := f.client(t, WithMaxInFlight(n)).DoT(serverIP)
+	defer tr.Close()
+
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = tr.Exchange(ctx, query(fmt.Sprintf("rst%d.measure.example.org", i)))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err == nil {
+			t.Errorf("query %d succeeded across a mid-stream reset", i)
+			continue
+		}
+		if !errors.Is(err, ErrSessionClosed) {
+			t.Errorf("query %d: err = %v, want ErrSessionClosed", i, err)
+		}
+	}
+	if st := tr.Stats(); st.HardFailures != n {
+		t.Errorf("hard failures = %d, want %d", st.HardFailures, n)
+	}
+}
+
+func TestProtoString(t *testing.T) {
+	for p, want := range map[Proto]string{ProtoTCP: "tcp", ProtoDoT: "dot", ProtoDoH: "doh", Proto(9): "proto(9)"} {
+		if got := p.String(); got != want {
+			t.Errorf("Proto(%d).String() = %q, want %q", int(p), got, want)
+		}
+	}
+}
+
+func TestDialRejectsUnknownProto(t *testing.T) {
+	f := newFixture(t)
+	if _, err := f.client(t).Dial(context.Background(), Proto(9), Endpoint{Addr: serverIP}); err == nil {
+		t.Error("Dial with unknown proto succeeded")
+	}
+}
+
+// TestPipelinedTCPSessionViaDial covers the remaining Dial arm: a clear-text
+// TCP session with pipelining enabled still answers every concurrent query.
+func TestPipelinedTCPSessionViaDial(t *testing.T) {
+	const n = 8
+	f := newFixture(t)
+	ctx := context.Background()
+	sess, err := f.client(t, WithMaxInFlight(n)).Dial(ctx, ProtoTCP, Endpoint{Addr: serverIP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m, err := sess.Exchange(ctx, query(fmt.Sprintf("t%d.measure.example.org", i)))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if a, ok := m.FirstA(); !ok || a != answerIP {
+				errs[i] = fmt.Errorf("answer %v", m.Answers)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("query %d: %v", i, err)
+		}
+	}
+}

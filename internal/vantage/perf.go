@@ -28,6 +28,14 @@ type PerfSample struct {
 	DNSMedianMS float64
 	DoTMedianMS float64
 	DoHMedianMS float64
+	// MuxInFlight is the per-session concurrency of the multiplexed pass
+	// (0 when the platform ran serial sessions only).
+	MuxInFlight int
+	// Medians of amortized per-query latency with MuxInFlight queries in
+	// flight per session: the session's Elapsed delta around each batch
+	// divided by the batch size.
+	DoTMuxMedianMS float64
+	DoHMuxMedianMS float64
 }
 
 // DoTOverheadMS is the per-client DoT extra latency over clear-text DNS.
@@ -35,6 +43,14 @@ func (s PerfSample) DoTOverheadMS() float64 { return s.DoTMedianMS - s.DNSMedian
 
 // DoHOverheadMS is the per-client DoH extra latency over clear-text DNS.
 func (s PerfSample) DoHOverheadMS() float64 { return s.DoHMedianMS - s.DNSMedianMS }
+
+// DoTMuxOverheadMS is the multiplexed DoT extra latency over serial
+// clear-text DNS.
+func (s PerfSample) DoTMuxOverheadMS() float64 { return s.DoTMuxMedianMS - s.DNSMedianMS }
+
+// DoHMuxOverheadMS is the multiplexed DoH extra latency over serial
+// clear-text DNS.
+func (s PerfSample) DoHMuxOverheadMS() float64 { return s.DoHMuxMedianMS - s.DNSMedianMS }
 
 // MeasurePerformance runs the reused-connection test from one node: N
 // DNS/TCP, N DoT and N DoH queries each on a single connection, reporting
@@ -74,6 +90,27 @@ func (p *Platform) MeasurePerformanceContext(ctx context.Context, node proxy.Exi
 		return sample, err
 	}
 	sample.DoHMedianMS = analysis.Median(dohLat)
+
+	// The multiplexed pass re-runs the encrypted transports with
+	// MuxInFlight queries in flight per session, amortizing each batch's
+	// round trip over its queries — the Fig. 9 "multiplexed" column.
+	if p.MuxInFlight > 1 {
+		sample.MuxInFlight = p.MuxInFlight
+		dotMux, err := p.retryLatenciesMode(ctx, ProtoDoT, "mux", func(ctx context.Context) ([]float64, error) {
+			return p.timeDoTMuxQueries(ctx, node, tgt.DoT, n)
+		})
+		if err != nil {
+			return sample, err
+		}
+		sample.DoTMuxMedianMS = analysis.Median(dotMux)
+		dohMux, err := p.retryLatenciesMode(ctx, ProtoDoH, "mux", func(ctx context.Context) ([]float64, error) {
+			return p.timeDoHMuxQueries(ctx, node, tgt.DoH, tgt.DoHAddr, n)
+		})
+		if err != nil {
+			return sample, err
+		}
+		sample.DoHMuxMedianMS = analysis.Median(dohMux)
+	}
 	return sample, nil
 }
 
@@ -83,7 +120,17 @@ func (p *Platform) MeasurePerformanceContext(ctx context.Context, node proxy.Exi
 // successful pass's latencies are reported unpolluted by earlier attempts
 // and observed into the reused-connection latency histogram.
 func (p *Platform) retryLatencies(ctx context.Context, proto Proto, measure func(ctx context.Context) ([]float64, error)) ([]float64, error) {
-	ctx, sp := obs.Start(ctx, "perf:"+string(proto))
+	return p.retryLatenciesMode(ctx, proto, "reused", measure)
+}
+
+// retryLatenciesMode is retryLatencies with an explicit histogram mode
+// ("reused" for the serial passes, "mux" for the multiplexed ones).
+func (p *Platform) retryLatenciesMode(ctx context.Context, proto Proto, mode string, measure func(ctx context.Context) ([]float64, error)) ([]float64, error) {
+	span := "perf:" + string(proto)
+	if mode != "reused" {
+		span += "-" + mode
+	}
+	ctx, sp := obs.Start(ctx, span)
 	budget := p.attempts()
 	var lat []float64
 	var err error
@@ -97,7 +144,7 @@ func (p *Platform) retryLatencies(ctx context.Context, proto Proto, measure func
 			sp.SetInt("attempts", int64(attempt))
 			sp.SetInt("queries", int64(len(lat)))
 			h := obs.Metrics(ctx).Histogram("vantage_query_latency", nil,
-				"mode", "reused", "proto", string(proto))
+				"mode", mode, "proto", string(proto))
 			for _, l := range lat {
 				h.Observe(time.Duration(l * float64(time.Millisecond)))
 			}
@@ -173,6 +220,78 @@ func (p *Platform) timeDoHQueries(ctx context.Context, node proxy.ExitNode, tmpl
 	return p.timeQueries(ctx, sess, node.ID+"-perf-doh", n)
 }
 
+// timeBatchQueries issues n uniquely-named lookups in batches of up to
+// p.MuxInFlight concurrent in-flight queries and returns per-query AMORTIZED
+// latencies in milliseconds: each batch's Elapsed delta divided by its size.
+// A pipelined batch shares one request segment and one coalesced response
+// segment, so the whole batch costs about one round trip — the amortization
+// is what the multiplexed column of Fig. 9 reports.
+func (p *Platform) timeBatchQueries(ctx context.Context, elapsed func() time.Duration,
+	batch func(ctx context.Context, names []string) error, tag string, n int) ([]float64, error) {
+	var lat []float64
+	for done := 0; done < n; {
+		b := p.MuxInFlight
+		if n-done < b {
+			b = n - done
+		}
+		names := make([]string, b)
+		for i := range names {
+			names[i] = p.UniqueName(tag)
+		}
+		start := elapsed()
+		if err := batch(ctx, names); err != nil {
+			return nil, err
+		}
+		d := elapsed() - start
+		obs.Charge(ctx, d)
+		per := ms(d) / float64(b)
+		for i := 0; i < b; i++ {
+			lat = append(lat, per)
+		}
+		done += b
+	}
+	return lat, nil
+}
+
+func (p *Platform) timeDoTMuxQueries(ctx context.Context, node proxy.ExitNode, target netip.Addr, n int) ([]float64, error) {
+	tunnel, err := p.Network.Dial(p.From, node.ID, target, dot.Port)
+	if err != nil {
+		return nil, err
+	}
+	client := dot.NewClient(nil, p.From, p.Roots, dot.Opportunistic)
+	conn, err := client.DialConnContext(ctx, tunnel)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	p.observeSetup(ctx, ProtoDoT, resolver.DoTSession(conn))
+	m := conn.Pipeline(p.MuxInFlight)
+	return p.timeBatchQueries(ctx, conn.Elapsed, func(ctx context.Context, names []string) error {
+		_, err := m.Batch(ctx, names, dnswire.TypeA, nil)
+		return err
+	}, node.ID+"-perf-dot-mux", n)
+}
+
+func (p *Platform) timeDoHMuxQueries(ctx context.Context, node proxy.ExitNode, tmpl doh.Template, addr netip.Addr, n int) ([]float64, error) {
+	tunnel, err := p.Network.Dial(p.From, node.ID, addr, doh.Port)
+	if err != nil {
+		return nil, err
+	}
+	client := doh.NewClient(nil, p.From, p.Roots)
+	client.Mux = true
+	client.MaxInFlight = p.MuxInFlight
+	conn, err := client.DialConnContext(ctx, tmpl, tunnel)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	p.observeSetup(ctx, ProtoDoH, resolver.DoHSession(conn))
+	return p.timeBatchQueries(ctx, conn.Elapsed, func(ctx context.Context, names []string) error {
+		_, err := conn.BatchContext(ctx, names, dnswire.TypeA, nil)
+		return err
+	}, node.ID+"-perf-doh-mux", n)
+}
+
 // CountryPerf aggregates per-client overheads per country (Fig. 9).
 type CountryPerf struct {
 	Country string
@@ -180,6 +299,10 @@ type CountryPerf struct {
 	// Overheads in milliseconds relative to clear-text DNS.
 	DoTAvgMS, DoTMedianMS float64
 	DoHAvgMS, DoHMedianMS float64
+	// Multiplexed-pass overheads (amortized per-query latency minus serial
+	// clear-text DNS); zero when the samples carry no multiplexed pass.
+	DoTMuxMedianMS float64
+	DoHMuxMedianMS float64
 }
 
 // AggregateByCountry computes Fig. 9's per-country series.
@@ -190,18 +313,24 @@ func AggregateByCountry(samples []PerfSample) []CountryPerf {
 	}
 	var out []CountryPerf
 	for cc, ss := range byCountry {
-		var dotOH, dohOH []float64
+		var dotOH, dohOH, dotMux, dohMux []float64
 		for _, s := range ss {
 			dotOH = append(dotOH, s.DoTOverheadMS())
 			dohOH = append(dohOH, s.DoHOverheadMS())
+			if s.MuxInFlight > 0 {
+				dotMux = append(dotMux, s.DoTMuxOverheadMS())
+				dohMux = append(dohMux, s.DoHMuxOverheadMS())
+			}
 		}
 		out = append(out, CountryPerf{
-			Country:     cc,
-			Clients:     len(ss),
-			DoTAvgMS:    analysis.Mean(dotOH),
-			DoTMedianMS: analysis.Median(dotOH),
-			DoHAvgMS:    analysis.Mean(dohOH),
-			DoHMedianMS: analysis.Median(dohOH),
+			Country:        cc,
+			Clients:        len(ss),
+			DoTAvgMS:       analysis.Mean(dotOH),
+			DoTMedianMS:    analysis.Median(dotOH),
+			DoHAvgMS:       analysis.Mean(dohOH),
+			DoHMedianMS:    analysis.Median(dohOH),
+			DoTMuxMedianMS: analysis.Median(dotMux),
+			DoHMuxMedianMS: analysis.Median(dohMux),
 		})
 	}
 	sortCountryPerf(out)
@@ -224,6 +353,19 @@ func GlobalOverheads(samples []PerfSample) (dotAvg, dotMed, dohAvg, dohMed float
 	for _, s := range samples {
 		dotOH = append(dotOH, s.DoTOverheadMS())
 		dohOH = append(dohOH, s.DoHOverheadMS())
+	}
+	return analysis.Mean(dotOH), analysis.Median(dotOH), analysis.Mean(dohOH), analysis.Median(dohOH)
+}
+
+// GlobalMuxOverheads is GlobalOverheads for the multiplexed pass, over the
+// samples that ran one.
+func GlobalMuxOverheads(samples []PerfSample) (dotAvg, dotMed, dohAvg, dohMed float64) {
+	var dotOH, dohOH []float64
+	for _, s := range samples {
+		if s.MuxInFlight > 0 {
+			dotOH = append(dotOH, s.DoTMuxOverheadMS())
+			dohOH = append(dohOH, s.DoHMuxOverheadMS())
+		}
 	}
 	return analysis.Mean(dotOH), analysis.Median(dotOH), analysis.Mean(dohOH), analysis.Median(dohOH)
 }

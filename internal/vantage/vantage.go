@@ -121,6 +121,10 @@ type Platform struct {
 	// terminal node churn. Backoff is not charged here: reachability
 	// results carry outcomes, not latencies.
 	Retry resolver.RetryPolicy
+	// MuxInFlight, when > 1, adds a multiplexed pass to the performance
+	// test: DoT sessions pipeline and DoH sessions run HTTP/2 with this
+	// many queries in flight, reported as amortized per-query latency.
+	MuxInFlight int
 
 	seq atomic.Uint64
 }

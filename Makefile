@@ -20,7 +20,7 @@ RACE_PKGS := ./internal/...
 # Fuzz targets hardened against panics; fuzz-smoke runs each briefly so a
 # codec regression that panics on malformed wire input fails the gate.
 FUZZ_PKG := ./internal/dnswire
-FUZZ_TARGETS := FuzzParseMessage FuzzParseName FuzzRData FuzzAppendTCP
+FUZZ_TARGETS := FuzzParseMessage FuzzParseName FuzzRData FuzzAppendTCP FuzzDoQFrame FuzzQUICVarint
 FUZZTIME ?= 10s
 
 .PHONY: verify build vet lint test race bench bench-smoke fuzz-smoke trace-smoke

@@ -21,6 +21,9 @@ const (
 	allocBudgetDoT = 25
 	allocBudgetDoH = 65
 	allocBudgetTCP = 22
+	// DoQ measures 19 allocs/op: one pooled flight buffer in, one demuxed
+	// message out, no per-query goroutine or TLS record machinery.
+	allocBudgetDoQ = 24
 )
 
 // Multiplexed-session ceilings: an Exchange routed through the pipelining
@@ -31,6 +34,7 @@ const (
 	allocBudgetDoTMux = allocBudgetDoT * 3 / 2
 	allocBudgetDoHMux = allocBudgetDoH * 3 / 2
 	allocBudgetTCPMux = allocBudgetTCP * 3 / 2
+	allocBudgetDoQMux = allocBudgetDoQ * 3 / 2
 )
 
 // exchangeAllocs measures the average allocations of one Exchange on an
@@ -70,6 +74,16 @@ func TestAllocBudgetDoHExchange(t *testing.T) {
 	}
 }
 
+func TestAllocBudgetDoQExchange(t *testing.T) {
+	s := study(t)
+	c := resolver.New(s.World, netip.MustParseAddr("172.20.1.1"), s.Roots)
+	tr := c.DoQ(s.Targets[0].DoQ)
+	defer tr.Close()
+	if got := exchangeAllocs(t, tr); got > allocBudgetDoQ {
+		t.Errorf("DoQ steady-state exchange: %.1f allocs/op, budget %d", got, allocBudgetDoQ)
+	}
+}
+
 func TestAllocBudgetTCPExchange(t *testing.T) {
 	s := study(t)
 	c := resolver.New(s.World, netip.MustParseAddr("172.20.1.1"), s.Roots)
@@ -98,6 +112,16 @@ func TestAllocBudgetDoHExchangeInflight8(t *testing.T) {
 	defer tr.Close()
 	if got := exchangeAllocs(t, tr); got > allocBudgetDoHMux {
 		t.Errorf("DoH multiplexed exchange: %.1f allocs/op, budget %d", got, allocBudgetDoHMux)
+	}
+}
+
+func TestAllocBudgetDoQExchangeInflight8(t *testing.T) {
+	s := study(t)
+	c := resolver.New(s.World, netip.MustParseAddr("172.20.1.1"), s.Roots, resolver.WithMaxInFlight(8))
+	tr := c.DoQ(s.Targets[0].DoQ)
+	defer tr.Close()
+	if got := exchangeAllocs(t, tr); got > allocBudgetDoQMux {
+		t.Errorf("DoQ concurrent-stream exchange: %.1f allocs/op, budget %d", got, allocBudgetDoQMux)
 	}
 }
 

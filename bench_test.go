@@ -495,6 +495,24 @@ func BenchmarkSteadyStateDoHExchange(b *testing.B) {
 	}
 }
 
+func BenchmarkSteadyStateDoQExchange(b *testing.B) {
+	s := study(b)
+	c := resolver.New(s.World, netip.MustParseAddr("172.20.1.1"), s.Roots)
+	tr := c.DoQ(s.Targets[0].DoQ)
+	defer tr.Close()
+	msg := dnswire.NewQuery(0, "bench."+core.ProbeZone, dnswire.TypeA)
+	if _, err := tr.Exchange(context.Background(), msg); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Exchange(context.Background(), msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkSteadyStateTCPExchange(b *testing.B) {
 	s := study(b)
 	c := resolver.New(s.World, netip.MustParseAddr("172.20.1.1"), s.Roots)
@@ -566,6 +584,14 @@ func BenchmarkSteadyStateDoHExchangeInflight8(b *testing.B) {
 	c := resolver.New(s.World, netip.MustParseAddr("172.20.1.1"), s.Roots, resolver.WithMaxInFlight(8))
 	tgt := s.Targets[0]
 	tr := c.DoH(tgt.DoH, tgt.DoHAddr)
+	defer tr.Close()
+	benchConcurrentExchange(b, tr, 8)
+}
+
+func BenchmarkSteadyStateDoQExchangeInflight8(b *testing.B) {
+	s := study(b)
+	c := resolver.New(s.World, netip.MustParseAddr("172.20.1.1"), s.Roots, resolver.WithMaxInFlight(8))
+	tr := c.DoQ(s.Targets[0].DoQ)
 	defer tr.Close()
 	benchConcurrentExchange(b, tr, 8)
 }

@@ -32,7 +32,7 @@ var suite = []struct {
 	pkg   string
 	bench string
 }{
-	{".", "^(BenchmarkSteadyStateDoTExchange|BenchmarkSteadyStateDoHExchange|BenchmarkSteadyStateTCPExchange|BenchmarkSteadyStateDoTExchangeInflight8|BenchmarkSteadyStateDoHExchangeInflight8|BenchmarkSteadyStateTCPExchangeInflight8|BenchmarkWirePack|BenchmarkWireUnpack|BenchmarkSimTunnelRoundTrip)$"},
+	{".", "^(BenchmarkSteadyStateDoTExchange|BenchmarkSteadyStateDoHExchange|BenchmarkSteadyStateDoQExchange|BenchmarkSteadyStateTCPExchange|BenchmarkSteadyStateDoTExchangeInflight8|BenchmarkSteadyStateDoHExchangeInflight8|BenchmarkSteadyStateDoQExchangeInflight8|BenchmarkSteadyStateTCPExchangeInflight8|BenchmarkWirePack|BenchmarkWireUnpack|BenchmarkSimTunnelRoundTrip)$"},
 	{"./internal/dnswire", "^(BenchmarkNewIDParallel|BenchmarkIDGenParallel|BenchmarkAppendPackTCP|BenchmarkReadTCPAppend|BenchmarkUnpackInto)$"},
 }
 

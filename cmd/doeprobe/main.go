@@ -1,8 +1,11 @@
 // Command doeprobe reproduces §4 of the paper: client-side reachability and
-// performance measurements from the proxy-network vantage points. It prints
-// Table 3 (datasets), Table 4 (reachability), Table 5 (port forensics),
-// Table 6 (TLS interception), Table 7 (no-reuse performance), Figure 9
-// (per-country overheads) and Figure 10 (per-client scatter).
+// performance measurements from the proxy-network vantage points, covering
+// clear-text DNS, DoT, DoH and DoQ. It prints Table 3 (datasets), Table 4
+// (reachability, with a DoQ row per resolver that announces UDP/853),
+// Table 5 (port forensics), Table 6 (TLS interception), Table 7 (no-reuse
+// performance), Figure 9 (per-country overheads, serial and multiplexed —
+// -inflight sizes the DoT pipeline, DoH HTTP/2 streams and DoQ concurrent
+// QUIC streams alike) and Figure 10 (per-client scatter).
 package main
 
 import (

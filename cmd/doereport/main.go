@@ -1,5 +1,7 @@
 // Command doereport runs the complete end-to-end study — every table and
-// figure of the paper — and writes the full report to stdout (or a file).
+// figure of the paper, with DoQ columns alongside the paper's DoT/DoH in
+// the reachability and performance experiments — and writes the full
+// report to stdout (or a file).
 //
 //	doereport            # full-scale study
 //	doereport -small     # miniature world (seconds)

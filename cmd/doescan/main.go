@@ -1,7 +1,9 @@
 // Command doescan reproduces §3 of the paper: it builds the study world,
 // runs the repeated Internet-wide DoT scans and the DoH URL-corpus
 // discovery, and prints Table 2, Figure 3, Figure 4 and the DoH discovery
-// summary.
+// summary. (The scanner package also speaks DoQ — UDP/853 discovery with
+// QUIC handshake verification via ScanDoQ — which the vantage campaigns
+// exercise; the paper-period scan tables remain DoT-only.)
 package main
 
 import (

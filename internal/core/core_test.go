@@ -208,8 +208,8 @@ func TestReachabilityShapes(t *testing.T) {
 		t.Errorf("censored google DNS fail = %.3f, want ≈0", gDNSFailCN)
 	}
 
-	// Self-built resolver: near-perfect everywhere.
-	for _, proto := range []vantage.Proto{vantage.ProtoDNS, vantage.ProtoDoT, vantage.ProtoDoH} {
+	// Self-built resolver: near-perfect everywhere, DoQ included.
+	for _, proto := range []vantage.Proto{vantage.ProtoDNS, vantage.ProtoDoT, vantage.ProtoDoH, vantage.ProtoDoQ} {
 		c, _, _ := rate(global, "self-built", proto)
 		if c < 0.95 {
 			t.Errorf("self-built %s correct = %.3f", proto, c)
@@ -242,6 +242,16 @@ func TestPerfShapes(t *testing.T) {
 	}
 	if dohAvg < -10 || dohAvg > 30 {
 		t.Errorf("global DoH overhead = %.1f ms", dohAvg)
+	}
+	// DoQ lands in the same few-millisecond band, but on the cheap side of
+	// clear-text: the UDP flight skips the TCP handshake the DNS baseline
+	// pays, so a small negative overhead is the expected shape.
+	doqAvg, _, _ := vantage.GlobalDoQOverheads(samples)
+	if doqAvg < -30 || doqAvg > 30 {
+		t.Errorf("global DoQ overhead = %.1f ms (want small magnitude)", doqAvg)
+	}
+	if doqAvg >= dotAvg {
+		t.Errorf("global DoQ overhead %.1f ms not below DoT's %.1f ms", doqAvg, dotAvg)
 	}
 }
 

@@ -300,7 +300,7 @@ func runTable4(s *Study) (string, error) {
 		Columns: []string{"Platform", "Resolver", "Proto", "Correct", "Incorrect", "Failed"},
 	}
 	resolverOrder := []string{"cloudflare", "google", "quad9", "self-built"}
-	protoOrder := []vantage.Proto{vantage.ProtoDNS, vantage.ProtoDoT, vantage.ProtoDoH}
+	protoOrder := []vantage.Proto{vantage.ProtoDNS, vantage.ProtoDoT, vantage.ProtoDoH, vantage.ProtoDoQ}
 	addRows := func(platform string, results []vantage.Result) {
 		tallies := vantage.TallyResults(results)
 		for _, resolver := range resolverOrder {
@@ -421,7 +421,7 @@ func (s *Study) interceptorSessions() int {
 func runTable7(s *Study) (string, error) {
 	t := &analysis.Table{
 		Title:   "Table 7: Performance test results w/o connection reuse (medians, ms)",
-		Columns: []string{"Vantage", "DNS/TCP", "DoT (overhead)", "DoH (overhead)"},
+		Columns: []string{"Vantage", "DNS/TCP", "DoT (overhead)", "DoH (overhead)", "DoQ (overhead)"},
 	}
 	// The four controlled vantages measure concurrently; each derives its
 	// probe names from its own label, so measurements are independent and
@@ -445,10 +445,14 @@ func runTable7(s *Study) (string, error) {
 		if row.err != nil {
 			return "", fmt.Errorf("vantage %s: %w", ControlledVantages[i].Label, row.err)
 		}
+		// DoQ's no-reuse column is softer than DoT/DoH's: only the first
+		// dial pays the 1-RTT handshake, later dials resume 0-RTT from the
+		// shared session cache — the overhead reflects QUIC resumption.
 		t.AddRow(ControlledVantages[i].Label,
 			fmt.Sprintf("%.1f", row.sample.DNSMedianMS),
 			fmt.Sprintf("%.1f (+%.1f)", row.sample.DoTMedianMS, row.sample.DoTOverheadMS()),
-			fmt.Sprintf("%.1f (+%.1f)", row.sample.DoHMedianMS, row.sample.DoHOverheadMS()))
+			fmt.Sprintf("%.1f (+%.1f)", row.sample.DoHMedianMS, row.sample.DoHOverheadMS()),
+			fmt.Sprintf("%.1f (%+.1f)", row.sample.DoQMedianMS, row.sample.DoQOverheadMS()))
 	}
 	return t.Render(), nil
 }
@@ -458,18 +462,23 @@ func runFig9(s *Study) (string, error) {
 	agg := vantage.AggregateByCountry(samples)
 	t := &analysis.Table{
 		Title:   "Figure 9: Query performance per country (overheads vs clear-text DNS, ms)",
-		Columns: []string{"CC", "Clients", "DoT avg", "DoT median", "DoH avg", "DoH median", "DoT mux", "DoH mux"},
+		Columns: []string{"CC", "Clients", "DoT avg", "DoT median", "DoH avg", "DoH median", "DoQ avg", "DoQ median", "DoT mux", "DoH mux", "DoQ mux"},
 	}
 	for _, c := range agg {
 		t.AddRow(c.Country, c.Clients,
 			fmt.Sprintf("%+.1f", c.DoTAvgMS), fmt.Sprintf("%+.1f", c.DoTMedianMS),
 			fmt.Sprintf("%+.1f", c.DoHAvgMS), fmt.Sprintf("%+.1f", c.DoHMedianMS),
-			fmt.Sprintf("%+.1f", c.DoTMuxMedianMS), fmt.Sprintf("%+.1f", c.DoHMuxMedianMS))
+			fmt.Sprintf("%+.1f", c.DoQAvgMS), fmt.Sprintf("%+.1f", c.DoQMedianMS),
+			fmt.Sprintf("%+.1f", c.DoTMuxMedianMS), fmt.Sprintf("%+.1f", c.DoHMuxMedianMS),
+			fmt.Sprintf("%+.1f", c.DoQMuxMedianMS))
 	}
 	dotAvg, dotMed, dohAvg, dohMed := vantage.GlobalOverheads(samples)
 	out := t.Render()
 	out += fmt.Sprintf("global overhead — DoT: %+.1f/%+.1f ms (avg/med), DoH: %+.1f/%+.1f ms (avg/med), clients: %d\n",
 		dotAvg, dotMed, dohAvg, dohMed, len(samples))
+	doqAvg, doqMed, doqMux := vantage.GlobalDoQOverheads(samples)
+	out += fmt.Sprintf("global overhead — DoQ: %+.1f/%+.1f ms (avg/med), mux median: %+.1f ms\n",
+		doqAvg, doqMed, doqMux)
 	mDotAvg, mDotMed, mDohAvg, mDohMed := vantage.GlobalMuxOverheads(samples)
 	out += fmt.Sprintf("multiplexed (inflight=%d) — DoT: %+.1f/%+.1f ms (avg/med), DoH: %+.1f/%+.1f ms (avg/med)\n",
 		s.MuxInFlight, mDotAvg, mDotMed, mDohAvg, mDohMed)

@@ -14,6 +14,7 @@ import (
 	"dnsencryption.info/doe/internal/dnsserver"
 	"dnsencryption.info/doe/internal/dnswire"
 	"dnsencryption.info/doe/internal/doh"
+	"dnsencryption.info/doe/internal/doq"
 	"dnsencryption.info/doe/internal/dot"
 	"dnsencryption.info/doe/internal/faults"
 	"dnsencryption.info/doe/internal/geo"
@@ -329,6 +330,7 @@ func (s *Study) buildPublicResolvers() error {
 		return err
 	}
 	dot.Serve(s.World, cloudflareDNS, cfLeaf, cfEnc, time.Millisecond)
+	doq.Serve(s.World, cloudflareDNS, cfLeaf, cfEnc, time.Millisecond)
 	cfDoHLeaf, err := issue("mozilla.cloudflare-dns.com", cloudflareDoH)
 	if err != nil {
 		return err
@@ -380,6 +382,7 @@ func (s *Study) buildPublicResolvers() error {
 		return err
 	}
 	dot.Serve(s.World, quad9Addr, q9Leaf, q9Enc, time.Millisecond)
+	doq.Serve(s.World, quad9Addr, q9Leaf, q9Enc, time.Millisecond)
 	// Backend latency draws are keyed by the querying exit node, not by a
 	// single shared stream: with one RNG, the value each client observed
 	// would depend on the global order of arrival, and parallel campaigns
@@ -438,6 +441,7 @@ func (s *Study) buildPublicResolvers() error {
 	}
 	dot.Serve(s.World, selfBuiltAddr, sbLeaf, sb, time.Millisecond)
 	doh.Serve(s.World, selfBuiltAddr, sbLeaf, &doh.Server{Handler: sb})
+	doq.Serve(s.World, selfBuiltAddr, sbLeaf, sb, time.Millisecond)
 
 	s.DoTResolvers = map[netip.Addr]string{
 		cloudflareDNS: "cloudflare",
@@ -451,11 +455,12 @@ func (s *Study) buildPublicResolvers() error {
 			DoT:     cloudflareDNS,
 			DoH:     doh.Template{Host: "mozilla.cloudflare-dns.com", Path: doh.DefaultPath},
 			DoHAddr: cloudflareDoH,
+			DoQ:     cloudflareDNS,
 		},
 		{
 			Name: "google",
 			DNS:  googleDNS,
-			// DoT invalid: not announced at experiment time.
+			// DoT and DoQ invalid: not announced at experiment time.
 			DoH:     doh.Template{Host: "dns.google", Path: doh.DefaultPath},
 			DoHAddr: googleDoH,
 		},
@@ -465,6 +470,7 @@ func (s *Study) buildPublicResolvers() error {
 			DoT:     quad9Addr,
 			DoH:     doh.Template{Host: "dns.quad9.net", Path: doh.DefaultPath},
 			DoHAddr: quad9Addr,
+			DoQ:     quad9Addr,
 		},
 		{
 			Name:    "self-built",
@@ -472,6 +478,7 @@ func (s *Study) buildPublicResolvers() error {
 			DoT:     selfBuiltAddr,
 			DoH:     doh.Template{Host: "self-built." + ProbeZone, Path: doh.DefaultPath},
 			DoHAddr: selfBuiltAddr,
+			DoQ:     selfBuiltAddr,
 		},
 	}
 	return nil

@@ -42,7 +42,11 @@ type Client struct {
 	World *netsim.World
 	From  netip.Addr
 	// Timeout is the real-time bound per transaction (protective only;
-	// latency measurements use virtual time).
+	// latency measurements use virtual time). Zero — the default — means
+	// no bound: a wall-clock watchdog that fires on a slow host would
+	// fail a query that succeeds on a fast one, and a query dropping out
+	// of a campaign shifts medians, so results would depend on host
+	// scheduling. Set it only when probing deadline behaviour itself.
 	Timeout time.Duration
 	// Retries is the number of additional UDP attempts on failure.
 	Retries int
@@ -50,7 +54,7 @@ type Client struct {
 
 // New creates a client with sensible defaults.
 func New(w *netsim.World, from netip.Addr) *Client {
-	return &Client{World: w, From: from, Timeout: 5 * time.Second, Retries: 1}
+	return &Client{World: w, From: from, Retries: 1}
 }
 
 // Deadline resolves a transaction's real-time guard: the earlier of the

@@ -275,10 +275,16 @@ type Resolver struct {
 	cache   map[string]cacheEntry
 }
 
+// cacheEntry is a cached answer. Entries never expire: cache behavior must
+// be a function of the query history alone, and a wall-clock TTL made hit
+// vs miss depend on how slowly the host ran a campaign — on a loaded
+// machine an entry could lapse mid-measurement and shift a latency median,
+// breaking byte-identity across worker counts. Study worlds are short-lived
+// and the campaigns keep probe names task-private, so an everlasting cache
+// is both deterministic and faithful to the reused-name measurements.
 type cacheEntry struct {
 	answers []dnswire.Record
 	rcode   dnswire.Rcode
-	expires time.Time
 }
 
 // NewResolver creates a recursive resolver.
@@ -318,10 +324,6 @@ func (r *Resolver) ServeDNS(_ netip.Addr, req *dnswire.Message) (*dnswire.Messag
 
 	r.cacheMu.Lock()
 	entry, hit := r.cache[key]
-	if hit && time.Now().After(entry.expires) {
-		delete(r.cache, key)
-		hit = false
-	}
 	r.cacheMu.Unlock()
 
 	resp := req.Reply()
@@ -363,15 +365,10 @@ func (r *Resolver) ServeDNS(_ netip.Addr, req *dnswire.Message) (*dnswire.Messag
 	// Rewrite answer ownership onto our response (IDs differ upstream).
 	resp.Answers = append(resp.Answers, um.Answers...)
 
-	ttl := time.Duration(60) * time.Second
-	if len(um.Answers) > 0 {
-		ttl = time.Duration(um.Answers[0].TTL) * time.Second
-	}
 	r.cacheMu.Lock()
 	r.cache[key] = cacheEntry{
 		answers: um.Answers,
 		rcode:   um.Rcode,
-		expires: time.Now().Add(ttl),
 	}
 	r.cacheMu.Unlock()
 	return resp, proc

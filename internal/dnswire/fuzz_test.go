@@ -153,6 +153,111 @@ func FuzzRData(f *testing.F) {
 	})
 }
 
+// FuzzQUICVarint hardens the QUIC variable-length integer codec: any input
+// either errors or yields a value whose canonical re-encoding parses back
+// to itself (parse→append→parse fixpoint), consuming exactly its own
+// length and never more bytes than the input offered.
+func FuzzQUICVarint(f *testing.F) {
+	f.Add([]byte{0x25})
+	f.Add([]byte{0x40, 0x25}) // non-minimal two-byte form
+	f.Add([]byte{0x7b, 0xbd})
+	f.Add([]byte{0x9d, 0x7f, 0x3e, 0x7d})
+	f.Add([]byte{0xc2, 0x19, 0x7c, 0x5e, 0xff, 0x14, 0xe8, 0x8c})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	// Truncated varints: a length prefix promising bytes that never come.
+	f.Add([]byte{0x40})
+	f.Add([]byte{0x80, 0x01, 0x02})
+	f.Add([]byte{0xc0, 1, 2, 3, 4, 5, 6})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, n, err := ReadQUICVarint(data)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d bytes of %d", n, len(data))
+		}
+		if v > MaxQUICVarint {
+			t.Fatalf("value %d exceeds the 62-bit range", v)
+		}
+		enc := AppendQUICVarint(nil, v)
+		if len(enc) > n {
+			t.Fatalf("canonical encoding of %d is %d bytes, input form was %d", v, len(enc), n)
+		}
+		v2, n2, err := ReadQUICVarint(enc)
+		if err != nil || v2 != v || n2 != len(enc) {
+			t.Fatalf("fixpoint broken for %d: got (%d, %d, %v) from %x", v, v2, n2, err, enc)
+		}
+		if !bytes.Equal(AppendQUICVarint(nil, v2), enc) {
+			t.Fatalf("re-encoding %d is not stable", v2)
+		}
+	})
+}
+
+// FuzzDoQFrame hardens the QUIC frame codec DoQ packets are built from: any
+// accepted frame must re-encode canonically, and the canonical form must
+// parse back to an identical frame and re-encode byte-identically
+// (parse→append→parse fixpoint). Seeds cover every supported frame type,
+// truncated varints and zero-length streams.
+func FuzzDoQFrame(f *testing.F) {
+	for _, fr := range []QUICFrame{
+		{Type: QUICFramePadding},
+		{Type: QUICFramePing},
+		{Type: QUICFrameAck, AckLargest: 9, AckDelay: 40, AckFirstRange: 2},
+		{Type: QUICFrameCrypto, Data: []byte("hello")},
+		{Type: QUICFrameStream, StreamID: 0, Fin: true, Data: []byte{0, 1, 'q'}},
+		{Type: QUICFrameStream, StreamID: 4, Offset: 7, Data: []byte("mid")},
+		{Type: QUICFrameStream, StreamID: 64, Fin: true}, // zero-length stream
+		{Type: QUICFrameConnClose, ErrorCode: 1, FrameType: 6, Data: []byte("oops")},
+		{Type: QUICFrameConnCloseApp, ErrorCode: 2, Data: []byte("DOQ_PROTOCOL_ERROR")},
+	} {
+		wire, err := AppendQUICFrame(nil, fr)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(wire)
+	}
+	// Malformed shapes: truncated varints mid-frame, lengths beyond the
+	// buffer, a STREAM frame with the LEN bit clear (implicit length).
+	f.Add([]byte{0x06, 0x40})
+	f.Add([]byte{0x0b, 0x00, 0x05, 'x'})
+	f.Add([]byte{0x09, 0x08, 'p', 'a', 'y'})
+	f.Add([]byte{0x1c, 0x00})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, n, err := ParseQUICFrame(data)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d bytes of %d", n, len(data))
+		}
+		canon, err := AppendQUICFrame(nil, fr)
+		if err != nil {
+			t.Fatalf("accepted frame %+v fails to re-encode: %v", fr, err)
+		}
+		again, n2, err := ParseQUICFrame(canon)
+		if err != nil {
+			t.Fatalf("canonical form %x fails to parse: %v", canon, err)
+		}
+		if n2 != len(canon) {
+			t.Fatalf("canonical parse consumed %d of %d bytes", n2, len(canon))
+		}
+		if again.Type != fr.Type || again.StreamID != fr.StreamID || again.Offset != fr.Offset ||
+			again.Fin != fr.Fin || !bytes.Equal(again.Data, fr.Data) ||
+			again.AckLargest != fr.AckLargest || again.AckDelay != fr.AckDelay ||
+			again.AckFirstRange != fr.AckFirstRange ||
+			again.ErrorCode != fr.ErrorCode || again.FrameType != fr.FrameType {
+			t.Fatalf("fixpoint broken: %+v reparsed as %+v", fr, again)
+		}
+		canon2, err := AppendQUICFrame(nil, again)
+		if err != nil || !bytes.Equal(canon, canon2) {
+			t.Fatalf("canonical encoding not stable: %x vs %x (%v)", canon, canon2, err)
+		}
+	})
+}
+
 // FuzzAppendTCP pins the append-style framing path to the original
 // pack-then-copy path: for every message the parser accepts, AppendPackTCP
 // must produce exactly the 2-byte length prefix plus Pack()'s bytes —

@@ -1,0 +1,236 @@
+package dnswire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// RFC 9000 §A.1's worked varint examples, plus the encoding-length
+// boundaries in both directions.
+func TestQUICVarintKnownValues(t *testing.T) {
+	cases := []struct {
+		wire []byte
+		v    uint64
+	}{
+		{[]byte{0x25}, 37},
+		{[]byte{0x40, 0x25}, 37}, // non-minimal 2-byte form of 37
+		{[]byte{0x7b, 0xbd}, 15293},
+		{[]byte{0x9d, 0x7f, 0x3e, 0x7d}, 494878333},
+		{[]byte{0xc2, 0x19, 0x7c, 0x5e, 0xff, 0x14, 0xe8, 0x8c}, 151288809941952652},
+		{[]byte{0x00}, 0},
+		{[]byte{0x3f}, 63},
+		{[]byte{0x40, 0x40}, 64},
+		{[]byte{0x7f, 0xff}, 16383},
+		{[]byte{0x80, 0x00, 0x40, 0x00}, 16384},
+		{[]byte{0xbf, 0xff, 0xff, 0xff}, 1<<30 - 1},
+		{[]byte{0xc0, 0x00, 0x00, 0x00, 0x40, 0x00, 0x00, 0x00}, 1 << 30},
+		{[]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff}, MaxQUICVarint},
+	}
+	for _, tc := range cases {
+		v, n, err := ReadQUICVarint(tc.wire)
+		if err != nil {
+			t.Fatalf("ReadQUICVarint(%x): %v", tc.wire, err)
+		}
+		if v != tc.v || n != len(tc.wire) {
+			t.Errorf("ReadQUICVarint(%x) = (%d, %d), want (%d, %d)", tc.wire, v, n, tc.v, len(tc.wire))
+		}
+		// Canonical re-encode must parse back to the same value and be
+		// minimal (no longer than the input form).
+		enc := AppendQUICVarint(nil, tc.v)
+		if len(enc) > len(tc.wire) {
+			t.Errorf("AppendQUICVarint(%d) = %x longer than wire form %x", tc.v, enc, tc.wire)
+		}
+		v2, n2, err := ReadQUICVarint(enc)
+		if err != nil || v2 != tc.v || n2 != len(enc) {
+			t.Errorf("round trip of %d: got (%d, %d, %v) from %x", tc.v, v2, n2, err, enc)
+		}
+	}
+}
+
+func TestQUICVarintTruncated(t *testing.T) {
+	for _, wire := range [][]byte{
+		nil,
+		{0x40},
+		{0x80, 0x01},
+		{0x80, 0x01, 0x02},
+		{0xc0, 1, 2, 3, 4, 5, 6},
+	} {
+		if _, _, err := ReadQUICVarint(wire); err == nil {
+			t.Errorf("ReadQUICVarint(%x) accepted a truncated varint", wire)
+		}
+	}
+}
+
+func TestQUICHeaderRoundTrip(t *testing.T) {
+	dcid := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	scid := []byte{9, 10, 11, 12, 13, 14, 15, 16}
+	cases := []QUICHeader{
+		{Type: QUICInitial, Version: QUICVersion, DCID: dcid, SCID: scid},
+		{Type: QUICHandshake, Version: QUICVersion, DCID: dcid, SCID: scid},
+		{Type: QUICZeroRTT, Version: QUICVersion, DCID: dcid, SCID: scid},
+		{Type: QUICInitial, Version: QUICVersion}, // zero-length CIDs
+		{Type: QUICOneRTT, DCID: dcid},
+	}
+	for _, h := range cases {
+		wire, err := AppendQUICHeader(nil, h)
+		if err != nil {
+			t.Fatalf("AppendQUICHeader(%+v): %v", h, err)
+		}
+		// Trailing payload bytes must not confuse the parser.
+		got, n, err := ParseQUICHeader(append(wire, 0xAA, 0xBB))
+		if err != nil {
+			t.Fatalf("ParseQUICHeader(%x): %v", wire, err)
+		}
+		if n != len(wire) {
+			t.Errorf("header %+v consumed %d bytes, want %d", h, n, len(wire))
+		}
+		if got.Type != h.Type || got.Version != h.Version ||
+			!bytes.Equal(got.DCID, h.DCID) || !bytes.Equal(got.SCID, h.SCID) {
+			t.Errorf("header round trip: got %+v, want %+v", got, h)
+		}
+	}
+}
+
+func TestQUICHeaderErrors(t *testing.T) {
+	if _, err := AppendQUICHeader(nil, QUICHeader{Type: QUICOneRTT, DCID: []byte{1}}); err == nil {
+		t.Error("short header with non-standard DCID length accepted")
+	}
+	if _, err := AppendQUICHeader(nil, QUICHeader{Type: QUICInitial, DCID: make([]byte, 21)}); err == nil {
+		t.Error("long header with oversized DCID accepted")
+	}
+	for _, wire := range [][]byte{
+		nil,
+		{0x00},                   // fixed bit clear
+		{0x40, 1, 2, 3},          // short header, truncated DCID
+		{0xc0, 0, 0, 0},          // long header, truncated version
+		{0xc0, 0, 0, 0, 1, 9, 1}, // long header, DCID length beyond buffer
+	} {
+		if _, _, err := ParseQUICHeader(wire); err == nil {
+			t.Errorf("ParseQUICHeader(%x) accepted malformed header", wire)
+		}
+	}
+}
+
+func quicFrameEqual(a, b QUICFrame) bool {
+	return a.Type == b.Type && a.StreamID == b.StreamID && a.Offset == b.Offset &&
+		a.Fin == b.Fin && bytes.Equal(a.Data, b.Data) &&
+		a.AckLargest == b.AckLargest && a.AckDelay == b.AckDelay &&
+		a.AckFirstRange == b.AckFirstRange &&
+		a.ErrorCode == b.ErrorCode && a.FrameType == b.FrameType
+}
+
+func quicSeedFrames() []QUICFrame {
+	return []QUICFrame{
+		{Type: QUICFramePadding},
+		{Type: QUICFramePing},
+		{Type: QUICFrameAck, AckLargest: 7, AckDelay: 25, AckFirstRange: 3},
+		{Type: QUICFrameCrypto, Data: []byte("client hello")},
+		{Type: QUICFrameCrypto, Offset: 96, Data: []byte{}},
+		{Type: QUICFrameStream, StreamID: 0, Fin: true, Data: []byte{0, 3, 'd', 'o', 'q'}},
+		{Type: QUICFrameStream, StreamID: 4, Offset: 12, Data: []byte("partial")},
+		{Type: QUICFrameStream, StreamID: 4096, Fin: true, Data: []byte{}}, // zero-length stream
+		{Type: QUICFrameConnClose, ErrorCode: 0x0a, FrameType: 0x08, Data: []byte("bad stream")},
+		{Type: QUICFrameConnCloseApp, ErrorCode: 2, Data: []byte("DOQ_PROTOCOL_ERROR")},
+	}
+}
+
+func TestQUICFrameRoundTrip(t *testing.T) {
+	for _, f := range quicSeedFrames() {
+		wire, err := AppendQUICFrame(nil, f)
+		if err != nil {
+			t.Fatalf("AppendQUICFrame(%+v): %v", f, err)
+		}
+		got, n, err := ParseQUICFrame(append(wire, 0x01 /* trailing PING */))
+		if err != nil {
+			t.Fatalf("ParseQUICFrame(%x): %v", wire, err)
+		}
+		if n != len(wire) {
+			t.Errorf("frame %+v consumed %d bytes, want %d", f, n, len(wire))
+		}
+		if !quicFrameEqual(got, f) {
+			t.Errorf("frame round trip: got %+v, want %+v", got, f)
+		}
+	}
+}
+
+// A STREAM frame without the LEN bit extends to the end of the packet; it
+// reparses as a canonical LEN-carrying frame with the same payload.
+func TestQUICStreamFrameImplicitLength(t *testing.T) {
+	wire := []byte{0x09, 0x08, 'p', 'a', 'y', 'l', 'o', 'a', 'd'} // FIN set, LEN clear, stream 8
+	f, n, err := ParseQUICFrame(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(wire) {
+		t.Fatalf("consumed %d of %d bytes", n, len(wire))
+	}
+	if f.StreamID != 8 || !f.Fin || string(f.Data) != "payload" {
+		t.Fatalf("parsed %+v", f)
+	}
+	canon, err := AppendQUICFrame(nil, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, _, err := ParseQUICFrame(canon)
+	if err != nil || !quicFrameEqual(f, again) {
+		t.Fatalf("canonical form did not round-trip: %+v vs %+v (%v)", f, again, err)
+	}
+}
+
+func TestQUICFrameErrors(t *testing.T) {
+	for _, wire := range [][]byte{
+		nil,
+		{0x1e},             // unknown type
+		{0x06, 0x00},       // CRYPTO missing length
+		{0x06, 0x00, 0x05}, // CRYPTO length beyond buffer
+		{0x0b, 0x00, 0x40}, // STREAM with truncated length varint
+		{0x0b, 0x00, 0x02, 'x'},
+		{0x02, 0x01, 0x00, 0x01, 0x00}, // ACK with a second range
+		{0x1c, 0x00, 0x00, 0x09},       // close reason beyond buffer
+		{0x1d, 0x00, 0x04, 'a'},
+	} {
+		if _, _, err := ParseQUICFrame(wire); err == nil {
+			t.Errorf("ParseQUICFrame(%x) accepted malformed frame", wire)
+		}
+	}
+}
+
+// A whole packet — header plus a frame sequence — survives compose/parse,
+// the loop shape the doq client and server both use.
+func TestQUICPacketComposeParse(t *testing.T) {
+	dcid := []byte{8, 7, 6, 5, 4, 3, 2, 1}
+	buf, err := AppendQUICHeader(nil, QUICHeader{Type: QUICOneRTT, DCID: dcid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := quicSeedFrames()
+	for _, f := range frames {
+		if buf, err = AppendQUICFrame(buf, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h, n, err := ParseQUICHeader(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Type != QUICOneRTT || !bytes.Equal(h.DCID, dcid) {
+		t.Fatalf("parsed header %+v", h)
+	}
+	var got []QUICFrame
+	for n < len(buf) {
+		f, adv, err := ParseQUICFrame(buf[n:])
+		if err != nil {
+			t.Fatalf("frame at offset %d: %v", n, err)
+		}
+		got = append(got, f)
+		n += adv
+	}
+	if len(got) != len(frames) {
+		t.Fatalf("parsed %d frames, want %d", len(got), len(frames))
+	}
+	for i := range frames {
+		if !quicFrameEqual(got[i], frames[i]) {
+			t.Errorf("frame %d: got %+v, want %+v", i, got[i], frames[i])
+		}
+	}
+}

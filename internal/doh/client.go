@@ -88,7 +88,9 @@ type Client struct {
 	Roots *x509.CertPool
 	// Method selects GET (the cache-friendly default) or POST.
 	Method Method
-	// Timeout is the real-time guard per operation.
+	// Timeout is the real-time guard per operation. Zero — the default —
+	// disables it; see dnsclient.Client.Timeout for why study transports
+	// must not carry wall-clock deadlines.
 	Timeout time.Duration
 	// CryptoCost models per-query TLS+HTTP processing on the client.
 	CryptoCost time.Duration
@@ -116,7 +118,6 @@ func NewClient(w *netsim.World, from netip.Addr, roots *x509.CertPool) *Client {
 		World:      w,
 		From:       from,
 		Roots:      roots,
-		Timeout:    5 * time.Second,
 		CryptoCost: 3 * time.Millisecond,
 		Override:   make(map[string]netip.Addr),
 	}

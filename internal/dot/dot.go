@@ -124,7 +124,9 @@ type Client struct {
 	// empty: "we do not compare domain names ... only verify the
 	// certificate paths", since DoT resolver names are unknown.
 	ServerName string
-	// Timeout is the real-time guard per operation.
+	// Timeout is the real-time guard per operation. Zero — the default —
+	// disables it; see dnsclient.Client.Timeout for why study transports
+	// must not carry wall-clock deadlines.
 	Timeout time.Duration
 	// CryptoCost models per-query TLS record processing, charged to the
 	// connection's virtual clock (the residual overhead the paper
@@ -145,7 +147,6 @@ func NewClient(w *netsim.World, from netip.Addr, roots *x509.CertPool, profile P
 		From:       from,
 		Roots:      roots,
 		Profile:    profile,
-		Timeout:    5 * time.Second,
 		CryptoCost: 2500 * time.Microsecond,
 	}
 }

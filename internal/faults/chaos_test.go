@@ -9,14 +9,18 @@ package faults_test
 
 import (
 	"context"
+	"crypto/x509"
+	"errors"
 	"net/netip"
 	"strings"
 	"testing"
 	"time"
 
+	"dnsencryption.info/doe/internal/certs"
 	"dnsencryption.info/doe/internal/core"
 	"dnsencryption.info/doe/internal/dnsserver"
 	"dnsencryption.info/doe/internal/dnswire"
+	"dnsencryption.info/doe/internal/doq"
 	"dnsencryption.info/doe/internal/faults"
 	"dnsencryption.info/doe/internal/netsim"
 	"dnsencryption.info/doe/internal/resolver"
@@ -146,6 +150,146 @@ func TestChaosNoRetryNoRecovery(t *testing.T) {
 	want := resolver.RetryStats{Attempts: 2, HardFailures: 1}
 	if got != want {
 		t.Errorf("transport stats = %+v, want %+v", got, want)
+	}
+}
+
+// chaosDoQWorld extends chaosWorld with a DoQ endpoint on UDP 853 and
+// returns the trust pool its certificate verifies against.
+func chaosDoQWorld(t *testing.T) (*netsim.World, netip.Addr, netip.Addr, *x509.CertPool) {
+	t.Helper()
+	w, client, server := chaosWorld(t)
+	ca, err := certs.NewCA("Chaos Root", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf, err := ca.Issue(certs.LeafOptions{
+		CommonName: "probe.example.org",
+		DNSNames:   []string{"probe.example.org"},
+		IPs:        []netip.Addr{server},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := dnsserver.NewZone("probe.example.org")
+	z.WildcardA = netip.MustParseAddr("203.0.113.9")
+	doq.Serve(w, server, leaf, z, 0)
+	return w, client, server, certs.Pool(ca)
+}
+
+// TestChaosDoQFlightLossExhaustsBudget pins the DoQ loss-handling contract
+// on an exactly-known schedule: with every datagram dropped, a warm session
+// dies on its next flight (the error wraps ErrSessionClosed, the retryable
+// session-death signal), and each retry redials 0-RTT from the resumption
+// cache — sending NO datagram and so consuming NO fault draw — before its
+// own flight is dropped too. Every number below is computable by hand.
+func TestChaosDoQFlightLossExhaustsBudget(t *testing.T) {
+	w, client, server, roots := chaosDoQWorld(t)
+	tr := resolver.New(w, client, roots,
+		resolver.WithRetry(resolver.RetryPolicy{Attempts: 3})).DoQ(server)
+	ctx := context.Background()
+
+	// Warm fault-free: the 1-RTT handshake seeds the 0-RTT cache and the
+	// transport retains a live session.
+	if _, err := tr.Exchange(ctx, dnswire.NewQuery(0, "warm.probe.example.org", dnswire.TypeA)); err != nil {
+		t.Fatal(err)
+	}
+
+	inj := faults.New(1, nil)
+	inj.Default = faults.Profile{DgramDrop: 1}
+	w.SetFaults(inj)
+
+	_, err := tr.Exchange(ctx, dnswire.NewQuery(0, "lost.probe.example.org", dnswire.TypeA))
+	if err == nil {
+		t.Fatal("exchange survived a fully lossy path")
+	}
+	if !errors.Is(err, resolver.ErrSessionClosed) {
+		t.Errorf("err = %v, want ErrSessionClosed", err)
+	}
+	got := tr.Stats()
+	// Warm exchange: 1 attempt. Lossy exchange: 3 attempts (2 retries),
+	// 2 0-RTT redials, budget exhausted.
+	want := resolver.RetryStats{Attempts: 4, Retries: 2, Redials: 2, HardFailures: 1}
+	if got != want {
+		t.Errorf("transport stats = %+v, want %+v", got, want)
+	}
+	// Three query flights were dropped; the two 0-RTT redials put nothing
+	// on the wire, so the injector saw exactly three datagrams.
+	if st := inj.Stats(); st.Datagrams != 3 || st.DgramDrops != 3 {
+		t.Errorf("injector stats = %+v, want 3 datagrams / 3 drops", st)
+	}
+}
+
+// TestChaosDoQRecoveryStatsHandComputed drives a warm DoQ session through a
+// drop-then-clean datagram schedule (injector seed 5 with DgramDrop=0.5
+// draws drop, pass on this tuple — pinned by the injector's determinism
+// contract): the first flight is lost, the retry redials 0-RTT and its
+// flight goes through. Recovery statistics and the recovered latency are
+// exactly computable.
+func TestChaosDoQRecoveryStatsHandComputed(t *testing.T) {
+	w, client, server, roots := chaosDoQWorld(t)
+	tr := resolver.New(w, client, roots,
+		resolver.WithRetry(resolver.RetryPolicy{Attempts: 3})).DoQ(server)
+	ctx := context.Background()
+
+	if _, err := tr.Exchange(ctx, dnswire.NewQuery(0, "aaaa.probe.example.org", dnswire.TypeA)); err != nil {
+		t.Fatal(err)
+	}
+	warm := tr.LastLatency()
+
+	inj := faults.New(5, nil)
+	inj.Default = faults.Profile{DgramDrop: 0.5}
+	w.SetFaults(inj)
+
+	// Same-length name as the warm query, so the two flights are
+	// latency-identical and the recovered cost is directly comparable.
+	if _, err := tr.Exchange(ctx, dnswire.NewQuery(0, "bbbb.probe.example.org", dnswire.TypeA)); err != nil {
+		t.Fatalf("exchange did not recover: %v", err)
+	}
+	got := tr.Stats()
+	want := resolver.RetryStats{Attempts: 3, Retries: 1, Redials: 1, Recovered: 1}
+	if got != want {
+		t.Errorf("transport stats = %+v, want %+v", got, want)
+	}
+	if st := inj.Stats(); st.Datagrams != 2 || st.DgramDrops != 1 {
+		t.Errorf("injector stats = %+v, want 2 datagrams / 1 drop", st)
+	}
+	// The lost flight cost nothing on the session clock and the 0-RTT
+	// redial charges no setup, so the recovered exchange costs exactly one
+	// clean flight — the honest-accounting half of the 0-RTT contract.
+	if got := tr.LastLatency(); got != warm {
+		t.Errorf("recovered latency = %v, want the clean flight cost %v", got, warm)
+	}
+}
+
+// TestChaosDoQHarshSweepCompletes runs a retried DoQ transport through the
+// Harsh datagram mix for several fault seeds: every exchange must complete
+// within the budget (handshake flights lost at dial time are retried like
+// refused stream dials; established-session losses surface as
+// ErrSessionClosed and redial 0-RTT), and the injector must actually have
+// dropped something, or the sweep proves nothing.
+func TestChaosDoQHarshSweepCompletes(t *testing.T) {
+	for _, seed := range []int64{0, 1, 2} {
+		w, client, server, roots := chaosDoQWorld(t)
+		inj := faults.New(seed, nil)
+		inj.Default = faults.Harsh()
+		w.SetFaults(inj)
+
+		tr := resolver.New(w, client, roots,
+			resolver.WithRetry(resolver.RetryPolicy{Attempts: 3})).DoQ(server)
+		ctx := context.Background()
+		for i := 0; i < 40; i++ {
+			q := dnswire.NewQuery(0, "q.probe.example.org", dnswire.TypeA)
+			if _, err := tr.Exchange(ctx, q); err != nil {
+				t.Fatalf("seed %d: exchange %d: %v", seed, i, err)
+			}
+		}
+		st := inj.Stats()
+		if st.DgramDrops == 0 {
+			t.Errorf("seed %d: harsh profile dropped no datagrams over %d flights", seed, st.Datagrams)
+		}
+		if s := tr.Stats(); s.HardFailures != 0 || s.Recovered == 0 {
+			t.Errorf("seed %d: transport stats = %+v, want recoveries and no hard failures", seed, s)
+		}
 	}
 }
 

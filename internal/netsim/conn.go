@@ -5,12 +5,13 @@
 //
 // Connections are in-memory full-duplex pipes over which real protocol
 // stacks run (crypto/tls handshakes, net/http servers). Latency is
-// *virtual*: every connection carries a virtual clock; each write is
-// stamped with an arrival time of clock + RTT/2 and each read advances the
-// clock to the stamp of the data it consumes. A full TLS 1.3 handshake thus
-// costs one virtual RTT, exactly as on the wire, while tests complete in
-// microseconds of wall time — and the accounting is independent of
-// goroutine scheduling.
+// *virtual*: each endpoint of a connection carries its own virtual clock;
+// a write is stamped with an arrival time of the sender's clock + RTT/2,
+// and a read advances the reader's clock to the stamp of the data it
+// consumes. A full TLS 1.3 handshake thus costs one virtual RTT, exactly
+// as on the wire, while tests complete in microseconds of wall time — and
+// because time flows strictly along the data, the accounting is
+// independent of goroutine scheduling.
 package netsim
 
 import (
@@ -53,49 +54,45 @@ func (Addr) Network() string { return "sim" }
 // String implements net.Addr.
 func (a Addr) String() string { return fmt.Sprintf("%s:%d", a.IP, a.Port) }
 
-// link is the state shared by the two endpoints of a connection: the
-// virtual clock and the latency model for this path.
+// link is the immutable path state shared by the two endpoints of a
+// connection. Jitter state lives on the per-direction buffers — see
+// buffer.jitterRNG — and virtual time lives on per-endpoint clocks.
 type link struct {
-	mu  sync.Mutex
-	now time.Duration
 	rtt time.Duration
-	// jitterRNG/jitterFrac scale each half-RTT by a factor in
-	// [1, 1+jitterFrac].
-	jitterRNG  *rand.Rand
-	jitterFrac float64
 }
 
-// stampArrival returns the virtual time at which data written now will
-// reach the peer.
-func (l *link) stampArrival() time.Duration {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	half := l.rtt / 2
-	if l.jitterRNG != nil && l.jitterFrac > 0 {
-		half = time.Duration(float64(half) * (1 + l.jitterRNG.Float64()*l.jitterFrac))
-	}
-	return l.now + half
+// clock is one endpoint's view of virtual time on a connection. Each
+// endpoint owns its clock: a write stamps its arrival from the sender's
+// clock, and a read advances only the reader's clock, to the stamp of the
+// data it consumed. Virtual time thus flows strictly along the data. A
+// single shared per-connection clock would instead let a concurrently
+// scheduled reader and writer race on it — a reader advancing the clock
+// between two of the peer's writes would inflate the second stamp — making
+// pipelined and proxy-relayed latencies depend on goroutine scheduling.
+type clock struct {
+	mu  sync.Mutex
+	now time.Duration
+}
+
+func (c *clock) get() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *clock) add(d time.Duration) {
+	c.mu.Lock()
+	c.now += d
+	c.mu.Unlock()
 }
 
 // advance moves the clock forward to t (never backward).
-func (l *link) advance(t time.Duration) {
-	l.mu.Lock()
-	if t > l.now {
-		l.now = t
+func (c *clock) advance(t time.Duration) {
+	c.mu.Lock()
+	if t > c.now {
+		c.now = t
 	}
-	l.mu.Unlock()
-}
-
-func (l *link) add(d time.Duration) {
-	l.mu.Lock()
-	l.now += d
-	l.mu.Unlock()
-}
-
-func (l *link) total() time.Duration {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.now
+	c.mu.Unlock()
 }
 
 // segment is one write's worth of in-flight data. buf is the pooled buffer
@@ -110,10 +107,15 @@ type segment struct {
 // buffer is one direction of a connection: a queue of stamped segments with
 // blocking reads and deadline support.
 type buffer struct {
-	mu       sync.Mutex
-	cond     *sync.Cond
-	segs     []segment
-	closed   bool // writer closed: EOF after drain
+	mu     sync.Mutex
+	cond   *sync.Cond
+	segs   []segment
+	closed bool // writer closed: EOF after drain
+	// closedAt is the virtual arrival time of the writer's FIN, when the
+	// close came from the writing side (zero otherwise). EOF advances the
+	// reader's clock to it, so server-side time charged after the last
+	// write still reaches a client that waits for close.
+	closedAt time.Duration
 	deadline time.Time
 	timer    *time.Timer
 	link     *link
@@ -127,6 +129,22 @@ type buffer struct {
 	headPartial bool // head segment partially consumed; finish it first
 	reset       bool
 	onReset     func() // called (unlocked) once, when the reset fires
+
+	// wclock stamps writes (the sender's clock); rclock advances on reads
+	// (the receiver's clock). See the clock type for why they differ.
+	wclock *clock
+	rclock *clock
+
+	// jitterRNG/jitterFrac scale each half-RTT by a factor in
+	// [1, 1+jitterFrac]. The sequence is per direction, drawn under b.mu
+	// together with the segment enqueue, so the nth segment written in a
+	// direction always gets the nth draw. A single link-wide sequence
+	// would make stamps depend on goroutine scheduling: opposite-direction
+	// writes race legitimately (a TLS 1.3 session-ticket write against the
+	// client's first query), and whichever won the race would steal the
+	// other's draw.
+	jitterRNG  *rand.Rand
+	jitterFrac float64
 }
 
 func newBuffer(l *link) *buffer {
@@ -136,7 +154,6 @@ func newBuffer(l *link) *buffer {
 }
 
 func (b *buffer) write(p []byte) (int, error) {
-	stamp := b.link.stampArrival()
 	// Copy the caller's bytes into a pooled segment buffer: the copy is
 	// mandatory (writers reuse p immediately), the pooling only recycles
 	// where the copy lands, so wire bytes and segment counts are unchanged.
@@ -148,6 +165,11 @@ func (b *buffer) write(p []byte) (int, error) {
 		bufpool.Put(buf)
 		return 0, io.ErrClosedPipe
 	}
+	half := b.link.rtt / 2
+	if b.jitterRNG != nil && b.jitterFrac > 0 {
+		half = time.Duration(float64(half) * (1 + b.jitterRNG.Float64()*b.jitterFrac))
+	}
+	stamp := b.wclock.get() + half
 	b.segs = append(b.segs, segment{data: *buf, readyAt: stamp, buf: buf}) //doelint:transfer -- owned by the segment queue; released as reads drain it
 	b.cond.Broadcast()
 	return len(p), nil
@@ -161,6 +183,7 @@ func (b *buffer) read(p []byte) (int, error) {
 			return 0, ErrReset
 		}
 		if b.closed {
+			b.rclock.advance(b.closedAt)
 			b.mu.Unlock()
 			return 0, io.EOF
 		}
@@ -186,7 +209,7 @@ func (b *buffer) read(p []byte) (int, error) {
 		return 0, ErrReset
 	}
 	seg := &b.segs[0]
-	b.link.advance(seg.readyAt)
+	b.rclock.advance(seg.readyAt)
 	n := copy(p, seg.data)
 	seg.data = seg.data[n:]
 	if len(seg.data) == 0 {
@@ -204,9 +227,16 @@ func (b *buffer) read(p []byte) (int, error) {
 	return n, nil
 }
 
-func (b *buffer) closeWrite() {
+// closeWrite marks the writer side closed. stamp, when nonzero, is the
+// virtual arrival time of the FIN (the writer's clock + half RTT); pass
+// zero when the close is the reader abandoning the direction, which
+// carries no peer time.
+func (b *buffer) closeWrite(stamp time.Duration) {
 	b.mu.Lock()
-	b.closed = true
+	if !b.closed {
+		b.closed = true
+		b.closedAt = stamp
+	}
 	b.cond.Broadcast()
 	b.mu.Unlock()
 }
@@ -241,18 +271,31 @@ type Conn struct {
 	local  Addr
 	remote Addr
 	link   *link
+	clk    *clock // this endpoint's virtual clock
 
 	closeOnce sync.Once
 }
 
 // Pair creates a connected pair of Conns with the given round-trip time.
-// The first return value is the "client" end. rng (optional) adds jitter.
+// The first return value is the "client" end. rng (optional) adds jitter:
+// it seeds one independent draw sequence per direction (client->server
+// first), so concurrent opposite-direction writes cannot reorder each
+// other's draws.
 func Pair(client, server Addr, rtt time.Duration, rng *rand.Rand, jitterFrac float64) (*Conn, *Conn) {
-	l := &link{rtt: rtt, jitterRNG: rng, jitterFrac: jitterFrac}
+	l := &link{rtt: rtt}
 	ab := newBuffer(l) // client -> server
 	ba := newBuffer(l) // server -> client
-	c := &Conn{recv: ba, send: ab, local: client, remote: server, link: l}
-	s := &Conn{recv: ab, send: ba, local: server, remote: client, link: l}
+	if rng != nil && jitterFrac > 0 {
+		ab.jitterRNG = rand.New(rand.NewSource(rng.Int63()))
+		ba.jitterRNG = rand.New(rand.NewSource(rng.Int63()))
+		ab.jitterFrac = jitterFrac
+		ba.jitterFrac = jitterFrac
+	}
+	cclk, sclk := &clock{}, &clock{}
+	ab.wclock, ab.rclock = cclk, sclk
+	ba.wclock, ba.rclock = sclk, cclk
+	c := &Conn{recv: ba, send: ab, local: client, remote: server, link: l, clk: cclk}
+	s := &Conn{recv: ab, send: ba, local: server, remote: client, link: l, clk: sclk}
 	return c, s
 }
 
@@ -262,11 +305,14 @@ func (c *Conn) Read(p []byte) (int, error) { return c.recv.read(p) }
 // Write implements net.Conn.
 func (c *Conn) Write(p []byte) (int, error) { return c.send.write(p) }
 
-// Close implements net.Conn. It closes both directions.
+// Close implements net.Conn. It closes both directions: the send side
+// carries a FIN stamped from this endpoint's clock, so a peer waiting for
+// EOF inherits time charged after the last write; the receive side is
+// merely abandoned and carries no stamp.
 func (c *Conn) Close() error {
 	c.closeOnce.Do(func() {
-		c.send.closeWrite()
-		c.recv.closeWrite()
+		c.send.closeWrite(c.clk.get() + c.link.rtt/2)
+		c.recv.closeWrite(0)
 	})
 	return nil
 }
@@ -307,13 +353,17 @@ func (c *Conn) armReset(n int) {
 	b.mu.Unlock()
 }
 
-// Elapsed returns the virtual time this connection has consumed, including
-// the connection-establishment RTT added by Dial.
-func (c *Conn) Elapsed() time.Duration { return c.link.total() }
+// Elapsed returns the virtual time this endpoint of the connection has
+// consumed, including the connection-establishment RTT added by Dial. Each
+// endpoint keeps its own clock; the peer's time reaches this endpoint only
+// through the arrival stamps of the data it reads.
+func (c *Conn) Elapsed() time.Duration { return c.clk.get() }
 
-// AddLatency charges extra virtual time to the connection. Servers use it
-// to model processing costs (e.g. recursive resolution at the resolver).
-func (c *Conn) AddLatency(d time.Duration) { c.link.add(d) }
+// AddLatency charges extra virtual time to this endpoint of the
+// connection. Servers use it to model processing costs (e.g. recursive
+// resolution at the resolver); the charge reaches the peer through the
+// arrival stamps of subsequently written data.
+func (c *Conn) AddLatency(d time.Duration) { c.clk.add(d) }
 
 // AddLatency charges virtual time to conn if it is (or wraps) a *Conn.
 // It unwraps tls.Conn-style wrappers exposing NetConn() net.Conn.

@@ -227,6 +227,39 @@ func (w *World) RegisterDatagram(ip netip.Addr, port uint16, handler DatagramHan
 	w.dgrams[Addr{IP: ip, Port: port}] = &dgramService{handler: handler}
 }
 
+// CloseDatagram removes the datagram service on ip:port — the datagram
+// analog of CloseService, used by population churn (a DoQ resolver going
+// dark between scan rounds).
+func (w *World) CloseDatagram(ip netip.Addr, port uint16) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	delete(w.dgrams, Addr{IP: ip, Port: port})
+}
+
+// HasDatagram reports whether a datagram service is registered on ip:port,
+// ignoring policies. Tests and world builders use it; measurements must go
+// through Exchange.
+func (w *World) HasDatagram(ip netip.Addr, port uint16) bool {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	_, ok := w.dgrams[Addr{IP: ip, Port: port}]
+	return ok
+}
+
+// DatagramAddrs returns every address with a datagram service on port, in
+// unspecified order. World builders use it to compile ground-truth lists.
+func (w *World) DatagramAddrs(port uint16) []netip.Addr {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	var addrs []netip.Addr
+	for a := range w.dgrams {
+		if a.Port == port {
+			addrs = append(addrs, a.IP)
+		}
+	}
+	return addrs
+}
+
 // HasStream reports whether a stream service is registered on ip:port,
 // ignoring policies. Tests and world builders use it; measurements must go
 // through Dial.
@@ -289,6 +322,11 @@ func (w *World) pathRTT(from, to netip.Addr) time.Duration {
 	return time.Duration(ms * float64(time.Millisecond))
 }
 
+// PathRTT exposes the modeled round-trip time between two addresses, so
+// relays (the proxy platforms' datagram legs) can compose multi-hop latency
+// without opening a stream.
+func (w *World) PathRTT(from, to netip.Addr) time.Duration { return w.pathRTT(from, to) }
+
 // Dial opens a stream from the client address `from` to `to:port`,
 // traversing middlebox policies. The returned Conn's Elapsed already
 // includes the connection-establishment RTT.
@@ -333,12 +371,9 @@ func (w *World) Dial(from, to netip.Addr, port uint16) (*Conn, error) {
 			}
 		}
 	}
-	client, err := w.connect(from, to, port, serve)
+	client, err := w.connectExtra(from, to, port, fault.ExtraLatency, serve)
 	if err != nil {
 		return nil, err
-	}
-	if fault.ExtraLatency > 0 {
-		client.link.add(fault.ExtraLatency)
 	}
 	if fault.CutAfterSegments > 0 {
 		client.armReset(fault.CutAfterSegments)
@@ -347,11 +382,22 @@ func (w *World) Dial(from, to netip.Addr, port uint16) (*Conn, error) {
 }
 
 func (w *World) connect(from, to netip.Addr, port uint16, serve func(server *Conn)) (*Conn, error) {
+	return w.connectExtra(from, to, port, 0, serve)
+}
+
+// connectExtra establishes the conn pair, charging connection setup (the
+// handshake RTTs plus any in-path extra delay) to BOTH endpoint clocks
+// before the server handler starts: establishment is experienced by both
+// ends, and charging it up front keeps the peer's clock free of concurrent
+// mutation once its goroutine is running.
+func (w *World) connectExtra(from, to netip.Addr, port uint16, extra time.Duration, serve func(server *Conn)) (*Conn, error) {
 	clientAddr := Addr{IP: from, Port: uint16(32768 + w.ephemeral.Add(1)%32768)}
 	serverAddr := Addr{IP: to, Port: port}
 	rtt := w.pathRTT(from, to)
 	client, server := Pair(clientAddr, serverAddr, rtt, w.flowRNG(from, to, port), w.JitterFrac)
-	client.link.add(time.Duration(float64(rtt) * w.HandshakeRTTs))
+	setup := time.Duration(float64(rtt)*w.HandshakeRTTs) + extra
+	client.clk.add(setup)
+	server.clk.add(setup)
 	serve(server)
 	return client, nil
 }

@@ -180,6 +180,34 @@ func (n *Network) reserve(id string) (*ExitNode, error) {
 	return node, nil
 }
 
+// DialDatagram opens a UDP-ASSOCIATE-style datagram relay from the
+// measurement client at `from` through exit node nodeID to target:port.
+// The returned exchange function sends one datagram and returns the
+// response with the virtual latency of all three legs composed: the
+// client→super and super→node round trips (a fixed property of the path)
+// plus the node→target exchange, which traverses middlebox policies and
+// the fault layer exactly as a datagram sent by the node itself would —
+// so per-tuple fault schedules advance identically for any worker count.
+// Establishing the association consumes the same session lifetime as a
+// stream tunnel.
+func (n *Network) DialDatagram(from netip.Addr, nodeID string, target netip.Addr, port uint16) (func(req []byte) ([]byte, time.Duration, error), error) {
+	node, err := n.reserve(nodeID)
+	if err != nil {
+		// Surface platform churn with the same reply code the stream path
+		// uses, so IsPlatformDisruption classifies both legs identically.
+		return nil, fmt.Errorf("via %s node %q: %w", n.Name, nodeID, &ConnectError{Code: errorReply(err)})
+	}
+	relayRTT := n.World.PathRTT(from, n.SuperAddr) + n.World.PathRTT(n.SuperAddr, node.Addr)
+	exit := node.Addr
+	return func(req []byte) ([]byte, time.Duration, error) {
+		resp, d, err := n.World.Exchange(exit, target, port, req)
+		if err != nil {
+			return nil, 0, err
+		}
+		return resp, relayRTT + d, nil
+	}, nil
+}
+
 // Dial opens a tunnel from the measurement client at `from` through the
 // platform to target:port, pinned to exit node nodeID ("" = platform
 // chooses). The returned conn carries composed virtual latency across all

@@ -10,6 +10,7 @@ import (
 	"dnsencryption.info/doe/internal/dnscrypt"
 	"dnsencryption.info/doe/internal/dnswire"
 	"dnsencryption.info/doe/internal/doh"
+	"dnsencryption.info/doe/internal/doq"
 	"dnsencryption.info/doe/internal/dot"
 )
 
@@ -96,6 +97,29 @@ func (s dohSession) Exchange(ctx context.Context, msg *dnswire.Message) (*dnswir
 func (s dohSession) Close() error                { return s.conn.Close() }
 func (s dohSession) SetupLatency() time.Duration { return s.conn.SetupLatency() }
 func (s dohSession) Elapsed() time.Duration      { return s.conn.Elapsed() }
+
+// DoQSession adapts an established DoQ session to the unified API. The
+// underlying conn stays available for transport-specific inspection
+// (certificates, verification outcome, 0-RTT resumption).
+func DoQSession(conn *doq.Conn) Session { return doqSession{conn} }
+
+type doqSession struct{ conn *doq.Conn }
+
+func (s doqSession) Exchange(ctx context.Context, msg *dnswire.Message) (*dnswire.Message, error) {
+	name, qtype, err := Question(msg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.conn.QueryContext(ctx, name, qtype)
+	if err != nil {
+		return nil, err
+	}
+	return res.Msg, nil
+}
+
+func (s doqSession) Close() error                { return s.conn.Close() }
+func (s doqSession) SetupLatency() time.Duration { return s.conn.SetupLatency() }
+func (s doqSession) Elapsed() time.Duration      { return s.conn.Elapsed() }
 
 // DNSCrypt adapts a dnscrypt client to the unified API. The client's
 // certificate must already be fetched (FetchCertContext); exchanges on an

@@ -1,6 +1,7 @@
 // Package resolver presents every transport the study measures — clear-text
-// DNS over UDP and TCP, DoT (RFC 7858), DoH (RFC 8484) and DNSCrypt — behind
-// one Exchanger interface: a single DNS transaction under a context. The
+// DNS over UDP and TCP, DoT (RFC 7858), DoH (RFC 8484), DoQ (RFC 9250) and
+// DNSCrypt — behind one Exchanger interface: a single DNS transaction under
+// a context. The
 // measurement code in internal/vantage and internal/core compares protocols
 // side by side; giving all of them the same call shape keeps that comparison
 // honest (the harness around each query is identical, only the transport
@@ -14,8 +15,8 @@
 //
 // Stream sessions are dialed through one entry point, Dial, keyed by a Proto
 // value; with WithMaxInFlight the session pipelines (TCP/DoT, RFC 7766 §6.2.1)
-// or multiplexes HTTP/2 streams (DoH), and Exchange may then be called from
-// many goroutines at once.
+// or multiplexes streams (DoH over HTTP/2, DoQ over QUIC), and Exchange may
+// then be called from many goroutines at once.
 package resolver
 
 import (
@@ -31,6 +32,7 @@ import (
 	"dnsencryption.info/doe/internal/dnsclient"
 	"dnsencryption.info/doe/internal/dnswire"
 	"dnsencryption.info/doe/internal/doh"
+	"dnsencryption.info/doe/internal/doq"
 	"dnsencryption.info/doe/internal/dot"
 	"dnsencryption.info/doe/internal/netsim"
 	"dnsencryption.info/doe/internal/obs"
@@ -84,20 +86,38 @@ const (
 	ProtoDoT
 	// ProtoDoH is DNS over HTTPS, RFC 8484 (server port 443).
 	ProtoDoH
+	// ProtoDoQ is DNS over Dedicated QUIC Connections, RFC 9250 (server
+	// UDP port 853).
+	ProtoDoQ
 )
+
+// protoNames is the single authority for protocol labels: Proto.String,
+// ParseProto, telemetry labels and report column headers all read it, so a
+// name can never drift between a flag and a metric.
+var protoNames = [...]string{
+	ProtoTCP: "tcp",
+	ProtoDoT: "dot",
+	ProtoDoH: "doh",
+	ProtoDoQ: "doq",
+}
 
 // String names the protocol the way telemetry labels do.
 func (p Proto) String() string {
-	switch p {
-	case ProtoTCP:
-		return "tcp"
-	case ProtoDoT:
-		return "dot"
-	case ProtoDoH:
-		return "doh"
-	default:
-		return fmt.Sprintf("proto(%d)", int(p))
+	if p >= 0 && int(p) < len(protoNames) {
+		return protoNames[p]
 	}
+	return fmt.Sprintf("proto(%d)", int(p))
+}
+
+// ParseProto maps a protocol label ("tcp", "dot", "doh", "doq") back to its
+// Proto value — the inverse of String, for cmd flag plumbing.
+func ParseProto(s string) (Proto, error) {
+	for p, name := range protoNames {
+		if s == name {
+			return Proto(p), nil
+		}
+	}
+	return 0, fmt.Errorf("resolver: unknown protocol %q", s)
 }
 
 // Endpoint addresses a Dial target. Addr is required for every protocol;
@@ -112,8 +132,10 @@ type Endpoint struct {
 // construct via New, which applies defaults before the functional options.
 type Options struct {
 	// Timeout is the per-transaction real-time guard (virtual latency is
-	// unaffected; this protects the test harness). Zero or negative means
-	// no per-transaction guard: only the context's own deadline applies.
+	// unaffected; this protects the test harness). Zero or negative — the
+	// default — means no per-transaction guard: only the context's own
+	// deadline applies. A nonzero guard makes query success depend on
+	// host scheduling, so deterministic campaigns must leave it unset.
 	Timeout time.Duration
 	// Reuse keeps one session open across Exchanges on a Transport. With
 	// it off, every Exchange dials, queries once and closes — the no-reuse
@@ -137,10 +159,10 @@ type Options struct {
 // WithPadding, WithRetry, WithMaxInFlight.
 type Option func(*Options)
 
-// WithTimeout sets the per-transaction real-time guard. Zero (or negative)
-// disables the guard entirely — transactions then run until the context
-// expires — which is the right setting for deterministic replays that must
-// not depend on host scheduling.
+// WithTimeout sets the per-transaction real-time guard. Zero (or negative,
+// and the default) disables the guard entirely — transactions then run until
+// the context expires — which is the right setting for deterministic replays
+// that must not depend on host scheduling.
 func WithTimeout(d time.Duration) Option { return func(o *Options) { o.Timeout = d } }
 
 // WithReuse controls connection reuse on Transports (default true). False
@@ -162,7 +184,7 @@ func WithPadding(on bool) Option { return func(o *Options) { o.Padding = on } }
 func WithMaxInFlight(n int) Option { return func(o *Options) { o.MaxInFlight = n } }
 
 func applyOptions(opts []Option) Options {
-	o := Options{Timeout: 5 * time.Second, Reuse: true, Profile: dot.Opportunistic}
+	o := Options{Reuse: true, Profile: dot.Opportunistic}
 	for _, fn := range opts {
 		fn(&o)
 	}
@@ -175,6 +197,13 @@ type Client struct {
 	From  netip.Addr
 	Roots *x509.CertPool
 	opts  Options
+
+	// doqOnce/doqCache lazily hold the client-wide DoQ resumption cache:
+	// redials within one Client (a Transport recovering from a session
+	// death, or a later campaign pass) resume 0-RTT, the amortization
+	// RFC 9250 inherits from TLS 1.3 session tickets.
+	doqOnce  sync.Once
+	doqCache *doq.SessionCache
 }
 
 // New returns a Client with study defaults, adjusted by opts.
@@ -232,6 +261,15 @@ func (c *Client) Dial(ctx context.Context, p Proto, ep Endpoint) (Session, error
 			return nil, err
 		}
 		return DoHSession(conn), nil
+	case ProtoDoQ:
+		qc := doq.NewClient(c.World, c.From, c.Roots, c.opts.Profile)
+		qc.MaxInFlight = c.opts.MaxInFlight
+		qc.SessionCache = c.doqSessionCache()
+		conn, err := qc.DialContext(ctx, ep.Addr)
+		if err != nil {
+			return nil, err
+		}
+		return DoQSession(conn), nil
 	default:
 		return nil, fmt.Errorf("resolver: unknown protocol %v", p)
 	}
@@ -272,6 +310,17 @@ func (c *Client) DoT(server netip.Addr) *Transport {
 // DoH returns a reuse-aware Transport for DNS over HTTPS.
 func (c *Client) DoH(t doh.Template, addr netip.Addr) *Transport {
 	return c.transport(ProtoDoH, Endpoint{Addr: addr, Template: t})
+}
+
+// DoQ returns a reuse-aware Transport for DNS over QUIC.
+func (c *Client) DoQ(server netip.Addr) *Transport {
+	return c.transport(ProtoDoQ, Endpoint{Addr: server})
+}
+
+// doqSessionCache returns the Client's shared DoQ resumption cache.
+func (c *Client) doqSessionCache() *doq.SessionCache {
+	c.doqOnce.Do(func() { c.doqCache = doq.NewSessionCache() })
+	return c.doqCache
 }
 
 func (c *Client) transport(p Proto, ep Endpoint) *Transport {

@@ -260,10 +260,86 @@ func TestMidStreamResetFailsAllInFlight(t *testing.T) {
 	}
 }
 
+// A DoQ session the server has forgotten must fail concurrent in-flight
+// exchanges with ErrSessionClosed (the retryable session-death signal), and
+// a retrying transport must then recover by redialing — 0-RTT, since the
+// client cache holds a ticket from the first dial.
+func TestDoQSessionDeathSurfacesAsSessionClosed(t *testing.T) {
+	const n = 8
+	f := newFixture(t)
+	ctx := context.Background()
+	c := f.client(t, WithMaxInFlight(n))
+	tr := c.DoQ(serverIP)
+	if _, err := tr.Exchange(ctx, query("pre.measure.example.org")); err != nil {
+		t.Fatal(err)
+	}
+	f.doq.Reset()
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = tr.Exchange(ctx, query(fmt.Sprintf("q%d.measure.example.org", i)))
+		}(i)
+	}
+	wg.Wait()
+	// Callers racing the dead session fail with ErrSessionClosed; callers
+	// that arrive after the drop ride a fresh redial and succeed. At least
+	// the first flight into the forgotten connection must have failed.
+	failures := 0
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		failures++
+		if !errors.Is(err, ErrSessionClosed) {
+			t.Errorf("query %d: err = %v, want ErrSessionClosed", i, err)
+		}
+	}
+	if failures == 0 {
+		t.Error("no exchange failed across the server reset")
+	}
+
+	// With a retry budget the same failure recovers on a fresh connection.
+	rc := f.client(t, WithRetry(RetryPolicy{Attempts: 2}))
+	rtr := rc.DoQ(serverIP)
+	if _, err := rtr.Exchange(ctx, query("warm.measure.example.org")); err != nil {
+		t.Fatal(err)
+	}
+	f.doq.Reset()
+	m, err := rtr.Exchange(ctx, query("recovered.measure.example.org"))
+	checkAnswer(t, m, err, "doq-retry")
+	st := rtr.Stats()
+	if st.Retries != 1 || st.Recovered != 1 || st.Redials != 1 {
+		t.Errorf("stats = %+v, want exactly one retry, one recovery, one redial", st)
+	}
+}
+
 func TestProtoString(t *testing.T) {
-	for p, want := range map[Proto]string{ProtoTCP: "tcp", ProtoDoT: "dot", ProtoDoH: "doh", Proto(9): "proto(9)"} {
+	for p, want := range map[Proto]string{ProtoTCP: "tcp", ProtoDoT: "dot", ProtoDoH: "doh", ProtoDoQ: "doq", Proto(9): "proto(9)", Proto(-1): "proto(-1)"} {
 		if got := p.String(); got != want {
 			t.Errorf("Proto(%d).String() = %q, want %q", int(p), got, want)
+		}
+	}
+}
+
+// Every named protocol must round-trip String → ParseProto → String, and
+// unknown labels must be rejected — the contract cmd flag plumbing leans on.
+func TestParseProtoRoundTrip(t *testing.T) {
+	for _, p := range []Proto{ProtoTCP, ProtoDoT, ProtoDoH, ProtoDoQ} {
+		got, err := ParseProto(p.String())
+		if err != nil {
+			t.Errorf("ParseProto(%q): %v", p.String(), err)
+			continue
+		}
+		if got != p {
+			t.Errorf("ParseProto(%q) = %v, want %v", p.String(), got, p)
+		}
+	}
+	for _, bad := range []string{"", "udp", "DoT", "doq ", "quic", "proto(9)"} {
+		if p, err := ParseProto(bad); err == nil {
+			t.Errorf("ParseProto(%q) = %v, want error", bad, p)
 		}
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"dnsencryption.info/doe/internal/dnsserver"
 	"dnsencryption.info/doe/internal/dnswire"
 	"dnsencryption.info/doe/internal/doh"
+	"dnsencryption.info/doe/internal/doq"
 	"dnsencryption.info/doe/internal/dot"
 	"dnsencryption.info/doe/internal/geo"
 	"dnsencryption.info/doe/internal/netsim"
@@ -23,11 +24,12 @@ var (
 )
 
 // fixture deploys one resolver address speaking every transport the package
-// adapts: UDP+TCP clear-text on 53, DoT on 853, DoH on 443.
+// adapts: UDP+TCP clear-text on 53, DoT on 853, DoH on 443, DoQ on UDP 853.
 type fixture struct {
 	world *netsim.World
 	ca    *certs.CA
 	zone  *dnsserver.Zone
+	doq   *doq.Server
 }
 
 func newFixture(t *testing.T) *fixture {
@@ -57,7 +59,8 @@ func newFixture(t *testing.T) *fixture {
 	}
 	dot.Serve(w, serverIP, leaf, z, 0)
 	doh.Serve(w, serverIP, leaf, &doh.Server{Handler: z})
-	return &fixture{world: w, ca: ca, zone: z}
+	doqSrv := doq.Serve(w, serverIP, leaf, z, 0)
+	return &fixture{world: w, ca: ca, zone: z, doq: doqSrv}
 }
 
 func (f *fixture) client(t *testing.T, opts ...Option) *Client {
@@ -95,6 +98,7 @@ func TestEveryTransportAnswersThroughExchange(t *testing.T) {
 		{"tcp", c.TCP(serverIP)},
 		{"dot", c.DoT(serverIP)},
 		{"doh", c.DoH(tmpl, serverIP)},
+		{"doq", c.DoQ(serverIP)},
 	} {
 		m, err := tc.ex.Exchange(ctx, query(tc.name+".measure.example.org"))
 		checkAnswer(t, m, err, tc.name)

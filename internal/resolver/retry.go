@@ -11,6 +11,7 @@ import (
 
 	"dnsencryption.info/doe/internal/dnsclient"
 	"dnsencryption.info/doe/internal/dnswire"
+	"dnsencryption.info/doe/internal/doq"
 	"dnsencryption.info/doe/internal/netsim"
 	"dnsencryption.info/doe/internal/obs"
 )
@@ -88,7 +89,8 @@ func isConnDeath(err error) bool {
 		errors.Is(err, io.ErrClosedPipe) ||
 		errors.Is(err, net.ErrClosed) ||
 		errors.Is(err, netsim.ErrReset) ||
-		errors.Is(err, dnsclient.ErrClosed)
+		errors.Is(err, dnsclient.ErrClosed) ||
+		errors.Is(err, doq.ErrClosed)
 }
 
 // Fallback chains Exchangers in preference order: Exchange tries each in

@@ -10,6 +10,7 @@ import (
 
 	"dnsencryption.info/doe/internal/certs"
 	"dnsencryption.info/doe/internal/dnswire"
+	"dnsencryption.info/doe/internal/doq"
 	"dnsencryption.info/doe/internal/dot"
 	"dnsencryption.info/doe/internal/netsim"
 	"dnsencryption.info/doe/internal/obs"
@@ -165,23 +166,7 @@ func (s *Scanner) ScanContext(ctx context.Context, label string) (*Result, error
 	// the serial sweep alternated sources) and the dials fan out across the
 	// worker pool. Open flags land at their ordinal index, so the open list
 	// is identical for every worker count.
-	type sweepTask struct {
-		addr netip.Addr
-		src  netip.Addr
-	}
-	var tasks []sweepTask
-	for {
-		idx, ok := perm.Next()
-		if !ok {
-			break
-		}
-		addr := s.Space.Addr(idx)
-		if s.OptOut != nil && s.OptOut.Contains(addr) {
-			res.SkippedOptOut++
-			continue
-		}
-		tasks = append(tasks, sweepTask{addr: addr, src: s.Sources[len(tasks)%len(s.Sources)]})
-	}
+	tasks := s.sweepTasks(perm, res)
 	dialsOpen := m.Counter("scanner_sweep_dials_total", "outcome", "open")
 	dialsClosed := m.Counter("scanner_sweep_dials_total", "outcome", "closed")
 	openFlags, err := runner.MapCtx(obs.WithPool(ctx, "scan-sweep"), workers, len(tasks),
@@ -241,6 +226,148 @@ func (s *Scanner) ScanContext(ctx context.Context, label string) (*Result, error
 	span.SetInt("resolvers", int64(len(res.Resolvers)))
 	span.Charge(res.VirtualDuration)
 	return res, nil
+}
+
+// sweepTask pins one sweep target to its scan source by permuted position.
+type sweepTask struct {
+	addr netip.Addr
+	src  netip.Addr
+}
+
+// sweepTasks materializes the permuted target list, recording opt-out skips
+// into res.
+func (s *Scanner) sweepTasks(perm *Permutation, res *Result) []sweepTask {
+	var tasks []sweepTask
+	for {
+		idx, ok := perm.Next()
+		if !ok {
+			break
+		}
+		addr := s.Space.Addr(idx)
+		if s.OptOut != nil && s.OptOut.Contains(addr) {
+			res.SkippedOptOut++
+			continue
+		}
+		tasks = append(tasks, sweepTask{addr: addr, src: s.Sources[len(tasks)%len(s.Sources)]})
+	}
+	return tasks
+}
+
+// ScanDoQ runs one full UDP/853 DoQ sweep and probe round.
+func (s *Scanner) ScanDoQ(label string) (*Result, error) {
+	return s.ScanDoQContext(context.Background(), label)
+}
+
+// ScanDoQContext is the DoQ counterpart of ScanContext: stage 1 sweeps the
+// space with a minimal QUIC Initial datagram (any response — handshake or
+// close — marks UDP/853 open, standing in for the SYN stage TCP gets for
+// free), stage 2 completes RFC 9250 handshakes and verification queries
+// against the responsive hosts. Sources, permutation and determinism rules
+// match the DoT scan exactly.
+func (s *Scanner) ScanDoQContext(ctx context.Context, label string) (*Result, error) {
+	if len(s.Sources) == 0 {
+		return nil, fmt.Errorf("scanner: no scan sources")
+	}
+	perm, err := NewPermutation(s.Space.Size, s.Seed+uint64(len(label)))
+	if err != nil {
+		return nil, err
+	}
+	ctx, span := obs.Start(ctx, "scan-doq:"+label)
+	m := obs.Metrics(ctx)
+	res := &Result{Label: label, ProbedAddrs: s.Space.Size}
+	workers := s.Workers
+	if workers <= 0 {
+		workers = 8
+	}
+
+	tasks := s.sweepTasks(perm, res)
+	probePkt := doq.Probe()
+	sweepOpen := m.Counter("scanner_doq_sweep_total", "outcome", "open")
+	sweepClosed := m.Counter("scanner_doq_sweep_total", "outcome", "closed")
+	openFlags, err := runner.MapCtx(obs.WithPool(ctx, "scan-doq-sweep"), workers, len(tasks),
+		func(ctx context.Context, i int) bool {
+			resp, _, err := s.World.Exchange(tasks[i].src, tasks[i].addr, doq.Port, probePkt)
+			if err != nil || len(resp) == 0 {
+				sweepClosed.Add(1)
+				return false
+			}
+			sweepOpen.Add(1)
+			return true
+		})
+	if err != nil {
+		return nil, fmt.Errorf("scanner: doq sweep %s: %w", label, err)
+	}
+	var open []netip.Addr
+	for i, ok := range openFlags {
+		if ok {
+			open = append(open, tasks[i].addr)
+		}
+	}
+	res.PortOpen = len(open)
+
+	probeHits := m.Counter("scanner_doq_probes_total", "outcome", "resolver")
+	probeMisses := m.Counter("scanner_doq_probes_total", "outcome", "no-doq")
+	probed, err := runner.MapCtx(obs.WithPool(ctx, "scan-doq-probe"), workers, len(open),
+		func(ctx context.Context, i int) probeOutcome {
+			r, ok := s.probeDoQ(s.Sources[i%len(s.Sources)], open[i])
+			if ok {
+				probeHits.Add(1)
+			} else {
+				probeMisses.Add(1)
+			}
+			return probeOutcome{r: r, ok: ok}
+		})
+	if err != nil {
+		return nil, fmt.Errorf("scanner: doq probe %s: %w", label, err)
+	}
+	for _, p := range probed {
+		if p.ok {
+			res.Resolvers = append(res.Resolvers, p.r)
+		}
+	}
+
+	sort.Slice(res.Resolvers, func(i, j int) bool {
+		return res.Resolvers[i].Addr.Less(res.Resolvers[j].Addr)
+	})
+	if s.RatePPS > 0 {
+		res.VirtualDuration = time.Duration(float64(res.ProbedAddrs)/float64(s.RatePPS)) * time.Second
+	}
+	span.SetInt("probed", int64(res.ProbedAddrs))
+	span.SetInt("port_open", int64(res.PortOpen))
+	span.SetInt("resolvers", int64(len(res.Resolvers)))
+	span.Charge(res.VirtualDuration)
+	return res, nil
+}
+
+// probeDoQ completes an RFC 9250 handshake and verification query, the DoQ
+// analog of probeDoT. Opportunistic profile: discovery wants answers, not
+// authentication — the chain is classified afterwards like DoT's.
+func (s *Scanner) probeDoQ(src, addr netip.Addr) (Resolver, bool) {
+	client := doq.NewClient(s.World, src, s.Roots, dot.Opportunistic)
+	conn, err := client.Dial(addr)
+	if err != nil {
+		return Resolver{}, false
+	}
+	defer conn.Close()
+	resp, err := conn.Query(s.ProbeDomain, dnswire.TypeA)
+	if err != nil || resp.Rcode() != dnswire.RcodeSuccess || len(resp.Msg.Answers) == 0 {
+		return Resolver{}, false
+	}
+	r := Resolver{Addr: addr, Country: s.World.Geo.Country(addr)}
+	if a, ok := resp.FirstA(); ok && s.ExpectedA.IsValid() {
+		r.AnswerCorrect = a == s.ExpectedA
+	}
+	chain := conn.PeerCertificates()
+	if len(chain) > 0 {
+		r.Provider = certs.ProviderKey(chain[0])
+		r.CommonName = chain[0].Subject.CommonName
+		r.NotAfter = chain[0].NotAfter
+		r.CertStatus = certs.Classify(chain, s.Roots)
+	} else {
+		r.Provider = "(no certificate)"
+		r.CertStatus = certs.StatusBadChain
+	}
+	return r, true
 }
 
 type probeOutcome struct {

@@ -12,6 +12,7 @@ import (
 	"dnsencryption.info/doe/internal/certs"
 	"dnsencryption.info/doe/internal/dnsserver"
 	"dnsencryption.info/doe/internal/doh"
+	"dnsencryption.info/doe/internal/doq"
 	"dnsencryption.info/doe/internal/dot"
 	"dnsencryption.info/doe/internal/geo"
 	"dnsencryption.info/doe/internal/netsim"
@@ -142,6 +143,14 @@ func newScanFixture(t *testing.T) *scanFixture {
 	}
 	mk("100.64.0.50", expired, zone)
 
+	// DoQ population on UDP/853: the bigdns pair dual-stacks DoT+DoQ, the
+	// self-signed provider is DoQ too, one host answers QUIC but not DoQ,
+	// and everything else stays DoT-only.
+	doq.Serve(w, netip.MustParseAddr("100.64.0.10"), valid("dns.bigdns.example"), zone, 0)
+	doq.Serve(w, netip.MustParseAddr("100.64.1.11"), valid("dot.bigdns.example"), zone, 0)
+	doq.Serve(w, netip.MustParseAddr("100.64.0.20"), selfSigned, zone, 0)
+	doq.ServeNotDoQ(w, netip.MustParseAddr("100.64.0.60"))
+
 	s := &Scanner{
 		World:       w,
 		Sources:     []netip.Addr{netip.MustParseAddr("100.64.0.1"), netip.MustParseAddr("100.64.0.2")},
@@ -196,6 +205,58 @@ func TestScanDiscoversResolvers(t *testing.T) {
 	// Country grouping: 100.64.1.11 is in IE.
 	if res.CountryCounts()["IE"] != 1 {
 		t.Errorf("country counts = %v", res.CountryCounts())
+	}
+}
+
+func TestScanDoQDiscoversResolvers(t *testing.T) {
+	f := newScanFixture(t)
+	res, err := f.scanner.ScanDoQ("doq-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three DoQ servers plus the QUIC-but-not-DoQ host answer the sweep.
+	if res.PortOpen != 4 {
+		t.Errorf("UDP/853 open = %d, want 4", res.PortOpen)
+	}
+	if len(res.Resolvers) != 3 {
+		t.Fatalf("doq resolvers = %d, want 3: %+v", len(res.Resolvers), res.Resolvers)
+	}
+	byAddr := map[string]Resolver{}
+	for _, r := range res.Resolvers {
+		byAddr[r.Addr.String()] = r
+	}
+	if r := byAddr["100.64.0.10"]; r.Provider != "bigdns.example" || r.CertStatus != certs.StatusValid || !r.AnswerCorrect {
+		t.Errorf("big provider doq resolver = %+v", r)
+	}
+	if r := byAddr["100.64.0.20"]; r.CertStatus != certs.StatusSelfSigned {
+		t.Errorf("self-signed doq resolver = %+v", r)
+	}
+	if got := res.ProviderCounts()["bigdns.example"]; got != 2 {
+		t.Errorf("bigdns.example doq count = %d, want 2", got)
+	}
+	if res.CountryCounts()["IE"] != 1 {
+		t.Errorf("doq country counts = %v", res.CountryCounts())
+	}
+}
+
+// The DoQ scan obeys the same parallel-engine contract as the DoT scan:
+// identical merged results at every worker count.
+func TestScanDoQDeterministicAcrossWorkerCounts(t *testing.T) {
+	var want *Result
+	for _, workers := range []int{1, 4, 16} {
+		f := newScanFixture(t)
+		f.scanner.Workers = workers
+		res, err := f.scanner.ScanDoQ("det")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = res
+			continue
+		}
+		if !reflect.DeepEqual(res, want) {
+			t.Errorf("workers=%d: doq scan result diverged\n got: %+v\nwant: %+v", workers, res, want)
+		}
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"dnsencryption.info/doe/internal/dnsclient"
 	"dnsencryption.info/doe/internal/dnswire"
 	"dnsencryption.info/doe/internal/doh"
+	"dnsencryption.info/doe/internal/doq"
 	"dnsencryption.info/doe/internal/dot"
 	"dnsencryption.info/doe/internal/netsim"
 	"dnsencryption.info/doe/internal/obs"
@@ -28,6 +29,7 @@ type PerfSample struct {
 	DNSMedianMS float64
 	DoTMedianMS float64
 	DoHMedianMS float64
+	DoQMedianMS float64
 	// MuxInFlight is the per-session concurrency of the multiplexed pass
 	// (0 when the platform ran serial sessions only).
 	MuxInFlight int
@@ -36,6 +38,7 @@ type PerfSample struct {
 	// divided by the batch size.
 	DoTMuxMedianMS float64
 	DoHMuxMedianMS float64
+	DoQMuxMedianMS float64
 }
 
 // DoTOverheadMS is the per-client DoT extra latency over clear-text DNS.
@@ -44,6 +47,9 @@ func (s PerfSample) DoTOverheadMS() float64 { return s.DoTMedianMS - s.DNSMedian
 // DoHOverheadMS is the per-client DoH extra latency over clear-text DNS.
 func (s PerfSample) DoHOverheadMS() float64 { return s.DoHMedianMS - s.DNSMedianMS }
 
+// DoQOverheadMS is the per-client DoQ extra latency over clear-text DNS.
+func (s PerfSample) DoQOverheadMS() float64 { return s.DoQMedianMS - s.DNSMedianMS }
+
 // DoTMuxOverheadMS is the multiplexed DoT extra latency over serial
 // clear-text DNS.
 func (s PerfSample) DoTMuxOverheadMS() float64 { return s.DoTMuxMedianMS - s.DNSMedianMS }
@@ -51,6 +57,10 @@ func (s PerfSample) DoTMuxOverheadMS() float64 { return s.DoTMuxMedianMS - s.DNS
 // DoHMuxOverheadMS is the multiplexed DoH extra latency over serial
 // clear-text DNS.
 func (s PerfSample) DoHMuxOverheadMS() float64 { return s.DoHMuxMedianMS - s.DNSMedianMS }
+
+// DoQMuxOverheadMS is the multiplexed DoQ extra latency over serial
+// clear-text DNS.
+func (s PerfSample) DoQMuxOverheadMS() float64 { return s.DoQMuxMedianMS - s.DNSMedianMS }
 
 // MeasurePerformance runs the reused-connection test from one node: N
 // DNS/TCP, N DoT and N DoH queries each on a single connection, reporting
@@ -91,6 +101,16 @@ func (p *Platform) MeasurePerformanceContext(ctx context.Context, node proxy.Exi
 	}
 	sample.DoHMedianMS = analysis.Median(dohLat)
 
+	if tgt.DoQ.IsValid() {
+		doqLat, err := p.retryLatencies(ctx, ProtoDoQ, func(ctx context.Context) ([]float64, error) {
+			return p.timeDoQQueries(ctx, node, tgt.DoQ, n)
+		})
+		if err != nil {
+			return sample, err
+		}
+		sample.DoQMedianMS = analysis.Median(doqLat)
+	}
+
 	// The multiplexed pass re-runs the encrypted transports with
 	// MuxInFlight queries in flight per session, amortizing each batch's
 	// round trip over its queries — the Fig. 9 "multiplexed" column.
@@ -110,6 +130,15 @@ func (p *Platform) MeasurePerformanceContext(ctx context.Context, node proxy.Exi
 			return sample, err
 		}
 		sample.DoHMuxMedianMS = analysis.Median(dohMux)
+		if tgt.DoQ.IsValid() {
+			doqMux, err := p.retryLatenciesMode(ctx, ProtoDoQ, "mux", func(ctx context.Context) ([]float64, error) {
+				return p.timeDoQMuxQueries(ctx, node, tgt.DoQ, n)
+			})
+			if err != nil {
+				return sample, err
+			}
+			sample.DoQMuxMedianMS = analysis.Median(doqMux)
+		}
 	}
 	return sample, nil
 }
@@ -220,6 +249,25 @@ func (p *Platform) timeDoHQueries(ctx context.Context, node proxy.ExitNode, tmpl
 	return p.timeQueries(ctx, sess, node.ID+"-perf-doh", n)
 }
 
+// timeDoQQueries times DoQ on one reused session through the platform's
+// datagram relay. The fresh 1-RTT handshake is charged to setup (observed,
+// not mixed into per-query latencies), matching the other transports.
+func (p *Platform) timeDoQQueries(ctx context.Context, node proxy.ExitNode, target netip.Addr, n int) ([]float64, error) {
+	relay, err := p.Network.DialDatagram(p.From, node.ID, target, doq.Port)
+	if err != nil {
+		return nil, err
+	}
+	client := doq.NewClient(nil, p.From, p.Roots, dot.Opportunistic)
+	conn, err := client.DialVia(ctx, target, relay)
+	if err != nil {
+		return nil, err
+	}
+	sess := resolver.DoQSession(conn)
+	defer sess.Close()
+	p.observeSetup(ctx, ProtoDoQ, sess)
+	return p.timeQueries(ctx, sess, node.ID+"-perf-doq", n)
+}
+
 // timeBatchQueries issues n uniquely-named lookups in batches of up to
 // p.MuxInFlight concurrent in-flight queries and returns per-query AMORTIZED
 // latencies in milliseconds: each batch's Elapsed delta divided by its size.
@@ -292,17 +340,43 @@ func (p *Platform) timeDoHMuxQueries(ctx context.Context, node proxy.ExitNode, t
 	}, node.ID+"-perf-doh-mux", n)
 }
 
+// timeDoQMuxQueries is the DoQ arm of the multiplexed pass: each batch
+// packs MuxInFlight queries as concurrent QUIC streams into one flight, so
+// the batch shares a single round trip — the same amortization the DoT
+// pipeline and DoH HTTP/2 arms measure.
+func (p *Platform) timeDoQMuxQueries(ctx context.Context, node proxy.ExitNode, target netip.Addr, n int) ([]float64, error) {
+	relay, err := p.Network.DialDatagram(p.From, node.ID, target, doq.Port)
+	if err != nil {
+		return nil, err
+	}
+	client := doq.NewClient(nil, p.From, p.Roots, dot.Opportunistic)
+	client.MaxInFlight = p.MuxInFlight
+	conn, err := client.DialVia(ctx, target, relay)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	p.observeSetup(ctx, ProtoDoQ, resolver.DoQSession(conn))
+	return p.timeBatchQueries(ctx, conn.Elapsed, func(ctx context.Context, names []string) error {
+		_, err := conn.BatchContext(ctx, names, dnswire.TypeA, nil)
+		return err
+	}, node.ID+"-perf-doq-mux", n)
+}
+
 // CountryPerf aggregates per-client overheads per country (Fig. 9).
 type CountryPerf struct {
 	Country string
 	Clients int
-	// Overheads in milliseconds relative to clear-text DNS.
+	// Overheads in milliseconds relative to clear-text DNS. DoQ columns are
+	// zero when no sample in the country reached a DoQ endpoint.
 	DoTAvgMS, DoTMedianMS float64
 	DoHAvgMS, DoHMedianMS float64
+	DoQAvgMS, DoQMedianMS float64
 	// Multiplexed-pass overheads (amortized per-query latency minus serial
 	// clear-text DNS); zero when the samples carry no multiplexed pass.
 	DoTMuxMedianMS float64
 	DoHMuxMedianMS float64
+	DoQMuxMedianMS float64
 }
 
 // AggregateByCountry computes Fig. 9's per-country series.
@@ -313,13 +387,19 @@ func AggregateByCountry(samples []PerfSample) []CountryPerf {
 	}
 	var out []CountryPerf
 	for cc, ss := range byCountry {
-		var dotOH, dohOH, dotMux, dohMux []float64
+		var dotOH, dohOH, doqOH, dotMux, dohMux, doqMux []float64
 		for _, s := range ss {
 			dotOH = append(dotOH, s.DoTOverheadMS())
 			dohOH = append(dohOH, s.DoHOverheadMS())
+			if s.DoQMedianMS > 0 {
+				doqOH = append(doqOH, s.DoQOverheadMS())
+			}
 			if s.MuxInFlight > 0 {
 				dotMux = append(dotMux, s.DoTMuxOverheadMS())
 				dohMux = append(dohMux, s.DoHMuxOverheadMS())
+				if s.DoQMuxMedianMS > 0 {
+					doqMux = append(doqMux, s.DoQMuxOverheadMS())
+				}
 			}
 		}
 		out = append(out, CountryPerf{
@@ -329,8 +409,11 @@ func AggregateByCountry(samples []PerfSample) []CountryPerf {
 			DoTMedianMS:    analysis.Median(dotOH),
 			DoHAvgMS:       analysis.Mean(dohOH),
 			DoHMedianMS:    analysis.Median(dohOH),
+			DoQAvgMS:       analysis.Mean(doqOH),
+			DoQMedianMS:    analysis.Median(doqOH),
 			DoTMuxMedianMS: analysis.Median(dotMux),
 			DoHMuxMedianMS: analysis.Median(dohMux),
+			DoQMuxMedianMS: analysis.Median(doqMux),
 		})
 	}
 	sortCountryPerf(out)
@@ -357,6 +440,22 @@ func GlobalOverheads(samples []PerfSample) (dotAvg, dotMed, dohAvg, dohMed float
 	return analysis.Mean(dotOH), analysis.Median(dotOH), analysis.Mean(dohOH), analysis.Median(dohOH)
 }
 
+// GlobalDoQOverheads is the DoQ analogue of GlobalOverheads, over the
+// samples whose target exposed a DoQ endpoint: serial avg/median overheads
+// plus the multiplexed median (zero when no sample ran a mux pass).
+func GlobalDoQOverheads(samples []PerfSample) (avg, med, muxMed float64) {
+	var oh, mux []float64
+	for _, s := range samples {
+		if s.DoQMedianMS > 0 {
+			oh = append(oh, s.DoQOverheadMS())
+		}
+		if s.MuxInFlight > 0 && s.DoQMuxMedianMS > 0 {
+			mux = append(mux, s.DoQMuxOverheadMS())
+		}
+	}
+	return analysis.Mean(oh), analysis.Median(oh), analysis.Median(mux)
+}
+
 // GlobalMuxOverheads is GlobalOverheads for the multiplexed pass, over the
 // samples that ran one.
 func GlobalMuxOverheads(samples []PerfSample) (dotAvg, dotMed, dohAvg, dohMed float64) {
@@ -377,6 +476,12 @@ type NoReuseSample struct {
 	DNSMedianMS float64
 	DoTMedianMS float64
 	DoHMedianMS float64
+	// DoQMedianMS is zero when the target has no DoQ endpoint. Note the
+	// "fresh connection" condition is softer for DoQ: the resolver's shared
+	// session cache means the first dial pays the 1-RTT handshake and later
+	// dials resume 0-RTT — honest QUIC resumption rather than a full
+	// handshake per query.
+	DoQMedianMS float64
 }
 
 // DoTOverheadMS is the no-reuse DoT penalty.
@@ -384,6 +489,9 @@ func (s NoReuseSample) DoTOverheadMS() float64 { return s.DoTMedianMS - s.DNSMed
 
 // DoHOverheadMS is the no-reuse DoH penalty.
 func (s NoReuseSample) DoHOverheadMS() float64 { return s.DoHMedianMS - s.DNSMedianMS }
+
+// DoQOverheadMS is the no-reuse DoQ penalty (0-RTT resumption included).
+func (s NoReuseSample) DoQOverheadMS() float64 { return s.DoQMedianMS - s.DNSMedianMS }
 
 // MeasureNoReuse runs Table 7's controlled-vantage test: n queries per
 // protocol, every one on a fresh connection (TCP+TLS each time), directly
@@ -439,20 +547,27 @@ func MeasureNoReuseContext(ctx context.Context, w *netsim.World, label string, f
 		}
 		return lat, nil
 	}
-	dnsLat, err := timeFresh(rc.TCP(tgt.DNS), "dns")
+	dnsLat, err := timeFresh(rc.TCP(tgt.DNS), string(ProtoDNS))
 	if err != nil {
 		return sample, err
 	}
-	dotLat, err := timeFresh(rc.DoT(tgt.DoT), "dot")
+	dotLat, err := timeFresh(rc.DoT(tgt.DoT), resolver.ProtoDoT.String())
 	if err != nil {
 		return sample, err
 	}
-	dohLat, err := timeFresh(rc.DoH(tgt.DoH, tgt.DoHAddr), "doh")
+	dohLat, err := timeFresh(rc.DoH(tgt.DoH, tgt.DoHAddr), resolver.ProtoDoH.String())
 	if err != nil {
 		return sample, err
 	}
 	sample.DNSMedianMS = analysis.Median(dnsLat)
 	sample.DoTMedianMS = analysis.Median(dotLat)
 	sample.DoHMedianMS = analysis.Median(dohLat)
+	if tgt.DoQ.IsValid() {
+		doqLat, err := timeFresh(rc.DoQ(tgt.DoQ), resolver.ProtoDoQ.String())
+		if err != nil {
+			return sample, err
+		}
+		sample.DoQMedianMS = analysis.Median(doqLat)
+	}
 	return sample, nil
 }

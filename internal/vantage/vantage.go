@@ -19,6 +19,7 @@ import (
 	"dnsencryption.info/doe/internal/dnsclient"
 	"dnsencryption.info/doe/internal/dnswire"
 	"dnsencryption.info/doe/internal/doh"
+	"dnsencryption.info/doe/internal/doq"
 	"dnsencryption.info/doe/internal/dot"
 	"dnsencryption.info/doe/internal/obs"
 	"dnsencryption.info/doe/internal/proxy"
@@ -29,11 +30,16 @@ import (
 // Proto identifies the tested transport.
 type Proto string
 
-// Transports of the reachability test.
-const (
-	ProtoDNS Proto = "dns"
-	ProtoDoT Proto = "dot"
-	ProtoDoH Proto = "doh"
+// Transports of the reachability test. The encrypted labels reuse the
+// resolver package's canonical protocol names (resolver.ParseProto
+// round-trips them), so telemetry and report labels agree across layers.
+// ProtoDNS stays distinct: the clear-text probe runs DNS over TCP/53,
+// which the resolver layer labels "tcp".
+var (
+	ProtoDNS = Proto("dns")
+	ProtoDoT = Proto(resolver.ProtoDoT.String())
+	ProtoDoH = Proto(resolver.ProtoDoH.String())
+	ProtoDoQ = Proto(resolver.ProtoDoQ.String())
 )
 
 // Outcome classifies one lookup per Table 4's footnote: Failed = no DNS
@@ -69,6 +75,7 @@ type Target struct {
 	DoT     netip.Addr
 	DoH     doh.Template
 	DoHAddr netip.Addr
+	DoQ     netip.Addr
 }
 
 // Result is one lookup's classification.
@@ -170,6 +177,9 @@ func (p *Platform) TestReachabilityContext(ctx context.Context, node proxy.ExitN
 		}
 		if tgt.DoHAddr.IsValid() {
 			out = append(out, p.lookup(ctx, node, tgt, ProtoDoH, tgt.DoHAddr, p.testDoH))
+		}
+		if tgt.DoQ.IsValid() {
+			out = append(out, p.lookup(ctx, node, tgt, ProtoDoQ, tgt.DoQ, p.testDoQ))
 		}
 	}
 	return out
@@ -358,6 +368,38 @@ func (p *Platform) testDoH(ctx context.Context, node proxy.ExitNode, tgt Target)
 	defer sess.Close()
 	p.observeSetup(ctx, ProtoDoH, sess)
 	p.exchange(ctx, sess, node.ID+"-"+tgt.Name+"-doh", &r)
+	return r
+}
+
+// testDoQ runs the DoQ leg of the Fig. 7 workflow. QUIC flights are
+// datagrams, so the proxy hop is a UDP-ASSOCIATE-style relay rather than a
+// CONNECT tunnel; the DoQ client dials through it via DialVia and never
+// knows the difference. Like DoT, the probe runs the Opportunistic profile
+// and flags verified-but-resigned chains as interception.
+func (p *Platform) testDoQ(ctx context.Context, node proxy.ExitNode, tgt Target) Result {
+	r := p.baseResult(node, tgt.Name, ProtoDoQ)
+	relay, err := p.Network.DialDatagram(p.From, node.ID, tgt.DoQ, doq.Port)
+	if err != nil {
+		r.Outcome, r.Err = Failed, err.Error()
+		r.Dropped = proxy.IsPlatformDisruption(err)
+		return r
+	}
+	client := doq.NewClient(nil, p.From, p.Roots, dot.Opportunistic)
+	conn, err := client.DialVia(ctx, tgt.DoQ, relay)
+	if err != nil {
+		r.Outcome, r.Err = Failed, err.Error()
+		return r
+	}
+	sess := resolver.DoQSession(conn)
+	defer sess.Close()
+	p.observeSetup(ctx, ProtoDoQ, sess)
+	if chain := conn.PeerCertificates(); len(chain) > 0 {
+		r.IssuerCN = chain[0].Issuer.CommonName
+	}
+	p.exchange(ctx, sess, node.ID+"-"+tgt.Name+"-doq", &r)
+	if conn.VerifyError() != nil && r.Outcome == Correct {
+		r.Intercepted = true
+	}
 	return r
 }
 

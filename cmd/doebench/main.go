@@ -1,9 +1,11 @@
 // Command doebench runs the repository's curated performance benchmark set
 // with -benchmem and emits a machine-readable snapshot (BENCH_<pr>.json) of
-// ns/op, B/op and allocs/op per benchmark. Given a previous trajectory file
-// it diffs the two: allocs/op regressions beyond the threshold fail the run
-// (exit 1), ns/op changes are advisory only — wall-clock time depends on the
-// host, allocation counts do not.
+// ns/op, B/op and allocs/op per benchmark, plus the heap high-water mark of
+// an in-process miniature study run (mem_high_water_bytes). Given a previous
+// trajectory file it diffs the two: allocs/op regressions beyond -threshold
+// and memory high-water growth beyond -mem-threshold fail the run (exit 1);
+// ns/op changes are advisory only — wall-clock time depends on the host,
+// allocation counts and steady-state heap footprint do not (much).
 //
 // Usage:
 //
@@ -11,18 +13,25 @@
 //	go run ./cmd/doebench -smoke                       # 1-iteration CI gate
 //	go run ./cmd/doebench -o BENCH_5.json -prev BENCH_4.json -threshold 0.10
 //
-// Exit status: 0 on success, 1 on allocs/op regression, 2 on driver errors.
+// Exit status: 0 on success, 1 on allocs/op or memory regression, 2 on
+// driver errors.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/exec"
 	"regexp"
+	"runtime"
 	"strconv"
 	"strings"
+	"sync/atomic"
+	"time"
+
+	"dnsencryption.info/doe/internal/core"
 )
 
 // suite lists the curated benchmarks: the steady-state exchange paths whose
@@ -46,9 +55,12 @@ type Result struct {
 }
 
 // Snapshot is the BENCH_<pr>.json schema: benchmark name (module-relative,
-// GOMAXPROCS suffix stripped) to measurement.
+// GOMAXPROCS suffix stripped) to measurement, plus the study-run heap
+// high-water mark. MemHighWaterBytes is 0 when -mem=false (and omitted
+// from the JSON), which also disables the memory gate on diff.
 type Snapshot struct {
-	Benchmarks map[string]Result `json:"benchmarks"`
+	Benchmarks        map[string]Result `json:"benchmarks"`
+	MemHighWaterBytes uint64            `json:"mem_high_water_bytes,omitempty"`
 }
 
 // benchLine matches `BenchmarkName-8  1234  56.7 ns/op  89 B/op  10 allocs/op`.
@@ -56,11 +68,13 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+)
 
 func main() {
 	var (
-		out       = flag.String("o", "", "write the JSON snapshot to this file")
-		prev      = flag.String("prev", "", "previous trajectory file to diff against")
-		threshold = flag.Float64("threshold", 0.10, "allowed fractional allocs/op growth before a regression fails the run")
-		smoke     = flag.Bool("smoke", false, "one benchmark iteration per target: proves the harness and every curated benchmark still run")
-		benchtime = flag.String("benchtime", "", "override -benchtime for the full run")
+		out          = flag.String("o", "", "write the JSON snapshot to this file")
+		prev         = flag.String("prev", "", "previous trajectory file to diff against")
+		threshold    = flag.Float64("threshold", 0.10, "allowed fractional allocs/op growth before a regression fails the run")
+		smoke        = flag.Bool("smoke", false, "one benchmark iteration per target: proves the harness and every curated benchmark still run")
+		benchtime    = flag.String("benchtime", "", "override -benchtime for the full run")
+		mem          = flag.Bool("mem", true, "measure the heap high-water mark of an in-process miniature study run")
+		memThreshold = flag.Float64("mem-threshold", 0.50, "allowed fractional mem_high_water_bytes growth before a regression fails the run")
 	)
 	flag.Parse()
 
@@ -93,6 +107,16 @@ func main() {
 		fmt.Printf("%-40s %12.1f ns/op %8d B/op %6d allocs/op\n", name, r.NsPerOp, r.BPerOp, r.AllocsOp)
 	}
 
+	if *mem {
+		hw, err := measureMemHighWater(*smoke)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doebench: memory measurement: %v\n", err)
+			os.Exit(2)
+		}
+		snap.MemHighWaterBytes = hw
+		fmt.Printf("%-40s %12d bytes heap high-water\n", "study-run", hw)
+	}
+
 	if *out != "" {
 		enc, err := json.MarshalIndent(snap, "", "  ")
 		if err != nil {
@@ -106,7 +130,7 @@ func main() {
 	}
 
 	if *prev != "" {
-		if !diff(*prev, snap, *threshold) {
+		if !diff(*prev, snap, *threshold, *memThreshold) {
 			os.Exit(1)
 		}
 	}
@@ -138,11 +162,69 @@ func parseInto(dst map[string]Result, pkg, output string) error {
 	return nil
 }
 
+// measureMemHighWater runs the miniature study in-process and tracks the
+// heap high-water mark with a background MemStats sampler (the same reading
+// obs.SampleMemStats exposes at run time). The smoke shrink mirrors the
+// chaos matrix config, so it exercises every experiment in a few seconds;
+// the full run uses the unshrunken test config — the one the trajectory
+// gate compares across PRs. Absolute bytes depend on GC pacing, hence the
+// generous default -mem-threshold; the gate exists to catch step changes
+// (per-node result materialization, unbounded buffering), not noise.
+func measureMemHighWater(smoke bool) (uint64, error) {
+	cfg := core.TestConfig()
+	if smoke {
+		cfg.ScanRounds = 2
+		cfg.GlobalNodes = 24
+		cfg.CensoredNodes = 12
+		cfg.PerfNodes = 6
+		cfg.PerfQueriesReused = 4
+		cfg.PerfQueriesFresh = 4
+	}
+	s, err := core.NewStudy(cfg)
+	if err != nil {
+		return 0, err
+	}
+
+	runtime.GC()
+	var peak atomic.Uint64
+	sample := func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		for {
+			cur := peak.Load()
+			if ms.HeapAlloc <= cur || peak.CompareAndSwap(cur, ms.HeapAlloc) {
+				return
+			}
+		}
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(2 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				sample()
+			}
+		}
+	}()
+	runErr := s.RunAll(io.Discard)
+	sample()
+	close(stop)
+	<-done
+	return peak.Load(), runErr
+}
+
 // diff compares the run against a previous trajectory file. allocs/op may
 // grow by the threshold fraction (plus one allocation of absolute slack, so
-// single-digit counts don't flap); beyond that the run fails. ns/op movement
-// is reported but never fails the run.
-func diff(prevPath string, cur Snapshot, threshold float64) bool {
+// single-digit counts don't flap); beyond that the run fails. The heap
+// high-water mark may grow by memThreshold when both snapshots carry one.
+// ns/op movement is reported but never fails the run.
+func diff(prevPath string, cur Snapshot, threshold, memThreshold float64) bool {
 	raw, err := os.ReadFile(prevPath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "doebench: reading %s: %v\n", prevPath, err)
@@ -172,6 +254,21 @@ func diff(prevPath string, cur Snapshot, threshold float64) bool {
 			if change > 20 || change < -20 {
 				fmt.Printf("doebench: advisory: %s ns/op %.1f -> %.1f (%+.0f%%)\n", name, p.NsPerOp, c.NsPerOp, change)
 			}
+		}
+	}
+	switch {
+	case prev.MemHighWaterBytes == 0 || cur.MemHighWaterBytes == 0:
+		// One side has no memory column (pre-gate trajectory file, or a run
+		// with -mem=false): nothing to compare.
+	default:
+		limit := uint64(float64(prev.MemHighWaterBytes) * (1 + memThreshold))
+		if cur.MemHighWaterBytes > limit {
+			fmt.Printf("doebench: REGRESSION mem_high_water_bytes %d -> %d (limit %d)\n",
+				prev.MemHighWaterBytes, cur.MemHighWaterBytes, limit)
+			ok = false
+		} else if cur.MemHighWaterBytes != prev.MemHighWaterBytes {
+			fmt.Printf("doebench: mem_high_water_bytes %d -> %d\n",
+				prev.MemHighWaterBytes, cur.MemHighWaterBytes)
 		}
 	}
 	return ok

@@ -67,6 +67,26 @@ func main() {
 			fmt.Println(line)
 		}
 	}
+
+	// 5. The streaming sketches: log-spaced-bucket latency distributions
+	// recorded shard-locally by every worker and folded into the study
+	// registry when each pool joins. Merge is bucket-wise addition —
+	// associative and order-independent — which is why these quantiles are
+	// also byte-identical at any worker count.
+	fmt.Printf("\nquery-latency sketches (shard-merged across %d workers):\n\n", cfg.Workers)
+	for _, line := range strings.Split(study.Obs.Metrics().Snapshot(false), "\n") {
+		if strings.HasPrefix(line, "vantage_query_latency_sketch") {
+			fmt.Println(line)
+		}
+	}
+
+	// 6. Campaign progress: the same done/total counters obs.DebugHandler
+	// serves live as JSON on /progress while a run is in flight. After the
+	// run every phase reads done == total.
+	fmt.Printf("\nfinal phase progress (live on /progress during a run):\n\n")
+	for _, ph := range study.Obs.Progress() {
+		fmt.Printf("%-14s %d/%d\n", ph.Name, ph.Done, ph.Total)
+	}
 	fmt.Printf("\nrun this again, or with any -workers value: same bytes.\n")
 }
 

@@ -27,23 +27,54 @@ var classSizes = [...]int{512, 2048, 16384, MaxPooled}
 var pools [len(classSizes)]sync.Pool
 
 var stats struct {
-	gets, puts, hits, misses atomic.Uint64
+	gets, puts, hits, misses, drops atomic.Uint64
 }
 
-// Stats counts pool traffic since process start. Gets = Hits + Misses, and
-// Puts counts buffers accepted back (out-of-class returns are dropped).
+// classStats tracks traffic per size class for the occupancy gauges;
+// oversized Gets belong to no class.
+var classStats [len(classSizes)]struct {
+	gets, puts atomic.Uint64
+}
+
+// ClassStats counts one size class's traffic.
+type ClassStats struct {
+	Size       int
+	Gets, Puts uint64
+}
+
+// Stats counts pool traffic since process start. Gets = Hits + Misses;
+// Puts counts buffers accepted back and Drops buffers returned but
+// rejected (outside every class), so InUse = Gets - Puts - Drops is the
+// number of checked-out buffers the pool still expects back.
 type Stats struct {
-	Gets, Puts, Hits, Misses uint64
+	Gets, Puts, Hits, Misses, Drops uint64
+	PerClass                        [len(classSizes)]ClassStats
+}
+
+// InUse returns the current occupancy: buffers handed out and neither
+// accepted back nor dropped. Counters are read independently, so a
+// snapshot taken mid-flight may be off by the number of racing calls.
+func (s Stats) InUse() int64 {
+	return int64(s.Gets) - int64(s.Puts) - int64(s.Drops)
 }
 
 // Snapshot returns the current pool counters.
 func Snapshot() Stats {
-	return Stats{
+	s := Stats{
 		Gets:   stats.gets.Load(),
 		Puts:   stats.puts.Load(),
 		Hits:   stats.hits.Load(),
 		Misses: stats.misses.Load(),
+		Drops:  stats.drops.Load(),
 	}
+	for i, size := range classSizes {
+		s.PerClass[i] = ClassStats{
+			Size: size,
+			Gets: classStats[i].gets.Load(),
+			Puts: classStats[i].puts.Load(),
+		}
+	}
+	return s
 }
 
 // Get returns a zero-length buffer with capacity at least n. The pointer
@@ -55,6 +86,7 @@ func Get(n int) *[]byte {
 		if n > size {
 			continue
 		}
+		classStats[i].gets.Add(1)
 		if v := pools[i].Get(); v != nil {
 			stats.hits.Add(1)
 			b := v.(*[]byte)
@@ -80,16 +112,19 @@ func Put(b *[]byte) {
 	}
 	c := cap(*b)
 	if c > MaxPooled {
+		stats.drops.Add(1)
 		return
 	}
 	for i := len(classSizes) - 1; i >= 0; i-- {
 		if c >= classSizes[i] {
 			*b = (*b)[:0]
 			stats.puts.Add(1)
+			classStats[i].puts.Add(1)
 			pools[i].Put(b)
 			return
 		}
 	}
+	stats.drops.Add(1)
 }
 
 // Grow returns b extended by n bytes of length, reallocating (with capacity

@@ -9,6 +9,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"strconv"
 
 	"dnsencryption.info/doe/internal/bufpool"
 	"dnsencryption.info/doe/internal/core"
@@ -38,14 +39,17 @@ func (t *Telemetry) Enabled() bool { return t.TracePath != "" || t.Metrics || t.
 
 // Serve starts the live debug endpoint when -pprof was given. The endpoint
 // is a real HTTP listener (runtime profiling of the binary itself), the
-// one deliberate wall-clock surface of the observability stack.
+// one deliberate wall-clock surface of the observability stack. Each
+// /metrics scrape re-samples process memory and bufpool occupancy, so the
+// volatile gauges track the run live; /progress and /healthz ride along.
 func (t *Telemetry) Serve(study *core.Study) {
 	if t.PprofAddr == "" {
 		return
 	}
 	go func() {
-		log.Printf("telemetry endpoint on http://%s/metrics (pprof under /debug/pprof/)", t.PprofAddr)
-		if err := http.ListenAndServe(t.PprofAddr, obs.DebugHandler(study.Obs)); err != nil {
+		log.Printf("telemetry endpoint on http://%s/metrics (progress on /progress, pprof under /debug/pprof/)", t.PprofAddr)
+		handler := obs.DebugHandler(study.Obs, publishBufpoolStats, obs.SampleMemStats)
+		if err := http.ListenAndServe(t.PprofAddr, handler); err != nil {
 			log.Printf("pprof endpoint: %v", err)
 		}
 	}()
@@ -71,6 +75,7 @@ func (t *Telemetry) Finish(study *core.Study) error {
 	}
 	if t.Metrics {
 		publishBufpoolStats(study.Obs.Metrics())
+		obs.SampleMemStats(study.Obs.Metrics())
 		fmt.Fprint(os.Stderr, study.Obs.Metrics().Snapshot(true))
 	}
 	return nil
@@ -87,4 +92,11 @@ func publishBufpoolStats(reg *obs.Registry) {
 	reg.VolatileGauge("bufpool_puts").Set(int64(st.Puts))
 	reg.VolatileGauge("bufpool_hits").Set(int64(st.Hits))
 	reg.VolatileGauge("bufpool_misses").Set(int64(st.Misses))
+	reg.VolatileGauge("bufpool_drops").Set(int64(st.Drops))
+	reg.VolatileGauge("bufpool_in_use").Set(st.InUse())
+	for _, c := range st.PerClass {
+		class := strconv.Itoa(c.Size)
+		reg.VolatileGauge("bufpool_class_gets", "class", class).Set(int64(c.Gets))
+		reg.VolatileGauge("bufpool_class_puts", "class", class).Set(int64(c.Puts))
+	}
 }

@@ -18,9 +18,16 @@ type Progress func(id, title string, elapsed time.Duration)
 // experiment with its wall-clock duration.
 func (s *Study) RunAll(w io.Writer) error {
 	var firstErr error
+	// The "experiments" phase is the top row of the /progress endpoint;
+	// pool-level phases (campaign, perf, scan-sweep, …) register beneath it
+	// as runner pools launch. Phase is nil-safe, so telemetry-off runs cost
+	// two no-op calls per experiment.
+	phase := s.Obs.Phase("experiments")
+	phase.AddTotal(int64(len(Experiments())))
 	for _, exp := range Experiments() {
 		start := time.Now() //doelint:allow determinism -- reports real runtime of the experiment, not simulated time
 		out, err := s.RunExperiment(exp)
+		phase.Done(1)
 		if s.Progress != nil {
 			//doelint:allow determinism -- reports real runtime of the experiment, not simulated time
 			s.Progress(exp.ID, exp.Title, time.Since(start))

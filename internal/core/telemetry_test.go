@@ -92,9 +92,13 @@ func TestTelemetryKeepsReportsByteIdentical(t *testing.T) {
 	}
 
 	r1, t1, s1 := run(1, true)
+	r4, t4, s4 := run(4, true)
 	r8, t8, s8 := run(8, true)
+	diffReports(t, "workers=1", r1, "workers=4", r4)
 	diffReports(t, "workers=1", r1, "workers=8", r8)
+	diffReports(t, "trace workers=1", t1, "trace workers=4", t4)
 	diffReports(t, "trace workers=1", t1, "trace workers=8", t8)
+	diffReports(t, "snapshot workers=1", s1, "snapshot workers=4", s4)
 	diffReports(t, "snapshot workers=1", s1, "snapshot workers=8", s8)
 
 	if !strings.Contains(r1, "== telemetry: deterministic metrics and trace summary\n") {
@@ -105,8 +109,10 @@ func TestTelemetryKeepsReportsByteIdentical(t *testing.T) {
 	if !strings.Contains(t1, `"fault:`) {
 		t.Error("chaos trace carries no fault events")
 	}
-	// Chaos metrics reach the snapshot deterministically.
-	for _, want := range []string{"faults_injected_total{kind=", "resolver_retries_total", "vantage_lookups_total{"} {
+	// Chaos metrics reach the snapshot deterministically — including the
+	// shard-merged streaming sketch family.
+	for _, want := range []string{"faults_injected_total{kind=", "resolver_retries_total",
+		"vantage_lookups_total{", "vantage_query_latency_sketch{"} {
 		if !strings.Contains(s1, want) {
 			t.Errorf("deterministic snapshot missing %q:\n%s", want, s1)
 		}

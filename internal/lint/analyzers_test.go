@@ -175,6 +175,45 @@ func Stamp() time.Time { return time.Now() }
 	wantFindings(t, findings, "obsclock", []string{"obs/obs.go:6", "obs/obs.go:7", "obs/obs.go:8"})
 }
 
+// TestObsclockMemStatsSampler pins the contract for the volatile MemStats
+// sampler: reading runtime.MemStats from an observability package is fine
+// (it is not a clock), but pacing the sampler with time.NewTicker or
+// stamping samples with time.Now inside the observability set is exactly
+// what obsclock must flag — samplers run at exposure time, driven by the
+// scrape loop outside the package, never on the virtual-clock path.
+func TestObsclockMemStatsSampler(t *testing.T) {
+	cfg := lint.DefaultConfig()
+	cfg.ObservabilityPackages = []string{"obs"}
+	findings := lintFixtures(t, cfg, map[string]string{
+		"obs/memstats.go": `package obs
+
+import (
+	"runtime"
+	"time"
+)
+
+var heapHighWater uint64
+
+func Sample() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms) // fine: volatile memory reading, not a clock
+	if ms.HeapAlloc > heapHighWater {
+		heapHighWater = ms.HeapAlloc
+	}
+}
+
+func BadSelfPacedSampler() *time.Ticker {
+	return time.NewTicker(time.Second) // line 19: finding
+}
+
+func BadStampedSample() int64 {
+	return time.Now().UnixNano() // line 23: finding
+}
+`,
+	})
+	wantFindings(t, findings, "obsclock", []string{"obs/memstats.go:19", "obs/memstats.go:23"})
+}
+
 func TestErrwrap(t *testing.T) {
 	findings := lintFixtures(t, lint.DefaultConfig(), map[string]string{
 		"wrap/wrap.go": `package wrap

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/pprof"
@@ -11,7 +12,8 @@ import (
 
 // PrometheusText renders the full registry in Prometheus text exposition
 // format. Durations are exported in seconds as the convention demands;
-// the underlying accumulation stays integer microseconds.
+// the underlying accumulation stays integer microseconds. Sketches export
+// as histograms — cumulative le buckets over the log-spaced edges.
 func (r *Registry) PrometheusText() string {
 	if r == nil {
 		return ""
@@ -32,7 +34,7 @@ func (r *Registry) PrometheusText() string {
 			fmt.Fprintf(&b, "# TYPE %s counter\n", name)
 		case kindGauge:
 			fmt.Fprintf(&b, "# TYPE %s gauge\n", name)
-		case kindHistogram:
+		case kindHistogram, kindSketch:
 			fmt.Fprintf(&b, "# TYPE %s histogram\n", name)
 		}
 		f.mu.Lock()
@@ -49,16 +51,10 @@ func (r *Registry) PrometheusText() string {
 				fmt.Fprintf(&b, "%s%s %d\n", name, promLabels(k, "", ""), m.Value())
 			case *Histogram:
 				counts, overflow := m.bucketCounts()
-				var cum int64
-				for i, bound := range f.bounds {
-					cum += counts[i]
-					le := fmt.Sprintf("%g", bound.Seconds())
-					fmt.Fprintf(&b, "%s_bucket%s %d\n", name, promLabels(k, "le", le), cum)
-				}
-				fmt.Fprintf(&b, "%s_bucket%s %d\n", name, promLabels(k, "le", "+Inf"), cum+overflow)
-				fmt.Fprintf(&b, "%s_sum%s %g\n", name, promLabels(k, "", ""),
-					(time.Duration(m.SumUS()) * time.Microsecond).Seconds())
-				fmt.Fprintf(&b, "%s_count%s %d\n", name, promLabels(k, "", ""), m.Count())
+				promHistogram(&b, name, k, f.bounds, counts, overflow, m.SumUS(), m.Count())
+			case *Sketch:
+				counts, overflow := m.bucketCounts()
+				promHistogram(&b, name, k, m.bounds, counts, overflow, m.SumUS(), m.Count())
 			}
 		}
 		f.mu.Unlock()
@@ -66,18 +62,35 @@ func (r *Registry) PrometheusText() string {
 	return b.String()
 }
 
+// promHistogram renders one histogram/sketch instance as cumulative
+// le-labeled buckets plus _sum and _count.
+func promHistogram(b *strings.Builder, name, labels string, bounds []time.Duration,
+	counts []int64, overflow, sumUS, count int64) {
+	var cum int64
+	for i, bound := range bounds {
+		cum += counts[i]
+		le := fmt.Sprintf("%g", bound.Seconds())
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name, promLabels(labels, "le", le), cum)
+	}
+	fmt.Fprintf(b, "%s_bucket%s %d\n", name, promLabels(labels, "le", "+Inf"), cum+overflow)
+	fmt.Fprintf(b, "%s_sum%s %g\n", name, promLabels(labels, "", ""),
+		(time.Duration(sumUS) * time.Microsecond).Seconds())
+	fmt.Fprintf(b, "%s_count%s %d\n", name, promLabels(labels, "", ""), count)
+}
+
 // promLabels renders {k1="v1",k2="v2"[,extraK="extraV"]} from the internal
-// "k1=v1,k2=v2" label string.
+// escaped label string. Values pass through parseLabelString (undoing the
+// registry's own escaping) and are then re-escaped per the Prometheus text
+// format, where only `\`, `"` and newline are special — so values
+// containing commas, equals signs or quotes survive exposition intact.
 func promLabels(ls, extraK, extraV string) string {
 	var parts []string
-	if ls != "" {
-		for _, pair := range strings.Split(ls, ",") {
-			k, v, _ := strings.Cut(pair, "=")
-			parts = append(parts, fmt.Sprintf("%s=%q", k, v))
-		}
+	kv := parseLabelString(ls)
+	for i := 0; i+1 < len(kv); i += 2 {
+		parts = append(parts, kv[i]+`="`+promEscape(kv[i+1])+`"`)
 	}
 	if extraK != "" {
-		parts = append(parts, fmt.Sprintf("%s=%q", extraK, extraV))
+		parts = append(parts, extraK+`="`+promEscape(extraV)+`"`)
 	}
 	if len(parts) == 0 {
 		return ""
@@ -85,15 +98,62 @@ func promLabels(ls, extraK, extraV string) string {
 	return "{" + strings.Join(parts, ",") + "}"
 }
 
-// DebugHandler serves /metrics (Prometheus exposition of r's registry)
-// plus the standard net/http/pprof endpoints under /debug/pprof/. The CLI
-// binaries mount it on the -pprof address; none of it runs during
-// simulation, so the virtual-clock contract is untouched.
-func DebugHandler(r *Recorder) http.Handler {
+// promEscape escapes a label value per the Prometheus text exposition
+// format: backslash, double quote, and line feed.
+func promEscape(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// DebugHandler serves the live observability surface:
+//
+//   - /metrics — Prometheus exposition of r's registry; each scrape first
+//     runs the samplers (MemStats, bufpool occupancy, …) so volatile
+//     gauges are fresh at read time
+//   - /progress — campaign progress as JSON: {"phases":[{name,done,total}]}
+//   - /healthz — liveness probe, {"status":"ok"}
+//   - /debug/pprof/ — the standard net/http/pprof endpoints
+//
+// The CLI binaries mount it on the -pprof address. Samplers run on the
+// scrape goroutine, never inside the simulation, so the virtual-clock
+// contract is untouched.
+func DebugHandler(r *Recorder, samplers ...func(*Registry)) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		for _, sample := range samplers {
+			sample(r.Metrics())
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		fmt.Fprint(w, r.Metrics().PrometheusText())
+	})
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, _ *http.Request) {
+		phases := r.Progress()
+		if phases == nil {
+			phases = []PhaseStatus{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(struct {
+			Phases []PhaseStatus `json:"phases"`
+		}{phases})
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"status":"ok"}`)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -30,16 +31,18 @@ const (
 	kindCounter metricKind = iota
 	kindGauge
 	kindHistogram
+	kindSketch
 )
 
 // family groups every labeled instance of one metric name.
 type family struct {
-	name     string
-	kind     metricKind
-	volatile bool
-	bounds   []time.Duration // histograms only
-	mu       sync.Mutex
-	insts    map[string]any // label string → *Counter | *Gauge | *Histogram
+	name       string
+	kind       metricKind
+	volatile   bool
+	bounds     []time.Duration // histograms only
+	sketchOpts SketchOpts      // sketches only
+	mu         sync.Mutex
+	insts      map[string]any // label string → *Counter | *Gauge | *Histogram | *Sketch
 }
 
 // NewRegistry returns an empty registry.
@@ -62,6 +65,10 @@ func (r *Registry) lookup(name string, kind metricKind, volatile bool, bounds []
 // labelString renders "k1=v1,k2=v2" from alternating key/value pairs.
 // Instrumentation sites pass labels in a fixed order, so no sorting is
 // needed for identity; snapshots sort families and instances anyway.
+//
+// Values are escaped (`\` `,` `=` and newline) so the rendered string
+// parses back unambiguously; keys must not contain structural characters
+// at all — checkLabelKey rejects them at registration.
 func labelString(labels []string) string {
 	if len(labels) == 0 {
 		return ""
@@ -71,11 +78,71 @@ func labelString(labels []string) string {
 		if i > 0 {
 			b.WriteByte(',')
 		}
+		checkLabelKey(labels[i])
 		b.WriteString(labels[i])
 		b.WriteByte('=')
-		b.WriteString(labels[i+1])
+		escapeLabelValue(&b, labels[i+1])
 	}
 	return b.String()
+}
+
+// checkLabelKey panics on label keys containing structural characters.
+// Keys are string literals at instrumentation sites, so a bad key is a
+// programming error, caught at first registration.
+func checkLabelKey(k string) {
+	if strings.ContainsAny(k, ",=\"\\\n") {
+		panic("obs: label key " + strconv.Quote(k) + ` must not contain ',' '=' '"' '\' or newline`)
+	}
+}
+
+func escapeLabelValue(b *strings.Builder, v string) {
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; c {
+		case '\\', ',', '=':
+			b.WriteByte('\\')
+			b.WriteByte(c)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+}
+
+// parseLabelString inverts labelString: it splits on unescaped separators
+// and unescapes values, returning alternating key/value pairs.
+func parseLabelString(ls string) []string {
+	if ls == "" {
+		return nil
+	}
+	var out []string
+	var cur strings.Builder
+	inValue, escaped := false, false
+	flush := func() { out = append(out, cur.String()); cur.Reset() }
+	for i := 0; i < len(ls); i++ {
+		c := ls[i]
+		switch {
+		case escaped:
+			if c == 'n' {
+				cur.WriteByte('\n')
+			} else {
+				cur.WriteByte(c)
+			}
+			escaped = false
+		case c == '\\':
+			escaped = true
+		case c == '=' && !inValue:
+			flush()
+			inValue = true
+		case c == ',' && inValue:
+			flush()
+			inValue = false
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	flush()
+	return out
 }
 
 // Counter is a monotonically increasing int64.
@@ -188,9 +255,13 @@ func (h *Histogram) SumUS() int64 {
 	return h.sumUS.Load()
 }
 
-// Quantile estimates the q-quantile (0 < q <= 1) by linear interpolation
-// inside the bucket that crosses the target rank; observations above the
-// highest bound clamp to it. Returns 0 for an empty histogram.
+// Quantile estimates the q-quantile by linear interpolation inside the
+// bucket that crosses the target rank; observations above the highest
+// bound clamp to it.
+//
+// Edge behavior (pinned by tests): an empty histogram returns 0 for every
+// q; q is clamped to [0, 1], so q <= 0 behaves like the minimum rank and
+// q >= 1 like the maximum.
 func (h *Histogram) Quantile(q float64) time.Duration {
 	if h == nil {
 		return 0
@@ -199,7 +270,7 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	if total == 0 {
 		return 0
 	}
-	rank := q * float64(total)
+	rank := clampQ(q) * float64(total)
 	var cum int64
 	lower := time.Duration(0)
 	for i, b := range h.bounds {
@@ -219,6 +290,52 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 		return 0
 	}
 	return h.bounds[len(h.bounds)-1]
+}
+
+// Merge folds o's observations into h bucket-by-bucket. Bucket addition
+// is associative and commutative, so merging shard histograms in any
+// order or tree shape yields identical totals. It fails if the bucket
+// bounds differ; nil receiver or argument is a no-op.
+func (h *Histogram) Merge(o *Histogram) error {
+	if h == nil || o == nil {
+		return nil
+	}
+	if !equalBounds(h.bounds, o.bounds) {
+		return fmt.Errorf("obs: histogram merge: bounds mismatch (%d vs %d buckets)",
+			len(h.bounds), len(o.bounds))
+	}
+	for i := range o.buckets {
+		if n := o.buckets[i].Load(); n != 0 {
+			h.buckets[i].Add(n)
+		}
+	}
+	h.count.Add(o.count.Load())
+	h.sumUS.Add(o.sumUS.Load())
+	return nil
+}
+
+func equalBounds(a, b []time.Duration) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// clampQ pins a quantile request to [0, 1] so out-of-range q degrades to
+// the distribution's min/max instead of extrapolating.
+func clampQ(q float64) float64 {
+	if q < 0 {
+		return 0
+	}
+	if q > 1 {
+		return 1
+	}
+	return q
 }
 
 // bucketCounts returns per-bound counts plus the overflow count.
@@ -353,6 +470,10 @@ func (r *Registry) Snapshot(includeVolatile bool) string {
 				fmt.Fprintf(&b, "%s%s count=%d sum_us=%d p50=%s p90=%s p99=%s\n",
 					f.name, label, m.Count(), m.SumUS(),
 					fmtQuantile(m, 0.50), fmtQuantile(m, 0.90), fmtQuantile(m, 0.99))
+			case *Sketch:
+				fmt.Fprintf(&b, "%s%s count=%d sum_us=%d p50=%s p90=%s p99=%s\n",
+					f.name, label, m.Count(), m.SumUS(),
+					fmtQuantile(m, 0.50), fmtQuantile(m, 0.90), fmtQuantile(m, 0.99))
 			}
 		}
 		f.mu.Unlock()
@@ -362,6 +483,6 @@ func (r *Registry) Snapshot(includeVolatile bool) string {
 
 // fmtQuantile renders a quantile with fixed microsecond precision so the
 // snapshot never depends on float formatting of derived values.
-func fmtQuantile(h *Histogram, q float64) string {
-	return fmt.Sprintf("%dus", int64(h.Quantile(q)/time.Microsecond))
+func fmtQuantile(m interface{ Quantile(float64) time.Duration }, q float64) string {
+	return fmt.Sprintf("%dus", int64(m.Quantile(q)/time.Microsecond))
 }

@@ -30,6 +30,10 @@ type Recorder struct {
 
 	mu    sync.Mutex
 	flows map[flowKey]*Span
+
+	phaseMu    sync.Mutex
+	phases     map[string]*Phase
+	phaseOrder []string
 }
 
 type flowKey struct {
@@ -113,6 +117,7 @@ type recorderCtxKey struct{}
 type spanCtxKey struct{}
 type workerSinkCtxKey struct{}
 type poolNameCtxKey struct{}
+type registryCtxKey struct{}
 
 // workerSink accumulates per-worker virtual busy time; runner.MapCtx puts
 // one in each worker's context.
@@ -141,8 +146,26 @@ func FromContext(ctx context.Context) *Recorder {
 	return r
 }
 
-// Metrics returns the registry carried by ctx, or nil.
+// WithMetricsRegistry overrides the registry Metrics returns beneath ctx.
+// runner.MapCtx installs one shard registry per worker goroutine so hot
+// recording paths touch worker-local atomics instead of contending on the
+// study registry; the shards fold back via Registry.Merge when the pool
+// joins. A nil reg returns ctx unchanged.
+func WithMetricsRegistry(ctx context.Context, reg *Registry) context.Context {
+	if reg == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, registryCtxKey{}, reg)
+}
+
+// Metrics returns the registry carried by ctx — a shard override installed
+// by WithMetricsRegistry if present, else the recorder's registry, or nil.
 func Metrics(ctx context.Context) *Registry {
+	if ctx != nil {
+		if reg, ok := ctx.Value(registryCtxKey{}).(*Registry); ok {
+			return reg
+		}
+	}
 	return FromContext(ctx).Metrics()
 }
 

@@ -1,0 +1,487 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// ── Sketch ────────────────────────────────────────────────────────────────
+
+func TestSketchBoundsAreLogSpacedAndDeterministic(t *testing.T) {
+	a := NewSketch(SketchOpts{})
+	b := NewSketch(DefaultSketchOpts())
+	if len(a.bounds) != len(b.bounds) {
+		t.Fatalf("zero opts and defaults disagree: %d vs %d buckets", len(a.bounds), len(b.bounds))
+	}
+	for i := range a.bounds {
+		if a.bounds[i] != b.bounds[i] {
+			t.Fatalf("bound %d differs: %v vs %v", i, a.bounds[i], b.bounds[i])
+		}
+	}
+	if a.bounds[0] != 100*time.Microsecond {
+		t.Errorf("first bound = %v, want 100µs", a.bounds[0])
+	}
+	if last := a.bounds[len(a.bounds)-1]; last < 10*time.Second {
+		t.Errorf("last bound = %v, want >= 10s", last)
+	}
+	for i := 1; i < len(a.bounds); i++ {
+		if a.bounds[i] <= a.bounds[i-1] {
+			t.Fatalf("bounds not strictly increasing at %d: %v then %v", i, a.bounds[i-1], a.bounds[i])
+		}
+	}
+	// Eight buckets per decade: every 8 steps the edge is 10x (within
+	// microsecond rounding).
+	ratio := float64(a.bounds[8]) / float64(a.bounds[0])
+	if ratio < 9.9 || ratio > 10.1 {
+		t.Errorf("bounds[8]/bounds[0] = %.3f, want ~10", ratio)
+	}
+}
+
+func TestSketchQuantilesHandComputed(t *testing.T) {
+	// A tiny layout that is easy to reason about: edges 1ms, 10ms, 100ms.
+	sk := NewSketch(SketchOpts{Min: time.Millisecond, Max: 100 * time.Millisecond, PerDecade: 1})
+	if len(sk.bounds) != 3 {
+		t.Fatalf("bounds = %v, want 3 edges", sk.bounds)
+	}
+	// 8 obs in (0, 1ms], 2 in (1ms, 10ms].
+	for i := 0; i < 8; i++ {
+		sk.Observe(500 * time.Microsecond)
+	}
+	sk.Observe(5 * time.Millisecond)
+	sk.Observe(6 * time.Millisecond)
+	if got := sk.Count(); got != 10 {
+		t.Fatalf("count = %d, want 10", got)
+	}
+	// p50: rank 5 of 10 inside the first bucket (8 obs, edges 0..1ms):
+	// 5/8 of the way -> 625µs.
+	if got := sk.Quantile(0.50); got != 625*time.Microsecond {
+		t.Errorf("p50 = %v, want 625µs", got)
+	}
+	// p90: rank 9 crosses into the second bucket (cum 8, 2 obs, edges
+	// 1ms..10ms): (9-8)/2 of the span -> 1ms + 4.5ms.
+	if got := sk.Quantile(0.90); got != 5500*time.Microsecond {
+		t.Errorf("p90 = %v, want 5.5ms", got)
+	}
+	// Overflow clamps to the top edge.
+	sk.Observe(3 * time.Second)
+	if got := sk.Quantile(1.0); got != 100*time.Millisecond {
+		t.Errorf("p100 with overflow = %v, want top edge 100ms", got)
+	}
+}
+
+func TestSketchQuantileEdges(t *testing.T) {
+	var nilSketch *Sketch
+	if got := nilSketch.Quantile(0.5); got != 0 {
+		t.Errorf("nil sketch quantile = %v, want 0", got)
+	}
+	empty := NewSketch(SketchOpts{})
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Errorf("empty sketch Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	sk := NewSketch(SketchOpts{Min: time.Millisecond, Max: 100 * time.Millisecond, PerDecade: 1})
+	sk.Observe(500 * time.Microsecond)
+	// Out-of-range q clamps instead of extrapolating.
+	if got, want := sk.Quantile(-3), sk.Quantile(0); got != want {
+		t.Errorf("Quantile(-3) = %v, Quantile(0) = %v; want equal", got, want)
+	}
+	if got, want := sk.Quantile(7), sk.Quantile(1); got != want {
+		t.Errorf("Quantile(7) = %v, Quantile(1) = %v; want equal", got, want)
+	}
+}
+
+func TestSketchMergeMismatchAndNil(t *testing.T) {
+	a := NewSketch(SketchOpts{Min: time.Millisecond, Max: time.Second, PerDecade: 4})
+	b := NewSketch(SketchOpts{Min: time.Millisecond, Max: time.Second, PerDecade: 8})
+	if err := a.Merge(b); err == nil {
+		t.Error("merging sketches with different opts succeeded, want error")
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Errorf("merge nil: %v", err)
+	}
+	var nilSketch *Sketch
+	if err := nilSketch.Merge(a); err != nil {
+		t.Errorf("nil merge: %v", err)
+	}
+	nilSketch.Observe(time.Millisecond) // no-op, must not panic
+}
+
+// ── Histogram edges (satellite: pin the untested behavior) ────────────────
+
+func TestHistogramQuantileEdges(t *testing.T) {
+	var nilHist *Histogram
+	if got := nilHist.Quantile(0.5); got != 0 {
+		t.Errorf("nil histogram quantile = %v, want 0", got)
+	}
+	reg := NewRegistry()
+	empty := reg.Histogram("lat", nil)
+	for _, q := range []float64{-0.5, 0, 0.5, 1, 1.5} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Errorf("empty histogram Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	h := reg.Histogram("lat2", []time.Duration{10 * time.Millisecond, 20 * time.Millisecond})
+	h.Observe(5 * time.Millisecond)
+	h.Observe(15 * time.Millisecond)
+	if got, want := h.Quantile(-1), h.Quantile(0); got != want {
+		t.Errorf("Quantile(-1) = %v, Quantile(0) = %v; want equal (clamped)", got, want)
+	}
+	if got, want := h.Quantile(99), h.Quantile(1); got != want {
+		t.Errorf("Quantile(99) = %v, Quantile(1) = %v; want equal (clamped)", got, want)
+	}
+	// Interpolation resolves to the upper edge of the bucket holding the
+	// max observation, not the observation itself.
+	if got := h.Quantile(1); got != 20*time.Millisecond {
+		t.Errorf("Quantile(1) = %v, want the 20ms bucket edge", got)
+	}
+}
+
+func TestHistogramMergeBoundsMismatch(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Histogram("a", []time.Duration{time.Millisecond})
+	b := reg.Histogram("b", []time.Duration{time.Millisecond, time.Second})
+	if err := a.Merge(b); err == nil {
+		t.Error("merging histograms with different bounds succeeded, want error")
+	}
+	c := reg.Histogram("c", []time.Duration{time.Millisecond})
+	a.Observe(500 * time.Microsecond)
+	c.Observe(700 * time.Microsecond)
+	if err := a.Merge(c); err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	if a.Count() != 2 || a.SumUS() != 1200 {
+		t.Errorf("after merge count=%d sum=%d, want 2/1200", a.Count(), a.SumUS())
+	}
+}
+
+// ── Registry.Merge ────────────────────────────────────────────────────────
+
+// shardFixture builds n shard registries with overlapping and disjoint
+// families of every kind, deterministically from the shard index.
+func shardFixture(n int) []*Registry {
+	shards := make([]*Registry, n)
+	for i := range shards {
+		r := NewRegistry()
+		r.Counter("tasks_total", "pool", "campaign").Add(int64(10 + i))
+		r.Counter("dials_total", "outcome", fmt.Sprintf("kind-%d", i%3)).Add(int64(i + 1))
+		r.Gauge("depth_max").Max(int64(i * 7 % 13))
+		r.VolatileCounter("worker_share", "worker", fmt.Sprint(i)).Add(int64(i))
+		h := r.Histogram("lat", nil, "proto", "dot")
+		sk := r.Sketch("lat_sketch", SketchOpts{}, "proto", "doh")
+		for j := 0; j <= i; j++ {
+			d := time.Duration(1+(i*31+j*17)%5000) * time.Millisecond / 10
+			h.Observe(d)
+			sk.Observe(d)
+		}
+		shards[i] = r
+	}
+	return shards
+}
+
+// TestMergeOrderIndependence is the satellite property test: folding the
+// same shards in shuffled orders and different tree shapes must produce
+// byte-identical snapshots, volatile families included.
+func TestMergeOrderIndependence(t *testing.T) {
+	const n = 9
+	baseline := NewRegistry()
+	for _, s := range shardFixture(n) {
+		if err := baseline.Merge(s); err != nil {
+			t.Fatalf("baseline merge: %v", err)
+		}
+	}
+	wantDet := baseline.Snapshot(false)
+	wantAll := baseline.Snapshot(true)
+	if wantDet == "" || wantAll == wantDet {
+		t.Fatalf("fixture too trivial:\ndet=%q\nall=%q", wantDet, wantAll)
+	}
+
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		shards := shardFixture(n)
+		rng.Shuffle(len(shards), func(i, j int) { shards[i], shards[j] = shards[j], shards[i] })
+		root := NewRegistry()
+		if trial%2 == 0 {
+			// Flat fold, shuffled order.
+			for _, s := range shards {
+				if err := root.Merge(s); err != nil {
+					t.Fatalf("trial %d: %v", trial, err)
+				}
+			}
+		} else {
+			// Random binary tree: repeatedly merge one registry into
+			// another until a single root remains.
+			for len(shards) > 1 {
+				i := rng.Intn(len(shards) - 1)
+				if err := shards[i].Merge(shards[i+1]); err != nil {
+					t.Fatalf("trial %d: %v", trial, err)
+				}
+				shards = append(shards[:i+1], shards[i+2:]...)
+			}
+			if err := root.Merge(shards[0]); err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+		}
+		if got := root.Snapshot(false); got != wantDet {
+			t.Fatalf("trial %d: deterministic snapshot diverged\ngot:\n%s\nwant:\n%s", trial, got, wantDet)
+		}
+		if got := root.Snapshot(true); got != wantAll {
+			t.Fatalf("trial %d: full snapshot diverged\ngot:\n%s\nwant:\n%s", trial, got, wantAll)
+		}
+	}
+}
+
+func TestMergeMismatchErrors(t *testing.T) {
+	kind := NewRegistry()
+	kind.Counter("m")
+	kindDst := NewRegistry()
+	kindDst.Gauge("m")
+	if err := kindDst.Merge(kind); err == nil || !strings.Contains(err.Error(), "kind mismatch") {
+		t.Errorf("kind mismatch merge: %v, want kind mismatch error", err)
+	}
+
+	vol := NewRegistry()
+	vol.VolatileCounter("m")
+	volDst := NewRegistry()
+	volDst.Counter("m")
+	if err := volDst.Merge(vol); err == nil || !strings.Contains(err.Error(), "volatility mismatch") {
+		t.Errorf("volatility mismatch merge: %v, want volatility mismatch error", err)
+	}
+
+	hb := NewRegistry()
+	hb.Histogram("m", []time.Duration{time.Millisecond})
+	hbDst := NewRegistry()
+	hbDst.Histogram("m", []time.Duration{time.Second})
+	if err := hbDst.Merge(hb); err == nil || !strings.Contains(err.Error(), "bounds mismatch") {
+		t.Errorf("bounds mismatch merge: %v, want bounds mismatch error", err)
+	}
+
+	so := NewRegistry()
+	so.Sketch("m", SketchOpts{Min: time.Millisecond, Max: time.Second, PerDecade: 2})
+	soDst := NewRegistry()
+	soDst.Sketch("m", SketchOpts{Min: time.Millisecond, Max: time.Second, PerDecade: 4})
+	if err := soDst.Merge(so); err == nil || !strings.Contains(err.Error(), "sketch opts mismatch") {
+		t.Errorf("sketch opts mismatch merge: %v, want opts mismatch error", err)
+	}
+
+	// A mismatch on one family must not block the others.
+	mixed := NewRegistry()
+	mixed.Counter("bad")
+	mixed.Counter("good").Add(3)
+	dst := NewRegistry()
+	dst.Gauge("bad")
+	if err := dst.Merge(mixed); err == nil {
+		t.Fatal("expected error from bad family")
+	}
+	if got := dst.Counter("good").Value(); got != 3 {
+		t.Errorf("good family not merged past the bad one: %d, want 3", got)
+	}
+
+	// Nil and self merges are no-ops.
+	if err := dst.Merge(nil); err != nil {
+		t.Errorf("merge nil: %v", err)
+	}
+	var nilReg *Registry
+	if err := nilReg.Merge(dst); err != nil {
+		t.Errorf("nil merge: %v", err)
+	}
+	if err := dst.Merge(dst); err != nil {
+		t.Errorf("self merge: %v", err)
+	}
+}
+
+// TestMergeDuringConcurrentRecording is the satellite -race test: shards
+// still being recorded into and a destination registry being read must
+// survive a concurrent merge of other, quiescent shards.
+func TestMergeDuringConcurrentRecording(t *testing.T) {
+	dst := NewRegistry()
+	quiescent := shardFixture(4)
+	live := NewRegistry()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(3)
+	go func() { // recorder on the live shard
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			live.Counter("tasks_total", "pool", "campaign").Add(1)
+			live.Sketch("lat_sketch", SketchOpts{}, "proto", "doh").Observe(time.Millisecond)
+		}
+	}()
+	go func() { // recorder on the destination itself
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			dst.Counter("direct_total").Add(1)
+			dst.Histogram("lat", nil, "proto", "dot").Observe(time.Millisecond)
+		}
+	}()
+	go func() { // reader of the destination
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = dst.Snapshot(true)
+			_ = dst.PrometheusText()
+		}
+	}()
+
+	for _, s := range quiescent {
+		if err := dst.Merge(s); err != nil {
+			t.Errorf("merge: %v", err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	// The live shard is quiescent now; its fold must still be exact.
+	before := dst.Counter("tasks_total", "pool", "campaign").Value()
+	liveCount := live.Counter("tasks_total", "pool", "campaign").Value()
+	if err := dst.Merge(live); err != nil {
+		t.Fatalf("merging live shard after quiesce: %v", err)
+	}
+	if got := dst.Counter("tasks_total", "pool", "campaign").Value(); got != before+liveCount {
+		t.Errorf("post-quiesce merge lost updates: %d, want %d", got, before+liveCount)
+	}
+}
+
+// ── label escaping ────────────────────────────────────────────────────────
+
+func TestLabelValueEscapingRoundTrips(t *testing.T) {
+	hostile := `cn=EvilCA, O="quo\te",eq==` + "\nnext"
+	reg := NewRegistry()
+	reg.Counter("certs_total", "subject", hostile, "plain", "ok").Add(1)
+
+	kv := parseLabelString(labelString([]string{"subject", hostile, "plain", "ok"}))
+	if len(kv) != 4 || kv[0] != "subject" || kv[1] != hostile || kv[2] != "plain" || kv[3] != "ok" {
+		t.Fatalf("label round trip lost data: %q", kv)
+	}
+
+	text := reg.PrometheusText()
+	want := `doe_certs_total{subject="cn=EvilCA, O=\"quo\\te\",eq==\nnext",plain="ok"} 1`
+	if !strings.Contains(text, want) {
+		t.Errorf("exposition line corrupt:\ngot:  %s\nwant: %s", text, want)
+	}
+	// Exactly one value line for the family (no spurious splits on the
+	// embedded comma).
+	if got := strings.Count(text, "doe_certs_total{"); got != 1 {
+		t.Errorf("%d exposition lines for one instance", got)
+	}
+}
+
+func TestLabelKeyRejectedAtRegistration(t *testing.T) {
+	for _, key := range []string{"bad,key", "bad=key", `bad\key`, `bad"key`, "bad\nkey"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("label key %q accepted, want panic", key)
+				}
+			}()
+			NewRegistry().Counter("m", key, "v")
+		}()
+	}
+}
+
+// ── progress + endpoints ──────────────────────────────────────────────────
+
+func TestPhaseProgressAndNilSafety(t *testing.T) {
+	var nilRec *Recorder
+	nilRec.Phase("x").AddTotal(5)
+	nilRec.Phase("x").Done(1)
+	if got := nilRec.Progress(); got != nil {
+		t.Errorf("nil recorder progress = %v, want nil", got)
+	}
+
+	rec := NewRecorder("study")
+	rec.Phase("experiments").AddTotal(12)
+	rec.Phase("campaign").AddTotal(80)
+	rec.Phase("campaign").Done(25)
+	rec.Phase("experiments").Done(3)
+	got := rec.Progress()
+	want := []PhaseStatus{{Name: "experiments", Done: 3, Total: 12}, {Name: "campaign", Done: 25, Total: 80}}
+	if len(got) != len(want) {
+		t.Fatalf("progress = %+v, want %+v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("phase %d = %+v, want %+v (registration order must hold)", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDebugHandlerEndpoints(t *testing.T) {
+	rec := NewRecorder("study")
+	rec.Metrics().Counter("alpha_total").Add(2)
+	rec.Phase("experiments").AddTotal(12)
+	rec.Phase("experiments").Done(4)
+	sampled := 0
+	srv := httptest.NewServer(DebugHandler(rec, func(reg *Registry) {
+		sampled++
+		SampleMemStats(reg)
+	}))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("reading %s: %v", path, err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/healthz")
+	if code != http.StatusOK || strings.TrimSpace(body) != `{"status":"ok"}` {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+
+	code, body = get("/progress")
+	if code != http.StatusOK {
+		t.Fatalf("/progress status = %d", code)
+	}
+	var prog struct {
+		Phases []PhaseStatus `json:"phases"`
+	}
+	if err := json.Unmarshal([]byte(body), &prog); err != nil {
+		t.Fatalf("/progress is not JSON: %v\n%s", err, body)
+	}
+	if len(prog.Phases) != 1 || prog.Phases[0] != (PhaseStatus{Name: "experiments", Done: 4, Total: 12}) {
+		t.Errorf("/progress = %+v", prog.Phases)
+	}
+
+	code, body = get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	if sampled != 1 {
+		t.Errorf("sampler ran %d times for one scrape", sampled)
+	}
+	for _, want := range []string{"doe_alpha_total 2", "doe_mem_heap_alloc_bytes", "doe_mem_high_water_bytes"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}

@@ -18,12 +18,21 @@
 // the pool — task counts and pool-wide virtual busy time (deterministic),
 // plus worker counts, in-flight high-water marks and per-worker task/busy
 // shares (volatile; their split across workers depends on scheduling).
-// Name the pool with obs.WithPool before calling. Map stays uninstrumented:
-// it has no context to carry a recorder.
+// Each worker goroutine records into its own shard registry (installed via
+// obs.WithMetricsRegistry, so instrumented code deep in the task sees it
+// through obs.Metrics) and the shards fold into the study registry with
+// Registry.Merge after the pool joins — the same positional-merge
+// discipline as results, which removes cross-worker contention on hot
+// counters without changing any merged total. MapCtx also feeds the
+// recorder's progress Phase named after the pool (done/total task counts
+// for the /progress endpoint). Name the pool with obs.WithPool before
+// calling. Map stays uninstrumented: it has no context to carry a
+// recorder.
 package runner
 
 import (
 	"context"
+	"errors"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -69,19 +78,22 @@ func Map[T any](workers, n int, fn func(i int) T) []T {
 	return out
 }
 
-// poolMeters carries the per-pool instruments one MapCtx call records
-// into; the zero value (telemetry off) is inert.
+// poolMeters carries the pool-wide instruments one MapCtx call records
+// into; the zero value (telemetry off) is inert. The in-flight ledger and
+// worker-count gauge stay on the parent registry — they are inherently
+// cross-worker — while everything a task records goes through a worker's
+// shard registry (workerMeters) and folds back at join.
 type poolMeters struct {
 	enabled     bool
 	pool        string
-	reg         *obs.Registry
-	tasks       *obs.Counter // deterministic
-	busyTotal   *obs.Counter // deterministic
-	inflightMax *obs.Gauge   // volatile
+	parent      *obs.Registry
+	phase       *obs.Phase // live done/total progress for /progress
+	inflightMax *obs.Gauge // volatile
 	inflight    atomic.Int64
+	shards      []*obs.Registry // one per worker goroutine; folded at join
 }
 
-func newPoolMeters(ctx context.Context, workers int) *poolMeters {
+func newPoolMeters(ctx context.Context, workers, n int) *poolMeters {
 	reg := obs.Metrics(ctx)
 	if reg == nil {
 		return &poolMeters{}
@@ -90,34 +102,60 @@ func newPoolMeters(ctx context.Context, workers int) *poolMeters {
 	m := &poolMeters{
 		enabled:     true,
 		pool:        pool,
-		reg:         reg,
-		tasks:       reg.Counter("runner_tasks_total", "pool", pool),
-		busyTotal:   reg.Counter("runner_virtual_busy_us_total", "pool", pool),
+		parent:      reg,
+		phase:       obs.FromContext(ctx).Phase(pool),
 		inflightMax: reg.VolatileGauge("runner_inflight_max", "pool", pool),
 	}
+	m.phase.AddTotal(int64(n))
 	// Max, not Set: one pool name may serve several MapCtx calls (both
 	// campaign platforms share "campaign"), so keep the high-water mark.
 	reg.VolatileGauge("runner_workers", "pool", pool).Max(int64(workers))
 	return m
 }
 
-// workerCtx attaches the per-worker busy-time sink and task counter.
-func (m *poolMeters) workerCtx(ctx context.Context, worker int) (context.Context, *obs.Counter) {
+// workerMeters is one worker goroutine's recording surface: a shard
+// registry all task-side metrics land in, contention-free, plus the
+// counter handles resolved once per worker. The serial path records
+// straight into the parent registry (shard == parent, nothing to fold).
+type workerMeters struct {
+	shard       *obs.Registry
+	tasks       *obs.Counter // deterministic: pool-wide task count
+	workerTasks *obs.Counter // volatile: this worker's share
+}
+
+// workerCtx builds the per-worker context: a shard registry override (so
+// obs.Metrics(ctx) inside the task resolves shard-local instruments), the
+// busy-time sink, and the per-worker task counter. Deterministic families
+// (runner_tasks_total, runner_virtual_busy_us_total) are recorded in the
+// shard too; counter merges are plain addition, so the folded totals are
+// identical to what shared counters would have accumulated.
+func (m *poolMeters) workerCtx(ctx context.Context, worker int, sharded bool) (context.Context, *workerMeters) {
 	if !m.enabled {
 		return ctx, nil
 	}
+	reg := m.parent
+	if sharded {
+		reg = obs.NewRegistry()
+		m.shards[worker] = reg
+		ctx = obs.WithMetricsRegistry(ctx, reg)
+	}
 	w := strconv.Itoa(worker)
-	busy := m.reg.VolatileCounter("runner_worker_virtual_busy_us", "pool", m.pool, "worker", w)
-	tasks := m.reg.VolatileCounter("runner_worker_tasks", "pool", m.pool, "worker", w)
-	return obs.WithWorkerSink(ctx, m.busyTotal, busy), tasks
+	total := reg.Counter("runner_virtual_busy_us_total", "pool", m.pool)
+	busy := reg.VolatileCounter("runner_worker_virtual_busy_us", "pool", m.pool, "worker", w)
+	wm := &workerMeters{
+		shard:       reg,
+		tasks:       reg.Counter("runner_tasks_total", "pool", m.pool),
+		workerTasks: reg.VolatileCounter("runner_worker_tasks", "pool", m.pool, "worker", w),
+	}
+	return obs.WithWorkerSink(ctx, total, busy), wm
 }
 
-func (m *poolMeters) taskStart(workerTasks *obs.Counter) {
+func (m *poolMeters) taskStart(wm *workerMeters) {
 	if !m.enabled {
 		return
 	}
-	m.tasks.Add(1)
-	workerTasks.Add(1)
+	wm.tasks.Add(1)
+	wm.workerTasks.Add(1)
 	m.inflightMax.Max(m.inflight.Add(1))
 }
 
@@ -126,6 +164,27 @@ func (m *poolMeters) taskEnd() {
 		return
 	}
 	m.inflight.Add(-1)
+	m.phase.Done(1)
+}
+
+// fold merges every worker shard into the parent registry, in worker
+// order. Merge is associative and commutative, so the order is a
+// convention (matching the positional result merge), not a correctness
+// requirement; any fold tree yields byte-identical snapshots.
+func (m *poolMeters) fold() error {
+	if !m.enabled {
+		return nil
+	}
+	var errs []error
+	for _, shard := range m.shards {
+		if shard == nil {
+			continue
+		}
+		if err := m.parent.Merge(shard); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
 }
 
 // MapCtx is Map with cooperative cancellation: once ctx is done, workers
@@ -143,26 +202,27 @@ func MapCtx[T any](ctx context.Context, workers, n int, fn func(ctx context.Cont
 	}
 	out := make([]T, n)
 	if workers <= 1 {
-		meters := newPoolMeters(ctx, 1)
-		sctx, workerTasks := meters.workerCtx(ctx, 0)
+		meters := newPoolMeters(ctx, 1, n)
+		sctx, wm := meters.workerCtx(ctx, 0, false)
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
 				return out, err
 			}
-			meters.taskStart(workerTasks)
+			meters.taskStart(wm)
 			out[i] = fn(sctx, i)
 			meters.taskEnd()
 		}
 		return out, ctx.Err()
 	}
-	meters := newPoolMeters(ctx, workers)
+	meters := newPoolMeters(ctx, workers, n)
+	meters.shards = make([]*obs.Registry, workers)
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			wctx, workerTasks := meters.workerCtx(ctx, w)
+			wctx, wm := meters.workerCtx(ctx, w, true)
 			for {
 				if ctx.Err() != nil {
 					return
@@ -171,12 +231,17 @@ func MapCtx[T any](ctx context.Context, workers, n int, fn func(ctx context.Cont
 				if i >= n {
 					return
 				}
-				meters.taskStart(workerTasks)
+				meters.taskStart(wm)
 				out[i] = fn(wctx, i)
 				meters.taskEnd()
 			}
 		}(w)
 	}
 	wg.Wait()
+	// Fold worker shards into the study registry only after every worker
+	// has exited — the positional merge point, same discipline as out.
+	if err := meters.fold(); err != nil {
+		return out, errors.Join(ctx.Err(), err)
+	}
 	return out, ctx.Err()
 }

@@ -7,6 +7,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"dnsencryption.info/doe/internal/obs"
 )
 
 func TestMapOrderIndependentOfWorkers(t *testing.T) {
@@ -127,5 +129,50 @@ func TestMapCtxPreCancelled(t *testing.T) {
 	}
 	if got := ran.Load(); got > 4 {
 		t.Fatalf("pre-cancelled context still ran %d tasks", got)
+	}
+}
+
+// TestMapCtxShardRegistriesFoldDeterministically drives instrumented pools
+// at several worker counts and asserts the deterministic snapshot — task
+// totals, busy time, and metrics the tasks themselves record through
+// obs.Metrics(ctx) — is byte-identical, proving the shard registries fold
+// without losing or double-counting anything.
+func TestMapCtxShardRegistriesFoldDeterministically(t *testing.T) {
+	run := func(workers int) (string, *obs.Recorder) {
+		rec := obs.NewRecorder("test")
+		ctx := obs.WithRecorder(context.Background(), rec)
+		ctx = obs.WithPool(ctx, "fold")
+		_, err := MapCtx(ctx, workers, 100, func(ctx context.Context, i int) int {
+			m := obs.Metrics(ctx)
+			m.Counter("task_outcomes_total", "outcome", []string{"a", "b", "c"}[i%3]).Add(1)
+			m.Histogram("task_latency", nil).Observe(time.Duration(i) * time.Millisecond)
+			m.Sketch("task_latency_sketch", obs.SketchOpts{}).Observe(time.Duration(i) * time.Millisecond)
+			obs.Charge(ctx, time.Duration(i)*time.Microsecond)
+			return i
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return rec.Metrics().Snapshot(false), rec
+	}
+
+	want, rec1 := run(1)
+	if want == "" {
+		t.Fatal("instrumented pool produced an empty snapshot")
+	}
+	for _, workers := range []int{2, 4, 8, 16} {
+		got, rec := run(workers)
+		if got != want {
+			t.Errorf("workers=%d snapshot diverged\ngot:\n%s\nwant:\n%s", workers, got, want)
+		}
+		progress := rec.Progress()
+		if len(progress) != 1 || progress[0] != (obs.PhaseStatus{Name: "fold", Done: 100, Total: 100}) {
+			t.Errorf("workers=%d progress = %+v", workers, progress)
+		}
+	}
+	// Worker shards must not leak into the folded registry as extra
+	// deterministic families: the serial run defines the full set.
+	if got := rec1.Metrics().Snapshot(false); got != want {
+		t.Errorf("serial snapshot unstable: %q", got)
 	}
 }

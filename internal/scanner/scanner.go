@@ -153,7 +153,6 @@ func (s *Scanner) ScanContext(ctx context.Context, label string) (*Result, error
 		return nil, err
 	}
 	ctx, span := obs.Start(ctx, "scan:"+label)
-	m := obs.Metrics(ctx)
 	res := &Result{Label: label, ProbedAddrs: s.Space.Size}
 	workers := s.Workers
 	if workers <= 0 {
@@ -166,18 +165,20 @@ func (s *Scanner) ScanContext(ctx context.Context, label string) (*Result, error
 	// the serial sweep alternated sources) and the dials fan out across the
 	// worker pool. Open flags land at their ordinal index, so the open list
 	// is identical for every worker count.
+	// Counters are resolved from the worker's context inside fn, not
+	// captured from the parent before MapCtx: the worker ctx carries a
+	// shard registry, so outcome counts accumulate contention-free and
+	// fold into the study registry when the pool joins.
 	tasks := s.sweepTasks(perm, res)
-	dialsOpen := m.Counter("scanner_sweep_dials_total", "outcome", "open")
-	dialsClosed := m.Counter("scanner_sweep_dials_total", "outcome", "closed")
 	openFlags, err := runner.MapCtx(obs.WithPool(ctx, "scan-sweep"), workers, len(tasks),
 		func(ctx context.Context, i int) bool {
 			conn, err := s.World.Dial(tasks[i].src, tasks[i].addr, dot.Port)
 			if err != nil {
-				dialsClosed.Add(1)
+				obs.Metrics(ctx).Counter("scanner_sweep_dials_total", "outcome", "closed").Add(1)
 				return false
 			}
 			conn.Close()
-			dialsOpen.Add(1)
+			obs.Metrics(ctx).Counter("scanner_sweep_dials_total", "outcome", "open").Add(1)
 			return true
 		})
 	if err != nil {
@@ -194,15 +195,13 @@ func (s *Scanner) ScanContext(ctx context.Context, label string) (*Result, error
 	// Stage 2, DoT verification. Each responsive host's probe source is a
 	// function of its position in the open list, so probe outcomes don't
 	// depend on which worker picked the address up.
-	probeHits := m.Counter("scanner_probes_total", "outcome", "resolver")
-	probeMisses := m.Counter("scanner_probes_total", "outcome", "no-dot")
 	probed, err := runner.MapCtx(obs.WithPool(ctx, "scan-probe"), workers, len(open),
 		func(ctx context.Context, i int) probeOutcome {
 			r, ok := s.probeDoT(s.Sources[i%len(s.Sources)], open[i])
 			if ok {
-				probeHits.Add(1)
+				obs.Metrics(ctx).Counter("scanner_probes_total", "outcome", "resolver").Add(1)
 			} else {
-				probeMisses.Add(1)
+				obs.Metrics(ctx).Counter("scanner_probes_total", "outcome", "no-dot").Add(1)
 			}
 			return probeOutcome{r: r, ok: ok}
 		})
@@ -273,25 +272,24 @@ func (s *Scanner) ScanDoQContext(ctx context.Context, label string) (*Result, er
 		return nil, err
 	}
 	ctx, span := obs.Start(ctx, "scan-doq:"+label)
-	m := obs.Metrics(ctx)
 	res := &Result{Label: label, ProbedAddrs: s.Space.Size}
 	workers := s.Workers
 	if workers <= 0 {
 		workers = 8
 	}
 
+	// As in ScanContext, outcome counters resolve from the worker ctx so
+	// they land in the worker's shard registry.
 	tasks := s.sweepTasks(perm, res)
 	probePkt := doq.Probe()
-	sweepOpen := m.Counter("scanner_doq_sweep_total", "outcome", "open")
-	sweepClosed := m.Counter("scanner_doq_sweep_total", "outcome", "closed")
 	openFlags, err := runner.MapCtx(obs.WithPool(ctx, "scan-doq-sweep"), workers, len(tasks),
 		func(ctx context.Context, i int) bool {
 			resp, _, err := s.World.Exchange(tasks[i].src, tasks[i].addr, doq.Port, probePkt)
 			if err != nil || len(resp) == 0 {
-				sweepClosed.Add(1)
+				obs.Metrics(ctx).Counter("scanner_doq_sweep_total", "outcome", "closed").Add(1)
 				return false
 			}
-			sweepOpen.Add(1)
+			obs.Metrics(ctx).Counter("scanner_doq_sweep_total", "outcome", "open").Add(1)
 			return true
 		})
 	if err != nil {
@@ -305,15 +303,13 @@ func (s *Scanner) ScanDoQContext(ctx context.Context, label string) (*Result, er
 	}
 	res.PortOpen = len(open)
 
-	probeHits := m.Counter("scanner_doq_probes_total", "outcome", "resolver")
-	probeMisses := m.Counter("scanner_doq_probes_total", "outcome", "no-doq")
 	probed, err := runner.MapCtx(obs.WithPool(ctx, "scan-doq-probe"), workers, len(open),
 		func(ctx context.Context, i int) probeOutcome {
 			r, ok := s.probeDoQ(s.Sources[i%len(s.Sources)], open[i])
 			if ok {
-				probeHits.Add(1)
+				obs.Metrics(ctx).Counter("scanner_doq_probes_total", "outcome", "resolver").Add(1)
 			} else {
-				probeMisses.Add(1)
+				obs.Metrics(ctx).Counter("scanner_doq_probes_total", "outcome", "no-doq").Add(1)
 			}
 			return probeOutcome{r: r, ok: ok}
 		})

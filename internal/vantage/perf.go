@@ -174,8 +174,14 @@ func (p *Platform) retryLatenciesMode(ctx context.Context, proto Proto, mode str
 			sp.SetInt("queries", int64(len(lat)))
 			h := obs.Metrics(ctx).Histogram("vantage_query_latency", nil,
 				"mode", mode, "proto", string(proto))
+			// The sketch is the streaming counterpart: log-spaced buckets
+			// whose shard merges stay byte-identical at any worker count.
+			sk := obs.Metrics(ctx).Sketch("vantage_query_latency_sketch", obs.SketchOpts{},
+				"mode", mode, "proto", string(proto))
 			for _, l := range lat {
-				h.Observe(time.Duration(l * float64(time.Millisecond)))
+				d := time.Duration(l * float64(time.Millisecond))
+				h.Observe(d)
+				sk.Observe(d)
 			}
 			return lat, nil
 		}
@@ -528,6 +534,8 @@ func MeasureNoReuseContext(ctx context.Context, w *netsim.World, label string, f
 	timeFresh := func(t *resolver.Transport, tag string) ([]float64, error) {
 		sctx, sp := obs.Start(ctx, "noreuse:"+tag)
 		h := obs.Metrics(sctx).Histogram("vantage_query_latency", nil, "mode", "fresh", "proto", tag)
+		sk := obs.Metrics(sctx).Sketch("vantage_query_latency_sketch", obs.SketchOpts{},
+			"mode", "fresh", "proto", tag)
 		var lat []float64
 		var lastErr error
 		for i := 0; i < n; i++ {
@@ -537,6 +545,7 @@ func MeasureNoReuseContext(ctx context.Context, w *netsim.World, label string, f
 				continue
 			}
 			h.Observe(t.LastLatency())
+			sk.Observe(t.LastLatency())
 			lat = append(lat, ms(t.LastLatency()))
 		}
 		sp.SetInt("answered", int64(len(lat)))

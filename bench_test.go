@@ -197,7 +197,7 @@ func BenchmarkTable6Interception(b *testing.B) {
 	data := s.Reachability()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		vantage.InterceptedResults(data.Global)
+		data.Global.Intercepted()
 	}
 }
 

@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -61,6 +62,11 @@ type Result struct {
 type Snapshot struct {
 	Benchmarks        map[string]Result `json:"benchmarks"`
 	MemHighWaterBytes uint64            `json:"mem_high_water_bytes,omitempty"`
+	// CampaignMemHighWaterBytes is the heap high-water of a streaming scale
+	// campaign over CampaignNodes generated vantages (-campaign-nodes). The
+	// diff gates it only when both snapshots ran the same population.
+	CampaignMemHighWaterBytes uint64 `json:"campaign_mem_high_water_bytes,omitempty"`
+	CampaignNodes             int    `json:"campaign_nodes,omitempty"`
 }
 
 // benchLine matches `BenchmarkName-8  1234  56.7 ns/op  89 B/op  10 allocs/op`.
@@ -75,10 +81,15 @@ func main() {
 		benchtime    = flag.String("benchtime", "", "override -benchtime for the full run")
 		mem          = flag.Bool("mem", true, "measure the heap high-water mark of an in-process miniature study run")
 		memThreshold = flag.Float64("mem-threshold", 0.50, "allowed fractional mem_high_water_bytes growth before a regression fails the run")
+		campNodes    = flag.Int("campaign-nodes", 0, "measure the heap high-water mark of a streaming scale campaign over this many generated vantages (0 = skip)")
+		noBench      = flag.Bool("no-bench", false, "skip the benchmark suite (memory measurements only)")
 	)
 	flag.Parse()
 
 	snap := Snapshot{Benchmarks: make(map[string]Result)}
+	if *noBench {
+		suite = nil
+	}
 	for _, s := range suite {
 		args := []string{"test", "-run", "^$", "-bench", s.bench, "-benchmem", s.pkg}
 		switch {
@@ -99,7 +110,7 @@ func main() {
 			os.Exit(2)
 		}
 	}
-	if len(snap.Benchmarks) == 0 {
+	if len(snap.Benchmarks) == 0 && !*noBench {
 		fmt.Fprintln(os.Stderr, "doebench: no benchmark results parsed")
 		os.Exit(2)
 	}
@@ -115,6 +126,17 @@ func main() {
 		}
 		snap.MemHighWaterBytes = hw
 		fmt.Printf("%-40s %12d bytes heap high-water\n", "study-run", hw)
+	}
+
+	if *campNodes > 0 {
+		hw, err := measureCampaignHighWater(*campNodes)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doebench: campaign measurement: %v\n", err)
+			os.Exit(2)
+		}
+		snap.CampaignMemHighWaterBytes = hw
+		snap.CampaignNodes = *campNodes
+		fmt.Printf("%-40s %12d bytes heap high-water (%d vantages)\n", "scale-campaign", hw, *campNodes)
 	}
 
 	if *out != "" {
@@ -184,7 +206,33 @@ func measureMemHighWater(smoke bool) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
+	return trackHeapHighWater(func() error { return s.RunAll(io.Discard) })
+}
 
+// measureCampaignHighWater runs the streaming scale campaign over nodes
+// generated vantages and tracks its heap high-water. This is the gate on
+// the DESIGN.md §15 contract: campaign memory is O(workers·accumulator +
+// cache cap), so the high-water must stay flat as -campaign-nodes grows —
+// any O(population) state (per-node result slices, unbounded query logs,
+// leaked per-connection timers) shows up here as a step change.
+func measureCampaignHighWater(nodes int) (uint64, error) {
+	cfg := core.DefaultScaleConfig()
+	cfg.Nodes = nodes
+	c, err := core.NewScaleCampaign(cfg)
+	if err != nil {
+		return 0, err
+	}
+	defer c.Close()
+	return trackHeapHighWater(func() error {
+		_, err := c.Run(context.Background())
+		return err
+	})
+}
+
+// trackHeapHighWater runs fn under a background MemStats sampler (the same
+// reading obs.SampleMemStats exposes at run time) and returns the peak
+// HeapAlloc observed.
+func trackHeapHighWater(fn func() error) (uint64, error) {
 	runtime.GC()
 	var peak atomic.Uint64
 	sample := func() {
@@ -212,7 +260,7 @@ func measureMemHighWater(smoke bool) (uint64, error) {
 			}
 		}
 	}()
-	runErr := s.RunAll(io.Discard)
+	runErr := fn()
 	sample()
 	close(stop)
 	<-done
@@ -269,6 +317,23 @@ func diff(prevPath string, cur Snapshot, threshold, memThreshold float64) bool {
 		} else if cur.MemHighWaterBytes != prev.MemHighWaterBytes {
 			fmt.Printf("doebench: mem_high_water_bytes %d -> %d\n",
 				prev.MemHighWaterBytes, cur.MemHighWaterBytes)
+		}
+	}
+	switch {
+	case prev.CampaignNodes == 0 || cur.CampaignNodes == 0:
+		// One side did not run the scale campaign: nothing to compare.
+	case prev.CampaignNodes != cur.CampaignNodes:
+		fmt.Printf("doebench: campaign populations differ (%d vs %d vantages); campaign memory not gated\n",
+			prev.CampaignNodes, cur.CampaignNodes)
+	default:
+		limit := uint64(float64(prev.CampaignMemHighWaterBytes) * (1 + memThreshold))
+		if cur.CampaignMemHighWaterBytes > limit {
+			fmt.Printf("doebench: REGRESSION campaign_mem_high_water_bytes %d -> %d (limit %d)\n",
+				prev.CampaignMemHighWaterBytes, cur.CampaignMemHighWaterBytes, limit)
+			ok = false
+		} else if cur.CampaignMemHighWaterBytes != prev.CampaignMemHighWaterBytes {
+			fmt.Printf("doebench: campaign_mem_high_water_bytes %d -> %d\n",
+				prev.CampaignMemHighWaterBytes, cur.CampaignMemHighWaterBytes)
 		}
 	}
 	return ok

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -17,6 +18,7 @@ import (
 
 	"dnsencryption.info/doe/internal/cli"
 	"dnsencryption.info/doe/internal/core"
+	"dnsencryption.info/doe/internal/workload"
 )
 
 func main() {
@@ -28,8 +30,35 @@ func main() {
 	faults := flag.String("faults", "", "fault-injection profile: "+strings.Join(core.FaultProfileNames(), ", "))
 	faultSeed := flag.Int64("fault-seed", 0, "fault-schedule seed (independent of the study seed)")
 	inflight := flag.Int("inflight", -1, "per-session in-flight queries of the multiplexed perf pass (-1 = default, <2 disables)")
+	nodes := flag.Int("nodes", 0, "run the generator-fed scale campaign over this many vantages instead of the study experiments (max "+fmt.Sprint(workload.VantageCapacity)+"; oversized values are an error, never a truncation)")
 	tele := cli.TelemetryFlags()
 	flag.Parse()
+
+	if *nodes != 0 {
+		if err := core.ValidateScaleNodes(*nodes); err != nil {
+			log.Fatalf("-nodes: %v", err)
+		}
+		scfg := core.DefaultScaleConfig()
+		scfg.Nodes = *nodes
+		scfg.AllProtos = true
+		if *seed != 0 {
+			scfg.Seed = *seed
+		}
+		if *workers > 0 {
+			scfg.Workers = *workers
+		}
+		campaign, err := core.NewScaleCampaign(scfg)
+		if err != nil {
+			log.Fatalf("building scale world: %v", err)
+		}
+		defer campaign.Close()
+		stats, err := campaign.Run(context.Background())
+		if err != nil {
+			log.Fatalf("scale campaign: %v", err)
+		}
+		fmt.Fprint(os.Stdout, campaign.Report(stats))
+		return
+	}
 
 	cfg := core.DefaultConfig()
 	if *small {

@@ -15,6 +15,7 @@ import (
 
 	"dnsencryption.info/doe/internal/cli"
 	"dnsencryption.info/doe/internal/core"
+	"dnsencryption.info/doe/internal/workload"
 )
 
 func main() {
@@ -26,6 +27,7 @@ func main() {
 	faults := flag.String("faults", "", "fault-injection profile: "+strings.Join(core.FaultProfileNames(), ", "))
 	faultSeed := flag.Int64("fault-seed", 0, "fault-schedule seed (independent of the study seed)")
 	inflight := flag.Int("inflight", -1, "per-session in-flight queries of the multiplexed perf pass (-1 = default, <2 disables)")
+	nodes := flag.Int("nodes", 0, "override the global vantage pool size (max "+fmt.Sprint(workload.VantageCapacity)+"; oversized values are an error, never a truncation)")
 	tele := cli.TelemetryFlags()
 	flag.Parse()
 
@@ -35,6 +37,12 @@ func main() {
 	}
 	if *seed != 0 {
 		cfg.Seed = *seed
+	}
+	if *nodes != 0 {
+		if err := core.ValidateScaleNodes(*nodes); err != nil {
+			log.Fatalf("-nodes: %v", err)
+		}
+		cfg.GlobalNodes = *nodes
 	}
 	if *workers > 0 {
 		cfg.Workers = *workers

@@ -12,6 +12,7 @@ import (
 	"dnsencryption.info/doe/internal/netsim"
 	"dnsencryption.info/doe/internal/proxy"
 	"dnsencryption.info/doe/internal/vantage"
+	"dnsencryption.info/doe/internal/workload"
 )
 
 // dohPublicHosts are the 15 DoH services on the public curated list at the
@@ -90,23 +91,9 @@ func (s *Study) buildDoHWorld() error {
 	return nil
 }
 
-// globalCountryWeights drives the ProxyRack-style node distribution. The
-// residential pool skews toward Southeast Asia and South America, matching
-// the population the paper's failure analysis encounters.
-var globalCountryWeights = []struct {
-	cc     string
-	weight int
-}{
-	{"ID", 10}, {"IN", 8}, {"VN", 6}, {"BR", 9}, {"US", 9},
-	{"RU", 6}, {"DE", 4}, {"GB", 3}, {"FR", 3}, {"TH", 4},
-	{"MY", 3}, {"PH", 4}, {"MX", 3}, {"AR", 2}, {"CO", 2},
-	{"TR", 3}, {"UA", 2}, {"PL", 2}, {"IT", 2}, {"ES", 2},
-	{"EG", 2}, {"NG", 2}, {"ZA", 1}, {"KE", 1}, {"SA", 1},
-	{"PK", 2}, {"BD", 2}, {"KR", 1}, {"JP", 1}, {"TW", 1},
-	{"HK", 1}, {"SG", 1}, {"AU", 1}, {"NL", 1}, {"SE", 1},
-	{"CA", 1}, {"CL", 1}, {"PE", 1}, {"VE", 1}, {"LA", 1},
-	{"KZ", 1}, {"IL", 1}, {"AE", 1}, {"GR", 1}, {"RO", 1},
-}
+// The ProxyRack-style country distribution lives in workload.VantageMix:
+// the materialized pool here and the generator-fed scale population draw
+// from the same Table 3 weights.
 
 // dpiCANames are the untrusted issuer CNs Table 6 observes on intercepted
 // sessions.
@@ -130,9 +117,9 @@ func (s *Study) buildClientNetworks() error {
 
 	// Weighted country sequence for global nodes.
 	var countrySeq []string
-	for _, w := range globalCountryWeights {
-		for i := 0; i < w.weight; i++ {
-			countrySeq = append(countrySeq, w.cc)
+	for _, w := range workload.VantageMix() {
+		for i := 0; i < w.Weight; i++ {
+			countrySeq = append(countrySeq, w.CC)
 		}
 	}
 

@@ -156,8 +156,8 @@ func TestDoHDiscovery(t *testing.T) {
 func TestReachabilityShapes(t *testing.T) {
 	s := study(t)
 	data := s.Reachability()
-	global := vantage.TallyResults(data.Global)
-	censored := vantage.TallyResults(data.Censored)
+	global := data.Global.ByResolverProto()
+	censored := data.Censored.ByResolverProto()
 
 	rate := func(tallies map[string]map[vantage.Proto]vantage.Tally, resolver string, proto vantage.Proto) (c, i, f float64) {
 		return tallies[resolver][proto].Rates()
@@ -218,7 +218,7 @@ func TestReachabilityShapes(t *testing.T) {
 
 	// Finding 2.3: some opportunistic DoT sessions are intercepted, and
 	// every intercepted result still resolved correctly.
-	intercepted := vantage.InterceptedResults(data.Global)
+	intercepted := data.Global.Intercepted()
 	if len(intercepted) == 0 {
 		t.Error("no intercepted sessions observed")
 	}

@@ -16,10 +16,15 @@ import (
 	"dnsencryption.info/doe/internal/vantage"
 )
 
-// ReachabilityData bundles the §4.2 campaign outputs.
+// ReachabilityData bundles the §4.2 campaign outputs. The campaigns run as
+// streaming folds: what survives is each platform's CampaignStats
+// accumulator (tallies, retained failure/interception lists, retry and
+// latency aggregates), never a per-node result slice — the contract that
+// lets the same pipeline sweep a million-vantage population in bounded
+// memory (DESIGN.md §15).
 type ReachabilityData struct {
-	Global   []vantage.Result
-	Censored []vantage.Result
+	Global   *vantage.CampaignStats
+	Censored *vantage.CampaignStats
 }
 
 // ScanResults runs (once) and returns all §3 scan rounds.
@@ -54,11 +59,15 @@ func (s *Study) Reachability() *ReachabilityData {
 		// The reachability test observes the May 1 resolver population.
 		s.SetScanRound(s.ScanRounds - 1)
 		ctx := s.obsCtx()
-		campaign := func(name string, p *vantage.Platform) []vantage.Result {
+		campaign := func(name string, p *vantage.Platform) *vantage.CampaignStats {
 			cctx, sp := obs.Start(ctx, "campaign:"+name)
-			out, _ := p.CampaignContext(cctx, s.Targets, s.Workers)
-			sp.SetInt("lookups", int64(len(out)))
-			return out
+			stats, _ := p.CampaignStream(cctx, s.Targets, s.Workers, vantage.CampaignOpts{
+				// Table 5 probes the clients that failed Cloudflare DoT;
+				// only that key's node list is retained.
+				TrackFailed: []vantage.FailKey{{Resolver: "cloudflare", Proto: vantage.ProtoDoT}},
+			})
+			sp.SetInt("lookups", int64(stats.Lookups))
+			return stats
 		}
 		s.reach = &ReachabilityData{
 			Global:   campaign("global", s.GlobalPlatform),
@@ -301,8 +310,8 @@ func runTable4(s *Study) (string, error) {
 	}
 	resolverOrder := []string{"cloudflare", "google", "quad9", "self-built"}
 	protoOrder := []vantage.Proto{vantage.ProtoDNS, vantage.ProtoDoT, vantage.ProtoDoH, vantage.ProtoDoQ}
-	addRows := func(platform string, results []vantage.Result) {
-		tallies := vantage.TallyResults(results)
+	addRows := func(platform string, stats *vantage.CampaignStats) {
+		tallies := stats.ByResolverProto()
 		for _, resolver := range resolverOrder {
 			byProto, ok := tallies[resolver]
 			if !ok {
@@ -329,7 +338,11 @@ func runTable4(s *Study) (string, error) {
 
 func runTable5(s *Study) (string, error) {
 	data := s.Reachability()
-	failed := vantage.FailedNodes(data.Global, "cloudflare", vantage.ProtoDoT)
+	refs := data.Global.FailedRefs(vantage.FailKey{Resolver: "cloudflare", Proto: vantage.ProtoDoT})
+	failed := make([]string, len(refs))
+	for i, ref := range refs {
+		failed[i] = ref.ID
+	}
 	nodesByID := map[string]proxy.ExitNode{}
 	for _, n := range s.Global.Nodes() {
 		nodesByID[n.ID] = n
@@ -397,7 +410,7 @@ func runTable5(s *Study) (string, error) {
 
 func runTable6(s *Study) (string, error) {
 	data := s.Reachability()
-	intercepted := vantage.InterceptedResults(append(append([]vantage.Result{}, data.Global...), data.Censored...))
+	intercepted := append(data.Global.Intercepted(), data.Censored.Intercepted()...)
 	t := &analysis.Table{
 		Title:   "Table 6: Example clients affected by TLS interception",
 		Columns: []string{"Node", "Country", "AS", "Issuer CN (untrusted CA)", "Resolver", "Proto"},

@@ -8,7 +8,6 @@ import (
 
 	"dnsencryption.info/doe/internal/faults"
 	"dnsencryption.info/doe/internal/resolver"
-	"dnsencryption.info/doe/internal/vantage"
 )
 
 // vantageEdgePrefixes are the flow origins the fault layer may perturb:
@@ -122,7 +121,7 @@ func (s *Study) transportOptions() []resolver.Option {
 func (s *Study) faultsSummary() string {
 	st := s.Faults.Stats()
 	reach := s.Reachability()
-	tally := vantage.RetryTally(reach.Global).Plus(vantage.RetryTally(reach.Censored))
+	tally := reach.Global.Retry.Plus(reach.Censored.Retry)
 	var b strings.Builder
 	fmt.Fprintf(&b, "profile: %s (fault seed %d)\n", s.Config.Faults.Profile, s.Faults.Seed())
 	fmt.Fprintf(&b, "stream dials: %d consulted, %d syn-drops, %d refusals, %d handshake-cuts, %d resets, %d flaky-failures, %d stalls\n",

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"dnsencryption.info/doe/internal/workload"
+)
+
+// scaleReport runs one campaign at the given worker count and returns its
+// rendered report.
+func scaleReport(t *testing.T, nodes, workers int, allProtos bool) string {
+	t.Helper()
+	cfg := DefaultScaleConfig()
+	cfg.Nodes = nodes
+	cfg.Workers = workers
+	cfg.AllProtos = allProtos
+	c, err := NewScaleCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	stats, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Network.ActiveCount(); got != 0 {
+		t.Errorf("campaign leaked %d acquired nodes", got)
+	}
+	return c.Report(stats)
+}
+
+func TestScaleCampaignByteIdenticalAcrossWorkerCounts(t *testing.T) {
+	const nodes = 3000
+	base := scaleReport(t, nodes, 1, false)
+	if !strings.Contains(base, "3000 vantages") {
+		t.Fatalf("report header:\n%s", base)
+	}
+	// The report must show real measurement signal, not a degenerate world.
+	if !strings.Contains(base, "cloudflare") || !strings.Contains(base, "dns") {
+		t.Fatalf("report missing reachability rows:\n%s", base)
+	}
+	for _, workers := range []int{4, 8} {
+		if got := scaleReport(t, nodes, workers, false); got != base {
+			t.Errorf("workers=%d report differs from serial:\n--- serial ---\n%s\n--- workers=%d ---\n%s",
+				workers, base, workers, got)
+		}
+	}
+}
+
+func TestScaleCampaignAllProtosByteIdentical(t *testing.T) {
+	const nodes = 400
+	base := scaleReport(t, nodes, 1, true)
+	for _, proto := range []string{"dot", "doh", "doq"} {
+		if !strings.Contains(base, proto) {
+			t.Errorf("all-protos report missing %s rows:\n%s", proto, base)
+		}
+	}
+	if got := scaleReport(t, nodes, 8, true); got != base {
+		t.Errorf("all-protos workers=8 report differs:\n--- serial ---\n%s\n--- parallel ---\n%s", base, got)
+	}
+}
+
+// TestScaleCampaignBoundsWorldState pins the constant-memory levers: capped
+// resolver cache, disabled zone query log, empty active ledger after the
+// run.
+func TestScaleCampaignBoundsWorldState(t *testing.T) {
+	cfg := DefaultScaleConfig()
+	cfg.Nodes = 2000
+	cfg.Workers = 4
+	cfg.CacheLimit = 64
+	c, err := NewScaleCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Resolver.CacheLen(); got > 64 {
+		t.Errorf("resolver cache grew to %d entries past the 64 cap", got)
+	}
+	if got := len(c.Zone.QueriedNames()); got != 0 {
+		t.Errorf("zone query log retained %d names with DisableQueryLog set", got)
+	}
+	if got := c.Network.ActiveCount(); got != 0 {
+		t.Errorf("active ledger retained %d nodes", got)
+	}
+}
+
+func TestValidateScaleNodes(t *testing.T) {
+	if err := ValidateScaleNodes(1_000_000); err != nil {
+		t.Errorf("1M rejected: %v", err)
+	}
+	if err := ValidateScaleNodes(0); err == nil {
+		t.Error("0 accepted")
+	}
+	if err := ValidateScaleNodes(workload.VantageCapacity + 1); err == nil {
+		t.Error("over-capacity accepted")
+	}
+	if err := ValidateScaleNodes(workload.VantageCapacity); err != nil {
+		t.Errorf("exact capacity rejected: %v", err)
+	}
+}

@@ -139,6 +139,11 @@ type Zone struct {
 	WildcardA netip.Addr
 	// Proc is the fixed authoritative processing time per query.
 	Proc time.Duration
+	// DisableQueryLog stops the zone recording answered names. The log
+	// exists for measurement verification (QueriedNames); million-vantage
+	// streaming campaigns disable it because retaining one string per
+	// lookup is O(total queries) heap. Responses are unaffected.
+	DisableQueryLog bool
 
 	mu          sync.RWMutex
 	records     map[string]map[dnswire.Type][]dnswire.Record
@@ -191,7 +196,9 @@ func (z *Zone) ServeDNS(_ netip.Addr, req *dnswire.Message) (*dnswire.Message, t
 		return resp, z.Proc
 	}
 	z.mu.Lock()
-	z.queried = append(z.queried, name)
+	if !z.DisableQueryLog {
+		z.queried = append(z.queried, name)
+	}
 	byType := z.records[name]
 	deleg, delegated := z.referralFor(name)
 	z.mu.Unlock()
@@ -267,6 +274,15 @@ type Resolver struct {
 	// latency per cache miss (modeling faraway or slow nameservers — the
 	// distribution behind Finding 2.4's timeouts).
 	ExtraProcDist func(rng *rand.Rand) time.Duration
+	// CacheLimit, when > 0, caps the number of cached entries: once full,
+	// new answers are served but not inserted. This is only safe for
+	// workloads whose query names are task-private (never re-queried) —
+	// there a hit can never happen, so skipping insertion changes neither
+	// answers nor latency. Million-vantage streaming campaigns set it to
+	// keep resolver heap O(limit) instead of O(total queries); study
+	// worlds leave it 0 (unbounded) because reused-name measurements
+	// depend on hits.
+	CacheLimit int
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
@@ -366,9 +382,11 @@ func (r *Resolver) ServeDNS(_ netip.Addr, req *dnswire.Message) (*dnswire.Messag
 	resp.Answers = append(resp.Answers, um.Answers...)
 
 	r.cacheMu.Lock()
-	r.cache[key] = cacheEntry{
-		answers: um.Answers,
-		rcode:   um.Rcode,
+	if r.CacheLimit <= 0 || len(r.cache) < r.CacheLimit {
+		r.cache[key] = cacheEntry{
+			answers: um.Answers,
+			rcode:   um.Rcode,
+		}
 	}
 	r.cacheMu.Unlock()
 	return resp, proc

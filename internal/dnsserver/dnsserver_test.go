@@ -221,3 +221,39 @@ func TestClientRetriesUDP(t *testing.T) {
 		t.Fatalf("retry did not recover: %v", err)
 	}
 }
+
+// TestCacheLimitCapsInsertionWithoutChangingAnswers pins the streaming-
+// campaign contract: with task-private (never-repeated) names, a capped
+// cache serves identical answers while heap stays O(limit).
+func TestCacheLimitCapsInsertionWithoutChangingAnswers(t *testing.T) {
+	w := newWorld()
+	r := setupRecursive(t, w)
+	r.CacheLimit = 3
+	c := dnsclient.New(w, clientIP)
+	for i := 0; i < 10; i++ {
+		name := "n" + string(rune('a'+i)) + ".measure.example.org"
+		res, err := c.QueryUDP(resolverIP, name, dnswire.TypeA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a, ok := res.FirstA(); !ok || a != netip.MustParseAddr("203.0.113.1") {
+			t.Fatalf("query %d answer = %v", i, res.Msg.Answers)
+		}
+	}
+	if got := r.CacheLen(); got != 3 {
+		t.Errorf("cache len = %d, want capped at 3", got)
+	}
+	// Entries inserted before the cap filled still hit; names seen after
+	// the cap filled were never inserted and pay the upstream trip again.
+	hit, err := c.QueryUDP(resolverIP, "na.measure.example.org", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	miss, err := c.QueryUDP(resolverIP, "nj.measure.example.org", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit.Latency >= miss.Latency {
+		t.Errorf("pre-cap entry latency %v not below uncached %v", hit.Latency, miss.Latency)
+	}
+}

@@ -169,6 +169,7 @@ type Registry struct {
 	mu       sync.RWMutex
 	prefixes []prefixEntry
 	sorted   bool
+	fallback func(netip.Addr) (Location, bool)
 }
 
 type prefixEntry struct {
@@ -201,7 +202,28 @@ func (r *Registry) Lookup(ip netip.Addr) (Location, bool) {
 			return e.loc, true
 		}
 	}
+	if fb := r.fallbackFn(); fb != nil {
+		return fb(ip)
+	}
 	return Location{}, false
+}
+
+// SetFallback installs fn, consulted when no registered prefix covers an
+// address. Generator-fed vantage populations use this to answer geography
+// for millions of per-node /32s as a pure function of the address —
+// constant memory instead of one prefix registration per node. Registered
+// prefixes always win; install the fallback at world-build time, before
+// lookups start.
+func (r *Registry) SetFallback(fn func(netip.Addr) (Location, bool)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.fallback = fn
+}
+
+func (r *Registry) fallbackFn() func(netip.Addr) (Location, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.fallback
 }
 
 // Country is a convenience wrapper around Lookup returning only the country

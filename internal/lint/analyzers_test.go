@@ -557,3 +557,64 @@ func Bad() {}
 	})
 	wantFindings(t, findings, "directive", []string{"hot/bad.go:3"})
 }
+
+func TestStreaming(t *testing.T) {
+	findings := lintFixtures(t, lint.DefaultConfig(), map[string]string{
+		"st/st.go": `package st
+
+// Fold accumulates per-item results — the exact antipattern.
+//
+//doelint:streaming
+func Fold(n int) []int {
+	var acc []int
+	for i := 0; i < n; i++ {
+		acc = append(acc, i) // line 9: finding
+		scratch := make([]int, 0, 4)
+		scratch = append(scratch, i) // per-iteration scratch: fine
+		_ = scratch
+	}
+	return acc
+}
+
+type sink struct{ rows []int }
+
+// Fill accumulates into a field, through a closure.
+//
+//doelint:streaming
+func (s *sink) Fill(n int, each func(func(int))) {
+	for i := 0; i < n; i++ {
+		each(func(v int) {
+			s.rows = append(s.rows, v+i) // line 25: finding
+		})
+	}
+}
+
+// Bounded appends once per worker, a justified bounded accumulation.
+//
+//doelint:streaming
+func Bounded(workers int) [][]int {
+	out := make([][]int, 0, workers)
+	for w := 0; w < workers; w++ {
+		out = append(out, nil) //doelint:allow streaming -- fixture: bounded by worker count, not population
+	}
+	return out
+}
+
+// Plain is unannotated: the check ignores it.
+func Plain(n int) []int {
+	var acc []int
+	for i := 0; i < n; i++ {
+		acc = append(acc, i)
+	}
+	return acc
+}
+`,
+		"st/bad.go": `package st
+
+//doelint:streaming with-arguments
+func Bad() {}
+`,
+	})
+	wantFindings(t, findings, "streaming", []string{"st/st.go:9", "st/st.go:25"})
+	wantFindings(t, findings, "directive", []string{"st/bad.go:3"})
+}

@@ -55,13 +55,15 @@ func (d *directiveIndex) transferAt(fset *token.FileSet, pos token.Pos) bool {
 //	//doelint:allow <check>[,<check>...] -- <justification>
 //	//doelint:transfer -- <justification>
 //	//doelint:hotpath
+//	//doelint:streaming
 //	//doelint:clockboundary -- <justification>
 //	//doelint:ctxroot -- <justification>
 //
 // allow and transfer are line-scoped: they cover their own line and the
 // line immediately below, so they can either trail the offending statement
-// or sit on their own line above it. hotpath, clockboundary, and ctxroot
-// go in a function's doc comment and mark the whole declaration.
+// or sit on their own line above it. hotpath, streaming, clockboundary,
+// and ctxroot go in a function's doc comment and mark the whole
+// declaration.
 // Justifications are mandatory where shown: suppressions and ownership
 // claims must explain themselves to survive review.
 func parseDirectives(fset *token.FileSet, f *ast.File, idx *directiveIndex) []Finding {
@@ -93,6 +95,15 @@ func parseDirectives(fset *token.FileSet, f *ast.File, idx *directiveIndex) []Fi
 				// arguments.
 				if strings.TrimSpace(arg) != "" {
 					report(c.Pos(), "doelint:hotpath takes no arguments")
+				}
+			case "streaming":
+				// Consumed by the streaming analyzer: marks the function
+				// whose doc comment carries it as a population-streaming
+				// fold whose memory must stay O(workers·accumulator) — it
+				// must not append per-item results into a slice that grows
+				// with the campaign population. Takes no arguments.
+				if strings.TrimSpace(arg) != "" {
+					report(c.Pos(), "doelint:streaming takes no arguments")
 				}
 			case "clockboundary", "ctxroot":
 				// Function-doc directives consumed by walltaint and
@@ -134,7 +145,7 @@ func parseDirectives(fset *token.FileSet, f *ast.File, idx *directiveIndex) []Fi
 					idx.allow[allowKey{pos.Filename, pos.Line + 1, name}] = true
 				}
 			default:
-				report(c.Pos(), "unknown doelint directive %q (defined: \"allow\", \"hotpath\", \"transfer\", \"clockboundary\", \"ctxroot\")", verb)
+				report(c.Pos(), "unknown doelint directive %q (defined: \"allow\", \"hotpath\", \"streaming\", \"transfer\", \"clockboundary\", \"ctxroot\")", verb)
 			}
 		}
 	}

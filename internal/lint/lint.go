@@ -220,6 +220,7 @@ var registry = []*Analyzer{
 	analyzerLockbalance,
 	analyzerGoleak,
 	analyzerHotalloc,
+	analyzerStreaming,
 	analyzerBufown,
 	analyzerCtxplumb,
 }

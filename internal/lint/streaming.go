@@ -1,0 +1,172 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// streamingDirective marks a function as a population-streaming fold: its
+// memory must stay O(workers·accumulator) no matter how many items flow
+// through it. It goes in the function's doc comment, like
+// //doelint:hotpath.
+const streamingDirective = "//doelint:streaming"
+
+// analyzerStreaming is the regression guard for the streaming-campaign
+// contract (DESIGN.md §15): a //doelint:streaming function must not
+// accumulate per-item results, so any append inside one of its loops whose
+// destination slice outlives the loop is a finding — the slice's length
+// scales with the iteration count, and in a streaming fold the loop ranges
+// over the campaign population. Per-iteration scratch (a slice declared
+// inside the loop body) is fine; a deliberate bounded accumulation (per
+// worker, per target) is justified with //doelint:allow streaming.
+var analyzerStreaming = &Analyzer{
+	Name: "streaming",
+	Doc:  "no population-scaled slice accumulation in //doelint:streaming functions",
+	Run:  runStreaming,
+}
+
+func runStreaming(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !isStreaming(fn) {
+				continue
+			}
+			checkStreamingBody(p, fn)
+		}
+	}
+}
+
+func isStreaming(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if c.Text == streamingDirective || strings.HasPrefix(c.Text, streamingDirective+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// checkStreamingBody walks the function body, including closures — the fold
+// callback handed to a reducer runs once per item, so an accumulator append
+// inside it scales exactly the same way. It tracks the stack of enclosing
+// loops and reports every append whose destination is declared outside the
+// innermost loop containing it.
+func checkStreamingBody(p *Pass, fn *ast.FuncDecl) {
+	name := fn.Name.Name
+	var loops []ast.Node
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			loops = append(loops, n)
+			for _, child := range loopChildren(n) {
+				ast.Inspect(child, walk)
+			}
+			loops = loops[:len(loops)-1]
+			return false
+		case *ast.AssignStmt:
+			if len(loops) == 0 {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(p, call) || i >= len(n.Lhs) {
+					continue
+				}
+				checkStreamingAppend(p, name, loops[len(loops)-1], n.Lhs[i], call.Pos())
+			}
+		}
+		return true
+	}
+	ast.Inspect(fn.Body, walk)
+}
+
+// loopChildren returns a loop statement's sub-nodes so the walker can
+// recurse with the loop pushed on the stack. The init/cond/post/key/value
+// parts come along too — an append hiding in a post statement is still an
+// append per iteration.
+func loopChildren(n ast.Node) []ast.Node {
+	var out []ast.Node
+	add := func(c ast.Node) {
+		// Typed nils (e.g. a ForStmt with no init) must not reach
+		// ast.Inspect, which panics on them.
+		if c != nil && !isNilNode(c) {
+			out = append(out, c)
+		}
+	}
+	switch n := n.(type) {
+	case *ast.ForStmt:
+		add(n.Init)
+		add(n.Cond)
+		add(n.Post)
+		add(n.Body)
+	case *ast.RangeStmt:
+		add(n.Key)
+		add(n.Value)
+		add(n.X)
+		add(n.Body)
+	}
+	return out
+}
+
+func isNilNode(n ast.Node) bool {
+	switch v := n.(type) {
+	case *ast.BlockStmt:
+		return v == nil
+	case *ast.Ident:
+		return v == nil
+	case ast.Stmt:
+		return v == nil
+	case ast.Expr:
+		return v == nil
+	}
+	return false
+}
+
+func isBuiltinAppend(p *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, ok = p.objectOf(id).(*types.Builtin)
+	return ok
+}
+
+// checkStreamingAppend reports the append unless its destination is a plain
+// local declared inside the given (innermost enclosing) loop. Everything
+// else — outer locals, parameters, struct fields, pointer derefs, map or
+// slice elements — outlives the iteration and therefore accumulates.
+func checkStreamingAppend(p *Pass, fn string, loop ast.Node, dst ast.Expr, pos token.Pos) {
+	if id, ok := dst.(*ast.Ident); ok {
+		obj := p.objectOf(id)
+		if obj != nil && obj.Pos() >= loop.Pos() && obj.Pos() < loop.End() {
+			return // per-iteration scratch, reset every time around
+		}
+	}
+	p.Reportf(pos,
+		"streaming fold %s appends to %s inside a loop, so its length scales with the population; fold into a constant-size accumulator or justify with //doelint:allow streaming",
+		fn, renderExpr(dst))
+}
+
+// renderExpr prints the small destination expressions this check meets:
+// identifiers, field selectors, derefs, and index expressions.
+func renderExpr(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return renderExpr(e.X) + "." + e.Sel.Name
+	case *ast.StarExpr:
+		return "*" + renderExpr(e.X)
+	case *ast.IndexExpr:
+		return renderExpr(e.X) + "[...]"
+	case *ast.ParenExpr:
+		return "(" + renderExpr(e.X) + ")"
+	}
+	return "the destination slice"
+}

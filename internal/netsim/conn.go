@@ -237,6 +237,15 @@ func (b *buffer) closeWrite(stamp time.Duration) {
 		b.closed = true
 		b.closedAt = stamp
 	}
+	// A closed buffer's reads never block on the deadline (EOF wins), so
+	// the wake-up timer has no job left. Dropping it matters: an armed
+	// timer sits in the runtime timer heap holding the buffer — and its
+	// jitter RNG — alive until it fires, which at campaign rates is a
+	// per-connection leak that dwarfs the connection itself.
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
 	b.cond.Broadcast()
 	b.mu.Unlock()
 }

@@ -209,6 +209,15 @@ func (w *World) RegisterStream(ip netip.Addr, port uint16, handler StreamHandler
 	}()
 }
 
+// NumListeners reports how many stream services are currently installed.
+// The lazy-world tests pin the streaming-campaign invariant with it:
+// vantage-edge listeners in flight stay O(workers), never O(population).
+func (w *World) NumListeners() int {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return len(w.listeners)
+}
+
 // CloseService removes the stream service on ip:port.
 func (w *World) CloseService(ip netip.Addr, port uint16) {
 	addr := Addr{IP: ip, Port: port}

@@ -48,6 +48,12 @@ type Network struct {
 	nodes map[string]*ExitNode
 	order []string
 	rng   *rand.Rand
+
+	// Generator-fed population (see genpop.go): synthesized nodes are
+	// materialized into `active` only between Acquire and its release.
+	gen      func(i int) ExitNode
+	genCount int
+	active   map[string]*ExitNode
 }
 
 // NewNetwork creates a proxy platform and installs its super proxy and exit
@@ -111,7 +117,7 @@ func (n *Network) NodeCount() int {
 func (n *Network) RemainingUptime(id string) (time.Duration, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	node, ok := n.nodes[id]
+	node, ok := n.lookupLocked(id)
 	if !ok {
 		return 0, ErrNoSuchNode
 	}
@@ -130,6 +136,10 @@ func (n *Network) Shutdown() {
 	for _, id := range n.order {
 		n.World.CloseService(n.nodes[id].Addr, 1080)
 	}
+	for _, node := range n.active {
+		n.World.CloseService(node.Addr, 1080)
+	}
+	n.active = nil
 }
 
 // dialViaExit is the super proxy's outbound leg: pick the exit node named
@@ -157,7 +167,7 @@ func (n *Network) reserve(id string) (*ExitNode, error) {
 	var node *ExitNode
 	if id != "" {
 		var ok bool
-		node, ok = n.nodes[id]
+		node, ok = n.lookupLocked(id)
 		if !ok {
 			return nil, ErrNoSuchNode
 		}

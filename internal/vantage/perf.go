@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"dnsencryption.info/doe/internal/analysis"
+	"dnsencryption.info/doe/internal/bufpool"
 	"dnsencryption.info/doe/internal/dnsclient"
 	"dnsencryption.info/doe/internal/dnswire"
 	"dnsencryption.info/doe/internal/doh"
@@ -77,38 +78,48 @@ func (p *Platform) MeasurePerformance(node proxy.ExitNode, tgt Target, n int) (P
 func (p *Platform) MeasurePerformanceContext(ctx context.Context, node proxy.ExitNode, tgt Target, n int) (PerfSample, error) {
 	sample := PerfSample{NodeID: node.ID, Country: node.Country}
 
-	dnsLat, err := p.retryLatencies(ctx, ProtoDNS, func(ctx context.Context) ([]float64, error) {
+	// medianRelease reduces one pass's latency scratch to its median and
+	// returns the slice to the pool immediately: across a campaign only
+	// O(1) scratch is live per worker, not one slice per (node, protocol)
+	// accumulating until the sample is assembled.
+	medianRelease := func(lat *[]float64) float64 {
+		m := analysis.Median(*lat)
+		bufpool.PutF64(lat)
+		return m
+	}
+
+	dnsLat, err := p.retryLatencies(ctx, ProtoDNS, func(ctx context.Context) (*[]float64, error) {
 		return p.timeDNSQueries(ctx, node, tgt.DNS, n)
 	})
 	if err != nil {
 		return sample, err
 	}
-	sample.DNSMedianMS = analysis.Median(dnsLat)
+	sample.DNSMedianMS = medianRelease(dnsLat)
 
-	dotLat, err := p.retryLatencies(ctx, ProtoDoT, func(ctx context.Context) ([]float64, error) {
+	dotLat, err := p.retryLatencies(ctx, ProtoDoT, func(ctx context.Context) (*[]float64, error) {
 		return p.timeDoTQueries(ctx, node, tgt.DoT, n)
 	})
 	if err != nil {
 		return sample, err
 	}
-	sample.DoTMedianMS = analysis.Median(dotLat)
+	sample.DoTMedianMS = medianRelease(dotLat)
 
-	dohLat, err := p.retryLatencies(ctx, ProtoDoH, func(ctx context.Context) ([]float64, error) {
+	dohLat, err := p.retryLatencies(ctx, ProtoDoH, func(ctx context.Context) (*[]float64, error) {
 		return p.timeDoHQueries(ctx, node, tgt.DoH, tgt.DoHAddr, n)
 	})
 	if err != nil {
 		return sample, err
 	}
-	sample.DoHMedianMS = analysis.Median(dohLat)
+	sample.DoHMedianMS = medianRelease(dohLat)
 
 	if tgt.DoQ.IsValid() {
-		doqLat, err := p.retryLatencies(ctx, ProtoDoQ, func(ctx context.Context) ([]float64, error) {
+		doqLat, err := p.retryLatencies(ctx, ProtoDoQ, func(ctx context.Context) (*[]float64, error) {
 			return p.timeDoQQueries(ctx, node, tgt.DoQ, n)
 		})
 		if err != nil {
 			return sample, err
 		}
-		sample.DoQMedianMS = analysis.Median(doqLat)
+		sample.DoQMedianMS = medianRelease(doqLat)
 	}
 
 	// The multiplexed pass re-runs the encrypted transports with
@@ -116,28 +127,28 @@ func (p *Platform) MeasurePerformanceContext(ctx context.Context, node proxy.Exi
 	// round trip over its queries — the Fig. 9 "multiplexed" column.
 	if p.MuxInFlight > 1 {
 		sample.MuxInFlight = p.MuxInFlight
-		dotMux, err := p.retryLatenciesMode(ctx, ProtoDoT, "mux", func(ctx context.Context) ([]float64, error) {
+		dotMux, err := p.retryLatenciesMode(ctx, ProtoDoT, "mux", func(ctx context.Context) (*[]float64, error) {
 			return p.timeDoTMuxQueries(ctx, node, tgt.DoT, n)
 		})
 		if err != nil {
 			return sample, err
 		}
-		sample.DoTMuxMedianMS = analysis.Median(dotMux)
-		dohMux, err := p.retryLatenciesMode(ctx, ProtoDoH, "mux", func(ctx context.Context) ([]float64, error) {
+		sample.DoTMuxMedianMS = medianRelease(dotMux)
+		dohMux, err := p.retryLatenciesMode(ctx, ProtoDoH, "mux", func(ctx context.Context) (*[]float64, error) {
 			return p.timeDoHMuxQueries(ctx, node, tgt.DoH, tgt.DoHAddr, n)
 		})
 		if err != nil {
 			return sample, err
 		}
-		sample.DoHMuxMedianMS = analysis.Median(dohMux)
+		sample.DoHMuxMedianMS = medianRelease(dohMux)
 		if tgt.DoQ.IsValid() {
-			doqMux, err := p.retryLatenciesMode(ctx, ProtoDoQ, "mux", func(ctx context.Context) ([]float64, error) {
+			doqMux, err := p.retryLatenciesMode(ctx, ProtoDoQ, "mux", func(ctx context.Context) (*[]float64, error) {
 				return p.timeDoQMuxQueries(ctx, node, tgt.DoQ, n)
 			})
 			if err != nil {
 				return sample, err
 			}
-			sample.DoQMuxMedianMS = analysis.Median(doqMux)
+			sample.DoQMuxMedianMS = medianRelease(doqMux)
 		}
 	}
 	return sample, nil
@@ -147,21 +158,23 @@ func (p *Platform) MeasurePerformanceContext(ctx context.Context, node proxy.Exi
 // fresh session) while it fails and the platform retry budget allows: a
 // connection killed mid-pass would otherwise discard the node. The
 // successful pass's latencies are reported unpolluted by earlier attempts
-// and observed into the reused-connection latency histogram.
-func (p *Platform) retryLatencies(ctx context.Context, proto Proto, measure func(ctx context.Context) ([]float64, error)) ([]float64, error) {
+// and observed into the reused-connection latency histogram. The returned
+// slice is pool-owned (bufpool.GetF64); the caller must PutF64 it once
+// reduced.
+func (p *Platform) retryLatencies(ctx context.Context, proto Proto, measure func(ctx context.Context) (*[]float64, error)) (*[]float64, error) {
 	return p.retryLatenciesMode(ctx, proto, "reused", measure)
 }
 
 // retryLatenciesMode is retryLatencies with an explicit histogram mode
 // ("reused" for the serial passes, "mux" for the multiplexed ones).
-func (p *Platform) retryLatenciesMode(ctx context.Context, proto Proto, mode string, measure func(ctx context.Context) ([]float64, error)) ([]float64, error) {
+func (p *Platform) retryLatenciesMode(ctx context.Context, proto Proto, mode string, measure func(ctx context.Context) (*[]float64, error)) (*[]float64, error) {
 	span := "perf:" + string(proto)
 	if mode != "reused" {
 		span += "-" + mode
 	}
 	ctx, sp := obs.Start(ctx, span)
 	budget := p.attempts()
-	var lat []float64
+	var lat *[]float64
 	var err error
 	for attempt := 1; attempt <= budget; attempt++ {
 		actx := ctx
@@ -171,19 +184,19 @@ func (p *Platform) retryLatenciesMode(ctx context.Context, proto Proto, mode str
 		lat, err = measure(actx)
 		if err == nil {
 			sp.SetInt("attempts", int64(attempt))
-			sp.SetInt("queries", int64(len(lat)))
+			sp.SetInt("queries", int64(len(*lat)))
 			h := obs.Metrics(ctx).Histogram("vantage_query_latency", nil,
 				"mode", mode, "proto", string(proto))
 			// The sketch is the streaming counterpart: log-spaced buckets
 			// whose shard merges stay byte-identical at any worker count.
 			sk := obs.Metrics(ctx).Sketch("vantage_query_latency_sketch", obs.SketchOpts{},
 				"mode", mode, "proto", string(proto))
-			for _, l := range lat {
+			for _, l := range *lat {
 				d := time.Duration(l * float64(time.Millisecond))
 				h.Observe(d)
 				sk.Observe(d)
 			}
-			return lat, nil
+			return lat, nil //doelint:transfer -- pool-owned scratch; the caller reduces and PutF64s it
 		}
 	}
 	sp.Fail(err)
@@ -196,23 +209,26 @@ func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond)
 // the per-query latencies in milliseconds — the session's Elapsed delta
 // around each Exchange, the one clock every transport shares. This is the
 // point of the unified API for §4.3: the timing harness is literally the
-// same code for DNS/TCP, DoT and DoH.
-func (p *Platform) timeQueries(ctx context.Context, sess resolver.Session, tag string, n int) ([]float64, error) {
-	var lat []float64
+// same code for DNS/TCP, DoT and DoH. The returned slice comes from
+// bufpool.GetF64 and travels up through retryLatencies to the reducer that
+// PutF64s it; a failed pass releases it here.
+func (p *Platform) timeQueries(ctx context.Context, sess resolver.Session, tag string, n int) (*[]float64, error) {
+	lat := bufpool.GetF64(n)
 	for i := 0; i < n; i++ {
 		q := dnswire.NewQuery(0, p.UniqueName(tag), dnswire.TypeA)
 		start := sess.Elapsed()
 		if _, err := sess.Exchange(ctx, q); err != nil {
+			bufpool.PutF64(lat)
 			return nil, err
 		}
 		d := sess.Elapsed() - start
 		obs.Charge(ctx, d)
-		lat = append(lat, ms(d))
+		*lat = append(*lat, ms(d))
 	}
-	return lat, nil
+	return lat, nil //doelint:transfer -- pool-owned scratch; released by the median reducer
 }
 
-func (p *Platform) timeDNSQueries(ctx context.Context, node proxy.ExitNode, target netip.Addr, n int) ([]float64, error) {
+func (p *Platform) timeDNSQueries(ctx context.Context, node proxy.ExitNode, target netip.Addr, n int) (*[]float64, error) {
 	tunnel, err := p.Network.Dial(p.From, node.ID, target, 53)
 	if err != nil {
 		return nil, err
@@ -223,7 +239,7 @@ func (p *Platform) timeDNSQueries(ctx context.Context, node proxy.ExitNode, targ
 	return p.timeQueries(ctx, sess, node.ID+"-perf-dns", n)
 }
 
-func (p *Platform) timeDoTQueries(ctx context.Context, node proxy.ExitNode, target netip.Addr, n int) ([]float64, error) {
+func (p *Platform) timeDoTQueries(ctx context.Context, node proxy.ExitNode, target netip.Addr, n int) (*[]float64, error) {
 	tunnel, err := p.Network.Dial(p.From, node.ID, target, dot.Port)
 	if err != nil {
 		return nil, err
@@ -239,7 +255,7 @@ func (p *Platform) timeDoTQueries(ctx context.Context, node proxy.ExitNode, targ
 	return p.timeQueries(ctx, sess, node.ID+"-perf-dot", n)
 }
 
-func (p *Platform) timeDoHQueries(ctx context.Context, node proxy.ExitNode, tmpl doh.Template, addr netip.Addr, n int) ([]float64, error) {
+func (p *Platform) timeDoHQueries(ctx context.Context, node proxy.ExitNode, tmpl doh.Template, addr netip.Addr, n int) (*[]float64, error) {
 	tunnel, err := p.Network.Dial(p.From, node.ID, addr, doh.Port)
 	if err != nil {
 		return nil, err
@@ -258,7 +274,7 @@ func (p *Platform) timeDoHQueries(ctx context.Context, node proxy.ExitNode, tmpl
 // timeDoQQueries times DoQ on one reused session through the platform's
 // datagram relay. The fresh 1-RTT handshake is charged to setup (observed,
 // not mixed into per-query latencies), matching the other transports.
-func (p *Platform) timeDoQQueries(ctx context.Context, node proxy.ExitNode, target netip.Addr, n int) ([]float64, error) {
+func (p *Platform) timeDoQQueries(ctx context.Context, node proxy.ExitNode, target netip.Addr, n int) (*[]float64, error) {
 	relay, err := p.Network.DialDatagram(p.From, node.ID, target, doq.Port)
 	if err != nil {
 		return nil, err
@@ -281,33 +297,35 @@ func (p *Platform) timeDoQQueries(ctx context.Context, node proxy.ExitNode, targ
 // segment, so the whole batch costs about one round trip — the amortization
 // is what the multiplexed column of Fig. 9 reports.
 func (p *Platform) timeBatchQueries(ctx context.Context, elapsed func() time.Duration,
-	batch func(ctx context.Context, names []string) error, tag string, n int) ([]float64, error) {
-	var lat []float64
+	batch func(ctx context.Context, names []string) error, tag string, n int) (*[]float64, error) {
+	lat := bufpool.GetF64(n)
+	names := make([]string, 0, p.MuxInFlight)
 	for done := 0; done < n; {
 		b := p.MuxInFlight
 		if n-done < b {
 			b = n - done
 		}
-		names := make([]string, b)
-		for i := range names {
-			names[i] = p.UniqueName(tag)
+		names = names[:0]
+		for i := 0; i < b; i++ {
+			names = append(names, p.UniqueName(tag))
 		}
 		start := elapsed()
 		if err := batch(ctx, names); err != nil {
+			bufpool.PutF64(lat)
 			return nil, err
 		}
 		d := elapsed() - start
 		obs.Charge(ctx, d)
 		per := ms(d) / float64(b)
 		for i := 0; i < b; i++ {
-			lat = append(lat, per)
+			*lat = append(*lat, per)
 		}
 		done += b
 	}
-	return lat, nil
+	return lat, nil //doelint:transfer -- pool-owned scratch; released by the median reducer
 }
 
-func (p *Platform) timeDoTMuxQueries(ctx context.Context, node proxy.ExitNode, target netip.Addr, n int) ([]float64, error) {
+func (p *Platform) timeDoTMuxQueries(ctx context.Context, node proxy.ExitNode, target netip.Addr, n int) (*[]float64, error) {
 	tunnel, err := p.Network.Dial(p.From, node.ID, target, dot.Port)
 	if err != nil {
 		return nil, err
@@ -326,7 +344,7 @@ func (p *Platform) timeDoTMuxQueries(ctx context.Context, node proxy.ExitNode, t
 	}, node.ID+"-perf-dot-mux", n)
 }
 
-func (p *Platform) timeDoHMuxQueries(ctx context.Context, node proxy.ExitNode, tmpl doh.Template, addr netip.Addr, n int) ([]float64, error) {
+func (p *Platform) timeDoHMuxQueries(ctx context.Context, node proxy.ExitNode, tmpl doh.Template, addr netip.Addr, n int) (*[]float64, error) {
 	tunnel, err := p.Network.Dial(p.From, node.ID, addr, doh.Port)
 	if err != nil {
 		return nil, err
@@ -350,7 +368,7 @@ func (p *Platform) timeDoHMuxQueries(ctx context.Context, node proxy.ExitNode, t
 // packs MuxInFlight queries as concurrent QUIC streams into one flight, so
 // the batch shares a single round trip — the same amortization the DoT
 // pipeline and DoH HTTP/2 arms measure.
-func (p *Platform) timeDoQMuxQueries(ctx context.Context, node proxy.ExitNode, target netip.Addr, n int) ([]float64, error) {
+func (p *Platform) timeDoQMuxQueries(ctx context.Context, node proxy.ExitNode, target netip.Addr, n int) (*[]float64, error) {
 	relay, err := p.Network.DialDatagram(p.From, node.ID, target, doq.Port)
 	if err != nil {
 		return nil, err
@@ -531,12 +549,16 @@ func MeasureNoReuseContext(ctx context.Context, w *netsim.World, label string, f
 	// here: the controlled vantages authenticate the public resolvers.
 	rc := resolver.New(w, from, roots,
 		append([]resolver.Option{resolver.WithReuse(false), resolver.WithProfile(dot.Strict)}, opts...)...)
-	timeFresh := func(t *resolver.Transport, tag string) ([]float64, error) {
+	// medianFresh runs one protocol's pass on pooled scratch and reduces it
+	// to the median immediately, so a vantage's four passes reuse one
+	// buffer instead of retaining four until the sample is assembled.
+	medianFresh := func(t *resolver.Transport, tag string) (float64, error) {
 		sctx, sp := obs.Start(ctx, "noreuse:"+tag)
 		h := obs.Metrics(sctx).Histogram("vantage_query_latency", nil, "mode", "fresh", "proto", tag)
 		sk := obs.Metrics(sctx).Sketch("vantage_query_latency_sketch", obs.SketchOpts{},
 			"mode", "fresh", "proto", tag)
-		var lat []float64
+		lat := bufpool.GetF64(n)
+		defer bufpool.PutF64(lat)
 		var lastErr error
 		for i := 0; i < n; i++ {
 			q := dnswire.NewQuery(0, name(tag), dnswire.TypeA)
@@ -546,37 +568,30 @@ func MeasureNoReuseContext(ctx context.Context, w *netsim.World, label string, f
 			}
 			h.Observe(t.LastLatency())
 			sk.Observe(t.LastLatency())
-			lat = append(lat, ms(t.LastLatency()))
+			*lat = append(*lat, ms(t.LastLatency()))
 		}
-		sp.SetInt("answered", int64(len(lat)))
-		if len(lat) == 0 {
+		sp.SetInt("answered", int64(len(*lat)))
+		if len(*lat) == 0 {
 			err := fmt.Errorf("vantage: no-reuse %s/%s: every query failed: %w", label, tag, lastErr)
 			sp.Fail(err)
-			return nil, err
+			return 0, err
 		}
-		return lat, nil
+		return analysis.Median(*lat), nil
 	}
-	dnsLat, err := timeFresh(rc.TCP(tgt.DNS), string(ProtoDNS))
-	if err != nil {
+	var err error
+	if sample.DNSMedianMS, err = medianFresh(rc.TCP(tgt.DNS), string(ProtoDNS)); err != nil {
 		return sample, err
 	}
-	dotLat, err := timeFresh(rc.DoT(tgt.DoT), resolver.ProtoDoT.String())
-	if err != nil {
+	if sample.DoTMedianMS, err = medianFresh(rc.DoT(tgt.DoT), resolver.ProtoDoT.String()); err != nil {
 		return sample, err
 	}
-	dohLat, err := timeFresh(rc.DoH(tgt.DoH, tgt.DoHAddr), resolver.ProtoDoH.String())
-	if err != nil {
+	if sample.DoHMedianMS, err = medianFresh(rc.DoH(tgt.DoH, tgt.DoHAddr), resolver.ProtoDoH.String()); err != nil {
 		return sample, err
 	}
-	sample.DNSMedianMS = analysis.Median(dnsLat)
-	sample.DoTMedianMS = analysis.Median(dotLat)
-	sample.DoHMedianMS = analysis.Median(dohLat)
 	if tgt.DoQ.IsValid() {
-		doqLat, err := timeFresh(rc.DoQ(tgt.DoQ), resolver.ProtoDoQ.String())
-		if err != nil {
+		if sample.DoQMedianMS, err = medianFresh(rc.DoQ(tgt.DoQ), resolver.ProtoDoQ.String()); err != nil {
 			return sample, err
 		}
-		sample.DoQMedianMS = analysis.Median(doqLat)
 	}
 	return sample, nil
 }

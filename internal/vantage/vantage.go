@@ -106,6 +106,10 @@ type Result struct {
 	// succeeded within the retry budget — the fault-injection experiments
 	// report these separately from hard failures.
 	Recovered bool
+	// Setup is the session-establishment latency of the lookup's final
+	// attempt (0 when no session was established). The streaming
+	// campaign's per-protocol latency sketches are fed from it.
+	Setup time.Duration
 }
 
 // Platform drives measurements through a proxy network.
@@ -168,20 +172,7 @@ func (p *Platform) TestReachability(node proxy.ExitNode, targets []Target) []Res
 // targets, honouring ctx on every lookup.
 func (p *Platform) TestReachabilityContext(ctx context.Context, node proxy.ExitNode, targets []Target) []Result {
 	var out []Result
-	for _, tgt := range targets {
-		if tgt.DNS.IsValid() {
-			out = append(out, p.lookup(ctx, node, tgt, ProtoDNS, tgt.DNS, p.testDNS))
-		}
-		if tgt.DoT.IsValid() {
-			out = append(out, p.lookup(ctx, node, tgt, ProtoDoT, tgt.DoT, p.testDoT))
-		}
-		if tgt.DoHAddr.IsValid() {
-			out = append(out, p.lookup(ctx, node, tgt, ProtoDoH, tgt.DoHAddr, p.testDoH))
-		}
-		if tgt.DoQ.IsValid() {
-			out = append(out, p.lookup(ctx, node, tgt, ProtoDoQ, tgt.DoQ, p.testDoQ))
-		}
-	}
+	p.VisitReachability(ctx, node, targets, func(r Result) { out = append(out, r) })
 	return out
 }
 
@@ -295,11 +286,13 @@ func (p *Platform) exchange(ctx context.Context, sess resolver.Session, tag stri
 
 // observeSetup records a fresh session's connection-establishment cost: a
 // dial child span charged with the setup latency, plus the per-protocol
-// setup histogram.
-func (p *Platform) observeSetup(ctx context.Context, proto Proto, sess resolver.Session) {
+// setup histogram. It returns the latency so reachability results can
+// carry it into the streaming campaign's sketches.
+func (p *Platform) observeSetup(ctx context.Context, proto Proto, sess resolver.Session) time.Duration {
 	dctx, _ := obs.Start(ctx, "dial")
 	obs.Charge(dctx, sess.SetupLatency())
 	obs.Metrics(ctx).Histogram("vantage_setup_latency", nil, "proto", string(proto)).Observe(sess.SetupLatency())
+	return sess.SetupLatency()
 }
 
 func (p *Platform) testDNS(ctx context.Context, node proxy.ExitNode, tgt Target) Result {
@@ -312,7 +305,7 @@ func (p *Platform) testDNS(ctx context.Context, node proxy.ExitNode, tgt Target)
 	}
 	sess := resolver.TCPSession(dnsclient.TCPFromConn(tunnel))
 	defer sess.Close()
-	p.observeSetup(ctx, ProtoDNS, sess)
+	r.Setup = p.observeSetup(ctx, ProtoDNS, sess)
 	p.exchange(ctx, sess, node.ID+"-"+tgt.Name+"-dns", &r)
 	return r
 }
@@ -335,7 +328,7 @@ func (p *Platform) testDoT(ctx context.Context, node proxy.ExitNode, tgt Target)
 	}
 	sess := resolver.DoTSession(conn)
 	defer sess.Close()
-	p.observeSetup(ctx, ProtoDoT, sess)
+	r.Setup = p.observeSetup(ctx, ProtoDoT, sess)
 	if chain := conn.PeerCertificates(); len(chain) > 0 {
 		r.IssuerCN = chain[0].Issuer.CommonName
 	}
@@ -366,7 +359,7 @@ func (p *Platform) testDoH(ctx context.Context, node proxy.ExitNode, tgt Target)
 	}
 	sess := resolver.DoHSession(conn)
 	defer sess.Close()
-	p.observeSetup(ctx, ProtoDoH, sess)
+	r.Setup = p.observeSetup(ctx, ProtoDoH, sess)
 	p.exchange(ctx, sess, node.ID+"-"+tgt.Name+"-doh", &r)
 	return r
 }
@@ -392,7 +385,7 @@ func (p *Platform) testDoQ(ctx context.Context, node proxy.ExitNode, tgt Target)
 	}
 	sess := resolver.DoQSession(conn)
 	defer sess.Close()
-	p.observeSetup(ctx, ProtoDoQ, sess)
+	r.Setup = p.observeSetup(ctx, ProtoDoQ, sess)
 	if chain := conn.PeerCertificates(); len(chain) > 0 {
 		r.IssuerCN = chain[0].Issuer.CommonName
 	}

@@ -1,0 +1,89 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// renderNodes materializes nodes [0, n) by walking the index space in
+// chunks of the given size — the access pattern a sharded campaign
+// produces — and renders each node to one canonical line.
+func renderNodes(m *VantageModel, n, chunk int) string {
+	var b strings.Builder
+	for base := 0; base < n; base += chunk {
+		end := base + chunk
+		if end > n {
+			end = n
+		}
+		for i := base; i < end; i++ {
+			nd := m.Node(i)
+			fmt.Fprintf(&b, "%s|%s|%s|%d|%s|%s\n",
+				nd.ID, nd.Addr, nd.Country, nd.ASN, nd.ASName, nd.Lifetime)
+		}
+	}
+	return b.String()
+}
+
+// TestVantageStreamChunkInvariant pins the generator-determinism contract:
+// same seed ⇒ byte-identical first-N node stream no matter how the
+// iterator is chunked across shards.
+func TestVantageStreamChunkInvariant(t *testing.T) {
+	const n = 5000
+	m := NewVantageModel(20190501)
+	want := renderNodes(m, n, 1)
+	for _, chunk := range []int{7, 64, 4096} {
+		if got := renderNodes(NewVantageModel(20190501), n, chunk); got != want {
+			t.Fatalf("chunk=%d: node stream diverges from chunk=1 stream", chunk)
+		}
+	}
+	if other := renderNodes(NewVantageModel(42), n, 1); other == want {
+		t.Fatal("different seeds produced identical node streams")
+	}
+}
+
+func TestVantageModelRoundTripsAddresses(t *testing.T) {
+	m := NewVantageModel(1)
+	for _, i := range []int{0, 1, 255, 256, 65535, 65536, VantageCapacity - 1} {
+		got, ok := m.IndexOf(m.Addr(i))
+		if !ok || got != i {
+			t.Fatalf("IndexOf(Addr(%d)) = %d, %v", i, got, ok)
+		}
+	}
+	if _, ok := m.IndexOf(m.Addr(0).Prev()); ok {
+		t.Fatal("address outside the generated plane resolved to an index")
+	}
+}
+
+// TestVantageMixShapesPopulation checks the synthesized country mix tracks
+// the Table 3 weights: every listed country appears, and the heaviest
+// weight is within 20% (relative) of its expected share over a large
+// sample.
+func TestVantageMixShapesPopulation(t *testing.T) {
+	const n = 100_000
+	m := NewVantageModel(7)
+	counts := map[string]int{}
+	lifetimes := map[string]bool{}
+	for i := 0; i < n; i++ {
+		nd := m.Node(i)
+		counts[nd.Country]++
+		lifetimes[nd.Lifetime.String()] = true
+		if nd.ASN < 30000 || nd.ASN >= 30500 {
+			t.Fatalf("node %d: ASN %d outside the residential block", i, nd.ASN)
+		}
+	}
+	total := 0
+	for _, w := range VantageMix() {
+		total += w.Weight
+		if counts[w.CC] == 0 {
+			t.Fatalf("country %s never synthesized in %d nodes", w.CC, n)
+		}
+	}
+	wantID := float64(n) * 10 / float64(total)
+	if got := float64(counts["ID"]); got < 0.8*wantID || got > 1.2*wantID {
+		t.Fatalf("ID share %v outside 20%% of expected %v", got, wantID)
+	}
+	if len(lifetimes) < 50 {
+		t.Fatalf("lifetime spread too narrow: %d distinct values", len(lifetimes))
+	}
+}
